@@ -1,0 +1,41 @@
+# zombiessd — build, test and reproduction targets. Everything is stdlib Go;
+# `make repro` regenerates the paper's tables and figures.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every table/figure of the paper plus the ablations.
+repro:
+	$(GO) run ./cmd/zombiectl run all
+
+# CSV output for plotting.
+repro-csv:
+	$(GO) run ./cmd/zombiectl -csv run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mailserver
+	$(GO) run ./examples/lifecycle
+	$(GO) run ./examples/dedupcombo
+	$(GO) run ./examples/adaptive
+
+clean:
+	$(GO) clean ./...

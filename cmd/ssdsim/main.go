@@ -1,0 +1,168 @@
+// Command ssdsim replays one trace against one simulated SSD configuration
+// and prints the full metric block: flash activity, GC, pool behaviour and
+// latency summaries. It accepts traces produced by tracegen (binary or
+// text codec) or generates a workload on the fly.
+//
+// Usage:
+//
+//	ssdsim -workload mail -n 500000 -system dvp
+//	ssdsim -trace mail.trace -system baseline
+//	tracegen -workload web -n 100000 | ssdsim -trace - -system dvp+dedup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"zombiessd/internal/core"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/lxssd"
+	"zombiessd/internal/sim"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+	"zombiessd/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file ('-' = stdin); empty generates -workload")
+		traceFmt  = flag.String("tracefmt", "binary", "trace input codec: binary, text, or fiu (FIU/SRCMap)")
+		name      = flag.String("workload", "mail", "workload to generate when no -trace is given")
+		n         = flag.Int64("n", 200_000, "requests to generate when no -trace is given")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		system    = flag.String("system", "dvp", "system: baseline, dvp, dedup, dvp+dedup, lx")
+		pool      = flag.String("pool", "mq", "dead-value pool policy for dvp systems: mq, lru, infinite")
+		entries   = flag.Int("entries", 20_000, "dead-value pool capacity in entries")
+		queues    = flag.Int("queues", 8, "MQ queue count")
+		util      = flag.Float64("util", 0.75, "drive utilization (footprint / exported capacity)")
+		softGC    = flag.Int("softgc", 0, "background GC soft threshold in free blocks (0 = off)")
+		wbufPages = flag.Int("wbuf", 0, "DRAM write-back buffer size in 4KB pages (0 = none)")
+		streams   = flag.Bool("streams", false, "hot/cold multi-stream write placement")
+		precond   = flag.Bool("precondition", true, "fill the footprint before the timed run")
+	)
+	flag.Parse()
+
+	if err := run(*tracePath, *traceFmt, *name, *n, *seed, *system, *pool, *entries, *queues, *softGC, *wbufPages, *util, *precond, *streams); err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, traceFmt, name string, n, seed int64, system, pool string, entries, queues, softGC, wbufPages int, util float64, precond, streams bool) error {
+	recs, err := loadTrace(tracePath, traceFmt, name, n, seed)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	var footprint int64
+	for _, r := range recs {
+		if int64(r.LBA) >= footprint {
+			footprint = int64(r.LBA) + 1
+		}
+	}
+
+	kind := sim.Kind(strings.ToLower(system))
+	if kind == "lx-ssd" {
+		kind = sim.KindLX
+	}
+	popWeight := 0.0
+	if kind == sim.KindDVP || kind == sim.KindDVPDedup {
+		popWeight = sim.DefaultPopularityWeight
+	}
+	cfg := sim.Config{
+		Geometry:     sim.GeometryFor(footprint, util),
+		Latency:      ssd.PaperLatency(),
+		Store:        ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: softGC},
+		LogicalPages: footprint,
+		Kind:         kind,
+		PoolKind:     sim.PoolKind(strings.ToLower(pool)),
+		MQ:           core.MQConfig{Queues: queues, Capacity: entries, DefaultLifetime: 8192},
+		LRUCapacity:  entries,
+		Adaptive: core.AdaptiveConfig{
+			MQ:          core.MQConfig{Queues: queues, Capacity: entries, DefaultLifetime: 8192},
+			MinCapacity: entries / 4,
+			MaxCapacity: entries * 8,
+			Window:      8192,
+			Step:        0.25,
+		},
+		LX:               lxssd.Config{Capacity: entries, MinPopularity: 2},
+		WriteBufferPages: wbufPages,
+		HotColdStreams:   streams,
+	}
+	dev, err := sim.NewDevice(cfg)
+	if err != nil {
+		return err
+	}
+	opts := sim.RunOptions{LogicalPages: footprint}
+	if precond {
+		opts.PreconditionPages = footprint
+	}
+	res, err := sim.Run(dev, recs, opts)
+	if err != nil {
+		return err
+	}
+	printResult(cfg, len(recs), res)
+	return nil
+}
+
+func loadTrace(tracePath, traceFmt, name string, n, seed int64) ([]trace.Record, error) {
+	if tracePath == "" {
+		p, ok := workload.ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		return workload.Generate(p, n, seed)
+	}
+	var r io.Reader = os.Stdin
+	if tracePath != "-" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch traceFmt {
+	case "binary":
+		return trace.NewReader(r).ReadAll()
+	case "text":
+		return trace.ReadText(r)
+	case "fiu":
+		return trace.ReadFIU(r)
+	default:
+		return nil, fmt.Errorf("unknown trace format %q (want binary, text or fiu)", traceFmt)
+	}
+}
+
+func printResult(cfg sim.Config, requests int, res sim.Result) {
+	m := res.Metrics
+	fmt.Printf("system      %s (pool=%s)\n", cfg.Kind, cfg.PoolKind)
+	fmt.Printf("geometry    %s\n", cfg.Geometry)
+	fmt.Printf("requests    %d (%d writes, %d reads)\n", requests, m.HostWrites, m.HostReads)
+	fmt.Printf("flash       programs=%d (host %d, GC %d)  reads=%d  erases=%d\n",
+		m.FlashPrograms, m.HostPrograms(), m.GC.Relocated, m.FlashReads, m.FlashErases)
+	fmt.Printf("short-circ  revived=%d  dedupHits=%d  (%.1f%% of writes)\n",
+		m.Revived, m.DedupHits, 100*float64(m.ShortCircuited())/float64(max64(m.HostWrites, 1)))
+	fmt.Printf("gc          %+v\n", m.GC)
+	fmt.Printf("pool        %v\n", m.Pool)
+	fmt.Printf("latency all    %v\n", res.All)
+	fmt.Printf("latency reads  %v\n", res.Reads)
+	fmt.Printf("latency writes %v\n", res.Writes)
+	fmt.Printf("makespan    %.3fs\n", float64(res.Makespan)/1e6)
+	if res.MeanChipUtil > 0 {
+		fmt.Printf("chips       mean util=%.1f%%  max util=%.1f%%  (of makespan)\n",
+			res.MeanChipUtil*100, res.MaxChipUtil*100)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

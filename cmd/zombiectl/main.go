@@ -1,0 +1,122 @@
+// Command zombiectl regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	zombiectl list
+//	zombiectl run <id>...        # e.g. zombiectl run fig9 fig10
+//	zombiectl run all
+//
+// Flags scale the experiments; see -h. Full-simulation figures (9–12,
+// 14–15) share one evaluation matrix per invocation, so `run all` simulates
+// each (workload, system) pair exactly once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zombiessd/internal/experiments"
+)
+
+func main() {
+	opts := experiments.DefaultOptions()
+	flag.Int64Var(&opts.Requests, "requests", opts.Requests, "requests per workload (per day for day studies)")
+	flag.IntVar(&opts.Days, "days", opts.Days, "days for the per-day figures (1 and 5)")
+	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "workload generator seed")
+	flag.Float64Var(&opts.Utilization, "util", opts.Utilization, "drive utilization (footprint / exported capacity)")
+	quiet := flag.Bool("q", false, "suppress progress notes on stderr")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "zombiectl: run needs experiment ids (or 'all')")
+			os.Exit(2)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+		}
+		if err := runExperiments(opts, ids, *quiet, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "zombiectl:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "zombiectl: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runExperiments(opts experiments.Options, ids []string, quiet, csv bool) error {
+	note := func(format string, a ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format, a...)
+		}
+	}
+	// Build the evaluation matrix once if any requested experiment needs it.
+	var matrix *experiments.Matrix
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'zombiectl list')", id)
+		}
+		if e.NeedsMatrix && matrix == nil {
+			note("building evaluation matrix (6 workloads × 8 systems, %d requests each)...\n", opts.Requests)
+			start := time.Now()
+			m, err := experiments.RunMatrix(opts, nil, nil)
+			if err != nil {
+				return err
+			}
+			matrix = m
+			note("matrix done in %v\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	for _, id := range ids {
+		e, _ := experiments.ByID(id)
+		note("running %s...\n", id)
+		start := time.Now()
+		res, err := e.Run(opts, matrix)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		note("%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		if csv {
+			if t, ok := res.(experiments.Tabler); ok {
+				fmt.Println(t.Table().CSV())
+				continue
+			}
+		}
+		fmt.Println(res.String())
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `zombiectl regenerates the tables and figures of
+"Reviving Zombie Pages on SSDs" (IISWC 2018).
+
+usage:
+  zombiectl [flags] list
+  zombiectl [flags] run <id>... | all
+
+flags:
+`)
+	flag.PrintDefaults()
+}

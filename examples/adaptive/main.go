@@ -1,0 +1,101 @@
+// Adaptive: the paper's future-work extension in action. A workload whose
+// garbage working set changes phase — a quiet period with a small set of
+// hot values, then a burst with a much larger one, then quiet again — is
+// replayed against the dead-value pool. A fixed-capacity pool must be
+// provisioned for the worst phase; the AdaptivePool controller grows under
+// eviction pressure and gives the RAM back when the burst passes.
+package main
+
+import (
+	"fmt"
+
+	"zombiessd/zombie"
+)
+
+const (
+	quietValues = 2_000  // distinct garbage values in quiet phases
+	burstValues = 40_000 // distinct garbage values in the burst
+	phaseWrites = 120_000
+)
+
+func main() {
+	ledger := zombie.NewLedger()
+	pool := zombie.NewAdaptivePool(zombie.AdaptiveConfig{
+		MQ:          zombie.MQConfig{Queues: 8, Capacity: 4_000, DefaultLifetime: 8192},
+		MinCapacity: 1_000,
+		MaxCapacity: 64_000,
+		Window:      4_096,
+		Step:        0.25,
+	}, ledger)
+
+	fmt.Printf("%-10s %12s %12s %10s\n", "phase", "capacity", "entries", "hit rate")
+	var tick int64
+	var lastHits, lastLookups int64
+	pages := make(map[uint64]struct {
+		h   zombie.Hash
+		ppn zombie.PPN
+	})
+	var nextPPN zombie.PPN
+
+	// Emulate the garbage collector: zombies not revived within the
+	// horizon get erased and leave the pool, like blocks reclaimed on a
+	// real drive.
+	const gcHorizon = 60_000
+	type zombiePage struct {
+		ppn  zombie.PPN
+		born int64
+	}
+	var graveyard []zombiePage
+	expire := func() {
+		for len(graveyard) > 0 && tick-graveyard[0].born > gcHorizon {
+			pool.Drop(graveyard[0].ppn)
+			graveyard = graveyard[1:]
+		}
+	}
+
+	runPhase := func(name string, values uint64) {
+		for i := 0; i < phaseWrites; i++ {
+			tick++
+			v := uint64(tick) % values
+			if values == quietValues {
+				v += 1 << 32 // quiet phases use their own value universe
+			}
+			h := zombie.HashOfValue(v)
+			ledger.Bump(h)
+			// Addresses cycle twice as fast as values: a page dies half a
+			// value-cycle before its content returns, so every rebirth
+			// depends on the pool holding the garbage meanwhile. The burst
+			// needs ~values/2 entries for full coverage.
+			lba := uint64(tick) % (values / 2)
+			if old, ok := pages[lba]; ok {
+				pool.Insert(old.h, old.ppn, tick)
+				graveyard = append(graveyard, zombiePage{old.ppn, tick})
+			}
+			expire()
+			if ppn, ok := pool.Lookup(h, tick); ok {
+				pages[lba] = struct {
+					h   zombie.Hash
+					ppn zombie.PPN
+				}{h, ppn}
+			} else {
+				pages[lba] = struct {
+					h   zombie.Hash
+					ppn zombie.PPN
+				}{h, nextPPN}
+				nextPPN++
+			}
+		}
+		st := pool.Stats()
+		lookups := st.Hits + st.Misses
+		rate := float64(st.Hits-lastHits) / float64(lookups-lastLookups)
+		lastHits, lastLookups = st.Hits, lookups
+		fmt.Printf("%-10s %12d %12d %9.1f%%\n", name, pool.Capacity(), pool.EntryCount(), rate*100)
+	}
+
+	runPhase("quiet-1", quietValues)
+	runPhase("burst", burstValues)
+	runPhase("quiet-2", quietValues)
+
+	grows, shrinks := pool.Adaptations()
+	fmt.Printf("\ncontroller: %d grows, %d shrinks — capacity followed the working set\n", grows, shrinks)
+}

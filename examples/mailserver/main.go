@@ -1,0 +1,73 @@
+// Mailserver: the paper's motivating scenario. A department mail server —
+// circulated attachments and SPAM create enormous content redundancy — is
+// replayed against all five evaluated systems side by side: Baseline,
+// MQ-DVP, the LX-SSD prior work, Dedup, and DVP+Dedup, plus the Ideal
+// (infinite-pool) upper bound. The output is a one-screen version of the
+// paper's whole evaluation story on its best workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"zombiessd/zombie"
+)
+
+const requests = 200_000
+
+func main() {
+	profile, _ := zombie.ProfileByName("mail")
+	recs, err := zombie.Generate(profile, requests, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	footprint := zombie.FootprintOf(recs)
+	fmt.Printf("mail trace: %s\n\n", zombie.CollectStats(recs))
+
+	systems := []struct {
+		name string
+		kind zombie.Kind
+		pool zombie.PoolKind
+	}{
+		{"baseline", zombie.KindBaseline, zombie.PoolMQ},
+		{"lx-ssd", zombie.KindLX, zombie.PoolMQ},
+		{"mq-dvp", zombie.KindDVP, zombie.PoolMQ},
+		{"ideal", zombie.KindDVP, zombie.PoolInfinite},
+		{"dedup", zombie.KindDedup, zombie.PoolMQ},
+		{"dvp+dedup", zombie.KindDVPDedup, zombie.PoolMQ},
+	}
+
+	var baseline zombie.Result
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\twrites\twrite red.\terases\tmean lat\tp99 lat\tlat improv.")
+	fmt.Fprintln(w, "------\t------\t----------\t------\t--------\t-------\t-----------")
+	for i, sys := range systems {
+		cfg := zombie.DefaultConfig(sys.kind, footprint)
+		cfg.PoolKind = sys.pool
+		dev, err := zombie.NewDevice(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := zombie.Run(dev, recs, zombie.RunOptions{
+			LogicalPages:      footprint,
+			PreconditionPages: footprint,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseline = res
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%d\t%.0fµs\t%dµs\t%.1f%%\n",
+			sys.name,
+			res.Metrics.HostPrograms(),
+			zombie.ReductionPct(float64(baseline.Metrics.HostPrograms()), float64(res.Metrics.HostPrograms())),
+			res.Metrics.FlashErases,
+			res.All.Mean,
+			res.All.P99,
+			zombie.ReductionPct(baseline.All.Mean, res.All.Mean))
+	}
+	w.Flush()
+}

@@ -1,0 +1,3 @@
+module zombiessd
+
+go 1.22

@@ -1,0 +1,258 @@
+// Package analysis provides the offline, trace-only studies of Section II
+// and III of the paper: value life-cycle tracking (creation → death →
+// rebirth), the invalidation/write/rebirth distributions (Figs 2–3), the
+// popularity-vs-timing relations (Fig 4), the infinite-buffer reuse
+// opportunity with and without deduplication (Fig 1), and the LRU buffer
+// sweeps (Figs 5–6). These studies replay a trace against bookkeeping
+// structures only — no SSD timing is involved, exactly as the paper's
+// Section II states ("done by analyzing the traces").
+package analysis
+
+import (
+	"sort"
+
+	"zombiessd/internal/trace"
+)
+
+// ValueStats accumulates the life-cycle of one unique value. Time is
+// measured in writes, as in the paper ("we report the number of writes
+// occurring between the two events as our metric").
+type ValueStats struct {
+	Writes   int64 // popularity degree
+	Deaths   int64 // invalidations of copies of this value
+	Rebirths int64 // writes of this value arriving while it was fully dead
+
+	CreateToDeathSum  int64 // Σ write-distance from a copy's creation to its death
+	DeathToRebirthSum int64 // Σ write-distance from last full death to rebirth
+
+	liveCopies int64
+	lastDeath  int64 // write index of the death that left no live copy
+}
+
+// AvgCreateToDeath returns the mean number of writes a copy of this value
+// stayed live, or 0 with no deaths.
+func (v *ValueStats) AvgCreateToDeath() float64 {
+	if v.Deaths == 0 {
+		return 0
+	}
+	return float64(v.CreateToDeathSum) / float64(v.Deaths)
+}
+
+// AvgDeathToRebirth returns the mean number of writes between a full death
+// and the following rebirth, or 0 with no rebirths.
+func (v *ValueStats) AvgDeathToRebirth() float64 {
+	if v.Rebirths == 0 {
+		return 0
+	}
+	return float64(v.DeathToRebirthSum) / float64(v.Rebirths)
+}
+
+// Lifecycle is the outcome of one life-cycle pass over a trace.
+type Lifecycle struct {
+	TotalWrites int64
+	Values      map[trace.Hash]*ValueStats
+}
+
+// AnalyzeLifecycle replays the write stream of recs and tracks every
+// value's creations, deaths and rebirths. Reads are ignored — the paper's
+// life-cycle is defined over writes and invalidations only.
+func AnalyzeLifecycle(recs []trace.Record) *Lifecycle {
+	type copyInfo struct {
+		val     trace.Hash
+		created int64
+	}
+	l := &Lifecycle{Values: make(map[trace.Hash]*ValueStats)}
+	pages := make(map[uint64]copyInfo)
+	for _, r := range recs {
+		if r.Op != trace.OpWrite {
+			continue
+		}
+		l.TotalWrites++
+		now := l.TotalWrites
+
+		// Death of the copy this write supersedes.
+		if old, ok := pages[r.LBA]; ok {
+			vs := l.Values[old.val]
+			vs.Deaths++
+			vs.CreateToDeathSum += now - old.created
+			vs.liveCopies--
+			if vs.liveCopies == 0 {
+				vs.lastDeath = now
+			}
+		}
+
+		// Write (and possibly rebirth) of the incoming value.
+		vs := l.Values[r.Hash]
+		if vs == nil {
+			vs = &ValueStats{}
+			l.Values[r.Hash] = vs
+		}
+		if vs.Writes > 0 && vs.liveCopies == 0 {
+			vs.Rebirths++
+			vs.DeathToRebirthSum += now - vs.lastDeath
+		}
+		vs.Writes++
+		vs.liveCopies++
+		pages[r.LBA] = copyInfo{val: r.Hash, created: now}
+	}
+	return l
+}
+
+// UniqueValues returns the number of distinct values written.
+func (l *Lifecycle) UniqueValues() int { return len(l.Values) }
+
+// CDFPoint is one point of a cumulative distribution: the fraction of the
+// population with metric ≤ X.
+type CDFPoint struct {
+	X        int64
+	Fraction float64
+}
+
+// InvalidationCDF returns Fig 2: for each invalidation count x, the
+// fraction of values with at most x invalidations. The point at x = 0 is
+// the fraction of values still fully live.
+func (l *Lifecycle) InvalidationCDF() []CDFPoint {
+	return cdfOf(l.Values, func(v *ValueStats) int64 { return v.Deaths })
+}
+
+// WriteCountCDF returns the CDF of per-value write counts.
+func (l *Lifecycle) WriteCountCDF() []CDFPoint {
+	return cdfOf(l.Values, func(v *ValueStats) int64 { return v.Writes })
+}
+
+// RebirthCDF returns the CDF of per-value rebirth counts.
+func (l *Lifecycle) RebirthCDF() []CDFPoint {
+	return cdfOf(l.Values, func(v *ValueStats) int64 { return v.Rebirths })
+}
+
+func cdfOf(values map[trace.Hash]*ValueStats, metric func(*ValueStats) int64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	counts := make(map[int64]int64)
+	for _, v := range values {
+		counts[metric(v)]++
+	}
+	xs := make([]int64, 0, len(counts))
+	for x := range counts {
+		xs = append(xs, x)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := make([]CDFPoint, 0, len(xs))
+	var cum int64
+	total := float64(len(values))
+	for _, x := range xs {
+		cum += counts[x]
+		out = append(out, CDFPoint{X: x, Fraction: float64(cum) / total})
+	}
+	return out
+}
+
+// LorenzPoint is one point of a concentration curve: the top ValueFrac of
+// values (sorted by write count, descending) account for MetricFrac of the
+// metric's total.
+type LorenzPoint struct {
+	ValueFrac  float64
+	MetricFrac float64
+}
+
+// Concentration returns Fig 3's curves: values sorted by write count
+// descending, with the cumulative share of the chosen metric. points
+// controls the curve resolution.
+func (l *Lifecycle) Concentration(metric func(*ValueStats) int64, points int) []LorenzPoint {
+	if len(l.Values) == 0 || points <= 0 {
+		return nil
+	}
+	type pair struct{ writes, m int64 }
+	vs := make([]pair, 0, len(l.Values))
+	var total int64
+	for _, v := range l.Values {
+		vs = append(vs, pair{v.Writes, metric(v)})
+		total += metric(v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].writes > vs[j].writes })
+	out := make([]LorenzPoint, 0, points)
+	var cum int64
+	next := 1
+	for i, p := range vs {
+		cum += p.m
+		for next <= points && (i+1)*points >= next*len(vs) {
+			frac := 0.0
+			if total > 0 {
+				frac = float64(cum) / float64(total)
+			}
+			out = append(out, LorenzPoint{
+				ValueFrac:  float64(i+1) / float64(len(vs)),
+				MetricFrac: frac,
+			})
+			next++
+		}
+	}
+	return out
+}
+
+// WritesMetric, DeathsMetric and RebirthsMetric select the quantity for
+// Concentration (Fig 3 a/b/c).
+func WritesMetric(v *ValueStats) int64   { return v.Writes }
+func DeathsMetric(v *ValueStats) int64   { return v.Deaths }
+func RebirthsMetric(v *ValueStats) int64 { return v.Rebirths }
+
+// PopularityBin aggregates life-cycle timing for all values of one
+// popularity degree (Fig 4). Degrees above maxDegree are clamped into the
+// top bin.
+type PopularityBin struct {
+	Degree            int64 // write count (clamped)
+	Values            int64
+	AvgCreateToDeath  float64 // Fig 4a
+	AvgDeathToRebirth float64 // Fig 4b
+	AvgRebirths       float64 // Fig 4c
+}
+
+// PopularityTiming returns Fig 4's three series binned by popularity
+// degree, ascending.
+func (l *Lifecycle) PopularityTiming(maxDegree int64) []PopularityBin {
+	if maxDegree < 1 {
+		maxDegree = 1
+	}
+	type acc struct {
+		values, deaths, rebirths          int64
+		c2dSum, d2rSum, rebirthsPerValSum int64
+	}
+	bins := make(map[int64]*acc)
+	for _, v := range l.Values {
+		d := v.Writes
+		if d > maxDegree {
+			d = maxDegree
+		}
+		a := bins[d]
+		if a == nil {
+			a = &acc{}
+			bins[d] = a
+		}
+		a.values++
+		a.deaths += v.Deaths
+		a.rebirths += v.Rebirths
+		a.c2dSum += v.CreateToDeathSum
+		a.d2rSum += v.DeathToRebirthSum
+		a.rebirthsPerValSum += v.Rebirths
+	}
+	degrees := make([]int64, 0, len(bins))
+	for d := range bins {
+		degrees = append(degrees, d)
+	}
+	sort.Slice(degrees, func(i, j int) bool { return degrees[i] < degrees[j] })
+	out := make([]PopularityBin, 0, len(degrees))
+	for _, d := range degrees {
+		a := bins[d]
+		b := PopularityBin{Degree: d, Values: a.values}
+		if a.deaths > 0 {
+			b.AvgCreateToDeath = float64(a.c2dSum) / float64(a.deaths)
+		}
+		if a.rebirths > 0 {
+			b.AvgDeathToRebirth = float64(a.d2rSum) / float64(a.rebirths)
+		}
+		b.AvgRebirths = float64(a.rebirthsPerValSum) / float64(a.values)
+		out = append(out, b)
+	}
+	return out
+}

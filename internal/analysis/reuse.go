@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"zombiessd/internal/trace"
+)
+
+// ReuseReport is Fig 1 for one trace: with an infinite garbage buffer, the
+// fraction of writes that a garbage page could have serviced — raw, and on
+// a deduplicated store (where a page only dies when its last logical
+// reference leaves, so both the opportunity and the write base shrink).
+type ReuseReport struct {
+	TotalWrites int64
+
+	// Raw (non-deduplicated) store.
+	RawGarbageHits int64
+
+	// Deduplicated store.
+	DedupAbsorbed    int64 // writes removed by dedup itself (live duplicate)
+	DedupGarbageHits int64 // writes a garbage page serviced on top of dedup
+}
+
+// RawReuseProb returns the Fig 1 bar for the raw store: the probability an
+// incoming write can be serviced from a (boundless) garbage pool.
+func (r ReuseReport) RawReuseProb() float64 {
+	if r.TotalWrites == 0 {
+		return 0
+	}
+	return float64(r.RawGarbageHits) / float64(r.TotalWrites)
+}
+
+// DedupReuseProb returns the Fig 1 "after deduplication" bar.
+func (r ReuseReport) DedupReuseProb() float64 {
+	if r.TotalWrites == 0 {
+		return 0
+	}
+	return float64(r.DedupGarbageHits) / float64(r.TotalWrites)
+}
+
+// ReuseOpportunity replays recs against two boundless bookkeeping models —
+// a normal store and a deduplicated store — and counts how many writes a
+// garbage page could have absorbed in each (Fig 1). Reads are ignored.
+func ReuseOpportunity(recs []trace.Record) ReuseReport {
+	var rep ReuseReport
+
+	// Raw store: one physical copy per logical page; every overwrite makes
+	// garbage; an incoming write consumes one garbage copy if available.
+	rawPage := make(map[uint64]trace.Hash)
+	rawGarbage := make(map[trace.Hash]int64)
+
+	// Dedup store: values are reference-counted; a value's one physical
+	// copy becomes garbage only at refcount zero.
+	dedupPage := make(map[uint64]trace.Hash)
+	refs := make(map[trace.Hash]int64)
+	dedupGarbage := make(map[trace.Hash]int64)
+
+	for _, r := range recs {
+		if r.Op != trace.OpWrite {
+			continue
+		}
+		rep.TotalWrites++
+
+		// ---- raw model ----
+		if old, ok := rawPage[r.LBA]; ok {
+			rawGarbage[old]++
+		}
+		if rawGarbage[r.Hash] > 0 {
+			rawGarbage[r.Hash]--
+			rep.RawGarbageHits++
+		}
+		rawPage[r.LBA] = r.Hash
+
+		// ---- dedup model ----
+		if old, ok := dedupPage[r.LBA]; ok {
+			if old == r.Hash {
+				// Identical overwrite: dedup absorbs it, nothing changes.
+				rep.DedupAbsorbed++
+				continue
+			}
+			refs[old]--
+			if refs[old] == 0 {
+				dedupGarbage[old]++
+			}
+		}
+		switch {
+		case refs[r.Hash] > 0:
+			rep.DedupAbsorbed++
+			refs[r.Hash]++
+		case dedupGarbage[r.Hash] > 0:
+			dedupGarbage[r.Hash]--
+			rep.DedupGarbageHits++
+			refs[r.Hash] = 1
+		default:
+			refs[r.Hash] = 1
+		}
+		dedupPage[r.LBA] = r.Hash
+	}
+	return rep
+}

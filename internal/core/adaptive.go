@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// AdaptiveConfig parameterizes an AdaptivePool.
+type AdaptiveConfig struct {
+	// MQ is the underlying multi-queue configuration; its Capacity is the
+	// starting capacity.
+	MQ MQConfig
+	// MinCapacity and MaxCapacity bound the controller.
+	MinCapacity, MaxCapacity int
+	// Window is the adaptation epoch length in writes.
+	Window Tick
+	// Step is the multiplicative growth step per pressured epoch.
+	Step float64
+}
+
+// DefaultAdaptiveConfig starts at the paper's 200K entries and lets the
+// controller move between 50K and 1M entries.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		MQ:          DefaultMQConfig(),
+		MinCapacity: 50_000,
+		MaxCapacity: 1_000_000,
+		Window:      8192,
+		Step:        0.25,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c AdaptiveConfig) Validate() error {
+	if err := c.MQ.Validate(); err != nil {
+		return err
+	}
+	if c.MinCapacity <= 0 || c.MaxCapacity < c.MinCapacity {
+		return fmt.Errorf("core: adaptive capacity bounds [%d,%d] invalid", c.MinCapacity, c.MaxCapacity)
+	}
+	if c.MQ.Capacity < c.MinCapacity || c.MQ.Capacity > c.MaxCapacity {
+		return fmt.Errorf("core: adaptive start capacity %d outside [%d,%d]",
+			c.MQ.Capacity, c.MinCapacity, c.MaxCapacity)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("core: adaptive window must be positive, got %d", c.Window)
+	}
+	if c.Step <= 0 || c.Step > 1 {
+		return fmt.Errorf("core: adaptive step must be in (0,1], got %g", c.Step)
+	}
+	return nil
+}
+
+// AdaptivePool implements the paper's stated future work ("dynamically
+// tuning the total capacity for MQ, in order to adapt itself to any changes
+// in the workload"): an MQPool whose entry budget is adjusted by a simple
+// pressure controller once per epoch of writes —
+//
+//   - capacity evictions occurred in the epoch → the pool is too small for
+//     the current garbage working set: grow by Step (up to MaxCapacity);
+//   - no evictions and the pool is less than half full → RAM is being
+//     wasted: shrink toward twice the occupancy (down to MinCapacity).
+type AdaptivePool struct {
+	cfg AdaptiveConfig
+	mq  *MQPool
+
+	epochStart     Tick
+	evictionsStart int64
+
+	grows, shrinks int64
+}
+
+var _ Pool = (*AdaptivePool)(nil)
+
+// NewAdaptivePool returns an AdaptivePool over a fresh MQPool. Panics on an
+// invalid configuration (a construction bug).
+func NewAdaptivePool(cfg AdaptiveConfig, ledger *Ledger) *AdaptivePool {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &AdaptivePool{cfg: cfg, mq: NewMQPool(cfg.MQ, ledger)}
+}
+
+// Capacity returns the current entry budget.
+func (p *AdaptivePool) Capacity() int { return p.mq.cfg.Capacity }
+
+// Adaptations returns how often the controller grew and shrank the pool.
+func (p *AdaptivePool) Adaptations() (grows, shrinks int64) { return p.grows, p.shrinks }
+
+// maybeAdapt runs the controller at epoch boundaries.
+func (p *AdaptivePool) maybeAdapt(now Tick) {
+	if now-p.epochStart < p.cfg.Window {
+		return
+	}
+	evictions := p.mq.stats.Evictions - p.evictionsStart
+	capacity := p.mq.cfg.Capacity
+	switch {
+	case evictions > 0 && capacity < p.cfg.MaxCapacity:
+		next := capacity + int(float64(capacity)*p.cfg.Step)
+		if next > p.cfg.MaxCapacity {
+			next = p.cfg.MaxCapacity
+		}
+		p.mq.cfg.Capacity = next
+		p.grows++
+	case evictions == 0 && p.mq.EntryCount() < capacity/2 && capacity > p.cfg.MinCapacity:
+		next := 2 * p.mq.EntryCount()
+		if next < p.cfg.MinCapacity {
+			next = p.cfg.MinCapacity
+		}
+		if next < capacity {
+			p.mq.cfg.Capacity = next
+			for p.mq.EntryCount() > next {
+				p.mq.evictOne()
+			}
+			p.shrinks++
+		}
+	}
+	p.epochStart = now
+	p.evictionsStart = p.mq.stats.Evictions
+}
+
+// Insert implements Pool.
+func (p *AdaptivePool) Insert(h trace.Hash, ppn ssd.PPN, now Tick) {
+	p.mq.Insert(h, ppn, now)
+	p.maybeAdapt(now)
+}
+
+// Lookup implements Pool.
+func (p *AdaptivePool) Lookup(h trace.Hash, now Tick) (ssd.PPN, bool) {
+	ppn, ok := p.mq.Lookup(h, now)
+	p.maybeAdapt(now)
+	return ppn, ok
+}
+
+// Drop implements Pool.
+func (p *AdaptivePool) Drop(ppn ssd.PPN) { p.mq.Drop(ppn) }
+
+// GarbagePopularity implements Pool.
+func (p *AdaptivePool) GarbagePopularity(ppn ssd.PPN) (uint8, bool) {
+	return p.mq.GarbagePopularity(ppn)
+}
+
+// Len implements Pool.
+func (p *AdaptivePool) Len() int { return p.mq.Len() }
+
+// EntryCount returns the number of distinct hashes pooled.
+func (p *AdaptivePool) EntryCount() int { return p.mq.EntryCount() }
+
+// Stats implements Pool.
+func (p *AdaptivePool) Stats() PoolStats { return p.mq.Stats() }

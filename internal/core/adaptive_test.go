@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+func adaptiveCfg(start, min, max int) AdaptiveConfig {
+	return AdaptiveConfig{
+		MQ:          MQConfig{Queues: 8, Capacity: start, DefaultLifetime: 64},
+		MinCapacity: min,
+		MaxCapacity: max,
+		Window:      256,
+		Step:        0.25,
+	}
+}
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	if err := DefaultAdaptiveConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []AdaptiveConfig{
+		{MQ: MQConfig{}, MinCapacity: 1, MaxCapacity: 2, Window: 1, Step: 0.1},
+		func() AdaptiveConfig { c := adaptiveCfg(100, 200, 300); return c }(), // start below min
+		func() AdaptiveConfig { c := adaptiveCfg(100, 50, 200); c.Window = 0; return c }(),
+		func() AdaptiveConfig { c := adaptiveCfg(100, 50, 200); c.Step = 0; return c }(),
+		func() AdaptiveConfig { c := adaptiveCfg(100, 50, 200); c.Step = 2; return c }(),
+		func() AdaptiveConfig { c := adaptiveCfg(100, 200, 100); return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, c)
+		}
+	}
+}
+
+func TestAdaptivePoolGrowsUnderPressure(t *testing.T) {
+	l := NewLedger()
+	p := NewAdaptivePool(adaptiveCfg(100, 50, 10_000), l)
+	// Insert a stream of distinct values: constant eviction pressure.
+	for i := uint64(0); i < 20_000; i++ {
+		l.Bump(h(i))
+		p.Insert(h(i), ssd.PPN(i), Tick(i))
+	}
+	grows, _ := p.Adaptations()
+	if grows == 0 {
+		t.Fatal("controller never grew under eviction pressure")
+	}
+	if p.Capacity() <= 100 {
+		t.Fatalf("capacity = %d, want growth beyond 100", p.Capacity())
+	}
+	if p.Capacity() > 10_000 {
+		t.Fatalf("capacity = %d exceeds MaxCapacity", p.Capacity())
+	}
+}
+
+func TestAdaptivePoolShrinksWhenIdle(t *testing.T) {
+	l := NewLedger()
+	p := NewAdaptivePool(adaptiveCfg(8000, 50, 10_000), l)
+	// A small working set: pool occupancy stays far below capacity, and
+	// hits keep removing entries.
+	now := Tick(0)
+	for i := 0; i < 30_000; i++ {
+		now++
+		v := h(uint64(i % 40))
+		l.Bump(v)
+		if _, ok := p.Lookup(v, now); !ok {
+			p.Insert(v, ssd.PPN(i), now)
+		}
+	}
+	_, shrinks := p.Adaptations()
+	if shrinks == 0 {
+		t.Fatal("controller never shrank an oversized pool")
+	}
+	if p.Capacity() >= 8000 {
+		t.Fatalf("capacity = %d, want shrink below 8000", p.Capacity())
+	}
+	if p.Capacity() < 50 {
+		t.Fatalf("capacity = %d below MinCapacity", p.Capacity())
+	}
+}
+
+func TestAdaptivePoolBehavesLikePool(t *testing.T) {
+	l := NewLedger()
+	p := NewAdaptivePool(adaptiveCfg(100, 50, 1000), l)
+	p.Insert(h(1), 10, 1)
+	p.Insert(h(1), 11, 2)
+	if p.Len() != 2 || p.EntryCount() != 1 {
+		t.Fatalf("Len=%d EntryCount=%d", p.Len(), p.EntryCount())
+	}
+	if ppn, ok := p.Lookup(h(1), 3); !ok || ppn != 11 {
+		t.Fatalf("Lookup = (%d,%v)", ppn, ok)
+	}
+	if pop, ok := p.GarbagePopularity(10); !ok || pop != l.Get(h(1)) {
+		t.Fatalf("GarbagePopularity = (%d,%v)", pop, ok)
+	}
+	p.Drop(10)
+	if p.Len() != 0 {
+		t.Fatalf("Len after drop = %d", p.Len())
+	}
+	if p.Stats().Hits != 1 || p.Stats().Drops != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestAdaptivePoolShrinkEnforcesCapacity(t *testing.T) {
+	l := NewLedger()
+	cfg := adaptiveCfg(4000, 50, 4000)
+	p := NewAdaptivePool(cfg, l)
+	// Fill well above the eventual shrunken capacity...
+	for i := uint64(0); i < 3000; i++ {
+		l.Bump(h(i))
+		p.Insert(h(i), ssd.PPN(i), 1) // same tick: no epoch boundary yet
+	}
+	// ...then drain most of it via GC drops and advance epochs with a tiny
+	// working set so the controller shrinks.
+	for i := uint64(0); i < 2900; i++ {
+		p.Drop(ssd.PPN(i))
+	}
+	now := Tick(0)
+	for i := 0; i < 10_000; i++ {
+		now++
+		v := h(uint64(100_000 + i%20))
+		l.Bump(v)
+		if _, ok := p.Lookup(v, now); !ok {
+			p.Insert(v, ssd.PPN(1_000_000+i), now)
+		}
+	}
+	if p.EntryCount() > p.Capacity() {
+		t.Fatalf("entry count %d exceeds capacity %d after shrink", p.EntryCount(), p.Capacity())
+	}
+}
+
+func TestNewAdaptivePoolPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on invalid config")
+		}
+	}()
+	NewAdaptivePool(AdaptiveConfig{}, NewLedger())
+}

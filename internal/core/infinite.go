@@ -1,0 +1,98 @@
+package core
+
+import (
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// InfinitePool is the paper's "Ideal" configuration: an unbounded
+// dead-value pool that never evicts for capacity. It is not implementable
+// on a real device and exists to upper-bound the achievable benefit
+// (Figs 1, 5, 9, 10).
+type InfinitePool struct {
+	ledger *Ledger
+	index  map[trace.Hash][]ssd.PPN
+	byPPN  map[ssd.PPN]trace.Hash
+	stats  PoolStats
+}
+
+var _ Pool = (*InfinitePool)(nil)
+
+// NewInfinitePool returns an empty unbounded pool. The ledger (may not be
+// nil) supplies popularity for GC scoring.
+func NewInfinitePool(ledger *Ledger) *InfinitePool {
+	if ledger == nil {
+		panic("core: NewInfinitePool requires a ledger")
+	}
+	return &InfinitePool{
+		ledger: ledger,
+		index:  make(map[trace.Hash][]ssd.PPN),
+		byPPN:  make(map[ssd.PPN]trace.Hash),
+	}
+}
+
+// Insert implements Pool.
+func (p *InfinitePool) Insert(h trace.Hash, ppn ssd.PPN, _ Tick) {
+	p.stats.Inserts++
+	p.index[h] = append(p.index[h], ppn)
+	p.byPPN[ppn] = h
+}
+
+// Lookup implements Pool.
+func (p *InfinitePool) Lookup(h trace.Hash, _ Tick) (ssd.PPN, bool) {
+	ppns := p.index[h]
+	if len(ppns) == 0 {
+		p.stats.Misses++
+		return ssd.InvalidPPN, false
+	}
+	p.stats.Hits++
+	ppn := ppns[len(ppns)-1]
+	ppns = ppns[:len(ppns)-1]
+	if len(ppns) == 0 {
+		delete(p.index, h)
+	} else {
+		p.index[h] = ppns
+	}
+	delete(p.byPPN, ppn)
+	return ppn, true
+}
+
+// Drop implements Pool.
+func (p *InfinitePool) Drop(ppn ssd.PPN) {
+	h, ok := p.byPPN[ppn]
+	if !ok {
+		return
+	}
+	p.stats.Drops++
+	delete(p.byPPN, ppn)
+	ppns := p.index[h]
+	for i, x := range ppns {
+		if x == ppn {
+			ppns = append(ppns[:i], ppns[i+1:]...)
+			break
+		}
+	}
+	if len(ppns) == 0 {
+		delete(p.index, h)
+	} else {
+		p.index[h] = ppns
+	}
+}
+
+// GarbagePopularity implements Pool.
+func (p *InfinitePool) GarbagePopularity(ppn ssd.PPN) (uint8, bool) {
+	h, ok := p.byPPN[ppn]
+	if !ok {
+		return 0, false
+	}
+	return p.ledger.Get(h), true
+}
+
+// Len implements Pool.
+func (p *InfinitePool) Len() int { return len(p.byPPN) }
+
+// EntryCount returns the number of distinct hashes pooled.
+func (p *InfinitePool) EntryCount() int { return len(p.index) }
+
+// Stats implements Pool.
+func (p *InfinitePool) Stats() PoolStats { return p.stats }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// LRUPool is the single-queue dead-value pool of Section III: pure recency,
+// no popularity. The paper uses it to show (Figs 5–6) that plain LRU leaves
+// many misses on the table for popular values, motivating MQ.
+type LRUPool struct {
+	capacity int // max entries (distinct hashes)
+	ledger   *Ledger
+
+	list  entryList
+	index map[trace.Hash]*entry
+	byPPN map[ssd.PPN]*entry
+	pages int
+
+	stats PoolStats
+}
+
+var _ Pool = (*LRUPool)(nil)
+
+// NewLRUPool returns an LRUPool holding at most capacity entries. The
+// ledger supplies popularity degrees for GC scoring only; replacement
+// ignores popularity by design. Panics on a non-positive capacity or nil
+// ledger (construction bugs).
+func NewLRUPool(capacity int, ledger *Ledger) *LRUPool {
+	if capacity <= 0 {
+		panic("core: LRU pool capacity must be positive")
+	}
+	if ledger == nil {
+		panic("core: NewLRUPool requires a ledger")
+	}
+	return &LRUPool{
+		capacity: capacity,
+		ledger:   ledger,
+		index:    make(map[trace.Hash]*entry, capacity),
+		byPPN:    make(map[ssd.PPN]*entry, capacity),
+	}
+}
+
+// Insert implements Pool.
+func (p *LRUPool) Insert(h trace.Hash, ppn ssd.PPN, now Tick) {
+	p.stats.Inserts++
+	if e, ok := p.index[h]; ok {
+		e.ppns = append(e.ppns, ppn)
+		e.pop = p.ledger.Get(h)
+		p.byPPN[ppn] = e
+		p.pages++
+		p.list.moveToTail(e)
+		return
+	}
+	e := &entry{hash: h, ppns: []ssd.PPN{ppn}, pop: p.ledger.Get(h)}
+	p.list.pushTail(e)
+	p.index[h] = e
+	p.byPPN[ppn] = e
+	p.pages++
+	for len(p.index) > p.capacity {
+		head := p.list.head
+		p.stats.Evictions += int64(len(head.ppns))
+		p.removeEntry(head)
+	}
+}
+
+// Lookup implements Pool.
+func (p *LRUPool) Lookup(h trace.Hash, now Tick) (ssd.PPN, bool) {
+	e, ok := p.index[h]
+	if !ok {
+		p.stats.Misses++
+		return ssd.InvalidPPN, false
+	}
+	p.stats.Hits++
+	ppn := e.ppns[len(e.ppns)-1]
+	e.ppns = e.ppns[:len(e.ppns)-1]
+	delete(p.byPPN, ppn)
+	p.pages--
+	if len(e.ppns) == 0 {
+		p.removeEntry(e)
+	} else {
+		e.pop = p.ledger.Get(h)
+		p.list.moveToTail(e)
+	}
+	return ppn, true
+}
+
+func (p *LRUPool) removeEntry(e *entry) {
+	p.list.remove(e)
+	delete(p.index, e.hash)
+	for _, ppn := range e.ppns {
+		delete(p.byPPN, ppn)
+	}
+	p.pages -= len(e.ppns)
+	e.ppns = nil
+}
+
+// Drop implements Pool.
+func (p *LRUPool) Drop(ppn ssd.PPN) {
+	e, ok := p.byPPN[ppn]
+	if !ok {
+		return
+	}
+	p.stats.Drops++
+	delete(p.byPPN, ppn)
+	for i, x := range e.ppns {
+		if x == ppn {
+			e.ppns = append(e.ppns[:i], e.ppns[i+1:]...)
+			break
+		}
+	}
+	p.pages--
+	if len(e.ppns) == 0 {
+		p.removeEntry(e)
+	}
+}
+
+// GarbagePopularity implements Pool.
+func (p *LRUPool) GarbagePopularity(ppn ssd.PPN) (uint8, bool) {
+	e, ok := p.byPPN[ppn]
+	if !ok {
+		return 0, false
+	}
+	return e.pop, true
+}
+
+// Len implements Pool.
+func (p *LRUPool) Len() int { return p.pages }
+
+// EntryCount returns the number of distinct hashes pooled.
+func (p *LRUPool) EntryCount() int { return len(p.index) }
+
+// Stats implements Pool.
+func (p *LRUPool) Stats() PoolStats { return p.stats }

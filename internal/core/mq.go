@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// entry is one dead-value pool record: a value hash, the garbage physical
+// pages currently holding that value, its popularity degree, and — for MQ —
+// its queue index and expiration time (Fig 8 of the paper).
+type entry struct {
+	hash   trace.Hash
+	ppns   []ssd.PPN
+	pop    uint8
+	expire Tick
+	queue  int
+
+	prev, next *entry
+}
+
+// entryList is an intrusive doubly-linked LRU list: head is least recently
+// used, tail is most recently used.
+type entryList struct {
+	head, tail *entry
+	n          int
+}
+
+func (l *entryList) pushTail(e *entry) {
+	e.prev, e.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	l.n++
+}
+
+func (l *entryList) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+func (l *entryList) moveToTail(e *entry) {
+	if l.tail == e {
+		return
+	}
+	l.remove(e)
+	l.pushTail(e)
+}
+
+// MQConfig parameterizes an MQPool.
+type MQConfig struct {
+	// Queues is the number of LRU queues (the paper uses 8).
+	Queues int
+	// Capacity is the maximum number of entries (distinct hashes); the
+	// paper's default is 200K entries ≈ 5 MB of SSD RAM.
+	Capacity int
+	// DefaultLifetime seeds the expiration interval before the hottest
+	// entry has been observed twice (the MQ algorithm's lifeTime).
+	DefaultLifetime Tick
+}
+
+// DefaultMQConfig returns the paper's configuration: 8 queues, 200K entries.
+func DefaultMQConfig() MQConfig {
+	return MQConfig{Queues: 8, Capacity: 200_000, DefaultLifetime: 8192}
+}
+
+// Validate reports whether the configuration is usable.
+func (c MQConfig) Validate() error {
+	if c.Queues <= 0 {
+		return fmt.Errorf("core: MQ queue count must be positive, got %d", c.Queues)
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("core: MQ capacity must be positive, got %d", c.Capacity)
+	}
+	if c.DefaultLifetime <= 0 {
+		return fmt.Errorf("core: MQ default lifetime must be positive, got %d", c.DefaultLifetime)
+	}
+	return nil
+}
+
+// MQPool is the paper's Multi-Queue dead-value pool (Sections III-A/IV).
+// Entries live in one of several LRU queues chosen by popularity degree:
+// an entry whose ⌊log₂(pop+1)⌋ exceeds its queue index is promoted one
+// queue up on access; queue heads whose expiration time has passed are
+// demoted one queue down on every update. Capacity evictions take the LRU
+// entry of the lowest non-empty queue, so unpopular-and-stale zombies die
+// first while popular ones survive to be revived.
+type MQPool struct {
+	cfg    MQConfig
+	ledger *Ledger
+
+	queues []entryList
+	index  map[trace.Hash]*entry
+	byPPN  map[ssd.PPN]*entry
+	pages  int // total pooled PPNs
+
+	// Hottest-entry tracking, used to derive the expiration interval: the
+	// interval between the hottest entry's last two accesses (Section IV-C).
+	hottestHash     trace.Hash
+	hottestPop      uint8
+	hottestLast     Tick
+	hottestInterval Tick
+	hottestValid    bool
+
+	stats PoolStats
+}
+
+var _ Pool = (*MQPool)(nil)
+
+// NewMQPool returns an MQPool with the given configuration. The ledger
+// supplies popularity degrees; it must be the same ledger the FTL bumps on
+// every write. Panics on an invalid configuration (a construction bug, not
+// a runtime condition).
+func NewMQPool(cfg MQConfig, ledger *Ledger) *MQPool {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if ledger == nil {
+		panic("core: NewMQPool requires a ledger")
+	}
+	return &MQPool{
+		cfg:             cfg,
+		ledger:          ledger,
+		queues:          make([]entryList, cfg.Queues),
+		index:           make(map[trace.Hash]*entry, cfg.Capacity),
+		byPPN:           make(map[ssd.PPN]*entry, cfg.Capacity),
+		hottestInterval: cfg.DefaultLifetime,
+	}
+}
+
+// queueFor maps a popularity degree to its home queue: ⌊log₂(pop+1)⌋,
+// clamped to the top queue.
+func (p *MQPool) queueFor(pop uint8) int {
+	q := bits.Len16(uint16(pop)+1) - 1
+	if q >= p.cfg.Queues {
+		q = p.cfg.Queues - 1
+	}
+	return q
+}
+
+// Insert implements Pool. It also runs the demotion sweep and capacity
+// eviction, which the paper performs "upon each update".
+func (p *MQPool) Insert(h trace.Hash, ppn ssd.PPN, now Tick) {
+	p.stats.Inserts++
+	if e, ok := p.index[h]; ok {
+		e.ppns = append(e.ppns, ppn)
+		p.byPPN[ppn] = e
+		p.pages++
+		p.touch(e, now)
+	} else {
+		e := &entry{hash: h, ppns: []ssd.PPN{ppn}, pop: p.ledger.Get(h)}
+		e.queue = 0 // inserts always start at the bottom queue
+		e.expire = now + p.hottestInterval
+		p.queues[0].pushTail(e)
+		p.index[h] = e
+		p.byPPN[ppn] = e
+		p.pages++
+		p.observeHottest(e, now)
+	}
+	p.demoteExpired(now)
+	for len(p.index) > p.cfg.Capacity {
+		p.evictOne()
+	}
+}
+
+// Lookup implements Pool.
+func (p *MQPool) Lookup(h trace.Hash, now Tick) (ssd.PPN, bool) {
+	e, ok := p.index[h]
+	if !ok {
+		p.stats.Misses++
+		return ssd.InvalidPPN, false
+	}
+	p.stats.Hits++
+	ppn := e.ppns[len(e.ppns)-1] // revive the most recent death
+	e.ppns = e.ppns[:len(e.ppns)-1]
+	delete(p.byPPN, ppn)
+	p.pages--
+	if len(e.ppns) == 0 {
+		// The entry no longer describes any garbage page; it leaves the
+		// pool (the paper: "this entry is removed since it does not
+		// contain the information of a garbage page anymore").
+		p.removeEntry(e)
+	} else {
+		p.touch(e, now)
+	}
+	return ppn, true
+}
+
+// touch refreshes recency, popularity, promotion and expiration of e after
+// an access at write-clock now.
+func (p *MQPool) touch(e *entry, now Tick) {
+	e.pop = p.ledger.Get(e.hash)
+	p.queues[e.queue].moveToTail(e)
+	if target := p.queueFor(e.pop); target > e.queue {
+		// Promote one queue up per access (paper: "promoted to one higher
+		// queue").
+		p.queues[e.queue].remove(e)
+		e.queue++
+		p.queues[e.queue].pushTail(e)
+		p.stats.Promoted++
+	}
+	e.expire = now + p.hottestInterval
+	p.observeHottest(e, now)
+}
+
+// observeHottest maintains the hottest entry and the interval between its
+// last two accesses, which becomes the pool-wide expiration interval.
+func (p *MQPool) observeHottest(e *entry, now Tick) {
+	switch {
+	case p.hottestValid && e.hash == p.hottestHash:
+		// Re-access of the current hottest entry: the gap between its last
+		// two accesses becomes the expiration interval.
+		if iv := now - p.hottestLast; iv > 0 {
+			p.hottestInterval = iv
+		}
+		p.hottestLast = now
+		p.hottestPop = e.pop
+	case !p.hottestValid || e.pop > p.hottestPop:
+		p.hottestValid = true
+		p.hottestHash = e.hash
+		p.hottestPop = e.pop
+		p.hottestLast = now
+	}
+}
+
+// demoteExpired checks the head (LRU end) of every queue above the bottom
+// and demotes it one queue down if its expiration time has passed.
+func (p *MQPool) demoteExpired(now Tick) {
+	for q := len(p.queues) - 1; q >= 1; q-- {
+		head := p.queues[q].head
+		if head == nil || head.expire >= now {
+			continue
+		}
+		p.queues[q].remove(head)
+		head.queue = q - 1
+		head.expire = now + p.hottestInterval
+		p.queues[q-1].pushTail(head)
+		p.stats.Demoted++
+	}
+}
+
+// evictOne removes the LRU entry of the lowest non-empty queue.
+func (p *MQPool) evictOne() {
+	for q := range p.queues {
+		if head := p.queues[q].head; head != nil {
+			p.stats.Evictions += int64(len(head.ppns))
+			p.removeEntry(head)
+			return
+		}
+	}
+}
+
+// removeEntry removes e and all its remaining PPNs from every index.
+func (p *MQPool) removeEntry(e *entry) {
+	p.queues[e.queue].remove(e)
+	delete(p.index, e.hash)
+	for _, ppn := range e.ppns {
+		delete(p.byPPN, ppn)
+	}
+	p.pages -= len(e.ppns)
+	e.ppns = nil
+}
+
+// Drop implements Pool.
+func (p *MQPool) Drop(ppn ssd.PPN) {
+	e, ok := p.byPPN[ppn]
+	if !ok {
+		return
+	}
+	p.stats.Drops++
+	delete(p.byPPN, ppn)
+	for i, x := range e.ppns {
+		if x == ppn {
+			e.ppns = append(e.ppns[:i], e.ppns[i+1:]...)
+			break
+		}
+	}
+	p.pages--
+	if len(e.ppns) == 0 {
+		p.removeEntry(e)
+	}
+}
+
+// GarbagePopularity implements Pool.
+func (p *MQPool) GarbagePopularity(ppn ssd.PPN) (uint8, bool) {
+	e, ok := p.byPPN[ppn]
+	if !ok {
+		return 0, false
+	}
+	return e.pop, true
+}
+
+// Len implements Pool: the number of pooled garbage pages.
+func (p *MQPool) Len() int { return p.pages }
+
+// EntryCount returns the number of distinct hashes pooled.
+func (p *MQPool) EntryCount() int { return len(p.index) }
+
+// QueueLengths returns the number of entries in each queue, bottom first;
+// useful for introspection and tests.
+func (p *MQPool) QueueLengths() []int {
+	out := make([]int, len(p.queues))
+	for i := range p.queues {
+		out[i] = p.queues[i].n
+	}
+	return out
+}
+
+// Stats implements Pool.
+func (p *MQPool) Stats() PoolStats { return p.stats }

@@ -1,0 +1,183 @@
+// Package dedup implements a CAFTL-style device-level deduplicating
+// mapping layer (the paper's "Dedup" comparison system, Section VII): a
+// content index from value hash to the single live physical page holding
+// that value, plus a many-to-one LPN mapping — multiple logical pages may
+// point at one physical page. A physical page only becomes garbage when its
+// last logical owner leaves, which is exactly the moment the dead-value
+// pool takes over in the combined DVP+Dedup system.
+package dedup
+
+import (
+	"fmt"
+
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// pageMeta describes one live deduplicated physical page.
+type pageMeta struct {
+	hash trace.Hash
+	lpns []ftl.LPN // logical owners; len(lpns) is the reference count
+}
+
+// Mapper is the deduplicating mapping unit.
+type Mapper struct {
+	l2p    []ssd.PPN
+	pages  map[ssd.PPN]*pageMeta
+	byHash map[trace.Hash]ssd.PPN
+
+	stats Stats
+}
+
+// Stats counts deduplication events.
+type Stats struct {
+	DedupHits  int64 // writes absorbed by an existing live copy
+	NewPages   int64 // writes that created a live page (program or revival)
+	Unbinds    int64 // logical detachments
+	GarbageOut int64 // physical pages that lost their last owner
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("dedupHits=%d newPages=%d unbinds=%d garbage=%d",
+		s.DedupHits, s.NewPages, s.Unbinds, s.GarbageOut)
+}
+
+// NewMapper returns a Mapper for logicalPages host pages.
+func NewMapper(logicalPages int64) (*Mapper, error) {
+	if logicalPages <= 0 {
+		return nil, fmt.Errorf("dedup: logical pages must be positive, got %d", logicalPages)
+	}
+	if logicalPages > int64(ftl.InvalidLPN) {
+		return nil, fmt.Errorf("dedup: %d logical pages exceeds the LPN space", logicalPages)
+	}
+	m := &Mapper{
+		l2p:    make([]ssd.PPN, logicalPages),
+		pages:  make(map[ssd.PPN]*pageMeta),
+		byHash: make(map[trace.Hash]ssd.PPN),
+	}
+	for i := range m.l2p {
+		m.l2p[i] = ssd.InvalidPPN
+	}
+	return m, nil
+}
+
+// LogicalPages returns the host-visible address-space size.
+func (m *Mapper) LogicalPages() int64 { return int64(len(m.l2p)) }
+
+// Stats returns cumulative counters.
+func (m *Mapper) Stats() Stats { return m.stats }
+
+// Lookup returns the physical page backing lpn.
+func (m *Mapper) Lookup(lpn ftl.LPN) (ssd.PPN, bool) {
+	p := m.l2p[lpn]
+	return p, p != ssd.InvalidPPN
+}
+
+// LiveValue returns the live physical page holding value h, if any — the
+// dedup fast path for incoming writes.
+func (m *Mapper) LiveValue(h trace.Hash) (ssd.PPN, bool) {
+	p, ok := m.byHash[h]
+	return p, ok
+}
+
+// RefCount returns the number of logical owners of ppn (0 when not live).
+func (m *Mapper) RefCount(ppn ssd.PPN) int {
+	meta, ok := m.pages[ppn]
+	if !ok {
+		return 0
+	}
+	return len(meta.lpns)
+}
+
+// ValueOf returns the hash stored at live page ppn.
+func (m *Mapper) ValueOf(ppn ssd.PPN) (trace.Hash, bool) {
+	meta, ok := m.pages[ppn]
+	if !ok {
+		return trace.Hash{}, false
+	}
+	return meta.hash, true
+}
+
+// Unbind detaches lpn from its current physical page. If the page loses its
+// last owner it becomes garbage: Unbind returns its PPN and hash with
+// garbage=true so the caller can invalidate it in the store and offer it to
+// the dead-value pool. With remaining owners, garbage is false and the page
+// stays live.
+func (m *Mapper) Unbind(lpn ftl.LPN) (ppn ssd.PPN, h trace.Hash, garbage, wasBound bool) {
+	ppn = m.l2p[lpn]
+	if ppn == ssd.InvalidPPN {
+		return ssd.InvalidPPN, trace.Hash{}, false, false
+	}
+	m.stats.Unbinds++
+	m.l2p[lpn] = ssd.InvalidPPN
+	meta := m.pages[ppn]
+	if meta == nil {
+		panic(fmt.Sprintf("dedup: LPN %d maps to %d which has no metadata", lpn, ppn))
+	}
+	for i, l := range meta.lpns {
+		if l == lpn {
+			meta.lpns = append(meta.lpns[:i], meta.lpns[i+1:]...)
+			break
+		}
+	}
+	if len(meta.lpns) > 0 {
+		return ppn, meta.hash, false, true
+	}
+	// Last owner gone: the page turns into garbage and leaves the live
+	// content index.
+	m.stats.GarbageOut++
+	h = meta.hash
+	delete(m.pages, ppn)
+	delete(m.byHash, h)
+	return ppn, h, true, true
+}
+
+// BindExisting points lpn at the live page ppn (a dedup hit): the reference
+// count grows, no flash operation happens.
+func (m *Mapper) BindExisting(lpn ftl.LPN, ppn ssd.PPN) {
+	meta, ok := m.pages[ppn]
+	if !ok {
+		panic(fmt.Sprintf("dedup: BindExisting(%d, %d): page not live", lpn, ppn))
+	}
+	m.stats.DedupHits++
+	meta.lpns = append(meta.lpns, lpn)
+	m.l2p[lpn] = ppn
+}
+
+// BindNew registers ppn as the fresh live copy of value h owned by lpn —
+// used both after a flash program and after a dead-value-pool revival.
+// Panics if h already has a live copy (the caller should have used
+// BindExisting).
+func (m *Mapper) BindNew(lpn ftl.LPN, ppn ssd.PPN, h trace.Hash) {
+	if _, dup := m.byHash[h]; dup {
+		panic(fmt.Sprintf("dedup: BindNew(%d): value already live", ppn))
+	}
+	if _, dup := m.pages[ppn]; dup {
+		panic(fmt.Sprintf("dedup: BindNew(%d): page already live", ppn))
+	}
+	m.stats.NewPages++
+	m.pages[ppn] = &pageMeta{hash: h, lpns: []ftl.LPN{lpn}}
+	m.byHash[h] = ppn
+	m.l2p[lpn] = ppn
+}
+
+// Relocate rebinds every owner of src to dst; GC calls it when it moves a
+// valid page. Unknown pages are ignored (the moved page may belong to a
+// different mapping layer in mixed setups).
+func (m *Mapper) Relocate(src, dst ssd.PPN) {
+	meta, ok := m.pages[src]
+	if !ok {
+		return
+	}
+	delete(m.pages, src)
+	m.pages[dst] = meta
+	m.byHash[meta.hash] = dst
+	for _, lpn := range meta.lpns {
+		m.l2p[lpn] = dst
+	}
+}
+
+// LivePages returns the number of live (deduplicated) physical pages.
+func (m *Mapper) LivePages() int { return len(m.pages) }

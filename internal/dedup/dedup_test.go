@@ -1,0 +1,214 @@
+package dedup
+
+import (
+	"math/rand"
+	"testing"
+
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+func h(id uint64) trace.Hash { return trace.HashOfValue(id) }
+
+func TestNewMapperValidation(t *testing.T) {
+	if _, err := NewMapper(0); err == nil {
+		t.Error("accepted zero logical pages")
+	}
+	m, err := NewMapper(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LogicalPages() != 100 {
+		t.Errorf("LogicalPages = %d", m.LogicalPages())
+	}
+}
+
+func TestBindNewAndLookup(t *testing.T) {
+	m, _ := NewMapper(10)
+	m.BindNew(3, 70, h(1))
+	if ppn, ok := m.Lookup(3); !ok || ppn != 70 {
+		t.Fatalf("Lookup = (%d,%v)", ppn, ok)
+	}
+	if ppn, ok := m.LiveValue(h(1)); !ok || ppn != 70 {
+		t.Fatalf("LiveValue = (%d,%v)", ppn, ok)
+	}
+	if m.RefCount(70) != 1 {
+		t.Errorf("RefCount = %d, want 1", m.RefCount(70))
+	}
+	if v, ok := m.ValueOf(70); !ok || v != h(1) {
+		t.Errorf("ValueOf = (%v,%v)", v, ok)
+	}
+	if m.LivePages() != 1 {
+		t.Errorf("LivePages = %d, want 1", m.LivePages())
+	}
+}
+
+func TestManyToOneMapping(t *testing.T) {
+	m, _ := NewMapper(10)
+	m.BindNew(1, 50, h(9))
+	m.BindExisting(2, 50)
+	m.BindExisting(3, 50)
+	if m.RefCount(50) != 3 {
+		t.Fatalf("RefCount = %d, want 3", m.RefCount(50))
+	}
+	for _, lpn := range []ftl.LPN{1, 2, 3} {
+		if ppn, _ := m.Lookup(lpn); ppn != 50 {
+			t.Fatalf("Lookup(%d) = %d, want 50", lpn, ppn)
+		}
+	}
+	if m.Stats().DedupHits != 2 {
+		t.Errorf("DedupHits = %d, want 2", m.Stats().DedupHits)
+	}
+}
+
+func TestUnbindGarbageOnlyAtLastOwner(t *testing.T) {
+	m, _ := NewMapper(10)
+	m.BindNew(1, 50, h(9))
+	m.BindExisting(2, 50)
+
+	ppn, hash, garbage, bound := m.Unbind(1)
+	if !bound || garbage || ppn != 50 || hash != h(9) {
+		t.Fatalf("first Unbind = (%d,%v,garbage=%v,bound=%v)", ppn, hash, garbage, bound)
+	}
+	if _, ok := m.LiveValue(h(9)); !ok {
+		t.Fatal("value dropped from live index while owners remain")
+	}
+
+	ppn, hash, garbage, bound = m.Unbind(2)
+	if !bound || !garbage || ppn != 50 || hash != h(9) {
+		t.Fatalf("last Unbind = (%d,%v,garbage=%v,bound=%v)", ppn, hash, garbage, bound)
+	}
+	if _, ok := m.LiveValue(h(9)); ok {
+		t.Fatal("garbage value still in live index")
+	}
+	if m.RefCount(50) != 0 || m.LivePages() != 0 {
+		t.Fatal("page metadata survived last unbind")
+	}
+	if m.Stats().GarbageOut != 1 {
+		t.Errorf("GarbageOut = %d, want 1", m.Stats().GarbageOut)
+	}
+}
+
+func TestUnbindUnmapped(t *testing.T) {
+	m, _ := NewMapper(10)
+	if _, _, _, bound := m.Unbind(5); bound {
+		t.Error("unbinding an unmapped LPN reported bound")
+	}
+}
+
+func TestRelocateRebindsAllOwners(t *testing.T) {
+	m, _ := NewMapper(10)
+	m.BindNew(1, 50, h(9))
+	m.BindExisting(2, 50)
+	m.BindExisting(3, 50)
+	m.Relocate(50, 80)
+	for _, lpn := range []ftl.LPN{1, 2, 3} {
+		if ppn, _ := m.Lookup(lpn); ppn != 80 {
+			t.Fatalf("after relocate, Lookup(%d) = %d, want 80", lpn, ppn)
+		}
+	}
+	if ppn, _ := m.LiveValue(h(9)); ppn != 80 {
+		t.Fatalf("LiveValue = %d, want 80", ppn)
+	}
+	if m.RefCount(50) != 0 || m.RefCount(80) != 3 {
+		t.Fatal("refcounts wrong after relocate")
+	}
+	// Relocating an unknown page is a no-op.
+	m.Relocate(1, 2)
+	if m.RefCount(2) != 0 {
+		t.Error("relocating unknown page created metadata")
+	}
+}
+
+func TestBindNewPanicsOnDuplicateValue(t *testing.T) {
+	m, _ := NewMapper(10)
+	m.BindNew(1, 50, h(9))
+	defer func() {
+		if recover() == nil {
+			t.Error("BindNew of already-live value did not panic")
+		}
+	}()
+	m.BindNew(2, 60, h(9))
+}
+
+func TestBindExistingPanicsOnDeadPage(t *testing.T) {
+	m, _ := NewMapper(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("BindExisting on non-live page did not panic")
+		}
+	}()
+	m.BindExisting(1, 99)
+}
+
+// TestRandomizedConsistency churns the mapper with random bind/unbind/
+// relocate traffic and checks global invariants: l2p, per-page owner lists
+// and the content index always agree.
+func TestRandomizedConsistency(t *testing.T) {
+	const lpns = 64
+	m, _ := NewMapper(lpns)
+	rng := rand.New(rand.NewSource(12))
+	nextPPN := ssd.PPN(0)
+	for i := 0; i < 20000; i++ {
+		lpn := ftl.LPN(rng.Intn(lpns))
+		val := h(uint64(rng.Intn(20)))
+		// Write path: unbind old, bind to live copy or a new page.
+		m.Unbind(lpn)
+		if ppn, ok := m.LiveValue(val); ok {
+			m.BindExisting(lpn, ppn)
+		} else {
+			m.BindNew(lpn, nextPPN, val)
+			nextPPN++
+		}
+		if rng.Intn(10) == 0 {
+			// Relocate a random live page, as GC would.
+			for src := range m.pages {
+				m.Relocate(src, nextPPN)
+				nextPPN++
+				break
+			}
+		}
+		if i%500 == 0 {
+			checkConsistency(t, m)
+		}
+	}
+	checkConsistency(t, m)
+}
+
+func checkConsistency(t *testing.T, m *Mapper) {
+	t.Helper()
+	owners := 0
+	for ppn, meta := range m.pages {
+		if len(meta.lpns) == 0 {
+			t.Fatalf("live page %d has no owners", ppn)
+		}
+		if m.byHash[meta.hash] != ppn {
+			t.Fatalf("content index for %v does not point at %d", meta.hash, ppn)
+		}
+		for _, lpn := range meta.lpns {
+			if m.l2p[lpn] != ppn {
+				t.Fatalf("owner %d of page %d maps elsewhere (%d)", lpn, ppn, m.l2p[lpn])
+			}
+			owners++
+		}
+	}
+	if len(m.byHash) != len(m.pages) {
+		t.Fatalf("content index size %d != live pages %d", len(m.byHash), len(m.pages))
+	}
+	mapped := 0
+	for _, ppn := range m.l2p {
+		if ppn != ssd.InvalidPPN {
+			mapped++
+		}
+	}
+	if mapped != owners {
+		t.Fatalf("%d mapped LPNs but %d owners recorded", mapped, owners)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if (Stats{}).String() == "" {
+		t.Error("empty stats string")
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zombiessd/internal/sim"
+	"zombiessd/internal/trace"
+	"zombiessd/internal/workload"
+)
+
+// System names the full-simulation configurations of Section V-A. Pool
+// sizes are in paper entries (scaled by Options.ScaleEntries).
+type System string
+
+// The systems of the evaluation matrix.
+const (
+	SysBaseline System = "baseline"
+	SysDVP100K  System = "dvp-100k"
+	SysDVP200K  System = "dvp-200k"
+	SysDVP300K  System = "dvp-300k"
+	SysIdeal    System = "ideal"
+	SysLX       System = "lx-ssd"
+	SysDedup    System = "dedup"
+	SysDVPDedup System = "dvp+dedup"
+)
+
+// AllSystems lists every matrix configuration.
+func AllSystems() []System {
+	return []System{SysBaseline, SysDVP100K, SysDVP200K, SysDVP300K,
+		SysIdeal, SysLX, SysDedup, SysDVPDedup}
+}
+
+// Matrix holds one full-simulation run per (workload, system) pair,
+// shared by Figs 9–12 and 14–15 so a combined run simulates each pair once.
+type Matrix struct {
+	Workloads []string
+	Results   map[string]map[System]sim.Result
+}
+
+// Result returns the run for (workload, system).
+func (m *Matrix) Result(workload string, sys System) (sim.Result, bool) {
+	r, ok := m.Results[workload][sys]
+	return r, ok
+}
+
+// buildDevice constructs the device for one system over one footprint.
+func (o Options) buildDevice(sys System, footprint int64) (sim.Device, error) {
+	var cfg sim.Config
+	switch sys {
+	case SysBaseline:
+		cfg = o.deviceConfig(sim.KindBaseline, footprint, sim.PoolMQ, 200_000)
+	case SysDVP100K:
+		cfg = o.deviceConfig(sim.KindDVP, footprint, sim.PoolMQ, 100_000)
+	case SysDVP200K:
+		cfg = o.deviceConfig(sim.KindDVP, footprint, sim.PoolMQ, 200_000)
+	case SysDVP300K:
+		cfg = o.deviceConfig(sim.KindDVP, footprint, sim.PoolMQ, 300_000)
+	case SysIdeal:
+		cfg = o.deviceConfig(sim.KindDVP, footprint, sim.PoolInfinite, 200_000)
+	case SysLX:
+		cfg = o.deviceConfig(sim.KindLX, footprint, sim.PoolMQ, 200_000)
+	case SysDedup:
+		cfg = o.deviceConfig(sim.KindDedup, footprint, sim.PoolMQ, 200_000)
+	case SysDVPDedup:
+		cfg = o.deviceConfig(sim.KindDVPDedup, footprint, sim.PoolMQ, 200_000)
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", sys)
+	}
+	return sim.NewDevice(cfg)
+}
+
+// traceFor generates the workload's trace once per matrix build.
+func (o Options) traceFor(name string) ([]trace.Record, int64, error) {
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	recs, err := workload.Generate(p, o.Requests, o.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	var footprint int64
+	for _, r := range recs {
+		if int64(r.LBA) >= footprint {
+			footprint = int64(r.LBA) + 1
+		}
+	}
+	return recs, footprint, nil
+}
+
+// RunMatrix simulates the requested systems over the requested workloads
+// (nil means all six / all systems). The (workload, system) cells are
+// independent simulations, so they run in parallel across the machine's
+// cores; results are deterministic regardless of scheduling.
+func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if workloads == nil {
+		workloads = workload.Names()
+	}
+	if systems == nil {
+		systems = AllSystems()
+	}
+	m := &Matrix{
+		Workloads: workloads,
+		Results:   make(map[string]map[System]sim.Result, len(workloads)),
+	}
+
+	// Generate each workload's trace once, shared read-only by its cells.
+	type traceData struct {
+		recs      []trace.Record
+		footprint int64
+	}
+	traces := make(map[string]traceData, len(workloads))
+	for _, name := range workloads {
+		recs, footprint, err := o.traceFor(name)
+		if err != nil {
+			return nil, err
+		}
+		traces[name] = traceData{recs, footprint}
+		m.Results[name] = make(map[System]sim.Result, len(systems))
+	}
+
+	type cell struct {
+		workload string
+		sys      System
+	}
+	cells := make(chan cell)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if total := len(workloads) * len(systems); workers > total {
+		workers = total
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range cells {
+				td := traces[c.workload]
+				dev, err := o.buildDevice(c.sys, td.footprint)
+				if err == nil {
+					var res sim.Result
+					res, err = sim.Run(dev, td.recs, sim.RunOptions{
+						LogicalPages:      td.footprint,
+						PreconditionPages: td.footprint,
+					})
+					if err == nil {
+						mu.Lock()
+						m.Results[c.workload][c.sys] = res
+						mu.Unlock()
+						continue
+					}
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: %s/%s: %w", c.workload, c.sys, err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, name := range workloads {
+		for _, sys := range systems {
+			cells <- cell{name, sys}
+		}
+	}
+	close(cells)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}

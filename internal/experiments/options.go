@@ -1,0 +1,103 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from synthetic traces: the characterization studies (Figs 1–6),
+// the configuration tables (Tables I–II) and the full-simulation results
+// (Figs 9–12, 14–15). Each experiment is registered under the paper's
+// artifact id ("fig9", "table2", …) and renders the same rows/series the
+// paper reports.
+//
+// Scaling: the FIU traces run to millions of requests against 100K–1M-entry
+// pools. Experiments here default to a few hundred thousand requests, and
+// pool capacities given in "paper entries" are scaled by
+// Requests/PaperRequests so the pool:trace ratio — which is what determines
+// hit rates — matches the paper's.
+package experiments
+
+import (
+	"fmt"
+
+	"zombiessd/internal/core"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/lxssd"
+	"zombiessd/internal/sim"
+	"zombiessd/internal/ssd"
+)
+
+// PaperRequests approximates the per-trace request count of the paper's
+// evaluation; pool capacities scale relative to it.
+const PaperRequests = 4_000_000
+
+// Options control the scale of every experiment.
+type Options struct {
+	// Requests per workload (per day for the multi-day studies).
+	Requests int64
+	// Days for the per-day figures (1 and 5).
+	Days int
+	// Seed drives all workload generation.
+	Seed int64
+	// Utilization is the footprint : exported-capacity ratio of the
+	// simulated drives; higher means more GC pressure.
+	Utilization float64
+}
+
+// DefaultOptions returns the scale used by `zombiectl` unless overridden:
+// 240K requests per workload, three days for the day studies.
+func DefaultOptions() Options {
+	return Options{Requests: 600_000, Days: 3, Seed: 1, Utilization: 0.75}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.Requests < 1000 {
+		return fmt.Errorf("experiments: need at least 1000 requests, got %d", o.Requests)
+	}
+	if o.Days < 1 {
+		return fmt.Errorf("experiments: days must be ≥ 1, got %d", o.Days)
+	}
+	if o.Utilization <= 0 || o.Utilization >= 1 {
+		return fmt.Errorf("experiments: utilization must be in (0,1), got %g", o.Utilization)
+	}
+	return nil
+}
+
+// ScaleEntries converts a pool capacity expressed in the paper's entries
+// (e.g. 200_000) to this run's scale, with a floor that keeps tiny test
+// runs meaningful.
+func (o Options) ScaleEntries(paperEntries int) int {
+	scaled := int(int64(paperEntries) * o.Requests / PaperRequests)
+	if scaled < 64 {
+		scaled = 64
+	}
+	return scaled
+}
+
+// deviceConfig assembles the sim.Config shared by every full-simulation
+// experiment for a workload with the given footprint.
+func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolKind, paperEntries int) sim.Config {
+	entries := o.ScaleEntries(paperEntries)
+	return sim.Config{
+		Geometry: sim.GeometryFor(footprint, o.Utilization),
+		Latency:  ssd.PaperLatency(),
+		Store: ftl.StoreConfig{
+			GCFreeBlockThreshold: 2,
+			PopularityWeight:     popularityWeightFor(kind),
+		},
+		LogicalPages: footprint,
+		Kind:         kind,
+		PoolKind:     poolKind,
+		MQ:           core.MQConfig{Queues: 8, Capacity: entries, DefaultLifetime: 8192},
+		LRUCapacity:  entries,
+		LX:           lxssd.Config{Capacity: entries, MinPopularity: 0},
+	}
+}
+
+// popularityWeightFor enables popularity-aware GC only for the DVP
+// architectures, per Section IV-D; baseline, dedup-only and LX keep greedy
+// GC.
+func popularityWeightFor(kind sim.Kind) float64 {
+	switch kind {
+	case sim.KindDVP, sim.KindDVPDedup:
+		return sim.DefaultPopularityWeight
+	default:
+		return 0
+	}
+}

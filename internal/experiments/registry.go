@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	ID    string // the paper's artifact id ("fig9", "table2", …)
+	Title string
+	// NeedsMatrix marks full-simulation experiments that can share a
+	// prebuilt evaluation matrix.
+	NeedsMatrix bool
+	// Run executes the experiment; m may be nil (each experiment builds
+	// what it needs) and is ignored by trace-only experiments.
+	Run func(o Options, m *Matrix) (fmt.Stringer, error)
+}
+
+// registry lists every experiment in the paper's order.
+var registry = []Experiment{
+	{ID: "table1", Title: "Table I: modeled SSD characteristics",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunTable1(o) }},
+	{ID: "table2", Title: "Table II: workload characteristics",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunTable2(o) }},
+	{ID: "fig1", Title: "Fig 1: garbage-page reuse probability (infinite buffer)",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunFig1(o) }},
+	{ID: "fig2", Title: "Fig 2: CDF of invalidation counts",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunFig2(o) }},
+	{ID: "fig3", Title: "Fig 3: write/invalidation/rebirth concentration",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunFig3(o) }},
+	{ID: "fig4", Title: "Fig 4: life-cycle timing vs popularity",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunFig4(o) }},
+	{ID: "fig5", Title: "Fig 5: writes under LRU buffer sweep",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunFig5(o) }},
+	{ID: "fig6", Title: "Fig 6: LRU misses by popularity degree",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunFig6(o) }},
+	{ID: "fig9", Title: "Fig 9: write reduction", NeedsMatrix: true,
+		Run: func(o Options, m *Matrix) (fmt.Stringer, error) { return RunFig9(o, m) }},
+	{ID: "fig10", Title: "Fig 10: erase-count reduction", NeedsMatrix: true,
+		Run: func(o Options, m *Matrix) (fmt.Stringer, error) { return RunFig10(o, m) }},
+	{ID: "fig11", Title: "Fig 11: mean latency improvement (incl. LX-SSD)", NeedsMatrix: true,
+		Run: func(o Options, m *Matrix) (fmt.Stringer, error) { return RunFig11(o, m) }},
+	{ID: "fig12", Title: "Fig 12: tail latency improvement", NeedsMatrix: true,
+		Run: func(o Options, m *Matrix) (fmt.Stringer, error) { return RunFig12(o, m) }},
+	{ID: "fig14", Title: "Fig 14: writes normalized (dedup interplay)", NeedsMatrix: true,
+		Run: func(o Options, m *Matrix) (fmt.Stringer, error) { return RunFig14(o, m) }},
+	{ID: "fig15", Title: "Fig 15: latency improvement (dedup interplay)", NeedsMatrix: true,
+		Run: func(o Options, m *Matrix) (fmt.Stringer, error) { return RunFig15(o, m) }},
+	{ID: "ablation-policy", Title: "Ablation: pool replacement policy (LRU vs MQ vs infinite)",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationPolicy(o) }},
+	{ID: "ablation-gc", Title: "Ablation: popularity-aware GC weight sweep",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationGC(o) }},
+	{ID: "ablation-adaptive", Title: "Ablation: adaptive pool capacity (future work)",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationAdaptive(o) }},
+	{ID: "ablation-bgc", Title: "Ablation: background GC (idle-time dead-block erasure)",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationBGC(o) }},
+	{ID: "stability", Title: "Stability: Fig 9 headline across seeds",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunStability(o) }},
+}
+
+// All returns every experiment in the paper's order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns the registered ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

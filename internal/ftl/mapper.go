@@ -1,0 +1,109 @@
+// Package ftl implements the flash translation layer substrate: page-level
+// logical-to-physical mapping (with the paper's 1-byte per-LPN popularity
+// field, Fig 8), physical page/block state management, channel-striped
+// allocation, and garbage collection with both greedy and popularity-aware
+// victim selection (Section IV-D).
+//
+// The package is split along the paper's own lines: Mapper is the "Mapping
+// Unit" (LPN → PPN), Store owns the physical resources (free blocks,
+// valid/invalid page states, GC). Content-awareness — the dead-value pool
+// and deduplication — lives above, in internal/core and internal/dedup,
+// wired together by internal/sim.
+package ftl
+
+import (
+	"fmt"
+
+	"zombiessd/internal/ssd"
+)
+
+// LPN is a logical page number: the host-visible address of one 4 KB page.
+type LPN uint32
+
+// InvalidLPN marks an unmapped reverse entry.
+const InvalidLPN LPN = ^LPN(0)
+
+// Mapper is the page-level LPN→PPN mapping unit, with a reverse PPN→LPN
+// index (needed by GC relocation) and the paper's one popularity byte per
+// LPN-table entry.
+type Mapper struct {
+	l2p []ssd.PPN
+	p2l []LPN
+	pop []uint8
+}
+
+// NewMapper returns a Mapper for a host space of logicalPages pages over a
+// drive with physicalPages pages.
+func NewMapper(logicalPages, physicalPages int64) (*Mapper, error) {
+	if logicalPages <= 0 || physicalPages <= 0 {
+		return nil, fmt.Errorf("ftl: mapper sizes must be positive, got %d/%d", logicalPages, physicalPages)
+	}
+	if logicalPages > int64(InvalidLPN) {
+		return nil, fmt.Errorf("ftl: %d logical pages exceeds the LPN space", logicalPages)
+	}
+	m := &Mapper{
+		l2p: make([]ssd.PPN, logicalPages),
+		p2l: make([]LPN, physicalPages),
+		pop: make([]uint8, logicalPages),
+	}
+	for i := range m.l2p {
+		m.l2p[i] = ssd.InvalidPPN
+	}
+	for i := range m.p2l {
+		m.p2l[i] = InvalidLPN
+	}
+	return m, nil
+}
+
+// LogicalPages returns the size of the host-visible address space.
+func (m *Mapper) LogicalPages() int64 { return int64(len(m.l2p)) }
+
+// Lookup returns the physical page currently backing lpn.
+func (m *Mapper) Lookup(lpn LPN) (ssd.PPN, bool) {
+	p := m.l2p[lpn]
+	return p, p != ssd.InvalidPPN
+}
+
+// Bind points lpn at ppn, replacing any previous binding of either side.
+// It returns the previously bound PPN (InvalidPPN if none), which the
+// caller invalidates.
+func (m *Mapper) Bind(lpn LPN, ppn ssd.PPN) ssd.PPN {
+	old := m.l2p[lpn]
+	if old != ssd.InvalidPPN {
+		m.p2l[old] = InvalidLPN
+	}
+	m.l2p[lpn] = ppn
+	m.p2l[ppn] = lpn
+	return old
+}
+
+// OwnerOf returns the logical page mapped to ppn, if any.
+func (m *Mapper) OwnerOf(ppn ssd.PPN) (LPN, bool) {
+	l := m.p2l[ppn]
+	return l, l != InvalidLPN
+}
+
+// Relocate rebinds the owner of src to dst; GC calls it when it moves a
+// valid page. Unowned pages are ignored.
+func (m *Mapper) Relocate(src, dst ssd.PPN) {
+	lpn := m.p2l[src]
+	if lpn == InvalidLPN {
+		return
+	}
+	m.p2l[src] = InvalidLPN
+	m.l2p[lpn] = dst
+	m.p2l[dst] = lpn
+}
+
+// BumpPopularity increments lpn's popularity byte (saturating at 255), the
+// paper's mechanism for not losing popularity information across pool
+// evictions.
+func (m *Mapper) BumpPopularity(lpn LPN) uint8 {
+	if m.pop[lpn] < ^uint8(0) {
+		m.pop[lpn]++
+	}
+	return m.pop[lpn]
+}
+
+// Popularity returns lpn's popularity byte.
+func (m *Mapper) Popularity(lpn LPN) uint8 { return m.pop[lpn] }

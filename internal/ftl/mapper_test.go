@@ -1,0 +1,99 @@
+package ftl
+
+import (
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+func TestNewMapperValidation(t *testing.T) {
+	if _, err := NewMapper(0, 10); err == nil {
+		t.Error("accepted zero logical pages")
+	}
+	if _, err := NewMapper(10, 0); err == nil {
+		t.Error("accepted zero physical pages")
+	}
+	m, err := NewMapper(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LogicalPages() != 100 {
+		t.Errorf("LogicalPages = %d, want 100", m.LogicalPages())
+	}
+}
+
+func TestMapperStartsUnmapped(t *testing.T) {
+	m, _ := NewMapper(10, 20)
+	for lpn := LPN(0); lpn < 10; lpn++ {
+		if _, ok := m.Lookup(lpn); ok {
+			t.Fatalf("LPN %d mapped at start", lpn)
+		}
+	}
+	for ppn := ssd.PPN(0); ppn < 20; ppn++ {
+		if _, ok := m.OwnerOf(ppn); ok {
+			t.Fatalf("PPN %d owned at start", ppn)
+		}
+	}
+}
+
+func TestBindAndLookup(t *testing.T) {
+	m, _ := NewMapper(10, 20)
+	if old := m.Bind(3, 7); old != ssd.InvalidPPN {
+		t.Fatalf("first Bind returned old PPN %d", old)
+	}
+	ppn, ok := m.Lookup(3)
+	if !ok || ppn != 7 {
+		t.Fatalf("Lookup = (%d,%v), want (7,true)", ppn, ok)
+	}
+	lpn, ok := m.OwnerOf(7)
+	if !ok || lpn != 3 {
+		t.Fatalf("OwnerOf = (%d,%v), want (3,true)", lpn, ok)
+	}
+}
+
+func TestRebindReturnsOldAndClearsReverse(t *testing.T) {
+	m, _ := NewMapper(10, 20)
+	m.Bind(3, 7)
+	if old := m.Bind(3, 9); old != 7 {
+		t.Fatalf("rebind returned %d, want 7", old)
+	}
+	if _, ok := m.OwnerOf(7); ok {
+		t.Error("old PPN still owned after rebind")
+	}
+	if lpn, ok := m.OwnerOf(9); !ok || lpn != 3 {
+		t.Errorf("new PPN owner = (%d,%v)", lpn, ok)
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	m, _ := NewMapper(10, 20)
+	m.Bind(5, 11)
+	m.Relocate(11, 15)
+	if ppn, _ := m.Lookup(5); ppn != 15 {
+		t.Fatalf("after relocate, Lookup(5) = %d, want 15", ppn)
+	}
+	if _, ok := m.OwnerOf(11); ok {
+		t.Error("src still owned after relocate")
+	}
+	if lpn, ok := m.OwnerOf(15); !ok || lpn != 5 {
+		t.Errorf("dst owner = (%d,%v), want (5,true)", lpn, ok)
+	}
+	// Relocating an unowned page is a no-op.
+	m.Relocate(1, 2)
+	if _, ok := m.OwnerOf(2); ok {
+		t.Error("relocating unowned page created an owner")
+	}
+}
+
+func TestPopularityByteSaturates(t *testing.T) {
+	m, _ := NewMapper(4, 8)
+	for i := 0; i < 300; i++ {
+		m.BumpPopularity(1)
+	}
+	if got := m.Popularity(1); got != 255 {
+		t.Errorf("popularity = %d, want saturation at 255", got)
+	}
+	if got := m.Popularity(0); got != 0 {
+		t.Errorf("untouched LPN popularity = %d, want 0", got)
+	}
+}

@@ -1,0 +1,527 @@
+package ftl
+
+import (
+	"fmt"
+	"math"
+
+	"zombiessd/internal/ssd"
+)
+
+// PageState is the lifecycle state of one physical page.
+type PageState uint8
+
+// Page states. A page is Free after its block is erased, Valid while it
+// backs a live logical page, and Invalid (garbage/zombie) after an update
+// supersedes it. The dead-value pool may flip Invalid pages back to Valid —
+// the revival this repository exists for.
+const (
+	PageFree PageState = iota
+	PageValid
+	PageInvalid
+)
+
+// String names the state.
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// GarbageScorer reports the popularity degree of pooled garbage pages; the
+// popularity-aware GC victim selector consults it so blocks holding popular
+// zombies are spared. core.Pool satisfies it.
+type GarbageScorer interface {
+	GarbagePopularity(ssd.PPN) (uint8, bool)
+}
+
+// StoreConfig parameterizes the physical store.
+type StoreConfig struct {
+	// GCFreeBlockThreshold is the per-plane low-water mark: when a plane
+	// has fewer free blocks, GC runs before the next allocation targets
+	// it. Must be at least 2 so relocation always has a destination.
+	GCFreeBlockThreshold int
+
+	// PopularityWeight enables popularity-aware victim selection
+	// (Section IV-D): victim score = invalidPages − weight × Σ popularity
+	// of pooled garbage pages in the block. 0 selects pure greedy.
+	PopularityWeight float64
+
+	// WearAware makes the allocator take the least-erased free block when
+	// the write frontier rolls, spreading erases across the plane
+	// (the FTL's wear-levelling duty, Section IV-B).
+	WearAware bool
+
+	// SoftGCThreshold enables background garbage collection: when a
+	// plane's free list falls below this mark, one GC cycle is scheduled
+	// right after the current request instead of waiting for the hard
+	// threshold to stall a future request. 0 disables it; otherwise it
+	// must exceed GCFreeBlockThreshold. Background GC overlaps with
+	// arrival gaps, trimming the tail latency GC stalls cause.
+	SoftGCThreshold int
+
+	// UserStreams is the number of host write streams per plane (hot/cold
+	// separation, as in multi-streamed SSDs): pages written to different
+	// streams never share a block, so data with similar lifetimes ages
+	// together and GC victims are cleaner. 0 or 1 selects the classic
+	// single-frontier FTL.
+	UserStreams int
+
+	// SeparateGCStream gives GC relocation its own write frontier instead
+	// of mixing relocated (cold) pages into host stream 0.
+	SeparateGCStream bool
+}
+
+// DefaultStoreConfig returns a 2-block threshold, greedy GC.
+func DefaultStoreConfig() StoreConfig {
+	return StoreConfig{GCFreeBlockThreshold: 2}
+}
+
+// Validate reports whether the configuration is usable.
+func (c StoreConfig) Validate() error {
+	if c.GCFreeBlockThreshold < 2 {
+		return fmt.Errorf("ftl: GC threshold must be ≥ 2 (relocation needs a destination), got %d", c.GCFreeBlockThreshold)
+	}
+	if c.PopularityWeight < 0 {
+		return fmt.Errorf("ftl: popularity weight must be ≥ 0, got %g", c.PopularityWeight)
+	}
+	if c.SoftGCThreshold != 0 && c.SoftGCThreshold <= c.GCFreeBlockThreshold {
+		return fmt.Errorf("ftl: soft GC threshold %d must exceed the hard threshold %d",
+			c.SoftGCThreshold, c.GCFreeBlockThreshold)
+	}
+	if c.UserStreams < 0 || c.UserStreams > 8 {
+		return fmt.Errorf("ftl: user streams must be in [0,8], got %d", c.UserStreams)
+	}
+	return nil
+}
+
+// GCStats counts garbage-collection activity.
+type GCStats struct {
+	Runs       int64 // victim selections
+	Relocated  int64 // valid pages copied out of victims
+	Erased     int64 // blocks erased
+	Background int64 // cycles initiated by the soft threshold
+}
+
+// ErrNoSpace is wrapped by Program when a plane has no free page and GC can
+// reclaim nothing — the host space is oversubscribed for this geometry.
+var ErrNoSpace = fmt.Errorf("ftl: out of free pages (drive oversubscribed)")
+
+// blockInfo is per-block accounting.
+type blockInfo struct {
+	valid   int32
+	invalid int32
+	erases  int32
+	free    bool
+	active  bool
+}
+
+// frontier is one open write block.
+type frontier struct {
+	active   ssd.BlockID
+	nextPage int
+}
+
+// planeState is the per-plane allocation context: a free-block list plus
+// one write frontier per stream (the last frontier belongs to GC when
+// SeparateGCStream is set).
+type planeState struct {
+	freeBlocks []ssd.BlockID
+	frontiers  []frontier
+}
+
+// Store owns the physical pages of the drive: states, per-block counters,
+// per-plane free lists and active (write-frontier) blocks, and garbage
+// collection. All flash operations are stamped on the Bus, so GC stalls
+// surface as queuing delay for subsequent requests on the same chip.
+type Store struct {
+	cfg    StoreConfig
+	geo    ssd.Geometry
+	bus    *ssd.Bus
+	state  []PageState
+	blocks []blockInfo
+	planes []planeState
+
+	// planeOrder is the channel-striped allocation order: consecutive host
+	// writes land on different chips, exploiting SSD parallelism.
+	planeOrder []int
+	cursor     int
+
+	// effThreshold is the free-block low-water mark GC maintains: at least
+	// the configured threshold, and at least one more block than there are
+	// write frontiers, so every stream can roll without exhausting the
+	// plane between GC cycles.
+	effThreshold int
+
+	gc GCStats
+
+	// OnRelocate is called when GC moves a valid page; mapping layers
+	// rebind LPNs here. Nil is allowed.
+	OnRelocate func(src, dst ssd.PPN)
+
+	// OnEraseGarbage is called for every invalid page destroyed by an
+	// erase; the dead-value pool drops its zombies here. Nil is allowed.
+	OnEraseGarbage func(ppn ssd.PPN)
+
+	// Scorer provides garbage popularity for popularity-aware GC. Nil
+	// (or PopularityWeight 0) selects greedy GC.
+	Scorer GarbageScorer
+}
+
+// NewStore returns a Store over bus with every block free.
+func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geo := bus.Geometry()
+	if cfg.GCFreeBlockThreshold >= geo.BlocksPerPlane {
+		return nil, fmt.Errorf("ftl: GC threshold %d must be below blocks per plane %d",
+			cfg.GCFreeBlockThreshold, geo.BlocksPerPlane)
+	}
+	if cfg.SoftGCThreshold >= geo.BlocksPerPlane {
+		return nil, fmt.Errorf("ftl: soft GC threshold %d must be below blocks per plane %d",
+			cfg.SoftGCThreshold, geo.BlocksPerPlane)
+	}
+	s := &Store{
+		cfg:    cfg,
+		geo:    geo,
+		bus:    bus,
+		state:  make([]PageState, geo.TotalPages()),
+		blocks: make([]blockInfo, geo.TotalBlocks()),
+		planes: make([]planeState, geo.TotalPlanes()),
+	}
+	frontiers := cfg.UserStreams
+	if frontiers < 1 {
+		frontiers = 1
+	}
+	if cfg.SeparateGCStream {
+		frontiers++
+	}
+	s.effThreshold = cfg.GCFreeBlockThreshold
+	if s.effThreshold < frontiers+1 {
+		s.effThreshold = frontiers + 1
+	}
+	if frontiers+s.effThreshold >= geo.BlocksPerPlane {
+		return nil, fmt.Errorf("ftl: %d frontiers + threshold %d exceed blocks per plane %d",
+			frontiers, s.effThreshold, geo.BlocksPerPlane)
+	}
+	for p := range s.planes {
+		pl := &s.planes[p]
+		pl.freeBlocks = make([]ssd.BlockID, 0, geo.BlocksPerPlane)
+		// Push in reverse so blocks are consumed in ascending order.
+		for i := geo.BlocksPerPlane - 1; i >= frontiers; i-- {
+			b := geo.BlockAt(p, i)
+			s.blocks[b].free = true
+			pl.freeBlocks = append(pl.freeBlocks, b)
+		}
+		pl.frontiers = make([]frontier, frontiers)
+		for f := 0; f < frontiers; f++ {
+			b := geo.BlockAt(p, f)
+			s.blocks[b].active = true
+			pl.frontiers[f] = frontier{active: b}
+		}
+	}
+	// Channel-striped plane order: chip varies fastest.
+	chips := geo.TotalChips()
+	perChip := geo.PlanesPerChip()
+	s.planeOrder = make([]int, geo.TotalPlanes())
+	for i := range s.planeOrder {
+		chip := i % chips
+		within := i / chips
+		s.planeOrder[i] = chip*perChip + within%perChip
+	}
+	return s, nil
+}
+
+// Geometry returns the drive geometry.
+func (s *Store) Geometry() ssd.Geometry { return s.geo }
+
+// UsablePages returns the hard upper bound on simultaneously valid pages:
+// total pages minus the per-plane free reserve GC maintains. Hosts
+// oversubscribing this bound will hit ErrNoSpace.
+func (s *Store) UsablePages() int64 {
+	reserve := int64(s.geo.TotalPlanes()) * int64(s.effThreshold) * int64(s.geo.PagesPerBlock)
+	return s.geo.TotalPages() - reserve
+}
+
+// State returns the current state of page p.
+func (s *Store) State(p ssd.PPN) PageState { return s.state[p] }
+
+// GC returns cumulative garbage-collection statistics.
+func (s *Store) GC() GCStats { return s.gc }
+
+// EraseCountOf returns the number of erases block b has endured.
+func (s *Store) EraseCountOf(b ssd.BlockID) int32 { return s.blocks[b].erases }
+
+// FreeBlocksInPlane returns the free-list length of a plane (for tests and
+// introspection).
+func (s *Store) FreeBlocksInPlane(plane int) int { return len(s.planes[plane].freeBlocks) }
+
+// Program allocates a fresh physical page, programs it on the bus at time
+// now, marks it Valid, and returns it with the completion time. GC runs
+// first when the target plane is low on free blocks, so the program (and
+// everything queued behind it on that chip) pays the GC cost — exactly the
+// interference the paper's latency figures measure.
+func (s *Store) Program(now ssd.Time) (ssd.PPN, ssd.Time, error) {
+	return s.ProgramStream(now, 0)
+}
+
+// ProgramStream is Program targeting a specific host write stream: pages of
+// different streams never share a block, so callers can separate hot and
+// cold data. The stream index must be below StoreConfig.UserStreams (or 0
+// for single-stream stores).
+func (s *Store) ProgramStream(now ssd.Time, stream int) (ssd.PPN, ssd.Time, error) {
+	plane := s.planeOrder[s.cursor]
+	s.cursor = (s.cursor + 1) % len(s.planeOrder)
+	maxStream := s.cfg.UserStreams
+	if maxStream < 1 {
+		maxStream = 1
+	}
+	if stream < 0 || stream >= maxStream {
+		return ssd.InvalidPPN, 0, fmt.Errorf("ftl: stream %d outside [0,%d)", stream, maxStream)
+	}
+	// Background GC: when the plane is below the soft threshold, erase a
+	// fully dead block, stamped at time 0 — the bus starts it the moment
+	// the chip last went idle, so the erase lands in the arrival gap that
+	// already passed instead of stalling a request at the hard threshold.
+	// Only 100%-garbage victims qualify: collecting blocks that still hold
+	// valid pages early forfeits the invalidation accumulation that makes
+	// lazy greedy GC cheap (see BenchmarkAblationBackgroundGC for the
+	// measured cliff when the gate is loosened).
+	if s.cfg.SoftGCThreshold > 0 && len(s.planes[plane].freeBlocks) < s.cfg.SoftGCThreshold {
+		if s.collectPlaneMin(plane, 0, int32(s.geo.PagesPerBlock)) {
+			s.gc.Background++
+		}
+	}
+	if err := s.ensureSpace(plane, now); err != nil {
+		return ssd.InvalidPPN, 0, err
+	}
+	ppn, err := s.allocate(plane, stream)
+	if err != nil {
+		return ssd.InvalidPPN, 0, err
+	}
+	done := s.bus.Program(ppn, now)
+	return ppn, done, nil
+}
+
+// Read issues a host read of page p at time now.
+func (s *Store) Read(p ssd.PPN, now ssd.Time) ssd.Time {
+	return s.bus.Read(p, now)
+}
+
+// gcStream returns the frontier index GC relocations write to.
+func (s *Store) gcStream(plane int) int {
+	if s.cfg.SeparateGCStream {
+		return len(s.planes[plane].frontiers) - 1
+	}
+	return 0
+}
+
+// allocate takes the next page of the stream's active block, rolling to a
+// free block when the frontier fills.
+func (s *Store) allocate(plane, stream int) (ssd.PPN, error) {
+	pl := &s.planes[plane]
+	fr := &pl.frontiers[stream]
+	if fr.nextPage == s.geo.PagesPerBlock {
+		if len(pl.freeBlocks) == 0 {
+			return ssd.InvalidPPN, fmt.Errorf("plane %d: %w", plane, ErrNoSpace)
+		}
+		s.blocks[fr.active].active = false
+		pick := len(pl.freeBlocks) - 1
+		if s.cfg.WearAware {
+			// Take the least-erased free block so erases spread evenly.
+			for i, b := range pl.freeBlocks {
+				if s.blocks[b].erases < s.blocks[pl.freeBlocks[pick]].erases {
+					pick = i
+				}
+			}
+		}
+		next := pl.freeBlocks[pick]
+		pl.freeBlocks[pick] = pl.freeBlocks[len(pl.freeBlocks)-1]
+		pl.freeBlocks = pl.freeBlocks[:len(pl.freeBlocks)-1]
+		s.blocks[next].free = false
+		s.blocks[next].active = true
+		fr.active = next
+		fr.nextPage = 0
+	}
+	ppn := s.geo.PageAt(fr.active, fr.nextPage)
+	fr.nextPage++
+	s.state[ppn] = PageValid
+	s.blocks[fr.active].valid++
+	return ppn, nil
+}
+
+// Invalidate turns a valid page into garbage (an update superseded it).
+// Panics if the page is not valid — that is a state-machine bug in the
+// caller, never a data-dependent condition.
+func (s *Store) Invalidate(p ssd.PPN) {
+	if s.state[p] != PageValid {
+		panic(fmt.Sprintf("ftl: Invalidate(%d): page is %v, not valid", p, s.state[p]))
+	}
+	s.state[p] = PageInvalid
+	b := s.geo.BlockOf(p)
+	s.blocks[b].valid--
+	s.blocks[b].invalid++
+}
+
+// Revalidate revives a garbage page: the dead-value pool matched an
+// incoming write to it, so it becomes valid again with no flash operation.
+// Panics if the page is not garbage (caller bug).
+func (s *Store) Revalidate(p ssd.PPN) {
+	if s.state[p] != PageInvalid {
+		panic(fmt.Sprintf("ftl: Revalidate(%d): page is %v, not invalid", p, s.state[p]))
+	}
+	s.state[p] = PageValid
+	b := s.geo.BlockOf(p)
+	s.blocks[b].valid++
+	s.blocks[b].invalid--
+}
+
+// ensureSpace runs GC on the plane until its free list reaches the
+// threshold or no block yields free space.
+func (s *Store) ensureSpace(plane int, now ssd.Time) error {
+	for len(s.planes[plane].freeBlocks) < s.effThreshold {
+		if !s.collectPlane(plane, now) {
+			// Nothing reclaimable. Only fatal if allocation cannot proceed
+			// at all; allocate reports that case.
+			return nil
+		}
+	}
+	return nil
+}
+
+// relocationCapacity returns how many valid pages the plane can absorb
+// right now: the rest of the GC write frontier plus every free block.
+func (s *Store) relocationCapacity(plane int) int32 {
+	pl := &s.planes[plane]
+	fr := &pl.frontiers[s.gcStream(plane)]
+	return int32(s.geo.PagesPerBlock-fr.nextPage) + int32(s.geo.PagesPerBlock*len(pl.freeBlocks))
+}
+
+// victim selects the GC victim for a plane, or InvalidBlock when no
+// non-active, non-free block has any invalid page (or none fits the
+// plane's relocation capacity). With a Scorer and a positive
+// PopularityWeight the score penalizes blocks whose garbage is popular
+// (likely to be revived soon); otherwise it is the classic greedy
+// most-invalid choice.
+func (s *Store) victim(plane int) ssd.BlockID {
+	best := ssd.InvalidBlock
+	bestScore := math.Inf(-1)
+	capacity := s.relocationCapacity(plane)
+	for i := 0; i < s.geo.BlocksPerPlane; i++ {
+		b := s.geo.BlockAt(plane, i)
+		info := &s.blocks[b]
+		if info.free || info.active || info.invalid == 0 || info.valid > capacity {
+			continue
+		}
+		score := float64(info.invalid)
+		if s.Scorer != nil && s.cfg.PopularityWeight > 0 {
+			score -= s.cfg.PopularityWeight * float64(s.garbagePopularitySum(b))
+		}
+		if score > bestScore {
+			bestScore = score
+			best = b
+		}
+	}
+	return best
+}
+
+// garbagePopularitySum is the paper's popularity-aware victim metric: the
+// sum of popularity degrees of this block's pooled garbage pages.
+func (s *Store) garbagePopularitySum(b ssd.BlockID) int64 {
+	var sum int64
+	first := s.geo.FirstPage(b)
+	for i := 0; i < s.geo.PagesPerBlock; i++ {
+		p := first + ssd.PPN(i)
+		if s.state[p] != PageInvalid {
+			continue
+		}
+		if pop, ok := s.Scorer.GarbagePopularity(p); ok {
+			sum += int64(pop)
+		}
+	}
+	return sum
+}
+
+// collectPlane runs one GC cycle on the plane: pick a victim, relocate its
+// valid pages into the write frontier, notify the pool about destroyed
+// garbage, erase, and return the block to the free list. Reports whether a
+// block was reclaimed.
+func (s *Store) collectPlane(plane int, now ssd.Time) bool {
+	return s.collectPlaneMin(plane, now, 1)
+}
+
+// collectPlaneMin is collectPlane with a victim profitability floor: blocks
+// with fewer than minInvalid garbage pages are not collected.
+func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) bool {
+	v := s.victim(plane)
+	if v == ssd.InvalidBlock || s.blocks[v].invalid < minInvalid {
+		return false
+	}
+	s.gc.Runs++
+	first := s.geo.FirstPage(v)
+	for i := 0; i < s.geo.PagesPerBlock; i++ {
+		p := first + ssd.PPN(i)
+		switch s.state[p] {
+		case PageValid:
+			dst, err := s.allocate(plane, s.gcStream(plane))
+			if err != nil {
+				// Threshold ≥ 2 guarantees a destination; reaching this is
+				// a bookkeeping bug.
+				panic(fmt.Sprintf("ftl: GC relocation failed: %v", err))
+			}
+			s.bus.CopyBack(p, dst, now)
+			s.gc.Relocated++
+			if s.OnRelocate != nil {
+				s.OnRelocate(p, dst)
+			}
+		case PageInvalid:
+			if s.OnEraseGarbage != nil {
+				s.OnEraseGarbage(p)
+			}
+		}
+		s.state[p] = PageFree
+	}
+	s.bus.Erase(v, now)
+	info := &s.blocks[v]
+	info.valid = 0
+	info.invalid = 0
+	info.erases++
+	info.free = true
+	s.gc.Erased++
+	s.planes[plane].freeBlocks = append(s.planes[plane].freeBlocks, v)
+	return true
+}
+
+// WearSummary reports erase-count dispersion across blocks, for the
+// lifetime analyses.
+type WearSummary struct {
+	MinErases, MaxErases int32
+	TotalErases          int64
+}
+
+// Wear returns the drive's wear summary.
+func (s *Store) Wear() WearSummary {
+	var w WearSummary
+	if len(s.blocks) == 0 {
+		return w
+	}
+	w.MinErases = s.blocks[0].erases
+	for i := range s.blocks {
+		e := s.blocks[i].erases
+		if e < w.MinErases {
+			w.MinErases = e
+		}
+		if e > w.MaxErases {
+			w.MaxErases = e
+		}
+		w.TotalErases += int64(e)
+	}
+	return w
+}

@@ -1,0 +1,592 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+// tinyGeometry keeps per-test state small: 2 channels × 2 chips × 1 die ×
+// 1 plane, 8 blocks/plane × 16 pages.
+func tinyGeometry() ssd.Geometry {
+	return ssd.Geometry{
+		Channels: 2, ChipsPerChannel: 2, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 8, PagesPerBlock: 16, PageSize: 4096, OverProvision: 0.15,
+	}
+}
+
+func newTinyStore(t *testing.T, cfg StoreConfig) (*Store, *ssd.Bus) {
+	t.Helper()
+	bus := ssd.NewBus(tinyGeometry(), ssd.PaperLatency())
+	s, err := NewStore(cfg, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, bus
+}
+
+func TestStoreConfigValidate(t *testing.T) {
+	if err := DefaultStoreConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (StoreConfig{GCFreeBlockThreshold: 1}).Validate(); err == nil {
+		t.Error("accepted threshold below 2")
+	}
+	if err := (StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: -1}).Validate(); err == nil {
+		t.Error("accepted negative popularity weight")
+	}
+}
+
+func TestNewStoreRejectsThresholdAboveBlocks(t *testing.T) {
+	bus := ssd.NewBus(tinyGeometry(), ssd.PaperLatency())
+	if _, err := NewStore(StoreConfig{GCFreeBlockThreshold: 8}, bus); err == nil {
+		t.Error("accepted threshold ≥ blocks per plane")
+	}
+}
+
+func TestPageStateString(t *testing.T) {
+	if PageFree.String() != "free" || PageValid.String() != "valid" || PageInvalid.String() != "invalid" {
+		t.Error("state strings wrong")
+	}
+	if PageState(9).String() == "" {
+		t.Error("unknown state string empty")
+	}
+}
+
+func TestProgramMarksValidAndStripes(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	g := s.Geometry()
+	seen := make(map[int]bool) // chips hit by the first len(planes) programs
+	for i := 0; i < g.TotalPlanes(); i++ {
+		ppn, done, err := s.Program(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done <= 0 {
+			t.Fatal("program completed at time 0")
+		}
+		if s.State(ppn) != PageValid {
+			t.Fatalf("programmed page %d is %v", ppn, s.State(ppn))
+		}
+		seen[g.ChipOf(ppn)] = true
+	}
+	if len(seen) != g.TotalChips() {
+		t.Errorf("first wave of programs hit %d chips, want all %d (channel striping)", len(seen), g.TotalChips())
+	}
+}
+
+func TestInvalidateRevalidateLifecycle(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	ppn, _, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate(ppn)
+	if s.State(ppn) != PageInvalid {
+		t.Fatalf("state after Invalidate = %v", s.State(ppn))
+	}
+	s.Revalidate(ppn) // the zombie revival
+	if s.State(ppn) != PageValid {
+		t.Fatalf("state after Revalidate = %v", s.State(ppn))
+	}
+}
+
+func TestInvalidatePanicsOnWrongState(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("Invalidate of a free page did not panic")
+		}
+	}()
+	s.Invalidate(0)
+}
+
+func TestRevalidatePanicsOnWrongState(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	ppn, _, _ := s.Program(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Revalidate of a valid page did not panic")
+		}
+	}()
+	s.Revalidate(ppn)
+}
+
+// fillAndChurn programs pages and randomly invalidates older ones, like a
+// steady overwrite workload, returning the PPNs still valid. Random (not
+// FIFO) invalidation leaves victims with a mix of valid and invalid pages,
+// so GC must relocate. The caller may install OnRelocate before calling;
+// this helper chains it to keep the live set coherent.
+func fillAndChurn(t *testing.T, s *Store, writes int) map[ssd.PPN]bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	live := make(map[ssd.PPN]bool)
+	var order []ssd.PPN
+	prev := s.OnRelocate
+	s.OnRelocate = func(src, dst ssd.PPN) {
+		if live[src] {
+			delete(live, src)
+			live[dst] = true
+			order = append(order, dst)
+		}
+		if prev != nil {
+			prev(src, dst)
+		}
+	}
+	liveCap := int(float64(s.Geometry().TotalPages()) * 0.6)
+	now := ssd.Time(0)
+	for i := 0; i < writes; i++ {
+		now += 10
+		ppn, _, err := s.Program(now)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		live[ppn] = true
+		order = append(order, ppn)
+		for len(live) > liveCap && len(order) > 0 {
+			idx := rng.Intn(len(order))
+			p := order[idx]
+			order = append(order[:idx], order[idx+1:]...)
+			if live[p] && s.State(p) == PageValid {
+				s.Invalidate(p)
+				delete(live, p)
+			}
+		}
+	}
+	return live
+}
+
+func TestGCReclaimsSpace(t *testing.T) {
+	s, bus := newTinyStore(t, DefaultStoreConfig())
+	total := int(s.Geometry().TotalPages())
+	fillAndChurn(t, s, total*4) // churn 4× the drive: impossible without GC
+	if s.GC().Runs == 0 || s.GC().Erased == 0 {
+		t.Fatalf("no GC activity after heavy churn: %+v", s.GC())
+	}
+	_, _, erases := bus.Counts()
+	if erases != s.GC().Erased {
+		t.Errorf("bus erases %d != GC erased %d", erases, s.GC().Erased)
+	}
+}
+
+func TestGCRelocationPreservesOwnership(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	var relocations int64
+	s.OnRelocate = func(src, dst ssd.PPN) { relocations++ }
+	live := fillAndChurn(t, s, int(s.Geometry().TotalPages())*4)
+	if relocations == 0 {
+		t.Fatal("no relocations observed")
+	}
+	if relocations != s.GC().Relocated {
+		t.Errorf("callback count %d != stats %d", relocations, s.GC().Relocated)
+	}
+	// Every page still claimed live must be valid under the final mapping
+	// (fillAndChurn follows relocations like a mapper would).
+	for p := range live {
+		if s.State(p) != PageValid {
+			t.Fatalf("live page %d is %v after GC", p, s.State(p))
+		}
+	}
+}
+
+func TestGCNotifiesErasedGarbage(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	var notified int64
+	s.OnEraseGarbage = func(p ssd.PPN) {
+		notified++
+		// At notification time the page must still be garbage; it is the
+		// pool's last chance to drop its entry.
+		if s.State(p) != PageInvalid {
+			t.Fatalf("OnEraseGarbage(%d) with state %v", p, s.State(p))
+		}
+	}
+	fillAndChurn(t, s, int(s.Geometry().TotalPages())*4)
+	if notified == 0 {
+		t.Fatal("no garbage-erase notifications")
+	}
+}
+
+func TestOutOfSpaceWithoutInvalidations(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	total := int(s.Geometry().TotalPages())
+	var err error
+	for i := 0; i < total+1; i++ {
+		_, _, err = s.Program(0)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("filling the drive with valid data returned %v, want ErrNoSpace", err)
+	}
+}
+
+// fixedScorer marks a set of pages as popular garbage.
+type fixedScorer map[ssd.PPN]uint8
+
+func (f fixedScorer) GarbagePopularity(p ssd.PPN) (uint8, bool) {
+	pop, ok := f[p]
+	return pop, ok
+}
+
+func TestPopularityAwareVictimSelection(t *testing.T) {
+	// Two candidate blocks with equal invalid counts; one holds popular
+	// garbage. Greedy is indifferent; popularity-aware must pick the other.
+	geo := ssd.Geometry{
+		Channels: 1, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 4, PagesPerBlock: 4, PageSize: 4096, OverProvision: 0.15,
+	}
+	build := func(weight float64) (*Store, []ssd.PPN) {
+		bus := ssd.NewBus(geo, ssd.PaperLatency())
+		s, err := NewStore(StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: weight}, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fill blocks 0 and 1 fully; block 2 becomes the active frontier,
+		// so blocks 0 and 1 are both GC candidates.
+		var pages []ssd.PPN
+		for i := 0; i < 12; i++ {
+			p, _, err := s.Program(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, p)
+		}
+		// Invalidate half of block 0 and half of block 1: equal greed.
+		for _, p := range []int{0, 1, 4, 5} {
+			s.Invalidate(pages[p])
+		}
+		return s, pages
+	}
+
+	// Popular garbage lives in block 0 (pages 0,1).
+	s, pages := build(1.0)
+	s.Scorer = fixedScorer{pages[0]: 200, pages[1]: 200}
+	if v := s.victim(0); v != s.Geometry().BlockOf(pages[4]) {
+		t.Errorf("popularity-aware victim = block %d, want the unpopular block %d",
+			v, s.Geometry().BlockOf(pages[4]))
+	}
+
+	// With weight 0 the same scorer must not influence the choice: both
+	// blocks tie, the first candidate wins.
+	s2, pages2 := build(0)
+	s2.Scorer = fixedScorer{pages2[0]: 200, pages2[1]: 200}
+	if v := s2.victim(0); v != s2.Geometry().BlockOf(pages2[0]) {
+		t.Errorf("greedy victim = block %d, want first tied block %d", v, s2.Geometry().BlockOf(pages2[0]))
+	}
+}
+
+func TestVictimNoneWhenNoGarbage(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Program(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := s.victim(0); v != ssd.InvalidBlock {
+		t.Errorf("victim = %d with no invalid pages, want InvalidBlock", v)
+	}
+}
+
+func TestWearSummary(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	fillAndChurn(t, s, int(s.Geometry().TotalPages())*6)
+	w := s.Wear()
+	if w.TotalErases == 0 {
+		t.Fatal("no wear recorded after churn")
+	}
+	if w.MaxErases < w.MinErases {
+		t.Errorf("wear summary inconsistent: %+v", w)
+	}
+	if w.TotalErases != s.GC().Erased {
+		t.Errorf("total erases %d != GC erased %d", w.TotalErases, s.GC().Erased)
+	}
+}
+
+func TestBlockAccountingInvariant(t *testing.T) {
+	// Under random program/invalidate/revalidate churn, per-block counters
+	// must always match the page states.
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	g := s.Geometry()
+	rng := rand.New(rand.NewSource(8))
+	valid := make(map[ssd.PPN]bool)
+	var invalid []ssd.PPN
+	// GC moves valid pages; keep the shadow set in sync like a mapper would.
+	s.OnRelocate = func(src, dst ssd.PPN) {
+		if valid[src] {
+			delete(valid, src)
+			valid[dst] = true
+		}
+	}
+	anyValid := func() (ssd.PPN, bool) {
+		for p := range valid {
+			return p, true
+		}
+		return 0, false
+	}
+	now := ssd.Time(0)
+	for i := 0; i < 3000; i++ {
+		now += 5
+		switch rng.Intn(4) {
+		case 0, 1:
+			if p, _, err := s.Program(now); err == nil {
+				valid[p] = true
+			} else if p, ok := anyValid(); ok {
+				s.Invalidate(p)
+				delete(valid, p)
+				invalid = append(invalid, p)
+			}
+		case 2:
+			if p, ok := anyValid(); ok {
+				s.Invalidate(p)
+				delete(valid, p)
+				invalid = append(invalid, p)
+			}
+		default:
+			// Revive a zombie, if it still exists as garbage (GC may have
+			// erased it meanwhile).
+			for len(invalid) > 0 {
+				idx := rng.Intn(len(invalid))
+				p := invalid[idx]
+				invalid = append(invalid[:idx], invalid[idx+1:]...)
+				if s.State(p) == PageInvalid {
+					s.Revalidate(p)
+					valid[p] = true
+					break
+				}
+			}
+		}
+		if i%250 == 0 {
+			checkBlockCounters(t, s, g)
+		}
+	}
+	checkBlockCounters(t, s, g)
+}
+
+func checkBlockCounters(t *testing.T, s *Store, g ssd.Geometry) {
+	t.Helper()
+	for b := ssd.BlockID(0); int64(b) < g.TotalBlocks(); b++ {
+		var v, inv int32
+		for i := 0; i < g.PagesPerBlock; i++ {
+			switch s.State(g.PageAt(b, i)) {
+			case PageValid:
+				v++
+			case PageInvalid:
+				inv++
+			}
+		}
+		if v != s.blocks[b].valid || inv != s.blocks[b].invalid {
+			t.Fatalf("block %d counters (v=%d,i=%d) disagree with states (v=%d,i=%d)",
+				b, s.blocks[b].valid, s.blocks[b].invalid, v, inv)
+		}
+	}
+}
+
+func TestWearAwareAllocationNarrowsSpread(t *testing.T) {
+	run := func(wearAware bool) WearSummary {
+		bus := ssd.NewBus(tinyGeometry(), ssd.PaperLatency())
+		s, err := NewStore(StoreConfig{GCFreeBlockThreshold: 2, WearAware: wearAware}, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillAndChurn(t, s, int(s.Geometry().TotalPages())*12)
+		return s.Wear()
+	}
+	plain := run(false)
+	aware := run(true)
+	if aware.TotalErases == 0 || plain.TotalErases == 0 {
+		t.Fatal("no wear accumulated")
+	}
+	spread := func(w WearSummary) int32 { return w.MaxErases - w.MinErases }
+	if spread(aware) > spread(plain) {
+		t.Errorf("wear-aware spread %d wider than plain %d", spread(aware), spread(plain))
+	}
+}
+
+func TestSoftGCThresholdValidation(t *testing.T) {
+	if err := (StoreConfig{GCFreeBlockThreshold: 2, SoftGCThreshold: 2}).Validate(); err == nil {
+		t.Error("accepted soft threshold equal to hard threshold")
+	}
+	if err := (StoreConfig{GCFreeBlockThreshold: 2, SoftGCThreshold: 4}).Validate(); err != nil {
+		t.Errorf("rejected valid soft threshold: %v", err)
+	}
+	bus := ssd.NewBus(tinyGeometry(), ssd.PaperLatency())
+	if _, err := NewStore(StoreConfig{GCFreeBlockThreshold: 2, SoftGCThreshold: 8}, bus); err == nil {
+		t.Error("accepted soft threshold ≥ blocks per plane")
+	}
+}
+
+func TestBackgroundGCPreemptsForegroundStalls(t *testing.T) {
+	// FIFO churn: the oldest live page dies first, so whole blocks turn to
+	// garbage in order and qualify for background (fully-dead) collection.
+	run := func(soft int) GCStats {
+		bus := ssd.NewBus(tinyGeometry(), ssd.PaperLatency())
+		s, err := NewStore(StoreConfig{GCFreeBlockThreshold: 2, SoftGCThreshold: soft}, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []ssd.PPN
+		s.OnRelocate = func(src, dst ssd.PPN) {
+			for i, p := range live {
+				if p == src {
+					live[i] = dst
+					break
+				}
+			}
+		}
+		liveCap := int(float64(s.Geometry().TotalPages()) * 0.6)
+		now := ssd.Time(0)
+		for i := 0; i < int(s.Geometry().TotalPages())*6; i++ {
+			now += 10
+			ppn, _, err := s.Program(now)
+			if err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			live = append(live, ppn)
+			if len(live) > liveCap {
+				s.Invalidate(live[0])
+				live = live[1:]
+			}
+		}
+		return s.GC()
+	}
+	plain := run(0)
+	bg := run(4)
+	if plain.Background != 0 {
+		t.Fatalf("background cycles without soft threshold: %d", plain.Background)
+	}
+	if bg.Background == 0 {
+		t.Fatal("soft threshold never triggered background GC")
+	}
+	// With the soft threshold, foreground (hard-threshold) cycles must
+	// shrink: the background cycles do the work ahead of time.
+	plainFg := plain.Runs
+	bgFg := bg.Runs - bg.Background
+	if bgFg >= plainFg {
+		t.Errorf("foreground GC cycles did not shrink: %d (bg on) vs %d (bg off)", bgFg, plainFg)
+	}
+	// Background victims are fully dead, so no extra relocation at all.
+	if bg.Relocated > plain.Relocated {
+		t.Errorf("background GC inflated relocations: %d vs %d", bg.Relocated, plain.Relocated)
+	}
+}
+
+func TestMultiStreamSeparation(t *testing.T) {
+	bus := ssd.NewBus(tinyGeometry(), ssd.PaperLatency())
+	s, err := NewStore(StoreConfig{GCFreeBlockThreshold: 2, UserStreams: 2, SeparateGCStream: true}, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.Geometry()
+	// Pages written to different streams must never share a block.
+	blocksOf := make(map[int]map[ssd.BlockID]bool)
+	for i := 0; i < 40; i++ {
+		stream := i % 2
+		p, _, err := s.ProgramStream(0, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blocksOf[stream] == nil {
+			blocksOf[stream] = make(map[ssd.BlockID]bool)
+		}
+		blocksOf[stream][g.BlockOf(p)] = true
+	}
+	for b := range blocksOf[0] {
+		if blocksOf[1][b] {
+			t.Fatalf("block %d holds pages of both streams", b)
+		}
+	}
+	// Out-of-range streams are rejected.
+	if _, _, err := s.ProgramStream(0, 2); err == nil {
+		t.Error("accepted stream index ≥ UserStreams")
+	}
+	if _, _, err := s.ProgramStream(0, -1); err == nil {
+		t.Error("accepted negative stream")
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	if err := (StoreConfig{GCFreeBlockThreshold: 2, UserStreams: 9}).Validate(); err == nil {
+		t.Error("accepted 9 user streams")
+	}
+	if err := (StoreConfig{GCFreeBlockThreshold: 2, UserStreams: -1}).Validate(); err == nil {
+		t.Error("accepted negative streams")
+	}
+	// Frontier + threshold must fit in the plane.
+	bus := ssd.NewBus(tinyGeometry(), ssd.PaperLatency()) // 8 blocks/plane
+	if _, err := NewStore(StoreConfig{GCFreeBlockThreshold: 5, UserStreams: 3, SeparateGCStream: true}, bus); err == nil {
+		t.Error("accepted frontiers+threshold ≥ blocks per plane")
+	}
+}
+
+// TestStreamSeparationReducesRelocation: steering hot (quickly rewritten)
+// and cold (write-once) pages to separate streams leaves GC victims nearly
+// all-garbage, cutting relocation traffic versus the mixed single stream.
+func TestStreamSeparationReducesRelocation(t *testing.T) {
+	run := func(streams bool) GCStats {
+		// Roomier planes than tinyGeometry: three frontiers plus the free
+		// reserve must leave real working space.
+		geo := ssd.Geometry{
+			Channels: 2, ChipsPerChannel: 2, DiesPerChip: 1, PlanesPerDie: 1,
+			BlocksPerPlane: 32, PagesPerBlock: 16, PageSize: 4096, OverProvision: 0.15,
+		}
+		bus := ssd.NewBus(geo, ssd.PaperLatency())
+		cfg := StoreConfig{GCFreeBlockThreshold: 2}
+		if streams {
+			cfg.UserStreams = 2
+			cfg.SeparateGCStream = true
+		}
+		s, err := NewStore(cfg, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := int(s.Geometry().TotalPages())
+		// Cold pages (write-once, long-lived) are interleaved with hot
+		// churn, so a single stream mixes lifetimes within blocks.
+		coldTarget := total * 2 / 5
+		coldWritten := 0
+		hot := make([]ssd.PPN, 0, total/10)
+		s.OnRelocate = func(src, dst ssd.PPN) {
+			for i, p := range hot {
+				if p == src {
+					hot[i] = dst
+					break
+				}
+			}
+		}
+		now := ssd.Time(0)
+		writes := total * 4
+		for i := 0; i < writes; i++ {
+			now += 10
+			coldTurn := coldWritten < coldTarget && i%(writes/coldTarget+1) == 0
+			var p ssd.PPN
+			var err error
+			if streams && !coldTurn {
+				p, _, err = s.ProgramStream(now, 1)
+			} else {
+				p, _, err = s.Program(now)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coldTurn {
+				coldWritten++
+				continue // cold pages stay valid forever
+			}
+			hot = append(hot, p)
+			if len(hot) > total/10 {
+				s.Invalidate(hot[0])
+				hot = hot[1:]
+			}
+		}
+		return s.GC()
+	}
+	mixed := run(false)
+	separated := run(true)
+	if separated.Relocated >= mixed.Relocated {
+		t.Errorf("stream separation did not cut relocation: %d vs %d",
+			separated.Relocated, mixed.Relocated)
+	}
+}

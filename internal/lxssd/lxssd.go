@@ -1,0 +1,229 @@
+// Package lxssd reconstructs the prior-work comparison point LX-SSD
+// (Zhou et al., MSST'17) as the paper describes it, including the two
+// design choices the paper critiques (Section I):
+//
+//  1. Recycling probability is estimated from value popularity over reads
+//     AND writes — but read-popular values are not necessarily rewritten,
+//     so buffer space is wasted on them.
+//  2. Buffer replacement follows the recency of the *page addresses*
+//     (LBAs) associated with garbage pages, not of the values — so a
+//     popular value whose old addresses go cold is evicted even though it
+//     is about to be reborn, and read traffic to an address keeps useless
+//     garbage pinned.
+//
+// The original system is closed source; this is a behavioural
+// reimplementation from the description, sufficient for the Fig 11
+// comparison.
+package lxssd
+
+import (
+	"fmt"
+
+	"zombiessd/internal/core"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// record is one buffered garbage page, tied to the logical address whose
+// update created it.
+type record struct {
+	lba  uint64
+	hash trace.Hash
+	ppn  ssd.PPN
+
+	prev, next *record
+}
+
+type recordList struct {
+	head, tail *record
+	n          int
+}
+
+func (l *recordList) pushTail(r *record) {
+	r.prev, r.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = r
+	} else {
+		l.head = r
+	}
+	l.tail = r
+	l.n++
+}
+
+func (l *recordList) remove(r *record) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		l.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		l.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+	l.n--
+}
+
+func (l *recordList) moveToTail(r *record) {
+	if l.tail == r {
+		return
+	}
+	l.remove(r)
+	l.pushTail(r)
+}
+
+// Config parameterizes the LX-SSD recycler.
+type Config struct {
+	// Capacity is the maximum number of buffered garbage pages.
+	Capacity int
+	// MinPopularity is the admission threshold: a garbage page is buffered
+	// only when its value's read+write popularity has reached this count.
+	MinPopularity uint16
+}
+
+// DefaultConfig matches the DVP's default footprint: 200K records,
+// admission after the second access.
+func DefaultConfig() Config { return Config{Capacity: 200_000, MinPopularity: 2} }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("lxssd: capacity must be positive, got %d", c.Capacity)
+	}
+	return nil
+}
+
+// Pool is the LX-SSD garbage-page recycler.
+type Pool struct {
+	cfg Config
+
+	list   recordList // LRU by LBA-access recency
+	byHash map[trace.Hash][]*record
+	byLBA  map[uint64][]*record
+	byPPN  map[ssd.PPN]*record
+
+	// pop counts accesses per value over reads and writes combined —
+	// deliberately conflating the two, as the paper says LX-SSD does.
+	pop map[trace.Hash]uint16
+
+	stats core.PoolStats
+}
+
+// New returns an empty LX-SSD pool. Panics on an invalid configuration.
+func New(cfg Config) *Pool {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Pool{
+		cfg:    cfg,
+		byHash: make(map[trace.Hash][]*record),
+		byLBA:  make(map[uint64][]*record),
+		byPPN:  make(map[ssd.PPN]*record),
+		pop:    make(map[trace.Hash]uint16),
+	}
+}
+
+// RecordAccess observes any host access (read or write) to value h at
+// address lba: it bumps the combined popularity and refreshes the recency
+// of every buffered garbage page associated with that address.
+func (p *Pool) RecordAccess(h trace.Hash, lba uint64) {
+	if c := p.pop[h]; c < ^uint16(0) {
+		p.pop[h] = c + 1
+	}
+	for _, r := range p.byLBA[lba] {
+		p.list.moveToTail(r)
+	}
+}
+
+// Insert offers a garbage page to the buffer. Pages whose value has not yet
+// reached the admission popularity are declined (and counted as evictions
+// of opportunity).
+func (p *Pool) Insert(h trace.Hash, ppn ssd.PPN, lba uint64) {
+	p.stats.Inserts++
+	if p.pop[h] < p.cfg.MinPopularity {
+		return
+	}
+	r := &record{lba: lba, hash: h, ppn: ppn}
+	p.list.pushTail(r)
+	p.byHash[h] = append(p.byHash[h], r)
+	p.byLBA[lba] = append(p.byLBA[lba], r)
+	p.byPPN[ppn] = r
+	for p.list.n > p.cfg.Capacity {
+		p.stats.Evictions++
+		p.removeRecord(p.evictionVictim())
+	}
+}
+
+// evictionVictim scans a small window at the LRU end and picks the record
+// whose value has the lowest read+write popularity — LX-SSD's recycling-
+// probability estimate. The flaw the paper calls out is built in: a value
+// that is only ever *read* scores high and survives, crowding out garbage
+// that would actually be rewritten.
+func (p *Pool) evictionVictim() *record {
+	const window = 8
+	victim := p.list.head
+	best := p.pop[victim.hash]
+	r := victim.next
+	for i := 1; i < window && r != nil; i++ {
+		if pop := p.pop[r.hash]; pop < best {
+			best = pop
+			victim = r
+		}
+		r = r.next
+	}
+	return victim
+}
+
+// Lookup searches for a buffered garbage copy of h; on a hit the record is
+// removed and its PPN returned for revival.
+func (p *Pool) Lookup(h trace.Hash) (ssd.PPN, bool) {
+	recs := p.byHash[h]
+	if len(recs) == 0 {
+		p.stats.Misses++
+		return ssd.InvalidPPN, false
+	}
+	p.stats.Hits++
+	r := recs[len(recs)-1]
+	ppn := r.ppn
+	p.removeRecord(r)
+	return ppn, true
+}
+
+// Drop removes the record for ppn, if buffered (GC erased the page).
+func (p *Pool) Drop(ppn ssd.PPN) {
+	r, ok := p.byPPN[ppn]
+	if !ok {
+		return
+	}
+	p.stats.Drops++
+	p.removeRecord(r)
+}
+
+func (p *Pool) removeRecord(r *record) {
+	p.list.remove(r)
+	delete(p.byPPN, r.ppn)
+	p.byHash[r.hash] = removeFrom(p.byHash[r.hash], r)
+	if len(p.byHash[r.hash]) == 0 {
+		delete(p.byHash, r.hash)
+	}
+	p.byLBA[r.lba] = removeFrom(p.byLBA[r.lba], r)
+	if len(p.byLBA[r.lba]) == 0 {
+		delete(p.byLBA, r.lba)
+	}
+}
+
+func removeFrom(recs []*record, r *record) []*record {
+	for i, x := range recs {
+		if x == r {
+			return append(recs[:i], recs[i+1:]...)
+		}
+	}
+	return recs
+}
+
+// Len returns the number of buffered garbage pages.
+func (p *Pool) Len() int { return p.list.n }
+
+// Stats returns cumulative counters.
+func (p *Pool) Stats() core.PoolStats { return p.stats }

@@ -1,0 +1,219 @@
+package lxssd
+
+import (
+	"testing"
+
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+func h(id uint64) trace.Hash { return trace.HashOfValue(id) }
+
+func newPool(capacity int) *Pool {
+	return New(Config{Capacity: capacity, MinPopularity: 2})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (Config{Capacity: 0}).Validate(); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New with bad config did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestAdmissionThreshold(t *testing.T) {
+	p := newPool(10)
+	// First sighting of a value: popularity 1 < 2, declined.
+	p.RecordAccess(h(1), 5)
+	p.Insert(h(1), 100, 5)
+	if p.Len() != 0 {
+		t.Fatalf("cold value admitted, Len = %d", p.Len())
+	}
+	// Second access reaches the threshold.
+	p.RecordAccess(h(1), 5)
+	p.Insert(h(1), 101, 5)
+	if p.Len() != 1 {
+		t.Fatalf("warm value declined, Len = %d", p.Len())
+	}
+}
+
+func TestReadPopularityCountsTowardAdmission(t *testing.T) {
+	// The critiqued behaviour: reads alone qualify a value for buffering
+	// even though read popularity says nothing about rebirth.
+	p := newPool(10)
+	p.RecordAccess(h(2), 7) // read
+	p.RecordAccess(h(2), 7) // read
+	p.Insert(h(2), 200, 7)
+	if p.Len() != 1 {
+		t.Fatal("read-only popularity did not qualify value; LX-SSD conflates reads and writes")
+	}
+}
+
+func TestLookupRevivesAndRemoves(t *testing.T) {
+	p := newPool(10)
+	warm := func(v uint64) {
+		p.RecordAccess(h(v), v)
+		p.RecordAccess(h(v), v)
+	}
+	warm(1)
+	p.Insert(h(1), 10, 1)
+	ppn, ok := p.Lookup(h(1))
+	if !ok || ppn != 10 {
+		t.Fatalf("Lookup = (%d,%v)", ppn, ok)
+	}
+	if _, ok := p.Lookup(h(1)); ok {
+		t.Fatal("revived page still buffered")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvictionByLBARecency(t *testing.T) {
+	p := newPool(2)
+	warm := func(v uint64, lba uint64) {
+		p.RecordAccess(h(v), lba)
+		p.RecordAccess(h(v), lba)
+	}
+	warm(1, 1)
+	warm(2, 2)
+	warm(3, 3)
+	p.Insert(h(1), 10, 1)
+	p.Insert(h(2), 20, 2)
+	// A read to LBA 1 refreshes record 1 even though the value is dead —
+	// the address-recency behaviour the paper criticizes.
+	p.RecordAccess(h(9), 1)
+	p.Insert(h(3), 30, 3) // over capacity: evicts LRU record, now record 2
+	if _, ok := p.Lookup(h(2)); ok {
+		t.Fatal("record 2 should have been evicted (its address went cold)")
+	}
+	if _, ok := p.Lookup(h(1)); !ok {
+		t.Fatal("record 1 should have been kept (its address stayed hot)")
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", p.Stats().Evictions)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	p := newPool(10)
+	p.RecordAccess(h(1), 1)
+	p.RecordAccess(h(1), 1)
+	p.Insert(h(1), 10, 1)
+	p.Drop(10)
+	if p.Len() != 0 {
+		t.Fatalf("Len after drop = %d", p.Len())
+	}
+	p.Drop(999) // unknown: no-op
+	if p.Stats().Drops != 1 {
+		t.Fatalf("Drops = %d, want 1", p.Stats().Drops)
+	}
+}
+
+func TestMultipleCopiesPerValue(t *testing.T) {
+	p := newPool(10)
+	p.RecordAccess(h(1), 1)
+	p.RecordAccess(h(1), 2)
+	p.Insert(h(1), 10, 1)
+	p.Insert(h(1), 20, 2)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	ppn, _ := p.Lookup(h(1))
+	if ppn != 20 {
+		t.Fatalf("Lookup = %d, want most recent 20", ppn)
+	}
+	ppn, _ = p.Lookup(h(1))
+	if ppn != 10 {
+		t.Fatalf("Lookup = %d, want 10", ppn)
+	}
+}
+
+func TestIndexConsistencyUnderChurn(t *testing.T) {
+	p := newPool(32)
+	nextPPN := ssd.PPN(0)
+	for i := 0; i < 5000; i++ {
+		v := uint64(i % 50)
+		lba := uint64(i % 70)
+		p.RecordAccess(h(v), lba)
+		p.Insert(h(v), nextPPN, lba)
+		nextPPN++
+		if i%3 == 0 {
+			p.Lookup(h(uint64(i % 60)))
+		}
+		if i%7 == 0 {
+			p.Drop(nextPPN - 1)
+		}
+	}
+	// Walk the list and cross-check every index.
+	walked := 0
+	for r := p.list.head; r != nil; r = r.next {
+		walked++
+		if p.byPPN[r.ppn] != r {
+			t.Fatalf("byPPN inconsistent for %d", r.ppn)
+		}
+		foundHash := false
+		for _, x := range p.byHash[r.hash] {
+			if x == r {
+				foundHash = true
+			}
+		}
+		if !foundHash {
+			t.Fatalf("record %d missing from byHash", r.ppn)
+		}
+		foundLBA := false
+		for _, x := range p.byLBA[r.lba] {
+			if x == r {
+				foundLBA = true
+			}
+		}
+		if !foundLBA {
+			t.Fatalf("record %d missing from byLBA", r.ppn)
+		}
+	}
+	if walked != p.Len() || walked != len(p.byPPN) {
+		t.Fatalf("walked %d records, Len=%d byPPN=%d", walked, p.Len(), len(p.byPPN))
+	}
+	if p.Len() > 32 {
+		t.Fatalf("capacity violated: %d", p.Len())
+	}
+}
+
+func TestEvictionProtectsReadPopularValues(t *testing.T) {
+	// The paper's critique #1, embodied: a value that is only ever READ
+	// scores high on LX's combined popularity and survives eviction, even
+	// though read popularity says nothing about rebirth; the write-popular
+	// record with a momentarily lower combined count is evicted instead.
+	p := New(Config{Capacity: 2, MinPopularity: 0})
+	// Value 1: heavily read, never rewritten. Value 2: written twice.
+	for i := 0; i < 10; i++ {
+		p.RecordAccess(h(1), 1)
+	}
+	p.RecordAccess(h(2), 2)
+	p.Insert(h(1), 10, 1) // read-popular garbage
+	p.Insert(h(2), 20, 2) // write-popular garbage (lower combined count)
+	p.RecordAccess(h(3), 3)
+	p.Insert(h(3), 30, 3) // overflow: eviction scans the LRU window
+	if _, ok := p.Lookup(h(2)); ok {
+		t.Fatal("write-popular value survived; LX should have protected the read-popular one")
+	}
+	if _, ok := p.Lookup(h(1)); !ok {
+		t.Fatal("read-popular value was evicted; LX's flawed estimator should protect it")
+	}
+}
+
+func TestAdmitAllWhenThresholdZero(t *testing.T) {
+	p := New(Config{Capacity: 4, MinPopularity: 0})
+	p.Insert(h(9), 90, 9) // no prior access at all
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (threshold 0 admits everything)", p.Len())
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// baselineDevice is the paper's Baseline: a page-mapped FTL with greedy GC
+// and no content awareness. Every host write programs a flash page.
+type baselineDevice struct {
+	bus    *ssd.Bus
+	store  *ftl.Store
+	mapper *ftl.Mapper
+	steer  *streamSteer
+	m      DeviceMetrics
+}
+
+func newBaselineDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*baselineDevice, error) {
+	mapper, err := ftl.NewMapper(cfg.LogicalPages, cfg.Geometry.TotalPages())
+	if err != nil {
+		return nil, err
+	}
+	store.OnRelocate = mapper.Relocate
+	return &baselineDevice{
+		bus:    bus,
+		store:  store,
+		mapper: mapper,
+		steer:  newStreamSteer(cfg.HotColdStreams, cfg.LogicalPages),
+	}, nil
+}
+
+// Write implements Device.
+func (d *baselineDevice) Write(lpn ftl.LPN, _ trace.Hash, now ssd.Time) (ssd.Time, error) {
+	d.m.HostWrites++
+	ppn, done, err := d.store.ProgramStream(now, d.steer.classify(lpn))
+	if err != nil {
+		return 0, err
+	}
+	if old := d.mapper.Bind(lpn, ppn); old != ssd.InvalidPPN {
+		d.store.Invalidate(old)
+	}
+	return done, nil
+}
+
+// Read implements Device.
+func (d *baselineDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
+	d.m.HostReads++
+	ppn, ok := d.mapper.Lookup(lpn)
+	if !ok {
+		d.m.UnmappedReads++
+		return now, nil
+	}
+	return d.store.Read(ppn, now), nil
+}
+
+// Metrics implements Device.
+func (d *baselineDevice) Metrics() DeviceMetrics {
+	d.m.GC = d.store.GC()
+	busCounts(&d.m, d.bus)
+	return d.m
+}
+
+// Bus exposes the flash timing model for utilization reporting.
+func (d *baselineDevice) Bus() *ssd.Bus { return d.bus }

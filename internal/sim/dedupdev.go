@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"zombiessd/internal/core"
+	"zombiessd/internal/dedup"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// dedupDevice is the deduplicating SSD of Section VII, optionally combined
+// with a dead-value pool (KindDVPDedup). Writes of content that is already
+// live just add a reference; when a page loses its last reference it turns
+// into garbage and — with the pool attached — becomes revivable, which is
+// exactly the window (t3…t4 in Fig 13) deduplication alone cannot exploit.
+type dedupDevice struct {
+	bus    *ssd.Bus
+	store  *ftl.Store
+	dmap   *dedup.Mapper
+	pool   core.Pool // nil for plain dedup
+	ledger *core.Ledger
+	lat    ssd.Latency
+
+	tick core.Tick
+	m    DeviceMetrics
+}
+
+func newDedupDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*dedupDevice, error) {
+	dmap, err := dedup.NewMapper(cfg.LogicalPages)
+	if err != nil {
+		return nil, err
+	}
+	d := &dedupDevice{
+		bus:    bus,
+		store:  store,
+		dmap:   dmap,
+		ledger: core.NewLedger(),
+		lat:    cfg.Latency,
+	}
+	store.OnRelocate = dmap.Relocate
+	if cfg.Kind == KindDVPDedup {
+		pool, err := buildPool(cfg, d.ledger)
+		if err != nil {
+			return nil, err
+		}
+		d.pool = pool
+		store.OnEraseGarbage = pool.Drop
+		store.Scorer = pool
+	}
+	return d, nil
+}
+
+// Write implements Device.
+func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
+	d.m.HostWrites++
+	d.tick++
+	d.ledger.Bump(h)
+	hashDone := now + d.lat.Hash
+
+	// Identical overwrite: the logical page already holds this content;
+	// nothing changes anywhere.
+	if ppn, ok := d.dmap.Lookup(lpn); ok {
+		if v, _ := d.dmap.ValueOf(ppn); v == h {
+			d.m.DedupHits++
+			return hashDone, nil
+		}
+	}
+
+	// Detach the old content; its physical page may become garbage.
+	oldPPN, oldHash, garbage, _ := d.dmap.Unbind(lpn)
+	if garbage {
+		d.store.Invalidate(oldPPN)
+		if d.pool != nil {
+			d.pool.Insert(oldHash, oldPPN, d.tick)
+		}
+	}
+
+	// Dedup fast path: the value is live somewhere — add a reference.
+	if ppn, ok := d.dmap.LiveValue(h); ok {
+		d.dmap.BindExisting(lpn, ppn)
+		d.m.DedupHits++
+		return hashDone, nil
+	}
+
+	// Dead-value pool path: the value is dead but a zombie copy survives.
+	if d.pool != nil {
+		if ppn, ok := d.pool.Lookup(h, d.tick); ok {
+			d.store.Revalidate(ppn)
+			d.dmap.BindNew(lpn, ppn, h)
+			d.m.Revived++
+			return hashDone, nil
+		}
+	}
+
+	// Cold value: program a fresh page.
+	ppn, done, err := d.store.Program(hashDone)
+	if err != nil {
+		return 0, err
+	}
+	d.dmap.BindNew(lpn, ppn, h)
+	return done, nil
+}
+
+// Read implements Device.
+func (d *dedupDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
+	d.m.HostReads++
+	ppn, ok := d.dmap.Lookup(lpn)
+	if !ok {
+		d.m.UnmappedReads++
+		return now, nil
+	}
+	return d.store.Read(ppn, now), nil
+}
+
+// Metrics implements Device.
+func (d *dedupDevice) Metrics() DeviceMetrics {
+	d.m.GC = d.store.GC()
+	if d.pool != nil {
+		d.m.Pool = d.pool.Stats()
+	}
+	busCounts(&d.m, d.bus)
+	return d.m
+}
+
+// DedupStats exposes the mapper's counters for tests and reports.
+func (d *dedupDevice) DedupStats() dedup.Stats { return d.dmap.Stats() }
+
+// Bus exposes the flash timing model for utilization reporting.
+func (d *dedupDevice) Bus() *ssd.Bus { return d.bus }

@@ -1,0 +1,288 @@
+// Package sim wires the substrates into complete simulated SSDs and runs
+// traces through them. It provides the five system configurations the paper
+// evaluates — Baseline, MQ-DVP (and its LRU/Infinite pool variants), Dedup,
+// DVP+Dedup, and the LX-SSD prior work — behind one Device interface, plus
+// a trace Runner that measures per-request latency and flash activity.
+//
+// Timing follows SSDSim's trace-driven style: requests are serviced in
+// arrival order, and queuing delay emerges from the per-chip/per-channel
+// occupancy timelines in internal/ssd — a request that lands on a chip busy
+// with GC waits for the erase to finish, which is precisely the tail-latency
+// effect the paper attacks.
+package sim
+
+import (
+	"fmt"
+
+	"zombiessd/internal/core"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/lxssd"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// Kind selects the device architecture.
+type Kind string
+
+// The evaluated systems (Section V-A "Studied Configurations").
+const (
+	KindBaseline Kind = "baseline"  // plain page-mapped FTL
+	KindDVP      Kind = "dvp"       // dead-value pool on a normal FTL
+	KindDedup    Kind = "dedup"     // CAFTL-style deduplication only
+	KindDVPDedup Kind = "dvp+dedup" // dead-value pool on a deduplicated FTL
+	KindLX       Kind = "lx"        // the LX-SSD prior-work recycler
+)
+
+// PoolKind selects the dead-value pool replacement policy for the DVP
+// architectures.
+type PoolKind string
+
+// Pool policies.
+const (
+	PoolMQ       PoolKind = "mq"       // the paper's multi-queue design
+	PoolLRU      PoolKind = "lru"      // single-queue strawman
+	PoolInfinite PoolKind = "infinite" // the Ideal upper bound
+	// PoolAdaptive is the paper's future-work extension: an MQ pool whose
+	// capacity self-tunes to the workload (see core.AdaptivePool).
+	PoolAdaptive PoolKind = "adaptive"
+)
+
+// Config assembles one simulated device.
+type Config struct {
+	Geometry ssd.Geometry
+	Latency  ssd.Latency
+	Store    ftl.StoreConfig
+
+	// LogicalPages is the host-visible address-space size in 4 KB pages.
+	// It must not exceed the geometry's exported capacity.
+	LogicalPages int64
+
+	Kind     Kind
+	PoolKind PoolKind      // DVP architectures only; default PoolMQ
+	MQ       core.MQConfig // used when PoolKind == PoolMQ
+	// LRUCapacity is the entry budget when PoolKind == PoolLRU.
+	LRUCapacity int
+	// Adaptive is used when PoolKind == PoolAdaptive.
+	Adaptive core.AdaptiveConfig
+	LX       lxssd.Config // used when Kind == KindLX
+
+	// HotColdStreams steers writes of popular values to a separate write
+	// stream (and GC relocations to a third), so short-lived pages never
+	// share blocks with long-lived ones — multi-streamed-SSD style
+	// lifetime separation. Applies to the baseline and DVP architectures.
+	HotColdStreams bool
+
+	// WriteBufferPages interposes a DRAM write-back buffer of that many
+	// 4 KB pages in front of the device (0 = none): writes acknowledge
+	// from RAM and reach flash on eviction, modeling the host/device
+	// caching layer of Section VII.
+	WriteBufferPages int
+}
+
+// DefaultPopularityWeight is the GC victim-score weight experiments use for
+// popularity-aware GC: one fully popular garbage page (degree 255) cancels
+// one invalid page's worth of greed.
+const DefaultPopularityWeight = 4.0 / 255
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Latency.Validate(); err != nil {
+		return err
+	}
+	if err := c.Store.Validate(); err != nil {
+		return err
+	}
+	if c.LogicalPages <= 0 {
+		return fmt.Errorf("sim: logical pages must be positive, got %d", c.LogicalPages)
+	}
+	if c.LogicalPages > c.Geometry.ExportedPages() {
+		return fmt.Errorf("sim: %d logical pages exceed exported capacity %d",
+			c.LogicalPages, c.Geometry.ExportedPages())
+	}
+	switch c.Kind {
+	case KindBaseline, KindDedup, KindLX:
+	case KindDVP, KindDVPDedup:
+		switch c.PoolKind {
+		case PoolMQ:
+			if err := c.MQ.Validate(); err != nil {
+				return err
+			}
+		case PoolLRU:
+			if c.LRUCapacity <= 0 {
+				return fmt.Errorf("sim: LRU pool capacity must be positive, got %d", c.LRUCapacity)
+			}
+		case PoolInfinite:
+		case PoolAdaptive:
+			if err := c.Adaptive.Validate(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("sim: unknown pool kind %q", c.PoolKind)
+		}
+	default:
+		return fmt.Errorf("sim: unknown device kind %q", c.Kind)
+	}
+	if c.Kind == KindLX {
+		if err := c.LX.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.WriteBufferPages < 0 {
+		return fmt.Errorf("sim: write buffer pages must be ≥ 0, got %d", c.WriteBufferPages)
+	}
+	return nil
+}
+
+// DeviceMetrics counts everything a run reports. Flash counters include GC
+// activity; HostPrograms (a method) isolates the host-attributable writes
+// the paper's Fig 9 reduction is computed over.
+type DeviceMetrics struct {
+	HostWrites    int64
+	HostReads     int64
+	FlashPrograms int64
+	FlashReads    int64
+	FlashErases   int64
+
+	Revived       int64 // writes short-circuited by a zombie revival
+	DedupHits     int64 // writes short-circuited by a live duplicate
+	UnmappedReads int64 // reads of never-written pages (served as no-ops)
+
+	BufferAbsorbed int64 // writes absorbed by the DRAM write buffer
+	BufferReadHits int64 // reads served from the DRAM write buffer
+
+	GC   ftl.GCStats
+	Pool core.PoolStats
+}
+
+// ShortCircuited returns the number of writes that required no flash
+// program at all.
+func (m DeviceMetrics) ShortCircuited() int64 { return m.Revived + m.DedupHits }
+
+// HostPrograms returns flash programs excluding GC relocation traffic —
+// the "number of writes" of Figs 9 and 14.
+func (m DeviceMetrics) HostPrograms() int64 { return m.FlashPrograms - m.GC.Relocated }
+
+// WriteAmplification returns total flash programs per host-attributable
+// program (1.0 = no GC overhead), or 0 when nothing was programmed.
+func (m DeviceMetrics) WriteAmplification() float64 {
+	host := m.HostPrograms()
+	if host == 0 {
+		return 0
+	}
+	return float64(m.FlashPrograms) / float64(host)
+}
+
+// Sub returns m minus prev, field-wise; the runner uses it to exclude the
+// preconditioning phase from reported metrics.
+func (m DeviceMetrics) Sub(prev DeviceMetrics) DeviceMetrics {
+	return DeviceMetrics{
+		HostWrites:     m.HostWrites - prev.HostWrites,
+		HostReads:      m.HostReads - prev.HostReads,
+		FlashPrograms:  m.FlashPrograms - prev.FlashPrograms,
+		FlashReads:     m.FlashReads - prev.FlashReads,
+		FlashErases:    m.FlashErases - prev.FlashErases,
+		Revived:        m.Revived - prev.Revived,
+		DedupHits:      m.DedupHits - prev.DedupHits,
+		UnmappedReads:  m.UnmappedReads - prev.UnmappedReads,
+		BufferAbsorbed: m.BufferAbsorbed - prev.BufferAbsorbed,
+		BufferReadHits: m.BufferReadHits - prev.BufferReadHits,
+		GC: ftl.GCStats{
+			Runs:       m.GC.Runs - prev.GC.Runs,
+			Relocated:  m.GC.Relocated - prev.GC.Relocated,
+			Erased:     m.GC.Erased - prev.GC.Erased,
+			Background: m.GC.Background - prev.GC.Background,
+		},
+		Pool: core.PoolStats{
+			Inserts:   m.Pool.Inserts - prev.Pool.Inserts,
+			Hits:      m.Pool.Hits - prev.Pool.Hits,
+			Misses:    m.Pool.Misses - prev.Pool.Misses,
+			Evictions: m.Pool.Evictions - prev.Pool.Evictions,
+			Drops:     m.Pool.Drops - prev.Pool.Drops,
+			Promoted:  m.Pool.Promoted - prev.Pool.Promoted,
+			Demoted:   m.Pool.Demoted - prev.Pool.Demoted,
+		},
+	}
+}
+
+// Device is one simulated SSD processing host requests. Implementations
+// are single-goroutine: the runner drives them sequentially, as SSDSim does.
+type Device interface {
+	// Write stores content with hash h at logical page lpn, arriving at
+	// time now; it returns the completion time.
+	Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error)
+
+	// Read fetches logical page lpn at time now and returns the
+	// completion time. Reads of unwritten pages complete immediately.
+	Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error)
+
+	// Metrics returns the cumulative counters.
+	Metrics() DeviceMetrics
+}
+
+// NewDevice builds the device selected by cfg.
+func NewDevice(cfg Config) (Device, error) {
+	if cfg.PoolKind == "" {
+		cfg.PoolKind = PoolMQ
+	}
+	if cfg.HotColdStreams {
+		cfg.Store.UserStreams = 2
+		cfg.Store.SeparateGCStream = true
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bus := ssd.NewBus(cfg.Geometry, cfg.Latency)
+	store, err := ftl.NewStore(cfg.Store, bus)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LogicalPages > store.UsablePages() {
+		return nil, fmt.Errorf("sim: %d logical pages exceed the store's usable capacity %d "+
+			"(frontiers and GC reserve shrink it below the exported size)",
+			cfg.LogicalPages, store.UsablePages())
+	}
+	var dev Device
+	switch cfg.Kind {
+	case KindBaseline:
+		dev, err = newBaselineDevice(cfg, bus, store)
+	case KindDVP:
+		dev, err = newDVPDevice(cfg, bus, store)
+	case KindDedup, KindDVPDedup:
+		dev, err = newDedupDevice(cfg, bus, store)
+	case KindLX:
+		dev, err = newLXDevice(cfg, bus, store)
+	default:
+		return nil, fmt.Errorf("sim: unknown device kind %q", cfg.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WriteBufferPages > 0 {
+		return newBufferedDevice(dev, cfg.WriteBufferPages)
+	}
+	return dev, nil
+}
+
+// buildPool constructs the configured dead-value pool over ledger.
+func buildPool(cfg Config, ledger *core.Ledger) (core.Pool, error) {
+	switch cfg.PoolKind {
+	case PoolMQ:
+		return core.NewMQPool(cfg.MQ, ledger), nil
+	case PoolLRU:
+		return core.NewLRUPool(cfg.LRUCapacity, ledger), nil
+	case PoolInfinite:
+		return core.NewInfinitePool(ledger), nil
+	case PoolAdaptive:
+		return core.NewAdaptivePool(cfg.Adaptive, ledger), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown pool kind %q", cfg.PoolKind)
+	}
+}
+
+// busCounts copies the bus counters into m.
+func busCounts(m *DeviceMetrics, bus *ssd.Bus) {
+	m.FlashReads, m.FlashPrograms, m.FlashErases = bus.Counts()
+}

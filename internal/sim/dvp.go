@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"zombiessd/internal/core"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// dvpDevice is the paper's proposal on a normal (non-deduplicated) FTL: a
+// dead-value pool indexes garbage pages by content hash, incoming writes
+// are short-circuited on a match, and GC victim selection is
+// popularity-aware (when Config.Store.PopularityWeight > 0).
+type dvpDevice struct {
+	bus    *ssd.Bus
+	store  *ftl.Store
+	mapper *ftl.Mapper
+	pool   core.Pool
+	ledger *core.Ledger
+	lat    ssd.Latency
+	steer  *streamSteer
+
+	// content records the hash currently stored at each logical page, so
+	// an update can hand the dying copy's hash to the pool.
+	content []trace.Hash
+
+	tick core.Tick // write clock
+	m    DeviceMetrics
+}
+
+func newDVPDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*dvpDevice, error) {
+	mapper, err := ftl.NewMapper(cfg.LogicalPages, cfg.Geometry.TotalPages())
+	if err != nil {
+		return nil, err
+	}
+	ledger := core.NewLedger()
+	pool, err := buildPool(cfg, ledger)
+	if err != nil {
+		return nil, err
+	}
+	d := &dvpDevice{
+		bus:     bus,
+		store:   store,
+		mapper:  mapper,
+		pool:    pool,
+		ledger:  ledger,
+		lat:     cfg.Latency,
+		steer:   newStreamSteer(cfg.HotColdStreams, cfg.LogicalPages),
+		content: make([]trace.Hash, cfg.LogicalPages),
+	}
+	store.OnRelocate = mapper.Relocate
+	store.OnEraseGarbage = pool.Drop
+	store.Scorer = pool
+	return d, nil
+}
+
+// Write implements Device: the paper's "Writes" and "Updates" events
+// (Section IV-C) combined, since an overwrite is both.
+func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
+	d.m.HostWrites++
+	d.tick++
+	d.ledger.Bump(h)
+	d.mapper.BumpPopularity(lpn)
+
+	oldHash := d.content[lpn]
+
+	// Every content-aware path first pays the hashing latency.
+	hashDone := now + d.lat.Hash
+
+	// The old PPN must be taken from Bind's return value, not from a
+	// pre-program lookup: GC triggered by the program may relocate the old
+	// page, and Bind always reports its current location.
+	var done ssd.Time
+	var old ssd.PPN
+	if ppn, ok := d.pool.Lookup(h, d.tick); ok {
+		// Zombie revival: flip the garbage page back to valid; only
+		// mapping tables change, no program operation.
+		d.store.Revalidate(ppn)
+		old = d.mapper.Bind(lpn, ppn)
+		d.m.Revived++
+		done = hashDone
+	} else {
+		// With hot/cold streams, pages overwritten quickly go to the hot
+		// stream so short-lived data ages together.
+		ppn, pdone, err := d.store.ProgramStream(hashDone, d.steer.classify(lpn))
+		if err != nil {
+			return 0, err
+		}
+		old = d.mapper.Bind(lpn, ppn)
+		done = pdone
+	}
+
+	// The update turned the old copy into garbage; offer it to the pool.
+	// This happens after the lookup so a request cannot revive the page it
+	// is itself killing.
+	if old != ssd.InvalidPPN {
+		d.store.Invalidate(old)
+		d.pool.Insert(oldHash, old, d.tick)
+	}
+	d.content[lpn] = h
+	return done, nil
+}
+
+// Read implements Device.
+func (d *dvpDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
+	d.m.HostReads++
+	ppn, ok := d.mapper.Lookup(lpn)
+	if !ok {
+		d.m.UnmappedReads++
+		return now, nil
+	}
+	return d.store.Read(ppn, now), nil
+}
+
+// Metrics implements Device.
+func (d *dvpDevice) Metrics() DeviceMetrics {
+	d.m.GC = d.store.GC()
+	d.m.Pool = d.pool.Stats()
+	busCounts(&d.m, d.bus)
+	return d.m
+}
+
+// Bus exposes the flash timing model for utilization reporting.
+func (d *dvpDevice) Bus() *ssd.Bus { return d.bus }

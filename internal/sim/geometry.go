@@ -1,0 +1,41 @@
+package sim
+
+import "zombiessd/internal/ssd"
+
+// GeometryFor sizes a drive for a workload footprint: it keeps the paper's
+// 8×8 channel/chip fan-out, page size and over-provisioning, and picks
+// blocks-per-plane so the footprint occupies roughly `utilization` of the
+// exported capacity. GC pressure depends on exactly this ratio, so scaling
+// capacity with the trace (instead of simulating a 1 TB drive under a
+// GB-scale trace) preserves the paper's steady-state behaviour.
+func GeometryFor(footprintPages int64, utilization float64) ssd.Geometry {
+	if utilization <= 0 || utilization > 1 {
+		utilization = 0.9
+	}
+	g := ssd.Geometry{
+		Channels:        8,
+		ChipsPerChannel: 8,
+		DiesPerChip:     1,
+		PlanesPerDie:    2,
+		PagesPerBlock:   128,
+		PageSize:        4096,
+		OverProvision:   0.15,
+	}
+	planes := int64(g.TotalChips() * g.PlanesPerChip())
+	pagesNeeded := float64(footprintPages) / (utilization * (1 - g.OverProvision))
+	// GC victim selection needs a reasonable number of blocks per plane
+	// (≥ 8); for small footprints shrink the block size rather than
+	// over-provisioning the drive, so utilization — and with it GC
+	// pressure — stays at the requested level.
+	for _, ppb := range []int{128, 64, 32, 16} {
+		g.PagesPerBlock = ppb
+		bpp := int(pagesNeeded/float64(planes*int64(ppb))) + 1
+		if bpp >= 8 {
+			g.BlocksPerPlane = bpp
+			return g
+		}
+	}
+	g.PagesPerBlock = 16
+	g.BlocksPerPlane = 8
+	return g
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/lxssd"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// lxDevice is the LX-SSD prior-work system: garbage-page recycling with
+// address-recency LRU and read+write popularity, on a plain FTL with
+// greedy (popularity-unaware) GC.
+type lxDevice struct {
+	bus    *ssd.Bus
+	store  *ftl.Store
+	mapper *ftl.Mapper
+	pool   *lxssd.Pool
+	lat    ssd.Latency
+
+	content []trace.Hash
+	m       DeviceMetrics
+}
+
+func newLXDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*lxDevice, error) {
+	mapper, err := ftl.NewMapper(cfg.LogicalPages, cfg.Geometry.TotalPages())
+	if err != nil {
+		return nil, err
+	}
+	d := &lxDevice{
+		bus:     bus,
+		store:   store,
+		mapper:  mapper,
+		pool:    lxssd.New(cfg.LX),
+		lat:     cfg.Latency,
+		content: make([]trace.Hash, cfg.LogicalPages),
+	}
+	store.OnRelocate = mapper.Relocate
+	store.OnEraseGarbage = d.pool.Drop
+	return d, nil
+}
+
+// Write implements Device.
+func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
+	d.m.HostWrites++
+	d.pool.RecordAccess(h, uint64(lpn))
+
+	oldHash := d.content[lpn]
+	hashDone := now + d.lat.Hash
+
+	// As in dvpDevice, the old PPN comes from Bind so GC relocations
+	// triggered by the program are observed.
+	var done ssd.Time
+	var old ssd.PPN
+	if ppn, ok := d.pool.Lookup(h); ok {
+		d.store.Revalidate(ppn)
+		old = d.mapper.Bind(lpn, ppn)
+		d.m.Revived++
+		done = hashDone
+	} else {
+		ppn, pdone, err := d.store.Program(hashDone)
+		if err != nil {
+			return 0, err
+		}
+		old = d.mapper.Bind(lpn, ppn)
+		done = pdone
+	}
+	if old != ssd.InvalidPPN {
+		d.store.Invalidate(old)
+		d.pool.Insert(oldHash, old, uint64(lpn))
+	}
+	d.content[lpn] = h
+	return done, nil
+}
+
+// Read implements Device. Reads refresh the recycler's address recency and
+// popularity — LX-SSD's read-polluted accounting.
+func (d *lxDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
+	d.m.HostReads++
+	ppn, ok := d.mapper.Lookup(lpn)
+	if !ok {
+		d.m.UnmappedReads++
+		return now, nil
+	}
+	d.pool.RecordAccess(d.content[lpn], uint64(lpn))
+	return d.store.Read(ppn, now), nil
+}
+
+// Metrics implements Device.
+func (d *lxDevice) Metrics() DeviceMetrics {
+	d.m.GC = d.store.GC()
+	d.m.Pool = d.pool.Stats()
+	busCounts(&d.m, d.bus)
+	return d.m
+}
+
+// Bus exposes the flash timing model for utilization reporting.
+func (d *lxDevice) Bus() *ssd.Bus { return d.bus }

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/stats"
+	"zombiessd/internal/trace"
+)
+
+// RunOptions configures a trace run.
+type RunOptions struct {
+	// PreconditionPages > 0 fills logical pages [0, PreconditionPages)
+	// with unique content before the timed run, so the trace executes on a
+	// drive whose footprint is already resident — updates invalidate real
+	// pages and GC is active from the start, as on a steady-state device.
+	// Preconditioning is excluded from all reported metrics and latencies.
+	PreconditionPages int64
+
+	// LogicalPages bounds the trace's LBAs; requests beyond it are
+	// rejected. Required (the paper's traces address a fixed space).
+	LogicalPages int64
+}
+
+// Result is the outcome of one trace run on one device.
+type Result struct {
+	Metrics  DeviceMetrics
+	All      stats.Summary // latency over every request
+	Reads    stats.Summary
+	Writes   stats.Summary
+	Makespan ssd.Time // completion time of the last request minus trace start
+
+	// MeanChipUtil and MaxChipUtil are the per-chip busy fractions over the
+	// whole run (preconditioning included); a mean near 1 flags a saturated
+	// drive whose latencies are queueing artifacts.
+	MeanChipUtil, MaxChipUtil float64
+}
+
+// preconditionValueBase offsets preconditioning content IDs far above any
+// workload-generated value ID, so the fill never aliases trace values.
+const preconditionValueBase = uint64(1) << 48
+
+// Run replays recs against dev in arrival order and returns metrics and
+// latency summaries. Request arrival times come from the trace; queuing
+// shows up when a request's completion lags its arrival by more than the
+// raw operation latency.
+func Run(dev Device, recs []trace.Record, opts RunOptions) (Result, error) {
+	if opts.LogicalPages <= 0 {
+		return Result{}, fmt.Errorf("sim: RunOptions.LogicalPages must be positive")
+	}
+	if opts.PreconditionPages > opts.LogicalPages {
+		return Result{}, fmt.Errorf("sim: precondition pages %d exceed logical pages %d",
+			opts.PreconditionPages, opts.LogicalPages)
+	}
+
+	// Untimed preconditioning fill.
+	var shift ssd.Time
+	if opts.PreconditionPages > 0 {
+		var end ssd.Time
+		for lpn := int64(0); lpn < opts.PreconditionPages; lpn++ {
+			done, err := dev.Write(lpnOf(lpn), trace.HashOfValue(preconditionValueBase+uint64(lpn)), 0)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: precondition write %d: %w", lpn, err)
+			}
+			if done > end {
+				end = done
+			}
+		}
+		shift = end + ssd.Millisecond
+	}
+	baseline := dev.Metrics()
+
+	var all, reads, writes stats.Histogram
+	var res Result
+	for i, rec := range recs {
+		if rec.LBA >= uint64(opts.LogicalPages) {
+			return Result{}, fmt.Errorf("sim: record %d LBA %d outside logical space %d",
+				i, rec.LBA, opts.LogicalPages)
+		}
+		arrival := shift + ssd.Time(rec.Time)
+		var done ssd.Time
+		var err error
+		switch rec.Op {
+		case trace.OpWrite:
+			done, err = dev.Write(lpnOf(int64(rec.LBA)), rec.Hash, arrival)
+		case trace.OpRead:
+			done, err = dev.Read(lpnOf(int64(rec.LBA)), arrival)
+		default:
+			return Result{}, fmt.Errorf("sim: record %d has unknown op %v", i, rec.Op)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: record %d: %w", i, err)
+		}
+		lat := int64(done - arrival)
+		all.Add(lat)
+		if rec.Op == trace.OpWrite {
+			writes.Add(lat)
+		} else {
+			reads.Add(lat)
+		}
+		if end := done - shift; end > res.Makespan {
+			res.Makespan = end
+		}
+	}
+	res.Metrics = dev.Metrics().Sub(baseline)
+	res.All = all.Summarize()
+	res.Reads = reads.Summarize()
+	res.Writes = writes.Summarize()
+	if br, ok := dev.(interface{ Bus() *ssd.Bus }); ok {
+		if bus := br.Bus(); bus != nil {
+			res.MeanChipUtil, res.MaxChipUtil = bus.Utilization(shift + res.Makespan)
+		}
+	}
+	return res, nil
+}
+
+func lpnOf(v int64) ftl.LPN { return ftl.LPN(v) }

@@ -1,0 +1,480 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"zombiessd/internal/core"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/lxssd"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+	"zombiessd/internal/workload"
+)
+
+// testConfig builds a config over a small drive sized for footprint pages
+// at high utilization, so GC is active.
+func testConfig(kind Kind, footprint int64) Config {
+	geo := ssd.Geometry{
+		Channels: 4, ChipsPerChannel: 2, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 16, PagesPerBlock: 32, PageSize: 4096, OverProvision: 0.15,
+	}
+	// 4096 pages raw, ~3481 exported.
+	cfg := Config{
+		Geometry:     geo,
+		Latency:      ssd.PaperLatency(),
+		Store:        ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: DefaultPopularityWeight},
+		LogicalPages: footprint,
+		Kind:         kind,
+		PoolKind:     PoolMQ,
+		MQ:           core.MQConfig{Queues: 8, Capacity: 2000, DefaultLifetime: 512},
+		LRUCapacity:  2000,
+		LX:           lxssd.Config{Capacity: 2000, MinPopularity: 2},
+	}
+	return cfg
+}
+
+const testFootprint = 3000
+
+// redundantTrace builds a write-heavy trace with heavy value reuse over a
+// small footprint — the best case for zombie revival.
+func redundantTrace(n int) []trace.Record {
+	recs := make([]trace.Record, 0, n)
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		t += 40
+		lba := uint64(i*37) % testFootprint
+		val := uint64(i % 97) // 97 hot values cycling
+		recs = append(recs, trace.Record{Time: t, Op: trace.OpWrite, LBA: lba, Hash: trace.HashOfValue(val)})
+	}
+	return recs
+}
+
+func mustRun(t *testing.T, kind Kind, recs []trace.Record) Result {
+	t.Helper()
+	cfg := testConfig(kind, testFootprint)
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dev, recs, RunOptions{LogicalPages: testFootprint, PreconditionPages: testFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(KindDVP, testFootprint)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero logical", func(c *Config) { c.LogicalPages = 0 }},
+		{"oversubscribed", func(c *Config) { c.LogicalPages = c.Geometry.TotalPages() }},
+		{"bad kind", func(c *Config) { c.Kind = "bogus" }},
+		{"bad pool kind", func(c *Config) { c.PoolKind = "bogus" }},
+		{"bad mq", func(c *Config) { c.MQ.Queues = 0 }},
+		{"bad lru", func(c *Config) { c.PoolKind = PoolLRU; c.LRUCapacity = 0 }},
+		{"bad geometry", func(c *Config) { c.Geometry.Channels = 0 }},
+		{"bad latency", func(c *Config) { c.Latency.Read = 0 }},
+		{"bad store", func(c *Config) { c.Store.GCFreeBlockThreshold = 0 }},
+		{"bad lx", func(c *Config) { c.Kind = KindLX; c.LX.Capacity = 0 }},
+	}
+	for _, c := range cases {
+		cfg := testConfig(KindDVP, testFootprint)
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted invalid config", c.name)
+		}
+	}
+}
+
+func TestNewDeviceAllKinds(t *testing.T) {
+	for _, kind := range []Kind{KindBaseline, KindDVP, KindDedup, KindDVPDedup, KindLX} {
+		if _, err := NewDevice(testConfig(kind, testFootprint)); err != nil {
+			t.Errorf("NewDevice(%s): %v", kind, err)
+		}
+	}
+	for _, pk := range []PoolKind{PoolMQ, PoolLRU, PoolInfinite} {
+		cfg := testConfig(KindDVP, testFootprint)
+		cfg.PoolKind = pk
+		if _, err := NewDevice(cfg); err != nil {
+			t.Errorf("NewDevice(dvp/%s): %v", pk, err)
+		}
+	}
+}
+
+func TestBaselineProgramsEveryWrite(t *testing.T) {
+	recs := redundantTrace(5000)
+	res := mustRun(t, KindBaseline, recs)
+	m := res.Metrics
+	if m.HostWrites != 5000 {
+		t.Fatalf("HostWrites = %d, want 5000", m.HostWrites)
+	}
+	if m.HostPrograms() != 5000 {
+		t.Errorf("HostPrograms = %d, want 5000 (baseline never short-circuits)", m.HostPrograms())
+	}
+	if m.ShortCircuited() != 0 {
+		t.Errorf("baseline short-circuited %d writes", m.ShortCircuited())
+	}
+	minLat := int64(ssd.PaperLatency().Program)
+	if res.Writes.Mean < float64(minLat) {
+		t.Errorf("mean write latency %.0f below program latency %d", res.Writes.Mean, minLat)
+	}
+}
+
+func TestDVPRevivesZombies(t *testing.T) {
+	recs := redundantTrace(5000)
+	base := mustRun(t, KindBaseline, recs)
+	dvp := mustRun(t, KindDVP, recs)
+	if dvp.Metrics.Revived == 0 {
+		t.Fatal("DVP revived nothing on a redundant trace")
+	}
+	if got, want := dvp.Metrics.HostPrograms(), base.Metrics.HostPrograms(); got >= want {
+		t.Errorf("DVP host programs %d not below baseline %d", got, want)
+	}
+	if dvp.Metrics.HostWrites != dvp.Metrics.HostPrograms()+dvp.Metrics.Revived {
+		t.Errorf("accounting broken: writes=%d programs=%d revived=%d",
+			dvp.Metrics.HostWrites, dvp.Metrics.HostPrograms(), dvp.Metrics.Revived)
+	}
+	if dvp.Metrics.FlashErases >= base.Metrics.FlashErases {
+		t.Errorf("DVP erases %d not below baseline %d", dvp.Metrics.FlashErases, base.Metrics.FlashErases)
+	}
+	if dvp.Writes.Mean >= base.Writes.Mean {
+		t.Errorf("DVP mean write latency %.0f not below baseline %.0f", dvp.Writes.Mean, base.Writes.Mean)
+	}
+}
+
+func TestDedupAbsorbsRedundantWrites(t *testing.T) {
+	recs := redundantTrace(5000)
+	res := mustRun(t, KindDedup, recs)
+	if res.Metrics.DedupHits == 0 {
+		t.Fatal("dedup absorbed nothing on a redundant trace")
+	}
+	if res.Metrics.Revived != 0 {
+		t.Error("plain dedup cannot revive zombies")
+	}
+	if res.Metrics.HostWrites != res.Metrics.HostPrograms()+res.Metrics.DedupHits {
+		t.Errorf("accounting broken: %+v", res.Metrics)
+	}
+}
+
+// fig13Trace reproduces the paper's Fig 13 scenario at scale: value D is
+// written, killed by an unrelated update, then written again. Dedup cannot
+// absorb the rebirth (D is dead at that point); the dead-value pool can.
+func fig13Trace(n int) []trace.Record {
+	recs := make([]trace.Record, 0, 3*n)
+	t := int64(0)
+	add := func(lba, val uint64) {
+		t += 40
+		recs = append(recs, trace.Record{Time: t, Op: trace.OpWrite, LBA: lba, Hash: trace.HashOfValue(val)})
+	}
+	for k := 0; k < n; k++ {
+		d := uint64(2 * k)            // value D of this round
+		x := uint64(1<<40) + d        // unique filler value
+		lba1 := uint64(k) % 1000      // first home of D
+		lba2 := 1000 + uint64(k)%1000 // second home of D
+		add(lba1, d)                  // W1: D written
+		add(lba1, x)                  // W: D turns into garbage
+		add(lba2, d)                  // W4: D reborn — only the pool can short-circuit this
+	}
+	return recs
+}
+
+func TestDVPDedupBeatsDedupAlone(t *testing.T) {
+	recs := fig13Trace(2000)
+	dedupOnly := mustRun(t, KindDedup, recs)
+	combined := mustRun(t, KindDVPDedup, recs)
+	if combined.Metrics.Revived == 0 {
+		t.Fatal("combined system revived nothing on the Fig 13 pattern")
+	}
+	if got, want := combined.Metrics.HostPrograms(), dedupOnly.Metrics.HostPrograms(); got >= want {
+		t.Errorf("DVP+Dedup programs %d not below dedup-only %d", got, want)
+	}
+}
+
+func TestLXDeviceRunsAndRevives(t *testing.T) {
+	recs := redundantTrace(5000)
+	res := mustRun(t, KindLX, recs)
+	if res.Metrics.Revived == 0 {
+		t.Fatal("LX revived nothing on a redundant trace")
+	}
+	if res.Metrics.HostWrites != res.Metrics.HostPrograms()+res.Metrics.Revived {
+		t.Errorf("accounting broken: %+v", res.Metrics)
+	}
+}
+
+func TestRunRejectsOutOfRangeLBA(t *testing.T) {
+	dev, err := NewDevice(testConfig(KindBaseline, testFootprint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []trace.Record{{Op: trace.OpWrite, LBA: testFootprint + 5, Hash: trace.HashOfValue(1)}}
+	if _, err := Run(dev, recs, RunOptions{LogicalPages: testFootprint}); err == nil ||
+		!strings.Contains(err.Error(), "outside logical space") {
+		t.Errorf("Run accepted out-of-range LBA: %v", err)
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	dev, _ := NewDevice(testConfig(KindBaseline, testFootprint))
+	if _, err := Run(dev, nil, RunOptions{}); err == nil {
+		t.Error("accepted zero LogicalPages")
+	}
+	if _, err := Run(dev, nil, RunOptions{LogicalPages: 10, PreconditionPages: 20}); err == nil {
+		t.Error("accepted precondition larger than logical space")
+	}
+}
+
+func TestPreconditionExcludedFromMetrics(t *testing.T) {
+	recs := redundantTrace(100)
+	res := mustRun(t, KindBaseline, recs)
+	if res.Metrics.HostWrites != 100 {
+		t.Errorf("HostWrites = %d includes preconditioning, want 100", res.Metrics.HostWrites)
+	}
+	if res.All.Count != 100 {
+		t.Errorf("latency samples = %d, want 100", res.All.Count)
+	}
+}
+
+func TestUnmappedReadsServeInstantly(t *testing.T) {
+	dev, _ := NewDevice(testConfig(KindBaseline, testFootprint))
+	recs := []trace.Record{{Time: 5, Op: trace.OpRead, LBA: 7}}
+	res, err := Run(dev, recs, RunOptions{LogicalPages: testFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.UnmappedReads != 1 {
+		t.Errorf("UnmappedReads = %d, want 1", res.Metrics.UnmappedReads)
+	}
+	if res.Reads.Mean != 0 {
+		t.Errorf("unmapped read latency = %.0f, want 0", res.Reads.Mean)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	recs := redundantTrace(3000)
+	a := mustRun(t, KindDVP, recs)
+	b := mustRun(t, KindDVP, recs)
+	if a.Metrics != b.Metrics {
+		t.Errorf("metrics differ across identical runs:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if a.All != b.All || a.Makespan != b.Makespan {
+		t.Error("latency summaries differ across identical runs")
+	}
+}
+
+func TestGCActiveUnderChurn(t *testing.T) {
+	recs := redundantTrace(20000) // ~6× the footprint: GC must run
+	res := mustRun(t, KindBaseline, recs)
+	if res.Metrics.GC.Runs == 0 || res.Metrics.FlashErases == 0 {
+		t.Fatalf("no GC under heavy churn: %+v", res.Metrics.GC)
+	}
+	// GC erase stalls must surface in the tail.
+	if res.All.P99 < int64(ssd.PaperLatency().Program) {
+		t.Errorf("P99 %dµs suspiciously low with GC active", res.All.P99)
+	}
+}
+
+func TestGeometryFor(t *testing.T) {
+	g := GeometryFor(1_000_000, 0.9)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("GeometryFor produced invalid geometry: %v", err)
+	}
+	util := float64(1_000_000) / float64(g.ExportedPages())
+	if util < 0.5 || util > 1.0 {
+		t.Errorf("utilization = %.2f, want near 0.9", util)
+	}
+	// Tiny footprints floor at 8 blocks per plane.
+	if g2 := GeometryFor(100, 0.9); g2.BlocksPerPlane != 8 {
+		t.Errorf("tiny footprint blocksPerPlane = %d, want floor 8", g2.BlocksPerPlane)
+	}
+	// Degenerate utilization falls back to a sane default.
+	if g3 := GeometryFor(1000, 0); g3.Validate() != nil {
+		t.Error("GeometryFor with zero utilization produced invalid geometry")
+	}
+}
+
+func TestEndToEndMailWorkloadShape(t *testing.T) {
+	// The headline claim on a mail-like workload: DVP cuts writes and
+	// erases and improves mean latency over baseline.
+	p, _ := workload.ProfileByName("mail")
+	recs, err := workload.Generate(p, 30000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footprint := int64(0)
+	for _, r := range recs {
+		if int64(r.LBA) >= footprint {
+			footprint = int64(r.LBA) + 1
+		}
+	}
+	build := func(kind Kind) Result {
+		cfg := testConfig(kind, footprint)
+		cfg.Geometry = GeometryFor(footprint, 0.88)
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(dev, recs, RunOptions{LogicalPages: footprint, PreconditionPages: footprint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := build(KindBaseline)
+	dvp := build(KindDVP)
+	writeRed := 1 - float64(dvp.Metrics.HostPrograms())/float64(base.Metrics.HostPrograms())
+	if writeRed < 0.2 {
+		t.Errorf("mail write reduction = %.1f%%, want ≥20%% (paper: up to 70%%)", writeRed*100)
+	}
+	if dvp.All.Mean >= base.All.Mean {
+		t.Errorf("mail mean latency: DVP %.0f ≥ baseline %.0f", dvp.All.Mean, base.All.Mean)
+	}
+}
+
+func TestAdaptivePoolDevice(t *testing.T) {
+	cfg := testConfig(KindDVP, testFootprint)
+	cfg.PoolKind = PoolAdaptive
+	cfg.Adaptive = core.AdaptiveConfig{
+		MQ:          core.MQConfig{Queues: 8, Capacity: 500, DefaultLifetime: 512},
+		MinCapacity: 100, MaxCapacity: 5000, Window: 1024, Step: 0.25,
+	}
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dev, redundantTrace(8000), RunOptions{LogicalPages: testFootprint, PreconditionPages: testFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Revived == 0 {
+		t.Fatal("adaptive-pool device revived nothing")
+	}
+	// Invalid adaptive config must be rejected at validation time.
+	bad := cfg
+	bad.Adaptive.Window = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted invalid adaptive config")
+	}
+}
+
+func TestWriteBufferAbsorbsOverwrites(t *testing.T) {
+	cfg := testConfig(KindBaseline, testFootprint)
+	cfg.WriteBufferPages = 64
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer a handful of pages: nearly every write coalesces in RAM.
+	recs := make([]trace.Record, 0, 2000)
+	tm := int64(0)
+	for i := 0; i < 2000; i++ {
+		tm += 30
+		recs = append(recs, trace.Record{
+			Time: tm, Op: trace.OpWrite,
+			LBA:  uint64(i % 16),
+			Hash: trace.HashOfValue(uint64(i)),
+		})
+	}
+	res, err := Run(dev, recs, RunOptions{LogicalPages: testFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.HostWrites != 2000 {
+		t.Fatalf("HostWrites = %d, want 2000", m.HostWrites)
+	}
+	if m.BufferAbsorbed == 0 {
+		t.Fatal("buffer absorbed nothing")
+	}
+	if m.HostPrograms() != 0 {
+		t.Fatalf("flash programs = %d; 16 pages fit entirely in a 64-page buffer", m.HostPrograms())
+	}
+	// Accounting identity: every host write was absorbed (coalesced or
+	// still dirty) or programmed/short-circuited downstream.
+	if got := m.HostPrograms() + m.ShortCircuited() + m.BufferAbsorbed; got != m.HostWrites {
+		t.Fatalf("accounting: programs+shortcircuit+absorbed = %d, want %d", got, m.HostWrites)
+	}
+	// Buffered writes are RAM-fast.
+	if res.Writes.Mean > 10 {
+		t.Errorf("buffered write mean latency = %.1fµs, want RAM-fast", res.Writes.Mean)
+	}
+}
+
+func TestWriteBufferReadsDirtyPages(t *testing.T) {
+	cfg := testConfig(KindBaseline, testFootprint)
+	cfg.WriteBufferPages = 8
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []trace.Record{
+		{Time: 10, Op: trace.OpWrite, LBA: 5, Hash: trace.HashOfValue(1)},
+		{Time: 20, Op: trace.OpRead, LBA: 5},
+		{Time: 30, Op: trace.OpRead, LBA: 6}, // never written: unmapped below
+	}
+	res, err := Run(dev, recs, RunOptions{LogicalPages: testFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.BufferReadHits != 1 {
+		t.Fatalf("BufferReadHits = %d, want 1", res.Metrics.BufferReadHits)
+	}
+	if res.Metrics.UnmappedReads != 1 {
+		t.Fatalf("UnmappedReads = %d, want 1", res.Metrics.UnmappedReads)
+	}
+}
+
+func TestWriteBufferWithDVPStillRevives(t *testing.T) {
+	// Section VII's claim: a caching layer absorbs some duplicates but the
+	// dead-value pool still finds rebirths behind it. Deaths and rebirths
+	// here are separated by whole phases, far beyond the buffer's
+	// residence, so coalescing cannot hide them.
+	var recs []trace.Record
+	tm := int64(0)
+	add := func(lba, val uint64) {
+		tm += 40
+		recs = append(recs, trace.Record{Time: tm, Op: trace.OpWrite, LBA: lba, Hash: trace.HashOfValue(val)})
+	}
+	const rounds = 800
+	for k := uint64(0); k < rounds; k++ {
+		add(k%1000, 2*k) // phase 1: D_k written
+	}
+	for k := uint64(0); k < rounds; k++ {
+		add(k%1000, 1<<40+k) // phase 2: D_k dies...
+		add(k%1000, 1<<41+k) // ...and the killer is immediately overwritten:
+		// back-to-back same-page writes coalesce in the buffer.
+	}
+	for k := uint64(0); k < rounds; k++ {
+		add(1000+k%1000, 2*k) // phase 3: D_k reborn elsewhere
+	}
+	cfg := testConfig(KindDVP, testFootprint)
+	cfg.WriteBufferPages = 32 // small: Fig 13's rebirth gap exceeds it
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dev, recs, RunOptions{LogicalPages: testFootprint, PreconditionPages: testFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Revived == 0 {
+		t.Fatal("DVP revived nothing behind the write buffer")
+	}
+	if res.Metrics.BufferAbsorbed == 0 {
+		t.Fatal("buffer absorbed nothing")
+	}
+}
+
+func TestWriteBufferConfigValidation(t *testing.T) {
+	cfg := testConfig(KindBaseline, testFootprint)
+	cfg.WriteBufferPages = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted negative write buffer")
+	}
+}

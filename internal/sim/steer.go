@@ -1,0 +1,48 @@
+package sim
+
+import "zombiessd/internal/ftl"
+
+// streamSteer implements recency-based hot/cold classification for
+// multi-stream devices: a logical page overwritten within half the address
+// space's worth of writes since its previous write counts as hot
+// (short-lived). Recency rather than cumulative popularity: heat drifts,
+// and stale counters missteer placement.
+type streamSteer struct {
+	lastWrite []int64
+	hotWindow int64
+	tick      int64
+}
+
+// newStreamSteer returns a steer for logicalPages pages, or nil when
+// steering is disabled.
+func newStreamSteer(enabled bool, logicalPages int64) *streamSteer {
+	if !enabled {
+		return nil
+	}
+	s := &streamSteer{
+		lastWrite: make([]int64, logicalPages),
+		hotWindow: logicalPages / 2,
+	}
+	if s.hotWindow < 1 {
+		s.hotWindow = 1
+	}
+	for i := range s.lastWrite {
+		s.lastWrite[i] = -1
+	}
+	return s
+}
+
+// classify returns the write stream for lpn (0 cold, 1 hot) and records
+// the write. Safe to call on a nil steer (always stream 0).
+func (s *streamSteer) classify(lpn ftl.LPN) int {
+	if s == nil {
+		return 0
+	}
+	s.tick++
+	stream := 0
+	if last := s.lastWrite[lpn]; last >= 0 && s.tick-last < s.hotWindow {
+		stream = 1
+	}
+	s.lastWrite[lpn] = s.tick
+	return stream
+}

@@ -1,0 +1,233 @@
+// Package ssd models the physical organization and timing of a NAND flash
+// SSD: channels, chips, dies, planes, blocks and pages, together with the
+// asymmetric operation latencies (read ≪ program ≪ erase) that drive the
+// simulator. It is the substrate the paper's SSDSim evaluation platform
+// provides; internal/sim and internal/ftl build the FTL and request
+// scheduling on top of it.
+package ssd
+
+import "fmt"
+
+// PPN is a physical page number: a flat index over every page in the drive.
+// The decomposition into channel/chip/die/plane/block/page is defined by a
+// Geometry (see Geometry.Decompose).
+type PPN uint32
+
+// InvalidPPN marks an unmapped or unallocated physical page.
+const InvalidPPN PPN = ^PPN(0)
+
+// BlockID is a flat index over every block in the drive.
+type BlockID uint32
+
+// InvalidBlock marks the absence of a block.
+const InvalidBlock BlockID = ^BlockID(0)
+
+// Geometry describes the static physical organization of the simulated SSD.
+// The zero value is not usable; construct with one of the preset functions
+// or fill every field and call Validate.
+type Geometry struct {
+	Channels        int // independent buses to the controller
+	ChipsPerChannel int // flash packages sharing one channel
+	DiesPerChip     int
+	PlanesPerDie    int
+	BlocksPerPlane  int
+	PagesPerBlock   int // erase granularity, in pages
+	PageSize        int // bytes; read/program granularity
+
+	// OverProvision is the fraction of raw capacity hidden from the host
+	// and reserved for garbage collection headroom (e.g. 0.15 for 15%).
+	OverProvision float64
+}
+
+// Address is the fully decomposed location of a physical page.
+type Address struct {
+	Channel int
+	Chip    int // within the channel
+	Die     int // within the chip
+	Plane   int // within the die
+	Block   int // within the plane
+	Page    int // within the block
+}
+
+// PaperGeometry returns the Table I configuration of the paper: an 8×8
+// channel/chip fan-out, 4 dies per chip, 2 planes per die, 256-page blocks,
+// 4 KB pages, 15% over-provisioning, 1 TB raw capacity.
+func PaperGeometry() Geometry {
+	return Geometry{
+		Channels:        8,
+		ChipsPerChannel: 8,
+		DiesPerChip:     4,
+		PlanesPerDie:    2,
+		BlocksPerPlane:  2048, // 8*8*4*2 planes × 2048 × 256 pages × 4 KB = 1 TB
+		PagesPerBlock:   256,
+		PageSize:        4096,
+		OverProvision:   0.15,
+	}
+}
+
+// ScaledGeometry returns a proportionally scaled drive that keeps the paper's
+// fan-out (8 channels × 8 chips), page and block sizes, and 15%
+// over-provisioning, but shrinks capacity so that per-page bookkeeping stays
+// laptop-friendly. blocksPerPlane tunes the capacity: 16 gives an 8 GB drive
+// (2 M pages).
+func ScaledGeometry(blocksPerPlane int) Geometry {
+	g := PaperGeometry()
+	g.BlocksPerPlane = blocksPerPlane
+	return g
+}
+
+// DefaultGeometry is the geometry experiments use unless overridden: an 8 GB
+// drive with the paper's fan-out and timing.
+func DefaultGeometry() Geometry { return ScaledGeometry(16) }
+
+// Validate reports whether every field of g is positive and the
+// over-provisioning fraction is in [0, 1).
+func (g Geometry) Validate() error {
+	check := func(name string, v int) error {
+		if v <= 0 {
+			return fmt.Errorf("ssd: geometry field %s must be positive, got %d", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", g.Channels},
+		{"ChipsPerChannel", g.ChipsPerChannel},
+		{"DiesPerChip", g.DiesPerChip},
+		{"PlanesPerDie", g.PlanesPerDie},
+		{"BlocksPerPlane", g.BlocksPerPlane},
+		{"PagesPerBlock", g.PagesPerBlock},
+		{"PageSize", g.PageSize},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if g.OverProvision < 0 || g.OverProvision >= 1 {
+		return fmt.Errorf("ssd: over-provisioning must be in [0,1), got %g", g.OverProvision)
+	}
+	if g.TotalPages() > int64(InvalidPPN) {
+		return fmt.Errorf("ssd: geometry has %d pages, exceeding the PPN space", g.TotalPages())
+	}
+	return nil
+}
+
+// TotalChips returns the number of flash chips in the drive.
+func (g Geometry) TotalChips() int { return g.Channels * g.ChipsPerChannel }
+
+// PlanesPerChip returns the number of planes inside one chip.
+func (g Geometry) PlanesPerChip() int { return g.DiesPerChip * g.PlanesPerDie }
+
+// TotalPlanes returns the number of planes in the drive.
+func (g Geometry) TotalPlanes() int { return g.TotalChips() * g.PlanesPerChip() }
+
+// TotalBlocks returns the number of erase blocks in the drive.
+func (g Geometry) TotalBlocks() int64 {
+	return int64(g.TotalPlanes()) * int64(g.BlocksPerPlane)
+}
+
+// TotalPages returns the number of physical pages in the drive.
+func (g Geometry) TotalPages() int64 {
+	return g.TotalBlocks() * int64(g.PagesPerBlock)
+}
+
+// RawBytes returns the raw capacity of the drive in bytes.
+func (g Geometry) RawBytes() int64 { return g.TotalPages() * int64(g.PageSize) }
+
+// ExportedPages returns the number of logical pages advertised to the host
+// after over-provisioning is withheld.
+func (g Geometry) ExportedPages() int64 {
+	return int64(float64(g.TotalPages()) * (1 - g.OverProvision))
+}
+
+// BlockOf returns the block containing page p.
+func (g Geometry) BlockOf(p PPN) BlockID {
+	return BlockID(uint32(p) / uint32(g.PagesPerBlock))
+}
+
+// PageInBlock returns the index of p within its block.
+func (g Geometry) PageInBlock(p PPN) int {
+	return int(uint32(p) % uint32(g.PagesPerBlock))
+}
+
+// FirstPage returns the first page of block b.
+func (g Geometry) FirstPage(b BlockID) PPN {
+	return PPN(uint32(b) * uint32(g.PagesPerBlock))
+}
+
+// PageAt composes a PPN from a block and an in-block page index.
+func (g Geometry) PageAt(b BlockID, page int) PPN {
+	return g.FirstPage(b) + PPN(page)
+}
+
+// ChipOf returns the flat chip index (channel-major) that holds page p.
+func (g Geometry) ChipOf(p PPN) int {
+	return g.ChipOfBlock(g.BlockOf(p))
+}
+
+// ChipOfBlock returns the flat chip index that holds block b.
+//
+// Blocks are laid out plane-major: all blocks of plane 0, then plane 1, …
+// where planes are ordered channel → chip → die → plane. This makes
+// consecutive block IDs within one plane contiguous, which the per-plane
+// allocators in internal/ftl rely on.
+func (g Geometry) ChipOfBlock(b BlockID) int {
+	plane := int(uint32(b) / uint32(g.BlocksPerPlane))
+	return plane / g.PlanesPerChip()
+}
+
+// PlaneOfBlock returns the flat plane index (channel → chip → die → plane
+// ordering) that holds block b.
+func (g Geometry) PlaneOfBlock(b BlockID) int {
+	return int(uint32(b) / uint32(g.BlocksPerPlane))
+}
+
+// ChannelOfChip returns the channel a flat chip index belongs to.
+func (g Geometry) ChannelOfChip(chip int) int { return chip / g.ChipsPerChannel }
+
+// BlockInPlane returns the block b's index within its plane together with
+// the plane's flat index.
+func (g Geometry) BlockInPlane(b BlockID) (plane, index int) {
+	plane = int(uint32(b) / uint32(g.BlocksPerPlane))
+	index = int(uint32(b) % uint32(g.BlocksPerPlane))
+	return plane, index
+}
+
+// BlockAt composes a BlockID from a flat plane index and an in-plane block
+// index.
+func (g Geometry) BlockAt(plane, index int) BlockID {
+	return BlockID(plane*g.BlocksPerPlane + index)
+}
+
+// Decompose expands page p into its full physical address.
+func (g Geometry) Decompose(p PPN) Address {
+	plane, blk := g.BlockInPlane(g.BlockOf(p))
+	chip := plane / g.PlanesPerChip()
+	planeInChip := plane % g.PlanesPerChip()
+	return Address{
+		Channel: chip / g.ChipsPerChannel,
+		Chip:    chip % g.ChipsPerChannel,
+		Die:     planeInChip / g.PlanesPerDie,
+		Plane:   planeInChip % g.PlanesPerDie,
+		Block:   blk,
+		Page:    g.PageInBlock(p),
+	}
+}
+
+// Compose is the inverse of Decompose.
+func (g Geometry) Compose(a Address) PPN {
+	chip := a.Channel*g.ChipsPerChannel + a.Chip
+	plane := chip*g.PlanesPerChip() + a.Die*g.PlanesPerDie + a.Plane
+	return g.PageAt(g.BlockAt(plane, a.Block), a.Page)
+}
+
+// String summarizes the geometry, e.g. "8ch×8chip ×4die×2plane, 16 blk/plane
+// ×256 pg ×4096 B = 8.0 GiB (OP 15%)".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dch×%dchip×%ddie×%dplane, %dblk/plane×%dpg×%dB = %.1f GiB (OP %.0f%%)",
+		g.Channels, g.ChipsPerChannel, g.DiesPerChip, g.PlanesPerDie,
+		g.BlocksPerPlane, g.PagesPerBlock, g.PageSize,
+		float64(g.RawBytes())/(1<<30), g.OverProvision*100)
+}

@@ -1,0 +1,145 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperGeometryCapacity(t *testing.T) {
+	g := PaperGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("paper geometry invalid: %v", err)
+	}
+	if got, want := g.RawBytes(), int64(1)<<40; got != want {
+		t.Errorf("RawBytes = %d, want 1 TiB (%d)", got, want)
+	}
+	if got, want := g.TotalPages(), int64(268435456); got != want {
+		t.Errorf("TotalPages = %d, want %d", got, want)
+	}
+	if got := g.ExportedPages(); got >= g.TotalPages() {
+		t.Errorf("ExportedPages = %d, want < TotalPages %d", got, g.TotalPages())
+	}
+}
+
+func TestDefaultGeometrySmall(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	if g.RawBytes() > 16<<30 {
+		t.Errorf("default geometry is %d bytes; want laptop-scale (≤16 GiB)", g.RawBytes())
+	}
+	if g.Channels != 8 || g.ChipsPerChannel != 8 {
+		t.Errorf("default geometry fan-out = %d×%d, want paper's 8×8", g.Channels, g.ChipsPerChannel)
+	}
+}
+
+func TestGeometryValidateRejectsBadFields(t *testing.T) {
+	cases := []func(*Geometry){
+		func(g *Geometry) { g.Channels = 0 },
+		func(g *Geometry) { g.ChipsPerChannel = -1 },
+		func(g *Geometry) { g.DiesPerChip = 0 },
+		func(g *Geometry) { g.PlanesPerDie = 0 },
+		func(g *Geometry) { g.BlocksPerPlane = 0 },
+		func(g *Geometry) { g.PagesPerBlock = 0 },
+		func(g *Geometry) { g.PageSize = 0 },
+		func(g *Geometry) { g.OverProvision = 1.0 },
+		func(g *Geometry) { g.OverProvision = -0.1 },
+	}
+	for i, mutate := range cases {
+		g := DefaultGeometry()
+		mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid geometry %+v", i, g)
+		}
+	}
+}
+
+func TestComposeDecomposeRoundTrip(t *testing.T) {
+	g := ScaledGeometry(4)
+	f := func(raw uint32) bool {
+		p := PPN(int64(raw) % g.TotalPages())
+		return g.Compose(g.Decompose(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeFieldsInRange(t *testing.T) {
+	g := ScaledGeometry(4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		p := PPN(rng.Int63n(g.TotalPages()))
+		a := g.Decompose(p)
+		if a.Channel < 0 || a.Channel >= g.Channels ||
+			a.Chip < 0 || a.Chip >= g.ChipsPerChannel ||
+			a.Die < 0 || a.Die >= g.DiesPerChip ||
+			a.Plane < 0 || a.Plane >= g.PlanesPerDie ||
+			a.Block < 0 || a.Block >= g.BlocksPerPlane ||
+			a.Page < 0 || a.Page >= g.PagesPerBlock {
+			t.Fatalf("Decompose(%d) = %+v out of range for %v", p, a, g)
+		}
+	}
+}
+
+func TestBlockPageHelpers(t *testing.T) {
+	g := DefaultGeometry()
+	for _, p := range []PPN{0, 1, PPN(g.PagesPerBlock - 1), PPN(g.PagesPerBlock), 12345} {
+		b := g.BlockOf(p)
+		in := g.PageInBlock(p)
+		if got := g.PageAt(b, in); got != p {
+			t.Errorf("PageAt(BlockOf(%d), PageInBlock(%d)) = %d", p, p, got)
+		}
+		if g.FirstPage(b) != g.PageAt(b, 0) {
+			t.Errorf("FirstPage(%d) != PageAt(%d, 0)", b, b)
+		}
+	}
+}
+
+func TestBlockInPlaneRoundTrip(t *testing.T) {
+	g := ScaledGeometry(4)
+	f := func(raw uint32) bool {
+		b := BlockID(int64(raw) % g.TotalBlocks())
+		plane, idx := g.BlockInPlane(b)
+		return g.BlockAt(plane, idx) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChipOfBlockMatchesDecompose(t *testing.T) {
+	g := ScaledGeometry(4)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		p := PPN(rng.Int63n(g.TotalPages()))
+		a := g.Decompose(p)
+		flatChip := a.Channel*g.ChipsPerChannel + a.Chip
+		if got := g.ChipOf(p); got != flatChip {
+			t.Fatalf("ChipOf(%d) = %d, want %d (addr %+v)", p, got, flatChip, a)
+		}
+		if got := g.ChannelOfChip(flatChip); got != a.Channel {
+			t.Fatalf("ChannelOfChip(%d) = %d, want %d", flatChip, got, a.Channel)
+		}
+	}
+}
+
+func TestBlocksWithinPlaneShareChip(t *testing.T) {
+	g := DefaultGeometry()
+	for plane := 0; plane < g.TotalPlanes(); plane++ {
+		first := g.ChipOfBlock(g.BlockAt(plane, 0))
+		last := g.ChipOfBlock(g.BlockAt(plane, g.BlocksPerPlane-1))
+		if first != last {
+			t.Fatalf("plane %d spans chips %d and %d", plane, first, last)
+		}
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	s := DefaultGeometry().String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,188 @@
+package ssd
+
+import "fmt"
+
+// Time is simulated time in microseconds since the start of the run.
+type Time int64
+
+// Common durations in simulator time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Latency holds the per-operation service times of the modeled flash
+// (Table I of the paper) plus the controller-side hashing cost.
+type Latency struct {
+	Read     Time // page read (cell → register)
+	Program  Time // page program
+	Erase    Time // block erase
+	Hash     Time // 16 B content hash of one 4 KB page in the controller
+	Transfer Time // one page transfer across the channel
+}
+
+// PaperLatency returns the Table I timing: read 75 µs, program 400 µs,
+// erase 3.8 ms, hashing 12 µs. The channel transfer time approximates one
+// 4 KB page on an ONFI 4.0 bus (~800 MB/s ⇒ ~5 µs).
+func PaperLatency() Latency {
+	return Latency{
+		Read:     75 * Microsecond,
+		Program:  400 * Microsecond,
+		Erase:    3800 * Microsecond,
+		Hash:     12 * Microsecond,
+		Transfer: 5 * Microsecond,
+	}
+}
+
+// Validate reports whether every latency is non-negative and the flash
+// operations are positive.
+func (l Latency) Validate() error {
+	if l.Read <= 0 || l.Program <= 0 || l.Erase <= 0 {
+		return fmt.Errorf("ssd: read/program/erase latencies must be positive: %+v", l)
+	}
+	if l.Hash < 0 || l.Transfer < 0 {
+		return fmt.Errorf("ssd: hash/transfer latencies must be non-negative: %+v", l)
+	}
+	return nil
+}
+
+// Bus tracks when each chip and each channel next becomes free, and stamps
+// flash operations onto that timeline. It is the timing heart of the
+// simulator: an operation issued at time t on a busy chip waits until the
+// chip frees up, which is how GC stalls and read/write interference surface
+// as queuing latency.
+type Bus struct {
+	geo Geometry
+	lat Latency
+
+	chipFree    []Time // indexed by flat chip id
+	channelFree []Time
+
+	// Operation counters, for reporting.
+	reads, programs, erases int64
+
+	// Accounting: per-chip busy time and total queueing wait (time between
+	// an operation's issue and its actual start on the chip).
+	chipBusy  []Time
+	totalWait Time
+	waitedOps int64
+}
+
+// NewBus returns a Bus for the given geometry and latencies with every chip
+// and channel idle at time 0.
+func NewBus(geo Geometry, lat Latency) *Bus {
+	return &Bus{
+		geo:         geo,
+		lat:         lat,
+		chipFree:    make([]Time, geo.TotalChips()),
+		channelFree: make([]Time, geo.Channels),
+		chipBusy:    make([]Time, geo.TotalChips()),
+	}
+}
+
+// Geometry returns the geometry the bus was built with.
+func (b *Bus) Geometry() Geometry { return b.geo }
+
+// Latency returns the latency model the bus was built with.
+func (b *Bus) Latency() Latency { return b.lat }
+
+// Counts returns the number of page reads, page programs and block erases
+// issued so far.
+func (b *Bus) Counts() (reads, programs, erases int64) {
+	return b.reads, b.programs, b.erases
+}
+
+// occupy stamps an operation of the given cell duration onto chip (and its
+// channel, for transfer time) starting no earlier than now, and returns the
+// completion time.
+func (b *Bus) occupy(chip int, now, cell Time) Time {
+	ch := b.geo.ChannelOfChip(chip)
+	start := now
+	if b.chipFree[chip] > start {
+		start = b.chipFree[chip]
+	}
+	if b.channelFree[ch] > start {
+		start = b.channelFree[ch]
+	}
+	if wait := start - now; wait > 0 {
+		b.totalWait += wait
+		b.waitedOps++
+	}
+	// The channel is held only for the page transfer; the chip is held for
+	// the transfer plus the cell operation.
+	b.channelFree[ch] = start + b.lat.Transfer
+	done := start + b.lat.Transfer + cell
+	b.chipFree[chip] = done
+	b.chipBusy[chip] += b.lat.Transfer + cell
+	return done
+}
+
+// Read issues a page read of p at time now and returns its completion time.
+func (b *Bus) Read(p PPN, now Time) Time {
+	b.reads++
+	return b.occupy(b.geo.ChipOf(p), now, b.lat.Read)
+}
+
+// Program issues a page program of p at time now and returns its completion
+// time.
+func (b *Bus) Program(p PPN, now Time) Time {
+	b.programs++
+	return b.occupy(b.geo.ChipOf(p), now, b.lat.Program)
+}
+
+// Erase issues an erase of block blk at time now and returns its completion
+// time. Erases carry no data so they do not hold the channel.
+func (b *Bus) Erase(blk BlockID, now Time) Time {
+	b.erases++
+	chip := b.geo.ChipOfBlock(blk)
+	start := now
+	if b.chipFree[chip] > start {
+		start = b.chipFree[chip]
+	}
+	if wait := start - now; wait > 0 {
+		b.totalWait += wait
+		b.waitedOps++
+	}
+	done := start + b.lat.Erase
+	b.chipFree[chip] = done
+	b.chipBusy[chip] += b.lat.Erase
+	return done
+}
+
+// CopyBack models GC relocation of a valid page: a read of src followed by a
+// program of dst. When src and dst share a chip the program queues behind
+// the read on that chip; across chips the transfer serializes on the
+// channels. Returns the completion time of the program.
+func (b *Bus) CopyBack(src, dst PPN, now Time) Time {
+	readDone := b.Read(src, now)
+	return b.Program(dst, readDone)
+}
+
+// ChipFreeAt returns when the chip holding page p next becomes free. It is
+// a query only; nothing is stamped.
+func (b *Bus) ChipFreeAt(p PPN) Time { return b.chipFree[b.geo.ChipOf(p)] }
+
+// Utilization returns the mean and maximum per-chip busy fraction over the
+// wall-clock interval [0, until]. A mean near 1 means the drive is
+// saturated and open-loop latencies are queueing artifacts.
+func (b *Bus) Utilization(until Time) (mean, max float64) {
+	if until <= 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, busy := range b.chipBusy {
+		u := float64(busy) / float64(until)
+		sum += u
+		if u > max {
+			max = u
+		}
+	}
+	return sum / float64(len(b.chipBusy)), max
+}
+
+// WaitStats returns the cumulative queueing delay flash operations spent
+// behind busy chips/channels and how many operations waited at all.
+func (b *Bus) WaitStats() (totalWait Time, waitedOps int64) {
+	return b.totalWait, b.waitedOps
+}

@@ -1,0 +1,210 @@
+package ssd
+
+import "testing"
+
+func testBus() *Bus {
+	return NewBus(DefaultGeometry(), PaperLatency())
+}
+
+func TestPaperLatencyValues(t *testing.T) {
+	l := PaperLatency()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("paper latency invalid: %v", err)
+	}
+	if l.Read != 75 || l.Program != 400 || l.Erase != 3800 || l.Hash != 12 {
+		t.Errorf("paper latency = %+v, want Table I values", l)
+	}
+	if l.Program <= l.Read {
+		t.Error("program must be slower than read")
+	}
+	if l.Erase <= l.Program {
+		t.Error("erase must be slower than program")
+	}
+}
+
+func TestLatencyValidateRejectsBad(t *testing.T) {
+	l := PaperLatency()
+	l.Read = 0
+	if err := l.Validate(); err == nil {
+		t.Error("accepted zero read latency")
+	}
+	l = PaperLatency()
+	l.Hash = -1
+	if err := l.Validate(); err == nil {
+		t.Error("accepted negative hash latency")
+	}
+}
+
+func TestReadOnIdleChip(t *testing.T) {
+	b := testBus()
+	done := b.Read(0, 100)
+	want := Time(100) + b.lat.Transfer + b.lat.Read
+	if done != want {
+		t.Errorf("Read completion = %d, want %d", done, want)
+	}
+}
+
+func TestOpsOnSameChipSerialize(t *testing.T) {
+	b := testBus()
+	p := PPN(0)
+	first := b.Program(p, 0)
+	second := b.Read(p, 0)
+	if second <= first {
+		t.Errorf("second op on same chip completed at %d, not after first at %d", second, first)
+	}
+	wantSecond := first + b.lat.Transfer + b.lat.Read
+	if second != wantSecond {
+		t.Errorf("second op completion = %d, want %d", second, wantSecond)
+	}
+}
+
+func TestOpsOnDifferentChannelsOverlap(t *testing.T) {
+	g := DefaultGeometry()
+	b := NewBus(g, PaperLatency())
+	// Page 0 is on channel 0. Find a page on channel 1.
+	var other PPN
+	for p := PPN(0); ; p += PPN(g.PagesPerBlock) {
+		if g.Decompose(p).Channel == 1 {
+			other = p
+			break
+		}
+	}
+	d1 := b.Program(0, 0)
+	d2 := b.Program(other, 0)
+	if d1 != d2 {
+		t.Errorf("programs on independent channels finished at %d and %d; want equal", d1, d2)
+	}
+}
+
+func TestChannelContentionDelaysTransfer(t *testing.T) {
+	g := DefaultGeometry()
+	b := NewBus(g, PaperLatency())
+	// Two chips on the same channel: chip 0 and chip 1 of channel 0.
+	var p0, p1 PPN = 0, InvalidPPN
+	for p := PPN(0); ; p += PPN(g.PagesPerBlock) {
+		a := g.Decompose(p)
+		if a.Channel == 0 && a.Chip == 1 {
+			p1 = p
+			break
+		}
+	}
+	d0 := b.Read(p0, 0)
+	d1 := b.Read(p1, 0)
+	// Second read's transfer waits for the first transfer to clear the
+	// channel, then its cell read overlaps the first chip's work.
+	want := b.lat.Transfer + b.lat.Transfer + b.lat.Read
+	if d1 != want {
+		t.Errorf("contended read done at %d, want %d (first at %d)", d1, want, d0)
+	}
+}
+
+func TestEraseHoldsChipNotChannel(t *testing.T) {
+	g := DefaultGeometry()
+	b := NewBus(g, PaperLatency())
+	done := b.Erase(0, 0)
+	if done != b.lat.Erase {
+		t.Errorf("erase completion = %d, want %d", done, b.lat.Erase)
+	}
+	// A read on another chip of the same channel should not wait for the
+	// erase (the channel was never held).
+	var p1 PPN
+	for p := PPN(0); ; p += PPN(g.PagesPerBlock) {
+		a := g.Decompose(p)
+		if a.Channel == 0 && a.Chip == 1 {
+			p1 = p
+			break
+		}
+	}
+	d := b.Read(p1, 0)
+	if want := b.lat.Transfer + b.lat.Read; d != want {
+		t.Errorf("read during erase on sibling chip done at %d, want %d", d, want)
+	}
+	// But a read on the erasing chip queues behind the erase.
+	d2 := b.Read(0, 0)
+	if d2 <= done {
+		t.Errorf("read on erasing chip done at %d, want after erase at %d", d2, done)
+	}
+}
+
+func TestCopyBackOrdersReadBeforeProgram(t *testing.T) {
+	b := testBus()
+	done := b.CopyBack(0, 1, 0)
+	l := b.lat
+	want := (l.Transfer + l.Read) + (l.Transfer + l.Program)
+	if done != want {
+		t.Errorf("CopyBack done at %d, want %d", done, want)
+	}
+}
+
+func TestCountsAccumulate(t *testing.T) {
+	b := testBus()
+	b.Read(0, 0)
+	b.Program(0, 0)
+	b.Program(1, 0)
+	b.Erase(0, 0)
+	b.CopyBack(2, 3, 0)
+	r, p, e := b.Counts()
+	if r != 2 || p != 3 || e != 1 {
+		t.Errorf("Counts = (%d,%d,%d), want (2,3,1)", r, p, e)
+	}
+}
+
+func TestTimeMonotoneUnderRandomOps(t *testing.T) {
+	b := testBus()
+	g := b.Geometry()
+	now := Time(0)
+	last := Time(0)
+	for i := 0; i < 5000; i++ {
+		p := PPN(int64(i*2654435761) % g.TotalPages())
+		var done Time
+		switch i % 3 {
+		case 0:
+			done = b.Read(p, now)
+		case 1:
+			done = b.Program(p, now)
+		default:
+			done = b.Erase(g.BlockOf(p), now)
+		}
+		if done < now {
+			t.Fatalf("op %d completed at %d before issue time %d", i, done, now)
+		}
+		_ = last
+		last = done
+		now += 3
+	}
+}
+
+func TestUtilizationAndWaitAccounting(t *testing.T) {
+	b := testBus()
+	// Two programs on the same chip: the second waits.
+	b.Program(0, 0)
+	b.Program(0, 0)
+	wait, ops := b.WaitStats()
+	if ops != 1 {
+		t.Fatalf("waitedOps = %d, want 1", ops)
+	}
+	if want := b.lat.Transfer + b.lat.Program; wait != want {
+		t.Fatalf("totalWait = %d, want %d", wait, want)
+	}
+	// Busy time: both ops on chip 0.
+	until := 2 * (b.lat.Transfer + b.lat.Program)
+	mean, max := b.Utilization(until)
+	if max != 1.0 {
+		t.Errorf("max utilization = %.2f, want 1.0 (chip 0 busy the whole interval)", max)
+	}
+	if mean <= 0 || mean > 1 {
+		t.Errorf("mean utilization = %.2f out of range", mean)
+	}
+	if m, x := b.Utilization(0); m != 0 || x != 0 {
+		t.Error("Utilization(0) must be 0")
+	}
+}
+
+func TestEraseCountsTowardBusy(t *testing.T) {
+	b := testBus()
+	b.Erase(0, 0)
+	_, max := b.Utilization(b.lat.Erase)
+	if max != 1.0 {
+		t.Errorf("erase busy fraction = %.2f, want 1.0", max)
+	}
+}

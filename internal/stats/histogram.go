@@ -1,0 +1,174 @@
+// Package stats provides the measurement plumbing for the simulator:
+// log-bucketed latency histograms with quantile queries (for the paper's
+// mean and 99th-percentile latency figures), simple accumulators, and the
+// reduction/improvement arithmetic used when normalizing against the
+// baseline system.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// subBucketBits controls histogram resolution: each power-of-two tier is
+// split into 2^subBucketBits linear sub-buckets, bounding relative error per
+// sample to about 1/2^subBucketBits (≈1.6% here), plenty for p99 curves.
+const subBucketBits = 6
+
+const subBuckets = 1 << subBucketBits
+
+// Histogram is a log-bucketed histogram of non-negative int64 samples,
+// in the spirit of HDR histograms. The zero value is ready to use.
+type Histogram struct {
+	counts [64 * subBuckets]int64
+	n      int64
+	sum    int64
+	max    int64
+	min    int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	tier := 63 - bits.LeadingZeros64(uint64(v)) // highest set bit ≥ subBucketBits
+	shift := tier - subBucketBits
+	sub := int(v>>uint(shift)) - subBuckets // in [0, subBuckets)
+	return (shift+1)*subBuckets + sub
+}
+
+// bucketLow returns the smallest sample value mapping to bucket i; together
+// with the next bucket's low bound it brackets every sample in the bucket.
+// Buckets beyond the int64 range saturate to MaxInt64.
+func bucketLow(i int) int64 {
+	tier := i / subBuckets
+	sub := i % subBuckets
+	if tier == 0 {
+		return int64(sub)
+	}
+	shift := tier - 1
+	if shift > 63-subBucketBits-1 {
+		return math.MaxInt64
+	}
+	return int64(subBuckets+sub) << uint(shift)
+}
+
+// Add records one sample. Negative samples are clamped to zero (latencies
+// cannot be negative; clamping keeps the accounting robust).
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest recorded sample, or 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Min returns the smallest recorded sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) of the
+// recorded samples. The estimate is the lower bound of the bucket holding
+// the target rank, refined with the exact min/max where applicable.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i]
+		if seen >= rank {
+			lo := bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// P99 returns the 99th percentile, the paper's tail-latency metric.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// Merge adds every sample of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// Reset clears the histogram to empty.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Summary is the condensed view of a histogram used in experiment rows.
+type Summary struct {
+	Count int64
+	Mean  float64
+	P99   int64
+	Max   int64
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{Count: h.n, Mean: h.Mean(), P99: h.P99(), Max: h.max}
+}
+
+// String renders the summary compactly, times in µs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p99=%dµs max=%dµs", s.Count, s.Mean, s.P99, s.Max)
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Errorf("empty histogram not all-zero: %+v", h.Summarize())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	h.Add(400)
+	if h.Count() != 1 || h.Sum() != 400 || h.Max() != 400 || h.Min() != 400 {
+		t.Fatalf("single sample accounting wrong: %+v", h.Summarize())
+	}
+	if h.Mean() != 400 {
+		t.Errorf("Mean = %g, want 400", h.Mean())
+	}
+	if got := h.P99(); got != 400 {
+		t.Errorf("P99 = %d, want 400", got)
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Min() != 0 || h.Sum() != 0 {
+		t.Errorf("negative sample not clamped: min=%d sum=%d", h.Min(), h.Sum())
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	// Values below subBuckets land in exact singleton buckets, so any
+	// quantile must be exact.
+	var h Histogram
+	for v := int64(0); v < subBuckets; v++ {
+		h.Add(v)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+		want := int64(q * subBuckets) // ceil(q*n) ranks into value rank-1
+		got := h.Quantile(q)
+		if got < want-1 || got > want {
+			t.Errorf("Quantile(%g) = %d, want ≈%d", q, got, want)
+		}
+	}
+}
+
+func TestQuantileAccuracyAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	samples := make([]int64, 50000)
+	for i := range samples {
+		// Heavy-tailed: mostly small with occasional large, like SSD
+		// latencies behind GC.
+		v := rng.Int63n(500)
+		if rng.Intn(100) == 0 {
+			v += rng.Int63n(4000)
+		}
+		samples[i] = v
+		h.Add(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		// log-bucketed: relative error bounded by one sub-bucket (~1.6%),
+		// allow 4% slack plus the ±1 integer wiggle.
+		lo := float64(exact) * 0.96
+		hi := float64(exact)*1.04 + 2
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("Quantile(%g) = %d, exact %d (outside [%.0f, %.0f])", q, got, exact, lo, hi)
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i * 1000)
+	}
+	if got := h.Quantile(0); got != h.Min() {
+		t.Errorf("Quantile(0) = %d, want min %d", got, h.Min())
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Errorf("Quantile(1) = %d, want max %d", got, h.Max())
+	}
+	if got := h.Quantile(-1); got != h.Min() {
+		t.Errorf("Quantile(-1) = %d, want min", got)
+	}
+	if got := h.Quantile(2); got != h.Max() {
+		t.Errorf("Quantile(2) = %d, want max", got)
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return bucketOf(a) <= bucketOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketLowBrackets(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		if v < 0 { // -MinInt64 overflows back to negative
+			return true
+		}
+		i := bucketOf(v)
+		lo := bucketLow(i)
+		hi := bucketLow(i + 1)
+		return lo <= v && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b, both Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(100000)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		both.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() || a.Max() != both.Max() || a.Min() != both.Min() {
+		t.Fatalf("merged accounting differs: %+v vs %+v", a.Summarize(), both.Summarize())
+	}
+	if a.P99() != both.P99() {
+		t.Errorf("merged P99 = %d, want %d", a.P99(), both.P99())
+	}
+	var empty Histogram
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != both.Count() {
+		t.Error("merging empty histogram changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != a.Count() || empty.Min() != a.Min() {
+		t.Error("merging into empty histogram lost samples")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Add(5)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Error("Reset did not clear histogram")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Add(100)
+	if h.Summarize().String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	cases := []struct {
+		base, value, want float64
+	}{
+		{100, 71, 29},
+		{100, 100, 0},
+		{100, 120, -20},
+		{0, 5, 0},
+	}
+	for _, c := range cases {
+		got := ReductionPct(c.base, c.value)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("ReductionPct(%g,%g) = %g, want %g", c.base, c.value, got, c.want)
+		}
+	}
+}
+
+func TestNormalizedPct(t *testing.T) {
+	if got := NormalizedPct(200, 50); got != 25 {
+		t.Errorf("NormalizedPct = %g, want 25", got)
+	}
+	if got := NormalizedPct(0, 50); got != 0 {
+		t.Errorf("NormalizedPct with 0 base = %g, want 0", got)
+	}
+}
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || MaxOf(xs) != 3 || MinOf(xs) != 1 {
+		t.Errorf("Mean/MaxOf/MinOf wrong: %g %g %g", Mean(xs), MaxOf(xs), MinOf(xs))
+	}
+	if Mean(nil) != 0 || MaxOf(nil) != 0 || MinOf(nil) != 0 {
+		t.Error("empty-slice helpers must return 0")
+	}
+}

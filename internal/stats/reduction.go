@@ -1,0 +1,61 @@
+package stats
+
+// ReductionPct returns the percentage by which value improved (shrank)
+// relative to base: (base-value)/base × 100. A negative result means value
+// grew. Returns 0 when base is 0 to keep experiment tables well-defined on
+// degenerate inputs.
+func ReductionPct(base, value float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - value) / base * 100
+}
+
+// NormalizedPct returns value as a percentage of base (value/base × 100),
+// the normalization used by the paper's Fig 14. Returns 0 when base is 0.
+func NormalizedPct(base, value float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return value / base * 100
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxOf returns the maximum of xs, or 0 for an empty slice.
+func MaxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MinOf returns the minimum of xs, or 0 for an empty slice.
+func MinOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

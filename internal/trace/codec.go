@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Binary codec: a fixed 33-byte little-endian record — 8 B time, 1 B op,
+// 8 B LBA, 16 B hash. No header; the stream is a plain concatenation so
+// traces can be produced and consumed incrementally.
+const binaryRecordSize = 8 + 1 + 8 + 16
+
+// Writer encodes records to an underlying stream in the binary codec.
+type Writer struct {
+	w   *bufio.Writer
+	buf [binaryRecordSize]byte
+	n   int64
+}
+
+// NewWriter returns a Writer emitting the binary codec to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	binary.LittleEndian.PutUint64(w.buf[0:8], uint64(r.Time))
+	w.buf[8] = byte(r.Op)
+	binary.LittleEndian.PutUint64(w.buf[9:17], r.LBA)
+	copy(w.buf[17:33], r.Hash[:])
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("trace: write record %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered records to the underlying stream.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes binary-codec records from an underlying stream.
+type Reader struct {
+	r   *bufio.Reader
+	buf [binaryRecordSize]byte
+	n   int64
+}
+
+// NewReader returns a Reader over the binary codec in r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next record, or io.EOF at a clean end of stream. A
+// truncated final record is reported as io.ErrUnexpectedEOF.
+func (r *Reader) Read() (Record, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if errors.Is(err, io.EOF) && r.n >= 0 {
+			return Record{}, err
+		}
+		return Record{}, fmt.Errorf("trace: read record %d: %w", r.n, err)
+	}
+	var rec Record
+	rec.Time = int64(binary.LittleEndian.Uint64(r.buf[0:8]))
+	rec.Op = Op(r.buf[8])
+	if rec.Op != OpRead && rec.Op != OpWrite {
+		return Record{}, fmt.Errorf("trace: record %d has invalid op %d", r.n, r.buf[8])
+	}
+	rec.LBA = binary.LittleEndian.Uint64(r.buf[9:17])
+	copy(rec.Hash[:], r.buf[17:33])
+	r.n++
+	return rec, nil
+}
+
+// ReadAll drains the reader into a slice.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteText emits records in the human-readable one-per-line format
+// "time op lba hexhash", matching Record.String.
+func WriteText(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range recs {
+		if _, err := fmt.Fprintln(bw, r); err != nil {
+			return fmt.Errorf("trace: write text record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTextRecord parses one line of the text format.
+func ParseTextRecord(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return Record{}, fmt.Errorf("trace: text record needs 4 fields, got %d in %q", len(fields), line)
+	}
+	var rec Record
+	if _, err := fmt.Sscanf(fields[0], "%d", &rec.Time); err != nil {
+		return Record{}, fmt.Errorf("trace: bad time %q: %w", fields[0], err)
+	}
+	switch fields[1] {
+	case "R":
+		rec.Op = OpRead
+	case "W":
+		rec.Op = OpWrite
+	default:
+		return Record{}, fmt.Errorf("trace: bad op %q", fields[1])
+	}
+	if _, err := fmt.Sscanf(fields[2], "%d", &rec.LBA); err != nil {
+		return Record{}, fmt.Errorf("trace: bad lba %q: %w", fields[2], err)
+	}
+	if len(fields[3]) != 32 {
+		return Record{}, fmt.Errorf("trace: bad hash %q: want 32 hex chars", fields[3])
+	}
+	for i := 0; i < 16; i++ {
+		var b byte
+		if _, err := fmt.Sscanf(fields[3][2*i:2*i+2], "%02x", &b); err != nil {
+			return Record{}, fmt.Errorf("trace: bad hash %q: %w", fields[3], err)
+		}
+		rec.Hash[i] = b
+	}
+	return rec, nil
+}
+
+// ReadText parses the text format from r.
+func ReadText(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Record
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := ParseTextRecord(line)
+		if err != nil {
+			return out, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("trace: scan text: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const fiuSample = `# FIU SRCMap sample
+33390885991075 4892 syslogd 904265560 8 W 6 0 0123456789abcdef0123456789abcdef
+33390886091075 4892 syslogd 904265568 8 R 6 0 0123456789abcdef0123456789abcdef
+33390887991075 1201 httpd   904270000 16 W 6 0 ffffffffffffffffffffffffffffffff
+`
+
+func TestReadFIUBasic(t *testing.T) {
+	recs, err := ReadFIU(strings.NewReader(fiuSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 3 has 16 sectors → two 4 KB pages → 4 records total.
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	if recs[0].Time != 0 {
+		t.Errorf("first record time = %d, want normalized 0", recs[0].Time)
+	}
+	if recs[1].Time != 100 { // 100 µs after the first
+		t.Errorf("second record time = %d, want 100", recs[1].Time)
+	}
+	if recs[0].Op != OpWrite || recs[1].Op != OpRead {
+		t.Errorf("ops = %v %v", recs[0].Op, recs[1].Op)
+	}
+	if recs[0].LBA != 904265560/8 {
+		t.Errorf("LBA = %d, want sector/8", recs[0].LBA)
+	}
+	if recs[0].Hash != recs[1].Hash {
+		t.Error("same md5 produced different hashes")
+	}
+	// The 16-sector write spans two consecutive pages with one digest.
+	if recs[3].LBA != recs[2].LBA+1 {
+		t.Errorf("split request pages = %d, %d; want consecutive", recs[2].LBA, recs[3].LBA)
+	}
+	if recs[2].Hash != recs[3].Hash {
+		t.Error("split request pages have different hashes")
+	}
+}
+
+func TestReadFIUHashDecoding(t *testing.T) {
+	recs, err := ReadFIU(strings.NewReader(
+		"100 1 p 0 8 W 6 0 000102030405060708090a0b0c0d0e0f\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Hash{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	if recs[0].Hash != want {
+		t.Errorf("hash = %v, want %v", recs[0].Hash, want)
+	}
+}
+
+func TestReadFIURejectsMalformed(t *testing.T) {
+	bad := []string{
+		"1 2 p 3 8 W 6 0", // too few fields
+		"x 2 p 3 8 W 6 0 0123456789abcdef0123456789abcdef", // bad ts
+		"1 2 p x 8 W 6 0 0123456789abcdef0123456789abcdef", // bad lba
+		"1 2 p 3 0 W 6 0 0123456789abcdef0123456789abcdef", // zero size
+		"1 2 p 3 8 Q 6 0 0123456789abcdef0123456789abcdef", // bad op
+		"1 2 p 3 8 W 6 0 shorthash",                        // bad md5 length
+		"1 2 p 3 8 W 6 0 zz23456789abcdef0123456789abcdef", // bad md5 hex
+	}
+	for _, line := range bad {
+		if _, err := ReadFIU(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+}
+
+func TestReadFIUSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n100 1 p 0 8 R 6 0 0123456789abcdef0123456789abcdef\n"
+	recs, err := ReadFIU(strings.NewReader(in))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestReadFIULowercaseOp(t *testing.T) {
+	in := "100 1 p 0 8 w 6 0 0123456789abcdef0123456789abcdef\n"
+	recs, err := ReadFIU(strings.NewReader(in))
+	if err != nil || len(recs) != 1 || recs[0].Op != OpWrite {
+		t.Fatalf("lowercase op not handled: recs=%v err=%v", recs, err)
+	}
+}

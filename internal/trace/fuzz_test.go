@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTextRecord checks that the text-codec parser never panics and
+// that every accepted record round-trips exactly.
+func FuzzParseTextRecord(f *testing.F) {
+	f.Add("10 W 5 " + HashOfValue(1).String())
+	f.Add("0 R 0 " + HashOfValue(0).String())
+	f.Add("bogus line")
+	f.Add("1 W 2 deadbeef")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseTextRecord(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseTextRecord(rec.String())
+		if err != nil {
+			t.Fatalf("accepted record failed to re-parse: %v", err)
+		}
+		if again != rec {
+			t.Fatalf("round trip changed record: %+v vs %+v", rec, again)
+		}
+	})
+}
+
+// FuzzBinaryReader checks that arbitrary bytes never panic the binary
+// decoder and that decodable prefixes re-encode to the same bytes.
+func FuzzBinaryReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Record{Time: 5, Op: OpWrite, LBA: 9, Hash: HashOfValue(3)})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var recs []Record
+		for {
+			rec, err := r.Read()
+			if err != nil {
+				break
+			}
+			recs = append(recs, rec)
+		}
+		// Re-encode what decoded; the prefix must match byte for byte.
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:len(out.Bytes())]) {
+			t.Fatal("re-encoded prefix differs from input")
+		}
+	})
+}
+
+// FuzzReadFIU checks the FIU parser never panics and that accepted inputs
+// produce structurally valid records.
+func FuzzReadFIU(f *testing.F) {
+	f.Add("100 1 p 800 8 W 6 0 0123456789abcdef0123456789abcdef")
+	f.Add("100 1 p 800 16 R 6 0 ffffffffffffffffffffffffffffffff")
+	f.Add("garbage")
+	f.Add("# comment only")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadFIU(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		last := int64(-1)
+		for i, r := range recs {
+			if r.Op != OpRead && r.Op != OpWrite {
+				t.Fatalf("record %d has invalid op %v", i, r.Op)
+			}
+			if r.Time < 0 && last >= 0 {
+				t.Fatalf("record %d time went negative after normalization", i)
+			}
+			last = r.Time
+		}
+	})
+}

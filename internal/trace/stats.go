@@ -1,0 +1,98 @@
+package trace
+
+import "fmt"
+
+// Stats summarizes a trace in the terms of the paper's Table II.
+type Stats struct {
+	Requests int64
+	Reads    int64
+	Writes   int64
+
+	UniqueLBAs        int64 // footprint, in 4 KB pages
+	UniqueWriteValues int64 // distinct hashes among writes
+	UniqueReadValues  int64 // distinct hashes among reads
+}
+
+// WriteRatio returns the fraction of requests that are writes (Table II
+// "WR [%]" as a fraction).
+func (s Stats) WriteRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Requests)
+}
+
+// UniqueWriteValueRatio returns the fraction of write requests that write a
+// value not written before (Table II "Unique Value WR" as a fraction).
+func (s Stats) UniqueWriteValueRatio() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.UniqueWriteValues) / float64(s.Writes)
+}
+
+// UniqueReadValueRatio returns the fraction of read requests that return a
+// value not read before (Table II "Unique Value RD" as a fraction).
+func (s Stats) UniqueReadValueRatio() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.UniqueReadValues) / float64(s.Reads)
+}
+
+// String renders the Table II row for the trace.
+func (s Stats) String() string {
+	return fmt.Sprintf("reqs=%d WR=%.0f%% uniqW=%.1f%% uniqR=%.1f%% footprint=%d pages",
+		s.Requests, s.WriteRatio()*100, s.UniqueWriteValueRatio()*100,
+		s.UniqueReadValueRatio()*100, s.UniqueLBAs)
+}
+
+// Collector accumulates Stats incrementally, for streams too large to
+// materialize. The zero value is not usable; construct with NewCollector.
+type Collector struct {
+	s     Stats
+	lbas  map[uint64]struct{}
+	wvals map[Hash]struct{}
+	rvals map[Hash]struct{}
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{
+		lbas:  make(map[uint64]struct{}),
+		wvals: make(map[Hash]struct{}),
+		rvals: make(map[Hash]struct{}),
+	}
+}
+
+// Add folds one record into the statistics.
+func (c *Collector) Add(r Record) {
+	c.s.Requests++
+	c.lbas[r.LBA] = struct{}{}
+	switch r.Op {
+	case OpWrite:
+		c.s.Writes++
+		c.wvals[r.Hash] = struct{}{}
+	case OpRead:
+		c.s.Reads++
+		c.rvals[r.Hash] = struct{}{}
+	}
+}
+
+// Stats returns the statistics accumulated so far.
+func (c *Collector) Stats() Stats {
+	s := c.s
+	s.UniqueLBAs = int64(len(c.lbas))
+	s.UniqueWriteValues = int64(len(c.wvals))
+	s.UniqueReadValues = int64(len(c.rvals))
+	return s
+}
+
+// Collect computes Stats over a record slice in one pass.
+func Collect(recs []Record) Stats {
+	c := NewCollector()
+	for _, r := range recs {
+		c.Add(r)
+	}
+	return c.Stats()
+}

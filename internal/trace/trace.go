@@ -1,0 +1,75 @@
+// Package trace defines the block-trace model the whole repository consumes:
+// a stream of 4 KB read/write requests, each carrying a 16-byte hash of its
+// content, mirroring the FIU/OSU traces the paper evaluates on (Table II).
+// It also provides binary and text codecs plus a statistics pass that
+// recomputes the Table II workload characteristics.
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Op is the request type.
+type Op uint8
+
+// Request types. The traces contain only reads and writes; all requests are
+// one 4 KB page.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String returns "R" or "W".
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Hash is the 16-byte content digest of one 4 KB page, standing in for the
+// MD5 digests the FIU traces carry. Two pages are "the same value" exactly
+// when their hashes are equal.
+type Hash [16]byte
+
+// HashOfValue derives a well-mixed Hash from an abstract value identifier.
+// The synthetic workload generator names values by dense integers; this
+// spreads them over the hash space deterministically (two splitmix64
+// finalizer rounds), so hash equality ⇔ value-ID equality for all practical
+// trace sizes.
+func HashOfValue(id uint64) Hash {
+	var h Hash
+	binary.LittleEndian.PutUint64(h[0:8], mix64(id+0x9e3779b97f4a7c15))
+	binary.LittleEndian.PutUint64(h[8:16], mix64(id^0xbf58476d1ce4e5b9))
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// String renders the hash as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Record is one trace request. Size is implicitly one 4 KB page, as in the
+// paper's traces. Time is microseconds from the start of the trace.
+type Record struct {
+	Time int64
+	Op   Op
+	LBA  uint64 // logical page number of the 4 KB page
+	Hash Hash   // content digest; for reads, the content being returned
+}
+
+// String renders a record in the text codec's line format.
+func (r Record) String() string {
+	return fmt.Sprintf("%d %s %d %s", r.Time, r.Op, r.LBA, r.Hash)
+}

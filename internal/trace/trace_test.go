@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	t := int64(0)
+	for i := range recs {
+		t += rng.Int63n(50)
+		op := OpWrite
+		if rng.Intn(2) == 0 {
+			op = OpRead
+		}
+		recs[i] = Record{
+			Time: t,
+			Op:   op,
+			LBA:  uint64(rng.Intn(1000)),
+			Hash: HashOfValue(uint64(rng.Intn(200))),
+		}
+	}
+	return recs
+}
+
+func TestHashOfValueDeterministicAndDistinct(t *testing.T) {
+	if HashOfValue(7) != HashOfValue(7) {
+		t.Fatal("HashOfValue not deterministic")
+	}
+	seen := make(map[Hash]uint64)
+	for id := uint64(0); id < 100000; id++ {
+		h := HashOfValue(id)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between value ids %d and %d", prev, id)
+		}
+		seen[h] = id
+	}
+}
+
+func TestHashStringIsHex(t *testing.T) {
+	s := HashOfValue(42).String()
+	if len(s) != 32 {
+		t.Fatalf("hash string %q has length %d, want 32", s, len(s))
+	}
+	for _, c := range s {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("hash string %q contains non-hex %q", s, c)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Errorf("Op strings = %q/%q", OpRead, OpWrite)
+	}
+	if got := Op(9).String(); got != "Op(9)" {
+		t.Errorf("invalid op string = %q", got)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := randomRecords(500, 1)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip length = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryReaderRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{Op: OpWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.Read(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBinaryReaderRejectsBadOp(t *testing.T) {
+	raw := make([]byte, binaryRecordSize)
+	raw[8] = 7 // invalid op
+	if _, err := NewReader(bytes.NewReader(raw)).Read(); err == nil {
+		t.Error("accepted invalid op byte")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	recs := randomRecords(100, 2)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, recs); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("length = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n10 W 5 " + HashOfValue(1).String() + "\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if len(got) != 1 || got[0].LBA != 5 || got[0].Op != OpWrite {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseTextRecordErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 W 2",
+		"x W 2 " + HashOfValue(0).String(),
+		"1 Q 2 " + HashOfValue(0).String(),
+		"1 W x " + HashOfValue(0).String(),
+		"1 W 2 deadbeef",
+		"1 W 2 " + strings.Repeat("zz", 16),
+	}
+	for _, line := range bad {
+		if _, err := ParseTextRecord(line); err == nil {
+			t.Errorf("ParseTextRecord(%q) accepted bad input", line)
+		}
+	}
+}
+
+func TestTextRecordPropertyRoundTrip(t *testing.T) {
+	f := func(tm int64, w bool, lba uint64, id uint64) bool {
+		rec := Record{Time: tm & (1<<40 - 1), Op: OpRead, LBA: lba, Hash: HashOfValue(id)}
+		if w {
+			rec.Op = OpWrite
+		}
+		got, err := ParseTextRecord(rec.String())
+		return err == nil && got == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	recs := []Record{
+		{Op: OpWrite, LBA: 1, Hash: HashOfValue(1)},
+		{Op: OpWrite, LBA: 2, Hash: HashOfValue(1)}, // duplicate value
+		{Op: OpWrite, LBA: 1, Hash: HashOfValue(2)},
+		{Op: OpRead, LBA: 2, Hash: HashOfValue(1)},
+	}
+	s := Collect(recs)
+	if s.Requests != 4 || s.Writes != 3 || s.Reads != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.UniqueLBAs != 2 {
+		t.Errorf("UniqueLBAs = %d, want 2", s.UniqueLBAs)
+	}
+	if s.UniqueWriteValues != 2 {
+		t.Errorf("UniqueWriteValues = %d, want 2", s.UniqueWriteValues)
+	}
+	if s.UniqueReadValues != 1 {
+		t.Errorf("UniqueReadValues = %d, want 1", s.UniqueReadValues)
+	}
+	if got := s.WriteRatio(); got != 0.75 {
+		t.Errorf("WriteRatio = %g, want 0.75", got)
+	}
+	if got := s.UniqueWriteValueRatio(); got != 2.0/3.0 {
+		t.Errorf("UniqueWriteValueRatio = %g", got)
+	}
+	if got := s.UniqueReadValueRatio(); got != 1.0 {
+		t.Errorf("UniqueReadValueRatio = %g", got)
+	}
+}
+
+func TestStatsZeroSafe(t *testing.T) {
+	var s Stats
+	if s.WriteRatio() != 0 || s.UniqueWriteValueRatio() != 0 || s.UniqueReadValueRatio() != 0 {
+		t.Error("zero Stats ratios must be 0")
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCollectorMatchesCollect(t *testing.T) {
+	recs := randomRecords(2000, 9)
+	c := NewCollector()
+	for _, r := range recs {
+		c.Add(r)
+	}
+	if c.Stats() != Collect(recs) {
+		t.Fatalf("streaming stats %+v differ from batch %+v", c.Stats(), Collect(recs))
+	}
+	// Incremental queries are valid mid-stream.
+	c2 := NewCollector()
+	c2.Add(recs[0])
+	if c2.Stats().Requests != 1 {
+		t.Fatal("mid-stream stats wrong")
+	}
+}

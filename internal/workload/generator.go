@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zombiessd/internal/trace"
+)
+
+// recentWindow is the size of the recency window for value reuse (see
+// Profile.ReuseRecencyBias).
+const recentWindow = 1 << 16
+
+// driftSteps is how many positions the hot-address window visits over a
+// full drift cycle; the window advances footprint/driftSteps pages at a
+// time.
+const driftSteps = 64
+
+// Generator produces one synthetic trace as a stream of records. It is
+// deterministic for a given (profile, total, seed) triple, so experiments
+// and tests are reproducible. A Generator is not safe for concurrent use.
+type Generator struct {
+	p         Profile
+	total     int64
+	footprint uint64
+	rng       *rand.Rand
+
+	writeLBA *rand.Zipf
+	readLBA  *rand.Zipf
+
+	now      int64
+	produced int64
+
+	nextValue uint32
+
+	// history holds the value id of every past write; drawing a uniform
+	// index implements preferential attachment (a value's re-draw weight
+	// is its current write count), which produces the power-law value
+	// popularity of Fig 3.
+	history []uint32
+
+	// lbaValue maps each written logical page to its current value, so
+	// reads return the content actually stored there.
+	lbaValue map[uint64]uint32
+	written  []uint64 // LBAs in first-write order (earlier ≈ hotter)
+
+	// liveRefs counts how many logical pages currently hold each value,
+	// so LiveDupBias draws can target live content.
+	liveRefs map[uint32]int32
+
+	// Drifting hot-address window for reused-value writes.
+	windowBase       uint64
+	driftEvery       int64 // writes between window advances
+	writesSinceDrift int64
+}
+
+// NewGenerator returns a Generator for n requests of profile p.
+func NewGenerator(p Profile, n int64, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: request count must be positive, got %d", n)
+	}
+	footprint := uint64(float64(n) * p.FootprintFrac)
+	if footprint < 16 {
+		footprint = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	driftEvery := n / (2 * driftSteps) // two full window cycles per trace
+	if driftEvery < 1 {
+		driftEvery = 1
+	}
+	return &Generator{
+		p:          p,
+		total:      n,
+		footprint:  footprint,
+		rng:        rng,
+		driftEvery: driftEvery,
+		writeLBA:   rand.NewZipf(rng, p.WriteSpatialSkew, 1, footprint-1),
+		readLBA:    rand.NewZipf(rng, p.ReadSpatialSkew, 1, footprint-1),
+		lbaValue:   make(map[uint64]uint32, footprint),
+		liveRefs:   make(map[uint32]int32),
+	}, nil
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.p }
+
+// Footprint returns the maximum number of distinct logical pages the trace
+// can touch.
+func (g *Generator) Footprint() uint64 { return g.footprint }
+
+// Remaining returns how many records Next will still produce.
+func (g *Generator) Remaining() int64 { return g.total - g.produced }
+
+// Next returns the next trace record. ok is false once the configured
+// request count has been produced.
+func (g *Generator) Next() (rec trace.Record, ok bool) {
+	if g.produced >= g.total {
+		return trace.Record{}, false
+	}
+	g.produced++
+	g.now += g.interarrival()
+
+	// The very first request must be a write (there is nothing to read).
+	if len(g.written) > 0 && g.rng.Float64() >= g.p.WriteRatio {
+		return g.nextRead(), true
+	}
+	return g.nextWrite(), true
+}
+
+// interarrival draws an exponential-ish gap in microseconds, at least 1.
+func (g *Generator) interarrival() int64 {
+	gap := int64(g.rng.ExpFloat64() * g.p.MeanInterarrivalUS)
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+func (g *Generator) nextWrite() trace.Record {
+	val, fresh := g.chooseValue()
+	// Popular (reused) values go to the *currently* hot pages: a Zipf draw
+	// offset by a slowly drifting window base. While a region is hot its
+	// pages are overwritten constantly, so popular values die quickly
+	// (Fig 4a); once the window drifts on, those addresses go cold — the
+	// value stays popular and is reborn elsewhere, but recyclers that key
+	// on address recency (LX-SSD) lose track of its garbage. Fresh values
+	// spread uniformly over the footprint and live longer.
+	var lba uint64
+	if fresh {
+		lba = g.rng.Uint64() % g.footprint
+	} else {
+		lba = (g.windowBase + g.writeLBA.Uint64()) % g.footprint
+	}
+	g.writesSinceDrift++
+	if g.writesSinceDrift >= g.driftEvery {
+		g.writesSinceDrift = 0
+		g.windowBase = (g.windowBase + g.footprint/driftSteps) % g.footprint
+	}
+	if old, seen := g.lbaValue[lba]; seen {
+		g.liveRefs[old]--
+		if g.liveRefs[old] <= 0 {
+			delete(g.liveRefs, old)
+		}
+	} else {
+		g.written = append(g.written, lba)
+	}
+	g.lbaValue[lba] = val
+	g.liveRefs[val]++
+	g.history = append(g.history, val)
+	return trace.Record{
+		Time: g.now,
+		Op:   trace.OpWrite,
+		LBA:  lba,
+		Hash: trace.HashOfValue(uint64(val)),
+	}
+}
+
+// chooseValue implements the value process: with probability
+// UniqueWriteFrac mint a fresh value (fresh=true); otherwise repeat a past
+// write's value by preferential attachment — directed at currently live
+// content with probability LiveDupBias (a dedup opportunity), and
+// preferring the recent window with probability ReuseRecencyBias (a quick
+// rebirth).
+func (g *Generator) chooseValue() (v uint32, fresh bool) {
+	if len(g.history) == 0 || g.rng.Float64() < g.p.UniqueWriteFrac {
+		v := g.nextValue
+		g.nextValue++
+		return v, true
+	}
+	if g.rng.Float64() < g.p.LiveDupBias {
+		// Rejection-sample the history for a live value, keeping the
+		// popularity weighting conditioned on liveness.
+		for try := 0; try < 8; try++ {
+			v := g.drawHistory()
+			if g.liveRefs[v] > 0 {
+				return v, false
+			}
+		}
+	}
+	return g.drawHistory(), false
+}
+
+// drawHistory picks a past write's value, preferring the recent window with
+// probability ReuseRecencyBias.
+func (g *Generator) drawHistory() uint32 {
+	n := len(g.history)
+	if g.rng.Float64() < g.p.ReuseRecencyBias {
+		w := recentWindow
+		if w > n {
+			w = n
+		}
+		return g.history[n-1-g.rng.Intn(w)]
+	}
+	return g.history[g.rng.Intn(n)]
+}
+
+func (g *Generator) nextRead() trace.Record {
+	// With probability ReadRecencyBias the read targets a recently written
+	// page (fresh, diverse content — this is what keeps the unique-read-
+	// value column of Table II up); otherwise a Zipf rank over the set of
+	// already-written pages picks a long-lived hot page.
+	var lba uint64
+	if g.rng.Float64() < g.p.ReadRecencyBias {
+		w := len(g.written)
+		recent := recentWindow
+		if recent > w {
+			recent = w
+		}
+		lba = g.written[w-1-g.rng.Intn(recent)]
+	} else {
+		rank := g.readLBA.Uint64()
+		if rank >= uint64(len(g.written)) {
+			rank %= uint64(len(g.written))
+		}
+		lba = g.written[rank]
+	}
+	return trace.Record{
+		Time: g.now,
+		Op:   trace.OpRead,
+		LBA:  lba,
+		Hash: trace.HashOfValue(uint64(g.lbaValue[lba])),
+	}
+}
+
+// Generate materializes a full trace of n requests.
+func Generate(p Profile, n int64, seed int64) ([]trace.Record, error) {
+	g, err := NewGenerator(p, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trace.Record, 0, n)
+	for {
+		rec, ok := g.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+// GenerateDays produces a multi-day trace: one continuous generator run cut
+// into equal-length day segments, as the FIU collection was (Figs 1 and 5
+// report per-day series m1, m2, …). The underlying value and page state
+// persists across day boundaries, so later days can rebirth values created
+// earlier — exactly the behaviour the per-day figures rely on.
+func GenerateDays(p Profile, days int, perDay int64, seed int64) ([][]trace.Record, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("workload: days must be positive, got %d", days)
+	}
+	g, err := NewGenerator(p, int64(days)*perDay, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]trace.Record, days)
+	for d := range out {
+		day := make([]trace.Record, 0, perDay)
+		for int64(len(day)) < perDay {
+			rec, ok := g.Next()
+			if !ok {
+				break
+			}
+			day = append(day, rec)
+		}
+		out[d] = day
+	}
+	return out, nil
+}

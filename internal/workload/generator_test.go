@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"zombiessd/internal/trace"
+)
+
+func TestProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("have %d profiles, want the paper's 6", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range Names() {
+		p, ok := ProfileByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ProfileByName(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if p, ok := ProfileByName("MAIL"); !ok || p.Name != "mail" {
+		t.Error("ProfileByName must be case-insensitive")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("ProfileByName accepted unknown name")
+	}
+}
+
+func TestProfileValidateRejectsBad(t *testing.T) {
+	good, _ := ProfileByName("mail")
+	cases := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.WriteRatio = 1.5 },
+		func(p *Profile) { p.UniqueWriteFrac = -0.1 },
+		func(p *Profile) { p.FootprintFrac = 0 },
+		func(p *Profile) { p.FootprintFrac = 1.5 },
+		func(p *Profile) { p.WriteSpatialSkew = 1.0 },
+		func(p *Profile) { p.ReadSpatialSkew = 0.5 },
+		func(p *Profile) { p.ReuseRecencyBias = 2 },
+		func(p *Profile) { p.MeanInterarrivalUS = 0 },
+	}
+	for i, mutate := range cases {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid profile %+v", i, p)
+		}
+	}
+}
+
+func TestDayLabel(t *testing.T) {
+	if got := DayLabel("mail", 2); got != "m2" {
+		t.Errorf("DayLabel = %q, want m2", got)
+	}
+	if got := DayLabel("", 1); got != "?1" {
+		t.Errorf("DayLabel empty = %q", got)
+	}
+}
+
+func TestGeneratorRejectsBadInputs(t *testing.T) {
+	p, _ := ProfileByName("web")
+	if _, err := NewGenerator(p, 0, 1); err == nil {
+		t.Error("accepted zero request count")
+	}
+	p.WriteRatio = 2
+	if _, err := NewGenerator(p, 10, 1); err == nil {
+		t.Error("accepted invalid profile")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ProfileByName("mail")
+	a, err := Generate(p, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(p, 5000, 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, _ := Generate(p, 5000, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratorCountAndTimes(t *testing.T) {
+	p, _ := ProfileByName("home")
+	recs, err := Generate(p, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3000 {
+		t.Fatalf("generated %d records, want 3000", len(recs))
+	}
+	last := int64(-1)
+	for i, r := range recs {
+		if r.Time <= last {
+			t.Fatalf("record %d time %d not strictly after %d", i, r.Time, last)
+		}
+		last = r.Time
+	}
+	if recs[0].Op != trace.OpWrite {
+		t.Error("first record must be a write (nothing to read yet)")
+	}
+}
+
+func TestReadsReturnCurrentValue(t *testing.T) {
+	p, _ := ProfileByName("web")
+	g, err := NewGenerator(p, 20000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := make(map[uint64]trace.Hash)
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.Op == trace.OpWrite {
+			current[r.LBA] = r.Hash
+			continue
+		}
+		want, seen := current[r.LBA]
+		if !seen {
+			t.Fatalf("read of never-written LBA %d", r.LBA)
+		}
+		if r.Hash != want {
+			t.Fatalf("read of LBA %d returned hash %v, current content is %v", r.LBA, r.Hash, want)
+		}
+	}
+}
+
+func TestTableIICalibration(t *testing.T) {
+	// The generated traces must land near the paper's Table II for the two
+	// columns the generator controls directly.
+	for _, p := range Profiles() {
+		recs, err := Generate(p, 60000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := trace.Collect(recs)
+		if got, want := s.WriteRatio(), p.WriteRatio; math.Abs(got-want) > 0.02 {
+			t.Errorf("%s: write ratio = %.3f, want %.3f ± 0.02", p.Name, got, want)
+		}
+		if got, want := s.UniqueWriteValueRatio(), p.UniqueWriteFrac; math.Abs(got-want) > 0.02 {
+			t.Errorf("%s: unique write values = %.3f, want %.3f ± 0.02", p.Name, got, want)
+		}
+	}
+}
+
+func TestValuePopularitySkew(t *testing.T) {
+	// Fig 3a: ~20% of values account for ~80% of writes in mail. The
+	// preferential-attachment process must produce strong skew.
+	p, _ := ProfileByName("mail")
+	recs, err := Generate(p, 100000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[trace.Hash]int)
+	writes := 0
+	for _, r := range recs {
+		if r.Op == trace.OpWrite {
+			counts[r.Hash]++
+			writes++
+		}
+	}
+	byCount := make([]int, 0, len(counts))
+	for _, c := range counts {
+		byCount = append(byCount, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(byCount)))
+	top := len(byCount) / 5
+	var topWrites int
+	for _, c := range byCount[:top] {
+		topWrites += c
+	}
+	frac := float64(topWrites) / float64(writes)
+	if frac < 0.6 {
+		t.Errorf("top 20%% of values account for %.1f%% of writes; want ≥60%% (paper: ~80%%)", frac*100)
+	}
+}
+
+func TestFootprintBounded(t *testing.T) {
+	p, _ := ProfileByName("trans")
+	g, err := NewGenerator(p, 50000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbas := make(map[uint64]struct{})
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		lbas[r.LBA] = struct{}{}
+	}
+	if uint64(len(lbas)) > g.Footprint() {
+		t.Errorf("touched %d LBAs, footprint cap is %d", len(lbas), g.Footprint())
+	}
+}
+
+func TestGenerateDays(t *testing.T) {
+	p, _ := ProfileByName("mail")
+	days, err := GenerateDays(p, 3, 2000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 3 {
+		t.Fatalf("got %d days, want 3", len(days))
+	}
+	var last int64 = -1
+	for d, recs := range days {
+		if len(recs) != 2000 {
+			t.Fatalf("day %d has %d records, want 2000", d, len(recs))
+		}
+		for _, r := range recs {
+			if r.Time <= last {
+				t.Fatalf("time went backwards across day boundary at day %d", d)
+			}
+			last = r.Time
+		}
+	}
+	if _, err := GenerateDays(p, 0, 10, 1); err == nil {
+		t.Error("accepted zero days")
+	}
+}
+
+func TestDaysShareValueUniverse(t *testing.T) {
+	// Values written on day 1 must be re-writable on later days — that is
+	// the cross-day rebirth Figs 1/5 depend on.
+	p, _ := ProfileByName("mail")
+	days, err := GenerateDays(p, 2, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day1 := make(map[trace.Hash]struct{})
+	for _, r := range days[0] {
+		if r.Op == trace.OpWrite {
+			day1[r.Hash] = struct{}{}
+		}
+	}
+	shared := 0
+	for _, r := range days[1] {
+		if r.Op == trace.OpWrite {
+			if _, ok := day1[r.Hash]; ok {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Error("no day-1 value was rewritten on day 2; days do not share the value universe")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	p, _ := ProfileByName("web")
+	g, _ := NewGenerator(p, 10, 1)
+	if g.Remaining() != 10 {
+		t.Fatalf("Remaining = %d, want 10", g.Remaining())
+	}
+	g.Next()
+	if g.Remaining() != 9 {
+		t.Fatalf("Remaining after one = %d, want 9", g.Remaining())
+	}
+	for i := 0; i < 20; i++ {
+		g.Next()
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("Remaining after drain = %d, want 0", g.Remaining())
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("Next returned ok after exhaustion")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	ps := SortedCopy(Profiles())
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Name > ps[i].Name {
+			t.Fatal("SortedCopy not sorted")
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package zombie is the public API of the zombiessd library — a Go
+// reproduction of "Reviving Zombie Pages on SSDs" (IISWC 2018). It exposes
+// the simulated devices (baseline FTL, MQ dead-value pool, deduplication,
+// their combination, and the LX-SSD prior work), the workload and trace
+// tooling, and the offline characterization analyses, re-exported from the
+// internal substrate packages with convenience constructors.
+//
+// # Quick use
+//
+//	profile, _ := zombie.ProfileByName("mail")
+//	recs, _ := zombie.Generate(profile, 100_000, 42)
+//	cfg := zombie.DefaultConfig(zombie.KindDVP, zombie.FootprintOf(recs))
+//	dev, _ := zombie.NewDevice(cfg)
+//	res, _ := zombie.Run(dev, recs, zombie.RunOptions{
+//		LogicalPages:      cfg.LogicalPages,
+//		PreconditionPages: cfg.LogicalPages,
+//	})
+//	fmt.Println(res.Metrics.Revived, "writes short-circuited")
+//
+// The paper's full evaluation is reachable through Experiments, ExperimentByID
+// and RunMatrix; see cmd/zombiectl for the command-line interface.
+package zombie
+
+import (
+	"zombiessd/internal/analysis"
+	"zombiessd/internal/core"
+	"zombiessd/internal/dedup"
+	"zombiessd/internal/experiments"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/lxssd"
+	"zombiessd/internal/sim"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/stats"
+	"zombiessd/internal/trace"
+	"zombiessd/internal/workload"
+)
+
+// ----------------------------------------------------------- trace model --
+
+// Record is one block-trace request: a 4 KB read or write with a 16-byte
+// content hash.
+type Record = trace.Record
+
+// Hash is the 16-byte content digest identifying a value.
+type Hash = trace.Hash
+
+// Op is a request type (OpRead or OpWrite).
+type Op = trace.Op
+
+// Request types.
+const (
+	OpRead  = trace.OpRead
+	OpWrite = trace.OpWrite
+)
+
+// TraceStats summarizes a trace in the paper's Table II terms.
+type TraceStats = trace.Stats
+
+// HashOfValue derives a well-mixed Hash from an abstract value identifier.
+func HashOfValue(id uint64) Hash { return trace.HashOfValue(id) }
+
+// CollectStats computes TraceStats over a record stream.
+func CollectStats(recs []Record) TraceStats { return trace.Collect(recs) }
+
+// NewTraceWriter and NewTraceReader stream the binary trace codec.
+var (
+	NewTraceWriter = trace.NewWriter
+	NewTraceReader = trace.NewReader
+)
+
+// ReadTextTrace and WriteTextTrace handle the one-record-per-line format.
+var (
+	ReadTextTrace  = trace.ReadText
+	WriteTextTrace = trace.WriteText
+)
+
+// ReadFIUTrace parses the FIU/SRCMap key-value trace format, so the paper's
+// original inputs can be replayed directly.
+var ReadFIUTrace = trace.ReadFIU
+
+// ------------------------------------------------------------- workloads --
+
+// Profile parameterizes one synthetic workload (see Profiles for the six
+// Table II presets).
+type Profile = workload.Profile
+
+// Generator streams a synthetic trace record by record.
+type Generator = workload.Generator
+
+// Workload constructors and presets.
+var (
+	Profiles      = workload.Profiles
+	ProfileByName = workload.ProfileByName
+	WorkloadNames = workload.Names
+	NewGenerator  = workload.NewGenerator
+	Generate      = workload.Generate
+	GenerateDays  = workload.GenerateDays
+	DayLabel      = workload.DayLabel
+)
+
+// FootprintOf returns the logical address-space size (max LBA + 1) a trace
+// requires.
+func FootprintOf(recs []Record) int64 {
+	var footprint int64
+	for _, r := range recs {
+		if int64(r.LBA) >= footprint {
+			footprint = int64(r.LBA) + 1
+		}
+	}
+	return footprint
+}
+
+// --------------------------------------------------------- physical model --
+
+// Geometry describes the simulated drive's physical organization.
+type Geometry = ssd.Geometry
+
+// Time is simulated time in microseconds.
+type Time = ssd.Time
+
+// LPN is a logical (host-visible) page number.
+type LPN = ftl.LPN
+
+// PPN is a physical page number.
+type PPN = ssd.PPN
+
+// Latency holds the flash operation service times.
+type Latency = ssd.Latency
+
+// Physical-model constructors.
+var (
+	PaperGeometry = ssd.PaperGeometry // Table I: the 1 TB drive
+	PaperLatency  = ssd.PaperLatency  // Table I timings
+	GeometryFor   = sim.GeometryFor   // scaled drive for a footprint
+)
+
+// ------------------------------------------------------------- dead pool --
+
+// Pool is the dead-value pool interface (the paper's contribution).
+type Pool = core.Pool
+
+// PoolStats counts pool events.
+type PoolStats = core.PoolStats
+
+// MQConfig parameterizes the multi-queue pool.
+type MQConfig = core.MQConfig
+
+// AdaptiveConfig parameterizes the self-tuning pool extension.
+type AdaptiveConfig = core.AdaptiveConfig
+
+// Ledger tracks per-value write popularity.
+type Ledger = core.Ledger
+
+// Pool constructors.
+var (
+	NewLedger             = core.NewLedger
+	NewMQPool             = core.NewMQPool
+	NewLRUPool            = core.NewLRUPool
+	NewInfinitePool       = core.NewInfinitePool
+	NewAdaptivePool       = core.NewAdaptivePool
+	DefaultMQConfig       = core.DefaultMQConfig
+	DefaultAdaptiveConfig = core.DefaultAdaptiveConfig
+)
+
+// ----------------------------------------------------------------- devices --
+
+// Device is one simulated SSD.
+type Device = sim.Device
+
+// Config assembles a device; Kind picks the architecture and PoolKind the
+// dead-value pool policy.
+type Config = sim.Config
+
+// Kind selects the device architecture.
+type Kind = sim.Kind
+
+// PoolKind selects the dead-value pool replacement policy.
+type PoolKind = sim.PoolKind
+
+// DeviceMetrics counts a run's flash activity and short-circuited writes.
+type DeviceMetrics = sim.DeviceMetrics
+
+// RunOptions configures a trace replay.
+type RunOptions = sim.RunOptions
+
+// Result is the outcome of one replay.
+type Result = sim.Result
+
+// The evaluated system architectures.
+const (
+	KindBaseline = sim.KindBaseline
+	KindDVP      = sim.KindDVP
+	KindDedup    = sim.KindDedup
+	KindDVPDedup = sim.KindDVPDedup
+	KindLX       = sim.KindLX
+)
+
+// The pool policies for the DVP architectures.
+const (
+	PoolMQ       = sim.PoolMQ
+	PoolLRU      = sim.PoolLRU
+	PoolInfinite = sim.PoolInfinite
+	PoolAdaptive = sim.PoolAdaptive
+)
+
+// Device construction and replay.
+var (
+	NewDevice = sim.NewDevice
+	Run       = sim.Run
+)
+
+// StoreConfig parameterizes the FTL's physical store (GC threshold,
+// popularity-aware victim weight, wear-aware allocation).
+type StoreConfig = ftl.StoreConfig
+
+// LXConfig parameterizes the LX-SSD prior-work recycler.
+type LXConfig = lxssd.Config
+
+// DedupStats counts deduplication events.
+type DedupStats = dedup.Stats
+
+// DefaultPopularityWeight is the recommended GC victim-score weight for the
+// DVP architectures (see DESIGN.md §7 for the calibration).
+const DefaultPopularityWeight = sim.DefaultPopularityWeight
+
+// DefaultConfig assembles a ready-to-run configuration for the given
+// architecture over a drive sized for footprint logical pages at 75%
+// utilization, with the paper's latencies, an MQ pool scaled to a tenth of
+// the footprint, and popularity-aware GC for the DVP architectures.
+func DefaultConfig(kind Kind, footprint int64) Config {
+	entries := int(footprint / 10)
+	if entries < 64 {
+		entries = 64
+	}
+	weight := 0.0
+	if kind == KindDVP || kind == KindDVPDedup {
+		weight = DefaultPopularityWeight
+	}
+	return Config{
+		Geometry:     GeometryFor(footprint, 0.75),
+		Latency:      PaperLatency(),
+		Store:        StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: weight},
+		LogicalPages: footprint,
+		Kind:         kind,
+		PoolKind:     PoolMQ,
+		MQ:           MQConfig{Queues: 8, Capacity: entries, DefaultLifetime: 8192},
+		LRUCapacity:  entries,
+		Adaptive: AdaptiveConfig{
+			MQ:          MQConfig{Queues: 8, Capacity: entries, DefaultLifetime: 8192},
+			MinCapacity: entries / 4,
+			MaxCapacity: entries * 8,
+			Window:      8192,
+			Step:        0.25,
+		},
+		LX: LXConfig{Capacity: entries, MinPopularity: 0},
+	}
+}
+
+// --------------------------------------------------------------- analysis --
+
+// Lifecycle is the outcome of a value life-cycle pass over a trace.
+type Lifecycle = analysis.Lifecycle
+
+// ValueStats is one value's creation/death/rebirth accounting.
+type ValueStats = analysis.ValueStats
+
+// ReuseReport is the Fig 1 infinite-buffer reuse opportunity.
+type ReuseReport = analysis.ReuseReport
+
+// Offline analyses (Section II/III of the paper).
+var (
+	AnalyzeLifecycle    = analysis.AnalyzeLifecycle
+	ReuseOpportunity    = analysis.ReuseOpportunity
+	LRUWriteSweep       = analysis.LRUWriteSweep
+	MQWriteSweep        = analysis.MQWriteSweep
+	LRUMissByPopularity = analysis.LRUMissByPopularity
+)
+
+// Concentration metrics for Lifecycle.Concentration (Fig 3).
+var (
+	WritesMetric   = analysis.WritesMetric
+	DeathsMetric   = analysis.DeathsMetric
+	RebirthsMetric = analysis.RebirthsMetric
+)
+
+// -------------------------------------------------------------- statistics --
+
+// Histogram is a log-bucketed latency histogram with quantile queries.
+type Histogram = stats.Histogram
+
+// LatencySummary condenses a histogram (count, mean, p99, max).
+type LatencySummary = stats.Summary
+
+// Reduction arithmetic used in the figures.
+var (
+	ReductionPct  = stats.ReductionPct
+	NormalizedPct = stats.NormalizedPct
+)
+
+// ------------------------------------------------------------ experiments --
+
+// Experiment is one registered paper artifact (figure or table).
+type Experiment = experiments.Experiment
+
+// ExperimentOptions scales the experiment runs.
+type ExperimentOptions = experiments.Options
+
+// Matrix caches the full-simulation results shared by Figs 9–15.
+type Matrix = experiments.Matrix
+
+// Experiment access.
+var (
+	Experiments              = experiments.All
+	ExperimentByID           = experiments.ByID
+	DefaultExperimentOptions = experiments.DefaultOptions
+	RunMatrix                = experiments.RunMatrix
+)

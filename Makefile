@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples clean
+.PHONY: all build vet test race bench fuzz-short repro examples clean
 
 all: build vet test
 
@@ -21,6 +21,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Short fuzz smoke over the trace codecs (seed corpora live in
+# internal/trace/testdata/fuzz/).
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzParseTextRecord -fuzztime=5s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzBinaryReader -fuzztime=5s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzReadFIU -fuzztime=5s ./internal/trace
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"zombiessd/internal/core"
+	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/sim"
@@ -26,33 +27,51 @@ import (
 	"zombiessd/internal/workload"
 )
 
+// params collects every flag-settable knob of one simulation run.
+type params struct {
+	tracePath, traceFmt string
+	workload            string
+	n, seed             int64
+	system, pool        string
+	entries, queues     int
+	util                float64
+	softGC, wbufPages   int
+	streams, precond    bool
+	faults              fault.Config
+}
+
 func main() {
-	var (
-		tracePath = flag.String("trace", "", "trace file ('-' = stdin); empty generates -workload")
-		traceFmt  = flag.String("tracefmt", "binary", "trace input codec: binary, text, or fiu (FIU/SRCMap)")
-		name      = flag.String("workload", "mail", "workload to generate when no -trace is given")
-		n         = flag.Int64("n", 200_000, "requests to generate when no -trace is given")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		system    = flag.String("system", "dvp", "system: baseline, dvp, dedup, dvp+dedup, lx")
-		pool      = flag.String("pool", "mq", "dead-value pool policy for dvp systems: mq, lru, infinite")
-		entries   = flag.Int("entries", 20_000, "dead-value pool capacity in entries")
-		queues    = flag.Int("queues", 8, "MQ queue count")
-		util      = flag.Float64("util", 0.75, "drive utilization (footprint / exported capacity)")
-		softGC    = flag.Int("softgc", 0, "background GC soft threshold in free blocks (0 = off)")
-		wbufPages = flag.Int("wbuf", 0, "DRAM write-back buffer size in 4KB pages (0 = none)")
-		streams   = flag.Bool("streams", false, "hot/cold multi-stream write placement")
-		precond   = flag.Bool("precondition", true, "fill the footprint before the timed run")
-	)
+	var p params
+	flag.StringVar(&p.tracePath, "trace", "", "trace file ('-' = stdin); empty generates -workload")
+	flag.StringVar(&p.traceFmt, "tracefmt", "binary", "trace input codec: binary, text, or fiu (FIU/SRCMap)")
+	flag.StringVar(&p.workload, "workload", "mail", "workload to generate when no -trace is given")
+	flag.Int64Var(&p.n, "n", 200_000, "requests to generate when no -trace is given")
+	flag.Int64Var(&p.seed, "seed", 1, "generator seed")
+	flag.StringVar(&p.system, "system", "dvp", "system: baseline, dvp, dedup, dvp+dedup, lx")
+	flag.StringVar(&p.pool, "pool", "mq", "dead-value pool policy for dvp systems: mq, lru, infinite")
+	flag.IntVar(&p.entries, "entries", 20_000, "dead-value pool capacity in entries")
+	flag.IntVar(&p.queues, "queues", 8, "MQ queue count")
+	flag.Float64Var(&p.util, "util", 0.75, "drive utilization (footprint / exported capacity)")
+	flag.IntVar(&p.softGC, "softgc", 0, "background GC soft threshold in free blocks (0 = off)")
+	flag.IntVar(&p.wbufPages, "wbuf", 0, "DRAM write-back buffer size in 4KB pages (0 = none)")
+	flag.BoolVar(&p.streams, "streams", false, "hot/cold multi-stream write placement")
+	flag.BoolVar(&p.precond, "precondition", true, "fill the footprint before the timed run")
+	flag.Float64Var(&p.faults.ProgramFailProb, "fault-program", 0, "program-status failure probability (0 = perfect drive)")
+	flag.Float64Var(&p.faults.EraseFailProb, "fault-erase", 0, "erase failure probability (failed blocks retire as bad)")
+	flag.Float64Var(&p.faults.ReadFailProb, "fault-read", 0, "probability a read needs an ECC retry")
+	flag.IntVar(&p.faults.ReadRetries, "fault-read-retries", 0, "max ECC retry reads per failing read (0 = default)")
+	flag.Float64Var(&p.faults.WearFactor, "fault-wear", 0, "failure-probability scaling per block erase")
+	flag.Int64Var(&p.faults.Seed, "fault-seed", 0, "fault stream seed")
 	flag.Parse()
 
-	if err := run(*tracePath, *traceFmt, *name, *n, *seed, *system, *pool, *entries, *queues, *softGC, *wbufPages, *util, *precond, *streams); err != nil {
+	if err := run(p); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, traceFmt, name string, n, seed int64, system, pool string, entries, queues, softGC, wbufPages int, util float64, precond, streams bool) error {
-	recs, err := loadTrace(tracePath, traceFmt, name, n, seed)
+func run(p params) error {
+	recs, err := loadTrace(p.tracePath, p.traceFmt, p.workload, p.n, p.seed)
 	if err != nil {
 		return err
 	}
@@ -66,7 +85,7 @@ func run(tracePath, traceFmt, name string, n, seed int64, system, pool string, e
 		}
 	}
 
-	kind := sim.Kind(strings.ToLower(system))
+	kind := sim.Kind(strings.ToLower(p.system))
 	if kind == "lx-ssd" {
 		kind = sim.KindLX
 	}
@@ -75,31 +94,32 @@ func run(tracePath, traceFmt, name string, n, seed int64, system, pool string, e
 		popWeight = sim.DefaultPopularityWeight
 	}
 	cfg := sim.Config{
-		Geometry:     sim.GeometryFor(footprint, util),
+		Geometry:     sim.GeometryFor(footprint, p.util),
 		Latency:      ssd.PaperLatency(),
-		Store:        ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: softGC},
+		Store:        ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: p.softGC},
 		LogicalPages: footprint,
 		Kind:         kind,
-		PoolKind:     sim.PoolKind(strings.ToLower(pool)),
-		MQ:           core.MQConfig{Queues: queues, Capacity: entries, DefaultLifetime: 8192},
-		LRUCapacity:  entries,
+		PoolKind:     sim.PoolKind(strings.ToLower(p.pool)),
+		MQ:           core.MQConfig{Queues: p.queues, Capacity: p.entries, DefaultLifetime: 8192},
+		LRUCapacity:  p.entries,
 		Adaptive: core.AdaptiveConfig{
-			MQ:          core.MQConfig{Queues: queues, Capacity: entries, DefaultLifetime: 8192},
-			MinCapacity: entries / 4,
-			MaxCapacity: entries * 8,
+			MQ:          core.MQConfig{Queues: p.queues, Capacity: p.entries, DefaultLifetime: 8192},
+			MinCapacity: p.entries / 4,
+			MaxCapacity: p.entries * 8,
 			Window:      8192,
 			Step:        0.25,
 		},
-		LX:               lxssd.Config{Capacity: entries, MinPopularity: 2},
-		WriteBufferPages: wbufPages,
-		HotColdStreams:   streams,
+		LX:               lxssd.Config{Capacity: p.entries, MinPopularity: 2},
+		WriteBufferPages: p.wbufPages,
+		HotColdStreams:   p.streams,
+		Faults:           p.faults,
 	}
 	dev, err := sim.NewDevice(cfg)
 	if err != nil {
 		return err
 	}
 	opts := sim.RunOptions{LogicalPages: footprint}
-	if precond {
+	if p.precond {
 		opts.PreconditionPages = footprint
 	}
 	res, err := sim.Run(dev, recs, opts)
@@ -149,6 +169,9 @@ func printResult(cfg sim.Config, requests int, res sim.Result) {
 	fmt.Printf("short-circ  revived=%d  dedupHits=%d  (%.1f%% of writes)\n",
 		m.Revived, m.DedupHits, 100*float64(m.ShortCircuited())/float64(max64(m.HostWrites, 1)))
 	fmt.Printf("gc          %+v\n", m.GC)
+	if cfg.Faults.Enabled() {
+		fmt.Printf("faults      %+v\n", m.Faults)
+	}
 	fmt.Printf("pool        %v\n", m.Pool)
 	fmt.Printf("latency all    %v\n", res.All)
 	fmt.Printf("latency reads  %v\n", res.Reads)

@@ -26,6 +26,12 @@ func main() {
 	flag.IntVar(&opts.Days, "days", opts.Days, "days for the per-day figures (1 and 5)")
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "workload generator seed")
 	flag.Float64Var(&opts.Utilization, "util", opts.Utilization, "drive utilization (footprint / exported capacity)")
+	flag.Float64Var(&opts.Faults.ProgramFailProb, "fault-program", 0, "program-status failure probability (0 = perfect drive)")
+	flag.Float64Var(&opts.Faults.EraseFailProb, "fault-erase", 0, "erase failure probability (failed blocks retire as bad)")
+	flag.Float64Var(&opts.Faults.ReadFailProb, "fault-read", 0, "probability a read needs an ECC retry")
+	flag.IntVar(&opts.Faults.ReadRetries, "fault-read-retries", 0, "max ECC retry reads per failing read (0 = default)")
+	flag.Float64Var(&opts.Faults.WearFactor, "fault-wear", 0, "failure-probability scaling per block erase")
+	flag.Int64Var(&opts.Faults.Seed, "fault-seed", 0, "fault stream seed")
 	quiet := flag.Bool("q", false, "suppress progress notes on stderr")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	flag.Usage = usage

@@ -301,6 +301,7 @@ func RunAblationBGC(o Options) (*AblationBGCResult, error) {
 			Kind:         sim.KindBaseline,
 			PoolKind:     sim.PoolMQ,
 			MQ:           core.MQConfig{Queues: 8, Capacity: 1000, DefaultLifetime: 8192},
+			Faults:       o.Faults,
 		}
 		dev, err := sim.NewDevice(cfg)
 		if err != nil {

@@ -4,11 +4,16 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"zombiessd/internal/sim"
 	"zombiessd/internal/trace"
 	"zombiessd/internal/workload"
 )
+
+// cellsSimulated counts the matrix cells that reached sim.Run, so tests can
+// assert that workers stop simulating once an error is recorded.
+var cellsSimulated atomic.Int64
 
 // System names the full-simulation configurations of Section V-A. Pool
 // sizes are in paper entries (scaled by Options.ScaleEntries).
@@ -141,10 +146,19 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 		go func() {
 			defer wg.Done()
 			for c := range cells {
+				// A recorded error dooms the whole matrix; skip the
+				// remaining cells instead of simulating them at full cost.
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
 				td := traces[c.workload]
 				dev, err := o.buildDevice(c.sys, td.footprint)
 				if err == nil {
 					var res sim.Result
+					cellsSimulated.Add(1)
 					res, err = sim.Run(dev, td.recs, sim.RunOptions{
 						LogicalPages:      td.footprint,
 						PreconditionPages: td.footprint,

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"zombiessd/internal/core"
+	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/sim"
@@ -37,6 +38,10 @@ type Options struct {
 	// Utilization is the footprint : exported-capacity ratio of the
 	// simulated drives; higher means more GC pressure.
 	Utilization float64
+	// Faults is the reliability plan applied to every simulated device.
+	// The zero value (the default) models perfect drives, keeping all
+	// paper figures bit-identical.
+	Faults fault.Config
 }
 
 // DefaultOptions returns the scale used by `zombiectl` unless overridden:
@@ -55,6 +60,9 @@ func (o Options) Validate() error {
 	}
 	if o.Utilization <= 0 || o.Utilization >= 1 {
 		return fmt.Errorf("experiments: utilization must be in (0,1), got %g", o.Utilization)
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -87,6 +95,7 @@ func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolK
 		MQ:           core.MQConfig{Queues: 8, Capacity: entries, DefaultLifetime: 8192},
 		LRUCapacity:  entries,
 		LX:           lxssd.Config{Capacity: entries, MinPopularity: 0},
+		Faults:       o.Faults,
 	}
 }
 

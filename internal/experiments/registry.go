@@ -55,6 +55,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationAdaptive(o) }},
 	{ID: "ablation-bgc", Title: "Ablation: background GC (idle-time dead-block erasure)",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationBGC(o) }},
+	{ID: "ablation-faults", Title: "Ablation: fault injection (write reduction and p99 vs fault rate)",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationFaults(o) }},
 	{ID: "stability", Title: "Stability: Fig 9 headline across seeds",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunStability(o) }},
 }

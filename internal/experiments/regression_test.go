@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestFig9HeadlineRegression pins the DESIGN.md §5 headline shapes at the
+// reduced test scale, with bands wide enough to absorb scale noise but
+// tight enough that a refactor silently breaking the reproduction fails:
+// at smallOpts the mean 200K write reduction measures ≈ 21.7%, mail ≈ 68%.
+func TestFig9HeadlineRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation regression in -short mode")
+	}
+	o := smallOpts()
+	fig9, err := RunFig9(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig9.Mean200K < 13.7 || fig9.Mean200K > 29.7 {
+		t.Errorf("mean 200K write reduction %.1f%% left the pinned band [13.7%%, 29.7%%]", fig9.Mean200K)
+	}
+	var mail Fig9Row
+	for _, r := range fig9.Rows {
+		if r.Workload == "mail" {
+			mail = r
+		}
+	}
+	if mail.Workload == "" {
+		t.Fatal("fig9 has no mail row")
+	}
+	for _, r := range fig9.Rows {
+		if r.Workload != "mail" && r.Red200K >= mail.Red200K {
+			t.Errorf("%s reduction %.1f%% matches or beats mail's %.1f%% — mail must be the largest winner",
+				r.Workload, r.Red200K, mail.Red200K)
+		}
+		// DVP never does worse than baseline (small negative noise allowed).
+		if r.Red200K < -0.5 {
+			t.Errorf("%s: DVP-200K reduction %.1f%% is below baseline", r.Workload, r.Red200K)
+		}
+	}
+	if mail.Red200K < 50 {
+		t.Errorf("mail reduction %.1f%%, want the paper's dominant (>50%%) win", mail.Red200K)
+	}
+}
+
+// TestMatrixAbortsPromptly pins the error path of RunMatrix: once a cell
+// records an error, the remaining queued cells are skipped instead of being
+// simulated at full cost. GOMAXPROCS(1) serializes the single worker so the
+// bogus first cell deterministically poisons the queue before any real cell
+// starts.
+func TestMatrixAbortsPromptly(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	before := cellsSimulated.Load()
+	_, err := RunMatrix(smallOpts(), []string{"web", "mail"}, []System{"bogus", SysBaseline})
+	if err == nil {
+		t.Fatal("matrix with a bogus system succeeded")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error does not name the bogus system: %v", err)
+	}
+	if got := cellsSimulated.Load() - before; got != 0 {
+		t.Errorf("%d cells were simulated after the build error; want 0 skipped-on-error", got)
+	}
+}
+
+// TestMatrixInvalidWorkload covers the pre-queue error path too.
+func TestMatrixInvalidWorkload(t *testing.T) {
+	if _, err := RunMatrix(smallOpts(), []string{"no-such-workload"}, []System{SysBaseline}); err == nil {
+		t.Fatal("matrix with an unknown workload succeeded")
+	}
+}

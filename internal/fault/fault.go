@@ -1,0 +1,221 @@
+// Package fault is the reliability model of the simulated flash: a
+// deterministic, seedable plan of ONFI-realistic failures that the FTL
+// consults on every program, erase and read. Three failure classes are
+// modeled, mirroring what a real controller sees in the status register:
+//
+//   - program-status failures: the program completed but the status read
+//     reports failure; the page contents are untrustworthy, the data must
+//     re-land on a fresh page and the block becomes suspect;
+//   - erase failures: the block cannot be erased and is retired as bad,
+//     permanently shrinking its plane's free pool;
+//   - read failures: the raw read exceeds ECC capability and the controller
+//     must retry with adjusted thresholds, costing extra read latency.
+//
+// Failure probabilities optionally scale with a block's erase count
+// (Config.WearFactor), so wear-out emerges over the run: young blocks
+// almost never fail, cycled ones fail increasingly often.
+//
+// All randomness comes from a splitmix64 stream seeded by Config.Seed, so
+// two runs with the same plan and the same request stream inject byte-for-
+// byte identical faults regardless of host, Go version or scheduling. The
+// zero Config disables injection entirely; the FTL then performs no draws
+// and behaves exactly as a fault-free drive.
+package fault
+
+import "fmt"
+
+// Defaults applied by Config.WithDefaults when the corresponding field is
+// zero and the failure class is enabled.
+const (
+	// DefaultReadRetries bounds the ECC retry reads issued per failing
+	// page read.
+	DefaultReadRetries = 3
+	// DefaultMaxProgramAttempts bounds how many pages one logical program
+	// may burn before the FTL gives up with ErrProgramFault (ftl package).
+	DefaultMaxProgramAttempts = 8
+)
+
+// Config is the fault plan of one simulated drive. The zero value disables
+// every failure class. Probabilities are per operation, before wear
+// scaling.
+type Config struct {
+	// Seed selects the deterministic fault stream. Two devices with equal
+	// plans and seeds, driven by the same request sequence, fail
+	// identically. Seed 0 is a valid stream (it does not mean "random").
+	Seed int64
+
+	// ProgramFailProb is the probability a page program reports a
+	// program-status failure.
+	ProgramFailProb float64
+	// EraseFailProb is the probability a block erase fails, retiring the
+	// block as bad.
+	EraseFailProb float64
+	// ReadFailProb is the probability a page read needs an ECC retry.
+	// Every retry is drawn again, so one read can need several.
+	ReadFailProb float64
+
+	// ReadRetries bounds the ECC retry reads per failing page read;
+	// 0 means DefaultReadRetries when ReadFailProb > 0.
+	ReadRetries int
+	// MaxProgramAttempts bounds the pages one logical program may try
+	// (first attempt + retries) before the FTL reports ErrProgramFault;
+	// 0 means DefaultMaxProgramAttempts.
+	MaxProgramAttempts int
+
+	// WearFactor scales failure probabilities with block wear: the
+	// effective probability is base × (1 + WearFactor × eraseCount),
+	// clamped to 1. 0 keeps failures independent of wear.
+	WearFactor float64
+
+	// SuspectThreshold retires a block at its next (successful) erase once
+	// it has accumulated this many program-status failures — the
+	// controller policy of not trusting a block that keeps failing
+	// programs. 0 never retires on suspicion alone.
+	SuspectThreshold int
+}
+
+// Enabled reports whether the plan injects any faults at all.
+func (c Config) Enabled() bool {
+	return c.ProgramFailProb > 0 || c.EraseFailProb > 0 || c.ReadFailProb > 0
+}
+
+// Validate reports whether the plan is usable.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ProgramFailProb", c.ProgramFailProb},
+		{"EraseFailProb", c.EraseFailProb},
+		{"ReadFailProb", c.ReadFailProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s must be in [0,1], got %g", p.name, p.v)
+		}
+	}
+	if c.ReadRetries < 0 {
+		return fmt.Errorf("fault: ReadRetries must be ≥ 0, got %d", c.ReadRetries)
+	}
+	if c.MaxProgramAttempts < 0 {
+		return fmt.Errorf("fault: MaxProgramAttempts must be ≥ 0, got %d", c.MaxProgramAttempts)
+	}
+	if c.WearFactor < 0 {
+		return fmt.Errorf("fault: WearFactor must be ≥ 0, got %g", c.WearFactor)
+	}
+	if c.SuspectThreshold < 0 {
+		return fmt.Errorf("fault: SuspectThreshold must be ≥ 0, got %d", c.SuspectThreshold)
+	}
+	return nil
+}
+
+// WithDefaults returns c with the retry bounds filled in where zero.
+func (c Config) WithDefaults() Config {
+	if c.ReadRetries == 0 && c.ReadFailProb > 0 {
+		c.ReadRetries = DefaultReadRetries
+	}
+	if c.MaxProgramAttempts == 0 {
+		c.MaxProgramAttempts = DefaultMaxProgramAttempts
+	}
+	return c
+}
+
+// Stats counts every fault injected and every recovery action the FTL took.
+type Stats struct {
+	ProgramFailures int64 // program-status failures reported
+	EraseFailures   int64 // erases that failed outright
+	ReadRetries     int64 // extra ECC retry reads issued
+	RetiredBlocks   int64 // blocks retired as bad (erase failure or suspicion)
+	SuspectBlocks   int64 // blocks first marked suspect by a program failure
+	Relocations     int64 // programs re-landed on a fresh page after a failure
+}
+
+// Any reports whether any fault activity was recorded.
+func (s Stats) Any() bool { return s != Stats{} }
+
+// Sub returns s minus prev, field-wise.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		ProgramFailures: s.ProgramFailures - prev.ProgramFailures,
+		EraseFailures:   s.EraseFailures - prev.EraseFailures,
+		ReadRetries:     s.ReadRetries - prev.ReadRetries,
+		RetiredBlocks:   s.RetiredBlocks - prev.RetiredBlocks,
+		SuspectBlocks:   s.SuspectBlocks - prev.SuspectBlocks,
+		Relocations:     s.Relocations - prev.Relocations,
+	}
+}
+
+// Injector draws fault decisions from the plan's deterministic stream. It
+// is purely a decision-maker: it owns no FTL state and keeps no counters —
+// the FTL records the recovery actions it takes. Injector is not safe for
+// concurrent use; each simulated device owns one, matching the simulator's
+// single-goroutine device contract.
+type Injector struct {
+	cfg   Config
+	state uint64
+}
+
+// New returns an Injector for the plan, or nil when the plan injects
+// nothing — callers treat a nil Injector as a perfect drive.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	cfg = cfg.WithDefaults()
+	// Seed the splitmix64 state; the golden-ratio offset keeps seed 0 a
+	// productive stream.
+	return &Injector{cfg: cfg, state: uint64(cfg.Seed) + 0x9e3779b97f4a7c15}
+}
+
+// Config returns the plan (with defaults applied) the injector draws from.
+func (in *Injector) Config() Config { return in.cfg }
+
+// next64 advances the splitmix64 stream.
+func (in *Injector) next64() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// draw returns a uniform float64 in [0, 1).
+func (in *Injector) draw() float64 {
+	return float64(in.next64()>>11) / (1 << 53)
+}
+
+// effective scales a base probability by block wear, clamped to 1.
+func (in *Injector) effective(base float64, eraseCount int32) float64 {
+	p := base * (1 + in.cfg.WearFactor*float64(eraseCount))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// decide draws once against the wear-scaled probability. Classes with a
+// zero base probability never draw, so enabling one class does not perturb
+// another's stream alignment across configurations.
+func (in *Injector) decide(base float64, eraseCount int32) bool {
+	if base <= 0 {
+		return false
+	}
+	return in.draw() < in.effective(base, eraseCount)
+}
+
+// ProgramFails reports whether a program on a block with the given erase
+// count reports a program-status failure.
+func (in *Injector) ProgramFails(eraseCount int32) bool {
+	return in.decide(in.cfg.ProgramFailProb, eraseCount)
+}
+
+// EraseFails reports whether an erase of a block with the given erase count
+// fails, retiring the block.
+func (in *Injector) EraseFails(eraseCount int32) bool {
+	return in.decide(in.cfg.EraseFailProb, eraseCount)
+}
+
+// ReadFails reports whether a read of a page in a block with the given
+// erase count needs an ECC retry. Callers draw again per retry.
+func (in *Injector) ReadFails(eraseCount int32) bool {
+	return in.decide(in.cfg.ReadFailProb, eraseCount)
+}

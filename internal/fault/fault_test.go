@@ -1,0 +1,173 @@
+package fault
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{ProgramFailProb: 0.01, EraseFailProb: 0.001, ReadFailProb: 0.1, Seed: 7},
+		{ProgramFailProb: 1, WearFactor: 0.5, SuspectThreshold: 3},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("case %d: rejected valid config: %v", i, err)
+		}
+	}
+	bad := []Config{
+		{ProgramFailProb: -0.1},
+		{EraseFailProb: 1.5},
+		{ReadFailProb: 2},
+		{ReadRetries: -1},
+		{MaxProgramAttempts: -2},
+		{WearFactor: -1},
+		{SuspectThreshold: -3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, c)
+		}
+	}
+}
+
+func TestEnabledAndNilInjector(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if New(Config{}) != nil {
+		t.Error("zero config built a non-nil injector")
+	}
+	if New(Config{WearFactor: 1}) != nil {
+		t.Error("wear factor alone (no failure class) built an injector")
+	}
+	if New(Config{ReadFailProb: 0.1}) == nil {
+		t.Error("enabled config built a nil injector")
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{ReadFailProb: 0.5}.WithDefaults()
+	if c.ReadRetries != DefaultReadRetries {
+		t.Errorf("ReadRetries = %d, want default %d", c.ReadRetries, DefaultReadRetries)
+	}
+	if c.MaxProgramAttempts != DefaultMaxProgramAttempts {
+		t.Errorf("MaxProgramAttempts = %d, want default %d", c.MaxProgramAttempts, DefaultMaxProgramAttempts)
+	}
+	c = Config{ReadFailProb: 0.5, ReadRetries: 7, MaxProgramAttempts: 2}.WithDefaults()
+	if c.ReadRetries != 7 || c.MaxProgramAttempts != 2 {
+		t.Errorf("explicit bounds overwritten: %+v", c)
+	}
+	// Reads disabled: no retry default is forced in.
+	if c := (Config{ProgramFailProb: 0.1}).WithDefaults(); c.ReadRetries != 0 {
+		t.Errorf("ReadRetries defaulted to %d with reads disabled", c.ReadRetries)
+	}
+}
+
+// TestDeterministicStream pins the contract the simulator's reproducibility
+// rests on: equal seeds ⇒ identical decision sequences, and the sequence
+// depends only on the draws made.
+func TestDeterministicStream(t *testing.T) {
+	cfg := Config{Seed: 42, ProgramFailProb: 0.3, EraseFailProb: 0.2, ReadFailProb: 0.4}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 10_000; i++ {
+		if a.ProgramFails(5) != b.ProgramFails(5) {
+			t.Fatalf("program decision %d diverged between equal seeds", i)
+		}
+		if a.EraseFails(9) != b.EraseFails(9) {
+			t.Fatalf("erase decision %d diverged between equal seeds", i)
+		}
+		if a.ReadFails(1) != b.ReadFails(1) {
+			t.Fatalf("read decision %d diverged between equal seeds", i)
+		}
+	}
+
+	// Different seeds must (with overwhelming probability) diverge.
+	c := New(Config{Seed: 43, ProgramFailProb: 0.3})
+	d := New(Config{Seed: 42, ProgramFailProb: 0.3})
+	diverged := false
+	for i := 0; i < 1000; i++ {
+		if c.ProgramFails(0) != d.ProgramFails(0) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 produced identical 1000-decision streams")
+	}
+}
+
+// TestFailureRateTracksProbability checks the stream is unbiased enough for
+// rates to be configured meaningfully.
+func TestFailureRateTracksProbability(t *testing.T) {
+	const n = 200_000
+	for _, p := range []float64{0.01, 0.25, 0.9} {
+		in := New(Config{Seed: 1, ProgramFailProb: p})
+		fails := 0
+		for i := 0; i < n; i++ {
+			if in.ProgramFails(0) {
+				fails++
+			}
+		}
+		got := float64(fails) / n
+		if got < p*0.9-0.005 || got > p*1.1+0.005 {
+			t.Errorf("p=%g: observed failure rate %g outside ±10%%", p, got)
+		}
+	}
+}
+
+// TestWearScaling checks that erase count raises the effective failure rate
+// and that scaling clamps at certainty.
+func TestWearScaling(t *testing.T) {
+	const n = 100_000
+	rate := func(eraseCount int32) float64 {
+		in := New(Config{Seed: 5, EraseFailProb: 0.01, WearFactor: 0.5})
+		fails := 0
+		for i := 0; i < n; i++ {
+			if in.EraseFails(eraseCount) {
+				fails++
+			}
+		}
+		return float64(fails) / n
+	}
+	young, worn := rate(0), rate(40) // 0.01 vs 0.01×21 = 0.21
+	if worn < young*5 {
+		t.Errorf("wear scaling too weak: young %g, worn %g", young, worn)
+	}
+	// 1000 erases at factor 0.5 pushes 0.01 past 1: every erase fails.
+	in := New(Config{Seed: 5, EraseFailProb: 0.01, WearFactor: 0.5})
+	for i := 0; i < 1000; i++ {
+		if !in.EraseFails(1000) {
+			t.Fatal("clamped-to-certainty erase did not fail")
+		}
+	}
+}
+
+// TestZeroClassDrawsNothing: a class with zero base probability must not
+// consume stream draws, so enabling reads alone leaves the read stream
+// identical to a plan that also injects programs.
+func TestZeroClassDrawsNothing(t *testing.T) {
+	a := New(Config{Seed: 9, ReadFailProb: 0.5})
+	b := New(Config{Seed: 9, ReadFailProb: 0.5, ProgramFailProb: 0})
+	for i := 0; i < 1000; i++ {
+		if b.ProgramFails(0) {
+			t.Fatal("zero-probability class failed")
+		}
+		if a.ReadFails(0) != b.ReadFails(0) {
+			t.Fatalf("read stream %d perturbed by zero-probability class", i)
+		}
+	}
+}
+
+func TestStatsSubAndAny(t *testing.T) {
+	if (Stats{}).Any() {
+		t.Error("zero stats report activity")
+	}
+	s := Stats{ProgramFailures: 5, EraseFailures: 2, ReadRetries: 9, RetiredBlocks: 1, SuspectBlocks: 3, Relocations: 4}
+	if !s.Any() {
+		t.Error("nonzero stats report no activity")
+	}
+	d := s.Sub(Stats{ProgramFailures: 1, ReadRetries: 4, Relocations: 2})
+	want := Stats{ProgramFailures: 4, EraseFailures: 2, ReadRetries: 5, RetiredBlocks: 1, SuspectBlocks: 3, Relocations: 2}
+	if d != want {
+		t.Errorf("Sub = %+v, want %+v", d, want)
+	}
+}

@@ -1,0 +1,237 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+
+	"zombiessd/internal/fault"
+	"zombiessd/internal/ssd"
+)
+
+func faultyConfig(f fault.Config) StoreConfig {
+	cfg := DefaultStoreConfig()
+	cfg.Faults = f
+	return cfg
+}
+
+func TestZeroFaultPlanKeepsInjectorNil(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	if s.inj != nil {
+		t.Fatal("zero fault plan built an injector")
+	}
+	if s.FaultStats().Any() {
+		t.Fatalf("fault stats nonzero on a perfect drive: %+v", s.FaultStats())
+	}
+}
+
+func TestProgramFailureRelandsOnFreshPage(t *testing.T) {
+	// Half the programs fail: every host program must still land on a
+	// valid page, burning invalid pages and relocation work behind it.
+	s, bus := newTinyStore(t, faultyConfig(fault.Config{
+		Seed: 11, ProgramFailProb: 0.5, MaxProgramAttempts: 64,
+	}))
+	const n = 20
+	for i := 0; i < n; i++ {
+		ppn, done, err := s.Program(ssd.Time(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done <= 0 {
+			t.Fatal("program completed at time 0")
+		}
+		if s.State(ppn) != PageValid {
+			t.Fatalf("program %d landed on a %v page", i, s.State(ppn))
+		}
+	}
+	f := s.FaultStats()
+	if f.ProgramFailures == 0 {
+		t.Fatal("prob-0.5 plan injected no program failures over 20 programs")
+	}
+	if f.Relocations == 0 {
+		t.Error("failed programs recorded no re-landings")
+	}
+	if f.SuspectBlocks == 0 {
+		t.Error("program failures marked no block suspect")
+	}
+	_, programs, _ := bus.Counts()
+	if want := int64(n) + f.ProgramFailures; programs != want {
+		t.Errorf("bus programs = %d, want %d (each failure pays a full program)", programs, want)
+	}
+}
+
+func TestProgramFailureExhaustsAttempts(t *testing.T) {
+	s, _ := newTinyStore(t, faultyConfig(fault.Config{
+		Seed: 1, ProgramFailProb: 1, MaxProgramAttempts: 3,
+	}))
+	_, _, err := s.Program(0)
+	if !errors.Is(err, ErrProgramFault) {
+		t.Fatalf("certain-failure program returned %v, want ErrProgramFault", err)
+	}
+	if got := s.FaultStats().ProgramFailures; got != 3 {
+		t.Errorf("recorded %d failures, want 3 (one per attempt)", got)
+	}
+	if s.FaultStats().Relocations != 0 {
+		t.Error("a program that never landed counted a relocation")
+	}
+}
+
+func TestReadRetriesPayExtraReads(t *testing.T) {
+	s, bus := newTinyStore(t, faultyConfig(fault.Config{
+		Seed: 2, ReadFailProb: 1, ReadRetries: 2,
+	}))
+	ppn, _, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readsBefore, _, _ := bus.Counts()
+	plain := ssd.NewBus(tinyGeometry(), ssd.PaperLatency()).Read(ppn, 0)
+	done := s.Read(ppn, 0)
+	readsAfter, _, _ := bus.Counts()
+	if got := readsAfter - readsBefore; got != 3 {
+		t.Errorf("certain-failure read issued %d bus reads, want 1 + 2 retries", got)
+	}
+	if got := s.FaultStats().ReadRetries; got != 2 {
+		t.Errorf("recorded %d retries, want 2", got)
+	}
+	if done <= plain {
+		t.Errorf("retried read finished at %d, no later than a clean read (%d)", done, plain)
+	}
+}
+
+// churn overwrites the footprint until GC has run at least minRuns cycles,
+// or fails the test if space runs out first. It tracks GC relocations via
+// OnRelocate so its page map follows moved data.
+func churn(t *testing.T, s *Store, minRuns int64) error {
+	t.Helper()
+	g := s.Geometry()
+	logical := int(float64(g.TotalPages()) * 0.8)
+	live := make([]ssd.PPN, logical)
+	where := make(map[ssd.PPN]int, logical)
+	for i := range live {
+		live[i] = ssd.InvalidPPN
+	}
+	s.OnRelocate = func(old, new ssd.PPN) {
+		if i, ok := where[old]; ok {
+			delete(where, old)
+			live[i] = new
+			where[new] = i
+		}
+	}
+	defer func() { s.OnRelocate = nil }()
+	for pass := 0; pass < 64; pass++ {
+		for i := range live {
+			if live[i] != ssd.InvalidPPN {
+				s.Invalidate(live[i])
+				delete(where, live[i])
+			}
+			ppn, _, err := s.Program(0)
+			if err != nil {
+				return err
+			}
+			live[i] = ppn
+			where[ppn] = i
+		}
+		if s.GC().Runs >= minRuns {
+			return nil
+		}
+	}
+	t.Fatalf("GC ran only %d cycles, want %d", s.GC().Runs, minRuns)
+	return nil
+}
+
+func TestEraseFailureRetiresBlock(t *testing.T) {
+	s, _ := newTinyStore(t, faultyConfig(fault.Config{
+		Seed: 3, EraseFailProb: 0.3,
+	}))
+	// With 30% of erases failing on an 8-block plane the drive eventually
+	// runs out of space; both outcomes of churn are acceptable as long as
+	// blocks actually retired.
+	if err := churn(t, s, 200); err != nil && !errors.Is(err, ErrNoSpace) {
+		t.Fatal(err)
+	}
+	f := s.FaultStats()
+	if f.EraseFailures == 0 || f.RetiredBlocks == 0 {
+		t.Fatalf("no retirement under erase failures: %+v", f)
+	}
+	// Retired blocks must be out of service everywhere: flagged bad, not
+	// free, absent from every free list and never an active frontier.
+	var bad int64
+	for b := range s.blocks {
+		if !s.blocks[b].bad {
+			continue
+		}
+		bad++
+		info := &s.blocks[b]
+		if info.free || info.active {
+			t.Fatalf("retired block %d still free=%v active=%v", b, info.free, info.active)
+		}
+		if !s.BadBlock(ssd.BlockID(b)) {
+			t.Fatalf("BadBlock(%d) = false for a retired block", b)
+		}
+	}
+	if bad != f.RetiredBlocks {
+		t.Errorf("%d blocks flagged bad, stats say %d retired", bad, f.RetiredBlocks)
+	}
+	for p := range s.planes {
+		for _, b := range s.planes[p].freeBlocks {
+			if s.blocks[b].bad {
+				t.Fatalf("retired block %d on plane %d free list", b, p)
+			}
+		}
+	}
+}
+
+func TestSuspectThresholdRetiresAtErase(t *testing.T) {
+	s, _ := newTinyStore(t, faultyConfig(fault.Config{
+		Seed: 4, ProgramFailProb: 0.3, MaxProgramAttempts: 64, SuspectThreshold: 1,
+	}))
+	// Any block with one program failure retires at its next erase, so
+	// churning long enough must retire something even though no erase
+	// ever fails outright.
+	err := churn(t, s, 100)
+	f := s.FaultStats()
+	if err != nil && !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrProgramFault) {
+		t.Fatal(err)
+	}
+	if f.ProgramFailures == 0 {
+		t.Fatal("no program failures injected")
+	}
+	if f.RetiredBlocks == 0 {
+		t.Errorf("threshold-1 suspicion retired no blocks: %+v", f)
+	}
+	if f.EraseFailures != 0 {
+		t.Errorf("erase failures injected with EraseFailProb 0: %+v", f)
+	}
+}
+
+func TestFaultyGCStillRelands(t *testing.T) {
+	// Faults on every class at once: after heavy churn every surviving
+	// valid page must really be valid and block accounting must balance.
+	s, _ := newTinyStore(t, faultyConfig(fault.Config{
+		Seed: 5, ProgramFailProb: 0.05, EraseFailProb: 0.01, ReadFailProb: 0.1,
+		WearFactor: 0.01, MaxProgramAttempts: 64,
+	}))
+	if err := churn(t, s, 300); err != nil && !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrProgramFault) {
+		t.Fatal(err)
+	}
+	for b := range s.blocks {
+		info := &s.blocks[b]
+		first := s.geo.FirstPage(ssd.BlockID(b))
+		var valid, invalid int32
+		for i := 0; i < s.geo.PagesPerBlock; i++ {
+			switch s.state[first+ssd.PPN(i)] {
+			case PageValid:
+				valid++
+			case PageInvalid:
+				invalid++
+			}
+		}
+		if valid != info.valid || invalid != info.invalid {
+			t.Fatalf("block %d counters valid=%d invalid=%d, pages say %d/%d",
+				b, info.valid, info.invalid, valid, invalid)
+		}
+	}
+	if !s.FaultStats().Any() {
+		t.Error("no fault activity recorded under an all-class plan")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"zombiessd/internal/fault"
 	"zombiessd/internal/ssd"
 )
 
@@ -76,6 +77,12 @@ type StoreConfig struct {
 	// SeparateGCStream gives GC relocation its own write frontier instead
 	// of mixing relocated (cold) pages into host stream 0.
 	SeparateGCStream bool
+
+	// Faults is the reliability plan: program-status failures (retry on a
+	// fresh page, mark the block suspect), erase failures (retire the
+	// block as bad) and ECC read retries, optionally wear-scaled. The zero
+	// value models a perfect drive and changes nothing.
+	Faults fault.Config
 }
 
 // DefaultStoreConfig returns a 2-block threshold, greedy GC.
@@ -98,6 +105,9 @@ func (c StoreConfig) Validate() error {
 	if c.UserStreams < 0 || c.UserStreams > 8 {
 		return fmt.Errorf("ftl: user streams must be in [0,8], got %d", c.UserStreams)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -113,13 +123,19 @@ type GCStats struct {
 // reclaim nothing — the host space is oversubscribed for this geometry.
 var ErrNoSpace = fmt.Errorf("ftl: out of free pages (drive oversubscribed)")
 
+// ErrProgramFault is wrapped by Program when injected program-status
+// failures burned every allowed attempt without landing the data.
+var ErrProgramFault = fmt.Errorf("ftl: program failed on every retry attempt")
+
 // blockInfo is per-block accounting.
 type blockInfo struct {
-	valid   int32
-	invalid int32
-	erases  int32
-	free    bool
-	active  bool
+	valid     int32
+	invalid   int32
+	erases    int32
+	progFails int32 // injected program-status failures (suspect tracking)
+	free      bool
+	active    bool
+	bad       bool // retired: never erased, allocated or collected again
 }
 
 // frontier is one open write block.
@@ -161,6 +177,11 @@ type Store struct {
 
 	gc GCStats
 
+	// inj draws fault decisions; nil models a perfect drive. faults
+	// counts the injected failures and the recovery work they caused.
+	inj    *fault.Injector
+	faults fault.Stats
+
 	// OnRelocate is called when GC moves a valid page; mapping layers
 	// rebind LPNs here. Nil is allowed.
 	OnRelocate func(src, dst ssd.PPN)
@@ -195,6 +216,7 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 		state:  make([]PageState, geo.TotalPages()),
 		blocks: make([]blockInfo, geo.TotalBlocks()),
 		planes: make([]planeState, geo.TotalPlanes()),
+		inj:    fault.New(cfg.Faults),
 	}
 	frontiers := cfg.UserStreams
 	if frontiers < 1 {
@@ -256,6 +278,13 @@ func (s *Store) State(p ssd.PPN) PageState { return s.state[p] }
 // GC returns cumulative garbage-collection statistics.
 func (s *Store) GC() GCStats { return s.gc }
 
+// FaultStats returns the injected-fault counters accumulated so far. All
+// zeros on a fault-free drive.
+func (s *Store) FaultStats() fault.Stats { return s.faults }
+
+// BadBlock reports whether b has been retired from service.
+func (s *Store) BadBlock(b ssd.BlockID) bool { return s.blocks[b].bad }
+
 // EraseCountOf returns the number of erases block b has endured.
 func (s *Store) EraseCountOf(b ssd.BlockID) int32 { return s.blocks[b].erases }
 
@@ -295,24 +324,76 @@ func (s *Store) ProgramStream(now ssd.Time, stream int) (ssd.PPN, ssd.Time, erro
 	// lazy greedy GC cheap (see BenchmarkAblationBackgroundGC for the
 	// measured cliff when the gate is loosened).
 	if s.cfg.SoftGCThreshold > 0 && len(s.planes[plane].freeBlocks) < s.cfg.SoftGCThreshold {
-		if s.collectPlaneMin(plane, 0, int32(s.geo.PagesPerBlock)) {
+		collected, err := s.collectPlaneMin(plane, 0, int32(s.geo.PagesPerBlock))
+		if err != nil {
+			return ssd.InvalidPPN, 0, err
+		}
+		if collected {
 			s.gc.Background++
 		}
 	}
 	if err := s.ensureSpace(plane, now); err != nil {
 		return ssd.InvalidPPN, 0, err
 	}
-	ppn, err := s.allocate(plane, stream)
-	if err != nil {
-		return ssd.InvalidPPN, 0, err
+	return s.programAt(plane, stream, now)
+}
+
+// programAt allocates and programs one page on the plane's stream,
+// re-landing the data on a fresh page after every injected program-status
+// failure: the failed page is left behind as unrevivable garbage (it never
+// reaches the dead-value pool), its block is marked suspect, and the retry
+// pays full program latency after the failed attempt completes. On a
+// fault-free drive this is exactly allocate + program.
+func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, error) {
+	maxAttempts := 1
+	if s.inj != nil {
+		maxAttempts = s.inj.Config().MaxProgramAttempts
 	}
-	done := s.bus.Program(ppn, now)
-	return ppn, done, nil
+	for attempt := 1; ; attempt++ {
+		ppn, err := s.allocate(plane, stream)
+		if err != nil {
+			return ssd.InvalidPPN, 0, err
+		}
+		done := s.bus.Program(ppn, now)
+		blk := s.geo.BlockOf(ppn)
+		if s.inj == nil || !s.inj.ProgramFails(s.blocks[blk].erases) {
+			if attempt > 1 {
+				s.faults.Relocations++
+			}
+			return ppn, done, nil
+		}
+		s.faults.ProgramFailures++
+		s.state[ppn] = PageInvalid
+		s.blocks[blk].valid--
+		s.blocks[blk].invalid++
+		s.blocks[blk].progFails++
+		if s.blocks[blk].progFails == 1 {
+			s.faults.SuspectBlocks++
+		}
+		if attempt >= maxAttempts {
+			return ssd.InvalidPPN, 0, fmt.Errorf("ftl: block %d after %d attempts: %w", blk, attempt, ErrProgramFault)
+		}
+		now = done
+	}
 }
 
 // Read issues a host read of page p at time now.
 func (s *Store) Read(p ssd.PPN, now ssd.Time) ssd.Time {
-	return s.bus.Read(p, now)
+	return s.readPage(p, now)
+}
+
+// readPage issues one page read plus any injected ECC retries, each a full
+// extra read operation on the chip.
+func (s *Store) readPage(p ssd.PPN, now ssd.Time) ssd.Time {
+	done := s.bus.Read(p, now)
+	if s.inj != nil {
+		erases := s.blocks[s.geo.BlockOf(p)].erases
+		for r := 0; r < s.inj.Config().ReadRetries && s.inj.ReadFails(erases); r++ {
+			s.faults.ReadRetries++
+			done = s.bus.Read(p, done)
+		}
+	}
+	return done
 }
 
 // gcStream returns the frontier index GC relocations write to.
@@ -387,7 +468,11 @@ func (s *Store) Revalidate(p ssd.PPN) {
 // threshold or no block yields free space.
 func (s *Store) ensureSpace(plane int, now ssd.Time) error {
 	for len(s.planes[plane].freeBlocks) < s.effThreshold {
-		if !s.collectPlane(plane, now) {
+		collected, err := s.collectPlane(plane, now)
+		if err != nil {
+			return err
+		}
+		if !collected {
 			// Nothing reclaimable. Only fatal if allocation cannot proceed
 			// at all; allocate reports that case.
 			return nil
@@ -417,7 +502,7 @@ func (s *Store) victim(plane int) ssd.BlockID {
 	for i := 0; i < s.geo.BlocksPerPlane; i++ {
 		b := s.geo.BlockAt(plane, i)
 		info := &s.blocks[b]
-		if info.free || info.active || info.invalid == 0 || info.valid > capacity {
+		if info.free || info.active || info.bad || info.invalid == 0 || info.valid > capacity {
 			continue
 		}
 		score := float64(info.invalid)
@@ -452,17 +537,19 @@ func (s *Store) garbagePopularitySum(b ssd.BlockID) int64 {
 // collectPlane runs one GC cycle on the plane: pick a victim, relocate its
 // valid pages into the write frontier, notify the pool about destroyed
 // garbage, erase, and return the block to the free list. Reports whether a
-// block was reclaimed.
-func (s *Store) collectPlane(plane int, now ssd.Time) bool {
+// block was reclaimed (a retired victim still counts: its pages were
+// consumed even though the block left service). The error is non-nil only
+// under fault injection, when a relocation burned every program attempt.
+func (s *Store) collectPlane(plane int, now ssd.Time) (bool, error) {
 	return s.collectPlaneMin(plane, now, 1)
 }
 
 // collectPlaneMin is collectPlane with a victim profitability floor: blocks
 // with fewer than minInvalid garbage pages are not collected.
-func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) bool {
+func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool, error) {
 	v := s.victim(plane)
 	if v == ssd.InvalidBlock || s.blocks[v].invalid < minInvalid {
-		return false
+		return false, nil
 	}
 	s.gc.Runs++
 	first := s.geo.FirstPage(v)
@@ -470,13 +557,16 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) bool 
 		p := first + ssd.PPN(i)
 		switch s.state[p] {
 		case PageValid:
-			dst, err := s.allocate(plane, s.gcStream(plane))
+			readDone := s.readPage(p, now)
+			dst, _, err := s.programAt(plane, s.gcStream(plane), readDone)
 			if err != nil {
-				// Threshold ≥ 2 guarantees a destination; reaching this is
-				// a bookkeeping bug.
-				panic(fmt.Sprintf("ftl: GC relocation failed: %v", err))
+				if s.inj == nil {
+					// Threshold ≥ 2 guarantees a destination; reaching this
+					// is a bookkeeping bug.
+					panic(fmt.Sprintf("ftl: GC relocation failed: %v", err))
+				}
+				return false, fmt.Errorf("ftl: GC relocation of page %d: %w", p, err)
 			}
-			s.bus.CopyBack(p, dst, now)
 			s.gc.Relocated++
 			if s.OnRelocate != nil {
 				s.OnRelocate(p, dst)
@@ -493,10 +583,24 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) bool 
 	info.valid = 0
 	info.invalid = 0
 	info.erases++
+	eraseFailed := s.inj != nil && s.inj.EraseFails(info.erases)
+	if eraseFailed {
+		s.faults.EraseFailures++
+	}
+	suspectRetire := s.inj != nil && s.cfg.Faults.SuspectThreshold > 0 &&
+		int(info.progFails) >= s.cfg.Faults.SuspectThreshold
+	if eraseFailed || suspectRetire {
+		// Retire the block: it never rejoins the free pool and the victim
+		// scan skips it forever, so the plane is permanently smaller.
+		info.bad = true
+		info.free = false
+		s.faults.RetiredBlocks++
+		return true, nil
+	}
 	info.free = true
 	s.gc.Erased++
 	s.planes[plane].freeBlocks = append(s.planes[plane].freeBlocks, v)
-	return true
+	return true, nil
 }
 
 // WearSummary reports erase-count dispersion across blocks, for the

@@ -57,6 +57,7 @@ func (d *baselineDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 // Metrics implements Device.
 func (d *baselineDevice) Metrics() DeviceMetrics {
 	d.m.GC = d.store.GC()
+	d.m.Faults = d.store.FaultStats()
 	busCounts(&d.m, d.bus)
 	return d.m
 }

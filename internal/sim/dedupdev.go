@@ -115,6 +115,7 @@ func (d *dedupDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 // Metrics implements Device.
 func (d *dedupDevice) Metrics() DeviceMetrics {
 	d.m.GC = d.store.GC()
+	d.m.Faults = d.store.FaultStats()
 	if d.pool != nil {
 		d.m.Pool = d.pool.Stats()
 	}

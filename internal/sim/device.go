@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"zombiessd/internal/core"
+	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/ssd"
@@ -77,6 +78,12 @@ type Config struct {
 	// from RAM and reach flash on eviction, modeling the host/device
 	// caching layer of Section VII.
 	WriteBufferPages int
+
+	// Faults is the reliability plan injected into the flash pipeline:
+	// program-status failures, erase failures (bad-block retirement) and
+	// ECC read retries, optionally wear-scaled. The zero value models a
+	// perfect drive and leaves every result bit-identical.
+	Faults fault.Config
 }
 
 // DefaultPopularityWeight is the GC victim-score weight experiments use for
@@ -133,6 +140,9 @@ func (c Config) Validate() error {
 	if c.WriteBufferPages < 0 {
 		return fmt.Errorf("sim: write buffer pages must be ≥ 0, got %d", c.WriteBufferPages)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -153,8 +163,9 @@ type DeviceMetrics struct {
 	BufferAbsorbed int64 // writes absorbed by the DRAM write buffer
 	BufferReadHits int64 // reads served from the DRAM write buffer
 
-	GC   ftl.GCStats
-	Pool core.PoolStats
+	GC     ftl.GCStats
+	Pool   core.PoolStats
+	Faults fault.Stats
 }
 
 // ShortCircuited returns the number of writes that required no flash
@@ -204,6 +215,7 @@ func (m DeviceMetrics) Sub(prev DeviceMetrics) DeviceMetrics {
 			Promoted:  m.Pool.Promoted - prev.Pool.Promoted,
 			Demoted:   m.Pool.Demoted - prev.Pool.Demoted,
 		},
+		Faults: m.Faults.Sub(prev.Faults),
 	}
 }
 
@@ -230,6 +242,9 @@ func NewDevice(cfg Config) (Device, error) {
 	if cfg.HotColdStreams {
 		cfg.Store.UserStreams = 2
 		cfg.Store.SeparateGCStream = true
+	}
+	if cfg.Faults.Enabled() {
+		cfg.Store.Faults = cfg.Faults
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err

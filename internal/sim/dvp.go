@@ -115,6 +115,7 @@ func (d *dvpDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 // Metrics implements Device.
 func (d *dvpDevice) Metrics() DeviceMetrics {
 	d.m.GC = d.store.GC()
+	d.m.Faults = d.store.FaultStats()
 	d.m.Pool = d.pool.Stats()
 	busCounts(&d.m, d.bus)
 	return d.m

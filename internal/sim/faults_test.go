@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"zombiessd/internal/fault"
+	"zombiessd/internal/workload"
+)
+
+// faultRun simulates one DVP device over a generated workload under the
+// given fault plan and returns the full Result.
+func faultRun(t *testing.T, plan fault.Config) Result {
+	t.Helper()
+	p, ok := workload.ProfileByName("web")
+	if !ok {
+		t.Fatal("web workload missing")
+	}
+	recs, err := workload.Generate(p, 20_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var footprint int64
+	for _, r := range recs {
+		if int64(r.LBA) >= footprint {
+			footprint = int64(r.LBA) + 1
+		}
+	}
+	cfg := testConfig(KindDVP, footprint)
+	cfg.Geometry = GeometryFor(footprint, 0.85)
+	cfg.Faults = plan
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dev, recs, RunOptions{LogicalPages: footprint, PreconditionPages: footprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFaultDeterminism pins the acceptance contract: two runs with the same
+// fault seed and the same trace are identical in every metric, and a
+// different fault seed actually changes the injected stream.
+func TestFaultDeterminism(t *testing.T) {
+	plan := fault.Config{
+		Seed: 21, ProgramFailProb: 2e-3, EraseFailProb: 1e-3,
+		ReadFailProb: 8e-3, WearFactor: 0.02,
+	}
+	a := faultRun(t, plan)
+	b := faultRun(t, plan)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed fault runs diverged:\n%+v\nvs\n%+v", a.Metrics, b.Metrics)
+	}
+	if !a.Metrics.Faults.Any() {
+		t.Fatalf("plan injected nothing: %+v", a.Metrics.Faults)
+	}
+	if a.Metrics.Faults.ReadRetries == 0 {
+		t.Error("no read retries at prob 8e-3 over 20k requests")
+	}
+
+	c := faultRun(t, fault.Config{
+		Seed: 22, ProgramFailProb: 2e-3, EraseFailProb: 1e-3,
+		ReadFailProb: 8e-3, WearFactor: 0.02,
+	})
+	if reflect.DeepEqual(a.Metrics.Faults, c.Metrics.Faults) {
+		t.Error("different fault seeds produced identical fault stats")
+	}
+}
+
+// TestZeroFaultPlanMatchesPerfectDrive pins the bit-identical guarantee at
+// the device level: a zero plan changes no metric and no latency.
+func TestZeroFaultPlanMatchesPerfectDrive(t *testing.T) {
+	perfect := faultRun(t, fault.Config{})
+	if perfect.Metrics.Faults.Any() {
+		t.Fatalf("perfect drive recorded fault activity: %+v", perfect.Metrics.Faults)
+	}
+	again := faultRun(t, fault.Config{})
+	if !reflect.DeepEqual(perfect, again) {
+		t.Fatal("fault-free runs diverged between invocations")
+	}
+}
+
+// TestFaultsDegradeButDoNotBreak checks a heavy plan still completes and
+// reports the expected recovery work.
+func TestFaultsDegradeButDoNotBreak(t *testing.T) {
+	clean := faultRun(t, fault.Config{})
+	faulty := faultRun(t, fault.Config{
+		Seed: 9, ProgramFailProb: 5e-3, EraseFailProb: 2e-3, ReadFailProb: 2e-2,
+	})
+	f := faulty.Metrics.Faults
+	if f.ProgramFailures == 0 || f.Relocations == 0 {
+		t.Errorf("heavy plan injected no program failures: %+v", f)
+	}
+	if faulty.Metrics.FlashPrograms <= clean.Metrics.FlashPrograms {
+		t.Errorf("faulty run programmed %d pages, clean %d — failures cost nothing",
+			faulty.Metrics.FlashPrograms, clean.Metrics.FlashPrograms)
+	}
+	if faulty.Metrics.HostWrites != clean.Metrics.HostWrites {
+		t.Errorf("host write counts diverged: %d vs %d",
+			faulty.Metrics.HostWrites, clean.Metrics.HostWrites)
+	}
+}

@@ -88,6 +88,7 @@ func (d *lxDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 // Metrics implements Device.
 func (d *lxDevice) Metrics() DeviceMetrics {
 	d.m.GC = d.store.GC()
+	d.m.Faults = d.store.FaultStats()
 	d.m.Pool = d.pool.Stats()
 	busCounts(&d.m, d.bus)
 	return d.m

@@ -46,6 +46,11 @@ func ReadFIU(r io.Reader) ([]Record, error) {
 			haveBase = true
 		}
 		us := (ts - baseTS) / 1000 // ns → µs
+		if us < 0 {
+			// Clock jitter can put a line before the trace's first
+			// timestamp; clamp so normalized time never goes negative.
+			us = 0
+		}
 		for i := range recs {
 			recs[i].Time = us
 		}

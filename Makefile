@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-short repro examples clean
+.PHONY: all build vet test race bench fuzz-short lifetime-smoke repro examples clean
 
 all: build vet test
 
@@ -28,6 +28,12 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseTextRecord -fuzztime=5s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryReader -fuzztime=5s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzReadFIU -fuzztime=5s ./internal/trace
+
+# Reduced-scale end-to-end run of the drive-to-death harness: every
+# architecture ages under the wear-scaled fault plan and the capacity /
+# write-reduction / p99 vs cumulative-erases series must render.
+lifetime-smoke:
+	$(GO) run ./cmd/zombiectl -q -requests 4000 run lifetime
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

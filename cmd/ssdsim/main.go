@@ -38,6 +38,8 @@ type params struct {
 	softGC, wbufPages   int
 	streams, precond    bool
 	faults              fault.Config
+	gcFaultWeight       float64
+	drainSuspects       bool
 }
 
 func main() {
@@ -62,6 +64,9 @@ func main() {
 	flag.IntVar(&p.faults.ReadRetries, "fault-read-retries", 0, "max ECC retry reads per failing read (0 = default)")
 	flag.Float64Var(&p.faults.WearFactor, "fault-wear", 0, "failure-probability scaling per block erase")
 	flag.Int64Var(&p.faults.Seed, "fault-seed", 0, "fault stream seed")
+	flag.IntVar(&p.faults.SuspectThreshold, "fault-suspect", 0, "program failures before a block retires at its next erase (0 = never)")
+	flag.Float64Var(&p.gcFaultWeight, "gc-fault-weight", 0, "fault-aware GC victim penalty per program failure (0 = fault-unaware)")
+	flag.BoolVar(&p.drainSuspects, "gc-drain-suspects", false, "GC drains blocks at the suspect threshold first")
 	flag.Parse()
 
 	if err := run(p); err != nil {
@@ -96,7 +101,8 @@ func run(p params) error {
 	cfg := sim.Config{
 		Geometry:     sim.GeometryFor(footprint, p.util),
 		Latency:      ssd.PaperLatency(),
-		Store:        ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: p.softGC},
+		Store: ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: p.softGC,
+			FaultPenaltyWeight: p.gcFaultWeight, DrainSuspects: p.drainSuspects},
 		LogicalPages: footprint,
 		Kind:         kind,
 		PoolKind:     sim.PoolKind(strings.ToLower(p.pool)),

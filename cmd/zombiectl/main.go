@@ -32,6 +32,8 @@ func main() {
 	flag.IntVar(&opts.Faults.ReadRetries, "fault-read-retries", 0, "max ECC retry reads per failing read (0 = default)")
 	flag.Float64Var(&opts.Faults.WearFactor, "fault-wear", 0, "failure-probability scaling per block erase")
 	flag.Int64Var(&opts.Faults.Seed, "fault-seed", 0, "fault stream seed")
+	flag.IntVar(&opts.Faults.SuspectThreshold, "fault-suspect", 0, "program failures before a block retires at its next erase (0 = never)")
+	flag.Float64Var(&opts.GCFaultWeight, "gc-fault-weight", 0, "fault-aware GC victim penalty per program failure (0 = off; lifetime uses its own default)")
 	quiet := flag.Bool("q", false, "suppress progress notes on stderr")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	flag.Usage = usage

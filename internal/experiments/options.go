@@ -42,6 +42,14 @@ type Options struct {
 	// The zero value (the default) models perfect drives, keeping all
 	// paper figures bit-identical.
 	Faults fault.Config
+	// GCFaultWeight is the fault-aware GC victim-score weight
+	// (ftl.StoreConfig.FaultPenaltyWeight) applied to every simulated
+	// device: victims lose weight × accumulated program failures of greed,
+	// steering relocation onto trustworthy flash. The default 0 keeps all
+	// victim choices — and so every paper figure — bit-identical; the
+	// lifetime experiment substitutes its own default and carries a
+	// weight-0 ablation arm.
+	GCFaultWeight float64
 }
 
 // DefaultOptions returns the scale used by `zombiectl` unless overridden:
@@ -60,6 +68,9 @@ func (o Options) Validate() error {
 	}
 	if o.Utilization <= 0 || o.Utilization >= 1 {
 		return fmt.Errorf("experiments: utilization must be in (0,1), got %g", o.Utilization)
+	}
+	if o.GCFaultWeight < 0 {
+		return fmt.Errorf("experiments: GC fault weight must be ≥ 0, got %g", o.GCFaultWeight)
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return err
@@ -88,6 +99,7 @@ func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolK
 		Store: ftl.StoreConfig{
 			GCFreeBlockThreshold: 2,
 			PopularityWeight:     popularityWeightFor(kind),
+			FaultPenaltyWeight:   o.GCFaultWeight,
 		},
 		LogicalPages: footprint,
 		Kind:         kind,

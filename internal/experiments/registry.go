@@ -57,6 +57,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationBGC(o) }},
 	{ID: "ablation-faults", Title: "Ablation: fault injection (write reduction and p99 vs fault rate)",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunAblationFaults(o) }},
+	{ID: "lifetime", Title: "Lifetime: wear-out drive-to-death (capacity/write-reduction/p99 vs cumulative erases)",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunLifetime(o) }},
 	{ID: "stability", Title: "Stability: Fig 9 headline across seeds",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunStability(o) }},
 }

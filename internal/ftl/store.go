@@ -78,6 +78,20 @@ type StoreConfig struct {
 	// of mixing relocated (cold) pages into host stream 0.
 	SeparateGCStream bool
 
+	// FaultPenaltyWeight enables fault-aware victim selection: the victim
+	// score is reduced by weight × accumulated program-status failures, so
+	// GC prefers relocating onto (and recycling) trustworthy flash over
+	// blocks that keep failing programs. 0 ignores fault history, keeping
+	// victim choices bit-identical to the fault-unaware policy.
+	FaultPenaltyWeight float64
+
+	// DrainSuspects prioritizes blocks that have reached the suspect
+	// threshold (Faults.SuspectThreshold): such a block will be retired at
+	// its next erase anyway, so collecting it first moves its valid pages
+	// to healthy flash promptly and takes the capacity hit before more
+	// programs can fail in it. No-op when Faults.SuspectThreshold is 0.
+	DrainSuspects bool
+
 	// Faults is the reliability plan: program-status failures (retry on a
 	// fresh page, mark the block suspect), erase failures (retire the
 	// block as bad) and ECC read retries, optionally wear-scaled. The zero
@@ -97,6 +111,9 @@ func (c StoreConfig) Validate() error {
 	}
 	if c.PopularityWeight < 0 {
 		return fmt.Errorf("ftl: popularity weight must be ≥ 0, got %g", c.PopularityWeight)
+	}
+	if c.FaultPenaltyWeight < 0 {
+		return fmt.Errorf("ftl: fault penalty weight must be ≥ 0, got %g", c.FaultPenaltyWeight)
 	}
 	if c.SoftGCThreshold != 0 && c.SoftGCThreshold <= c.GCFreeBlockThreshold {
 		return fmt.Errorf("ftl: soft GC threshold %d must exceed the hard threshold %d",
@@ -270,6 +287,19 @@ func (s *Store) Geometry() ssd.Geometry { return s.geo }
 func (s *Store) UsablePages() int64 {
 	reserve := int64(s.geo.TotalPlanes()) * int64(s.effThreshold) * int64(s.geo.PagesPerBlock)
 	return s.geo.TotalPages() - reserve
+}
+
+// UsablePagesNow returns UsablePages minus the pages lost to retired (bad)
+// blocks — the capacity the drive can still offer at this point of its
+// life. It equals UsablePages on a fault-free drive and shrinks
+// monotonically as blocks retire; the lifetime harness samples it per
+// epoch and declares the drive dead when it crosses the capacity floor.
+func (s *Store) UsablePagesNow() int64 {
+	u := s.UsablePages() - s.faults.RetiredBlocks*int64(s.geo.PagesPerBlock)
+	if u < 0 {
+		return 0
+	}
+	return u
 }
 
 // State returns the current state of page p.
@@ -491,10 +521,7 @@ func (s *Store) relocationCapacity(plane int) int32 {
 
 // victim selects the GC victim for a plane, or InvalidBlock when no
 // non-active, non-free block has any invalid page (or none fits the
-// plane's relocation capacity). With a Scorer and a positive
-// PopularityWeight the score penalizes blocks whose garbage is popular
-// (likely to be revived soon); otherwise it is the classic greedy
-// most-invalid choice.
+// plane's relocation capacity). Candidates are ranked by victimScore.
 func (s *Store) victim(plane int) ssd.BlockID {
 	best := ssd.InvalidBlock
 	bestScore := math.Inf(-1)
@@ -505,16 +532,41 @@ func (s *Store) victim(plane int) ssd.BlockID {
 		if info.free || info.active || info.bad || info.invalid == 0 || info.valid > capacity {
 			continue
 		}
-		score := float64(info.invalid)
-		if s.Scorer != nil && s.cfg.PopularityWeight > 0 {
-			score -= s.cfg.PopularityWeight * float64(s.garbagePopularitySum(b))
-		}
+		score := s.victimScore(b)
 		if score > bestScore {
 			bestScore = score
 			best = b
 		}
 	}
 	return best
+}
+
+// victimScore ranks GC victim candidates. The base is the classic greedy
+// most-invalid count; with a Scorer and a positive PopularityWeight it is
+// reduced by the popularity of the block's pooled garbage (likely to be
+// revived soon, Section IV-D); with a positive FaultPenaltyWeight it is
+// reduced by the block's accumulated program-status failures so relocation
+// lands on trustworthy flash. DrainSuspects overrides the penalty for
+// blocks already doomed to retire at their next erase: those get a bonus of
+// one whole block's worth of greed, so they are drained — and their
+// capacity loss taken — promptly instead of festering. Every extra term is
+// guarded, so the zero configuration scores bit-identically to greedy.
+func (s *Store) victimScore(b ssd.BlockID) float64 {
+	info := &s.blocks[b]
+	score := float64(info.invalid)
+	if s.Scorer != nil && s.cfg.PopularityWeight > 0 {
+		score -= s.cfg.PopularityWeight * float64(s.garbagePopularitySum(b))
+	}
+	if info.progFails > 0 {
+		switch {
+		case s.cfg.DrainSuspects && s.cfg.Faults.SuspectThreshold > 0 &&
+			int(info.progFails) >= s.cfg.Faults.SuspectThreshold:
+			score += float64(s.geo.PagesPerBlock)
+		case s.cfg.FaultPenaltyWeight > 0:
+			score -= s.cfg.FaultPenaltyWeight * float64(info.progFails)
+		}
+	}
+	return score
 }
 
 // garbagePopularitySum is the paper's popularity-aware victim metric: the

@@ -1,0 +1,139 @@
+package ftl
+
+import (
+	"testing"
+
+	"zombiessd/internal/fault"
+)
+
+// victimStore builds a tiny store and hand-sets per-block accounting on
+// plane 0 so victim selection can be exercised directly: each entry of
+// blocks describes one candidate (valid, invalid, progFails); described
+// blocks are taken off the conceptual free pool. Block indexes are
+// plane-relative, starting at 1 (index 0 is the active frontier).
+func victimStore(t *testing.T, cfg StoreConfig, blocks map[int][3]int32) *Store {
+	t.Helper()
+	s, _ := newTinyStore(t, cfg)
+	for idx, counts := range blocks {
+		b := s.geo.BlockAt(0, idx)
+		info := &s.blocks[b]
+		info.free = false
+		info.valid = counts[0]
+		info.invalid = counts[1]
+		info.progFails = counts[2]
+	}
+	return s
+}
+
+// TestVictimScoreTable pins the fault-aware victim policy: zero weight
+// ignores fault history entirely, a positive weight makes a block with
+// program failures lose to an otherwise-equal clean block, and
+// DrainSuspects pulls doomed blocks ahead of any greedy candidate.
+func TestVictimScoreTable(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  StoreConfig
+		// blocks maps plane-relative block index → {valid, invalid, progFails}.
+		blocks map[int][3]int32
+		want   int // plane-relative index of the expected victim
+	}{
+		{
+			name:   "zero weight scans greedily despite failures",
+			cfg:    DefaultStoreConfig(),
+			blocks: map[int][3]int32{1: {0, 8, 3}, 2: {0, 8, 0}},
+			want:   1, // equal greed: first scanned wins, fault history invisible
+		},
+		{
+			name: "positive weight prefers the clean equal block",
+			cfg: StoreConfig{GCFreeBlockThreshold: 2, FaultPenaltyWeight: 1,
+				Faults: fault.Config{ProgramFailProb: 1e-9}},
+			blocks: map[int][3]int32{1: {0, 8, 3}, 2: {0, 8, 0}},
+			want:   2,
+		},
+		{
+			name: "penalty is proportional, not absolute",
+			cfg: StoreConfig{GCFreeBlockThreshold: 2, FaultPenaltyWeight: 0.4,
+				Faults: fault.Config{ProgramFailProb: 1e-9}},
+			blocks: map[int][3]int32{1: {0, 5, 0}, 2: {0, 6, 2}},
+			want:   2, // 6 − 0.4×2 = 5.2 still beats the clean 5
+		},
+		{
+			name: "heavy weight flips the proportional case",
+			cfg: StoreConfig{GCFreeBlockThreshold: 2, FaultPenaltyWeight: 1,
+				Faults: fault.Config{ProgramFailProb: 1e-9}},
+			blocks: map[int][3]int32{1: {0, 5, 0}, 2: {0, 6, 2}},
+			want:   1, // 6 − 1×2 = 4 loses to the clean 5
+		},
+		{
+			name: "drain-suspects outranks any greed",
+			cfg: StoreConfig{GCFreeBlockThreshold: 2, FaultPenaltyWeight: 1, DrainSuspects: true,
+				Faults: fault.Config{ProgramFailProb: 1e-9, SuspectThreshold: 2}},
+			blocks: map[int][3]int32{1: {0, 10, 0}, 2: {1, 1, 2}},
+			want:   2, // doomed block drains first: 1 + 16 > 10
+		},
+		{
+			name: "drain-suspects without a threshold falls back to the penalty",
+			cfg: StoreConfig{GCFreeBlockThreshold: 2, FaultPenaltyWeight: 1, DrainSuspects: true,
+				Faults: fault.Config{ProgramFailProb: 1e-9}},
+			blocks: map[int][3]int32{1: {0, 10, 0}, 2: {1, 1, 2}},
+			want:   1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := victimStore(t, tc.cfg, tc.blocks)
+			want := s.geo.BlockAt(0, tc.want)
+			if got := s.victim(0); got != want {
+				t.Errorf("victim(0) = block %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestVictimScoreZeroWeightExact proves the zero-weight score is exactly
+// the greedy invalid count — no float perturbation — even on a block with
+// accumulated program failures, so fault-unaware runs stay bit-identical.
+func TestVictimScoreZeroWeightExact(t *testing.T) {
+	s := victimStore(t, DefaultStoreConfig(), map[int][3]int32{1: {2, 7, 5}})
+	b := s.geo.BlockAt(0, 1)
+	if got := s.victimScore(b); got != 7.0 {
+		t.Errorf("zero-weight victimScore = %v, want exactly 7", got)
+	}
+}
+
+// TestVictimSkipsBadBlocks guards the candidate gates around the new
+// scoring: retired blocks never become victims no matter how much garbage
+// they hold.
+func TestVictimSkipsBadBlocks(t *testing.T) {
+	cfg := StoreConfig{GCFreeBlockThreshold: 2, FaultPenaltyWeight: 1,
+		Faults: fault.Config{ProgramFailProb: 1e-9}}
+	s := victimStore(t, cfg, map[int][3]int32{1: {0, 16, 0}, 2: {0, 4, 0}})
+	bad := s.geo.BlockAt(0, 1)
+	s.blocks[bad].bad = true
+	if got, want := s.victim(0), s.geo.BlockAt(0, 2); got != want {
+		t.Errorf("victim(0) = block %d, want %d (bad block must be skipped)", got, want)
+	}
+}
+
+// TestUsablePagesNow pins the capacity accounting the lifetime harness
+// samples: retiring a block shrinks UsablePagesNow by one block's pages
+// while UsablePages (the static bound) is unchanged.
+func TestUsablePagesNow(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	if s.UsablePagesNow() != s.UsablePages() {
+		t.Fatalf("fresh drive: UsablePagesNow %d != UsablePages %d", s.UsablePagesNow(), s.UsablePages())
+	}
+	static := s.UsablePages()
+	s.faults.RetiredBlocks = 3
+	want := static - 3*int64(s.geo.PagesPerBlock)
+	if got := s.UsablePagesNow(); got != want {
+		t.Errorf("after 3 retirements: UsablePagesNow = %d, want %d", got, want)
+	}
+	if s.UsablePages() != static {
+		t.Errorf("UsablePages moved from %d to %d on retirement", static, s.UsablePages())
+	}
+	s.faults.RetiredBlocks = int64(s.geo.TotalBlocks())
+	if got := s.UsablePagesNow(); got != 0 {
+		t.Errorf("fully retired drive: UsablePagesNow = %d, want 0 (clamped)", got)
+	}
+}

@@ -1,0 +1,237 @@
+package lifetime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"zombiessd/internal/fault"
+)
+
+// testConfig is the reduced scale the unit tests run at: small epochs, a
+// pool scaled to the trace (≈ the experiments package's 200K-paper-entries
+// ratio) and a bounded epoch count.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RequestsPerEpoch = 4000
+	cfg.PoolEntries = 256
+	cfg.MaxEpochs = 10
+	cfg.Kinds = []Kind{KindBaseline, KindDVP}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().withDefaults().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Workload = "nope" },
+		func(c *Config) { c.RequestsPerEpoch = 10 },
+		func(c *Config) { c.Utilization = 0 },
+		func(c *Config) { c.Utilization = 1 },
+		func(c *Config) { c.PoolEntries = 0 },
+		func(c *Config) { c.CapacityFloorFrac = 1 },
+		func(c *Config) { c.EraseBudget = -1 },
+		func(c *Config) { c.MaxEpochs = -1 },
+		func(c *Config) { c.Faults.ProgramFailProb = 2 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig().withDefaults()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestLifetimeDeterminism is the seed-regression guard: two runs with the
+// same seed must produce byte-identical epoch series, and changing either
+// the workload seed or the fault-stream seed must change the series — the
+// splitmix64 plumbing reaches through every epoch.
+func TestLifetimeDeterminism(t *testing.T) {
+	run := func(mutate func(*Config)) string {
+		cfg := testConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", res.Series)
+	}
+	first := run(nil)
+	if again := run(nil); again != first {
+		t.Errorf("same seed produced different epoch series:\n%s\nvs\n%s", first, again)
+	}
+	if other := run(func(c *Config) { c.Seed = 99 }); other == first {
+		t.Error("different workload seed reproduced the same epoch series")
+	}
+	if other := run(func(c *Config) { c.Faults = DefaultFaultPlan(77) }); other == first {
+		t.Error("different fault seed reproduced the same epoch series")
+	}
+}
+
+// TestLifetimeInvariantsProperty drives randomized (but seeded) fault plans
+// through the harness and checks the invariants every run must keep:
+// usable capacity never increases, cumulative counters never decrease, and
+// the run terminates — at most the final sample may touch the erase-budget
+// ceiling.
+func TestLifetimeInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 6; i++ {
+		cfg := testConfig()
+		cfg.MaxEpochs = 8
+		cfg.Faults = fault.Config{
+			Seed:             rng.Int63(),
+			ProgramFailProb:  rng.Float64() * 5e-3,
+			EraseFailProb:    rng.Float64() * 5e-3,
+			ReadFailProb:     rng.Float64() * 5e-3,
+			WearFactor:       rng.Float64() * 2,
+			SuspectThreshold: rng.Intn(6),
+		}
+		// A plan that drew all-zero probabilities is still a valid run; it
+		// just ages without faults.
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("plan %d (%+v): %v", i, cfg.Faults, err)
+		}
+		for _, ser := range res.Series {
+			if ser.Cause == "" {
+				t.Errorf("plan %d %s: run ended without a stop cause", i, ser.Kind)
+			}
+			if len(ser.Samples) > cfg.MaxEpochs {
+				t.Errorf("plan %d %s: %d samples exceed the %d-epoch cap", i, ser.Kind, len(ser.Samples), cfg.MaxEpochs)
+			}
+			for j, s := range ser.Samples {
+				if j == 0 {
+					continue
+				}
+				prev := ser.Samples[j-1]
+				if s.UsablePages > prev.UsablePages {
+					t.Errorf("plan %d %s epoch %d: usable capacity grew %d → %d", i, ser.Kind, s.Epoch, prev.UsablePages, s.UsablePages)
+				}
+				if s.CumErases < prev.CumErases {
+					t.Errorf("plan %d %s epoch %d: cumulative erases shrank %d → %d", i, ser.Kind, s.Epoch, prev.CumErases, s.CumErases)
+				}
+				if s.CumHostWrites < prev.CumHostWrites {
+					t.Errorf("plan %d %s epoch %d: cumulative host writes shrank", i, ser.Kind, s.Epoch)
+				}
+				if s.RetiredBlocks < prev.RetiredBlocks {
+					t.Errorf("plan %d %s epoch %d: retired blocks shrank", i, ser.Kind, s.Epoch)
+				}
+			}
+			for j, s := range ser.Samples[:max(len(ser.Samples)-1, 0)] {
+				if s.CumErases >= res.EraseBudget {
+					t.Errorf("plan %d %s: sample %d crossed the erase budget %d but the run went on", i, ser.Kind, j, res.EraseBudget)
+				}
+			}
+		}
+	}
+}
+
+// TestLifetimeEndOfLifeShape pins the headline at reduced scale: under the
+// default wear plan the baseline reaches the capacity floor, and the DVP —
+// having short-circuited part of every epoch's programs — never dies
+// earlier than the baseline at equal work: its cumulative host writes
+// served are ≥ the baseline's, and at the baseline's death epoch it has
+// paid fewer erases.
+func TestLifetimeEndOfLifeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drive-to-death regression in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.RequestsPerEpoch = 8000
+	cfg.PoolEntries = 400
+	cfg.MaxEpochs = 48
+	cfg.Kinds = []Kind{KindBaseline, KindDVP}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := res.SeriesByKind(KindBaseline)
+	if !ok {
+		t.Fatal("no baseline series")
+	}
+	dvp, ok := res.SeriesByKind(KindDVP)
+	if !ok {
+		t.Fatal("no dvp series")
+	}
+	if !base.Cause.Dead() {
+		t.Fatalf("baseline survived the wear plan (cause %s after %d epochs) — the plan no longer drives to death",
+			base.Cause, len(base.Samples))
+	}
+	if dvp.CumHostWrites < base.CumHostWrites {
+		t.Errorf("DVP served %d host writes before stopping, baseline %d — DVP died earlier at equal work",
+			dvp.CumHostWrites, base.CumHostWrites)
+	}
+	if len(dvp.Samples) >= len(base.Samples) {
+		i := len(base.Samples) - 1
+		if dvp.Samples[i].CumErases >= base.Samples[i].CumErases {
+			t.Errorf("at baseline's death epoch %d, DVP had paid %d erases vs baseline %d — no lifetime benefit",
+				base.Samples[i].Epoch, dvp.Samples[i].CumErases, base.Samples[i].CumErases)
+		}
+	} else {
+		t.Errorf("DVP stopped after %d epochs, before baseline's %d", len(dvp.Samples), len(base.Samples))
+	}
+}
+
+// TestLifetimeDiesMidEpoch forces the out-of-space death path: with every
+// other GC erase failing, planes run out of blocks and the final epoch is
+// cut short, recorded as a partial sample with the no-space cause.
+func TestLifetimeDiesMidEpoch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Kinds = []Kind{KindBaseline}
+	cfg.CapacityFloorFrac = 0.01 // keep the boundary check out of the way
+	cfg.MaxEpochs = 64
+	cfg.Faults = fault.Config{Seed: 9, EraseFailProb: 0.5}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser := res.Series[0]
+	if ser.Cause != StopNoSpace {
+		t.Fatalf("cause = %s, want %s", ser.Cause, StopNoSpace)
+	}
+	if n := len(ser.Samples); n == 0 || !ser.Samples[n-1].Partial {
+		t.Errorf("no-space death did not record a partial final sample: %+v", ser.Samples)
+	}
+	if !ser.Cause.Dead() {
+		t.Error("no-space is not reported as dead")
+	}
+}
+
+// TestStopCauseDead pins the death classification.
+func TestStopCauseDead(t *testing.T) {
+	dead := map[StopCause]bool{
+		StopNoSpace: true, StopProgramFault: true, StopCapacityFloor: true,
+		StopEraseBudget: false, StopMaxEpochs: false,
+	}
+	for c, want := range dead {
+		if c.Dead() != want {
+			t.Errorf("%s.Dead() = %v, want %v", c, c.Dead(), want)
+		}
+	}
+}
+
+// TestKindsResolution checks the defaults: nil kinds expand to the five
+// standard arms plus the fault-weight ablation arm, and a negative weight
+// removes both the weight and the ablation arm.
+func TestKindsResolution(t *testing.T) {
+	c := DefaultConfig().withDefaults()
+	if got, want := len(c.Kinds), len(AllKinds())+1; got != want {
+		t.Fatalf("default kinds = %v (%d), want %d incl. the %s ablation arm", c.Kinds, got, want, KindDVPUnweighted)
+	}
+	if c.GCFaultWeight != DefaultGCFaultWeight {
+		t.Errorf("default GCFaultWeight = %g, want %g", c.GCFaultWeight, DefaultGCFaultWeight)
+	}
+	off := DefaultConfig()
+	off.GCFaultWeight = -1
+	off = off.withDefaults()
+	if off.GCFaultWeight != 0 {
+		t.Errorf("negative GCFaultWeight resolved to %g, want 0", off.GCFaultWeight)
+	}
+	if got, want := len(off.Kinds), len(AllKinds()); got != want {
+		t.Errorf("weight-off kinds = %v (%d), want just the %d standard arms", off.Kinds, got, want)
+	}
+}

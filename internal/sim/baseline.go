@@ -64,3 +64,6 @@ func (d *baselineDevice) Metrics() DeviceMetrics {
 
 // Bus exposes the flash timing model for utilization reporting.
 func (d *baselineDevice) Bus() *ssd.Bus { return d.bus }
+
+// Store exposes the physical store for wear and capacity introspection.
+func (d *baselineDevice) Store() *ftl.Store { return d.store }

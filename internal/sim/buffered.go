@@ -63,6 +63,14 @@ func (d *bufferedDevice) Bus() *ssd.Bus {
 	return nil
 }
 
+// Store exposes the inner device's physical store, when it has one.
+func (d *bufferedDevice) Store() *ftl.Store {
+	if sr, ok := d.inner.(interface{ Store() *ftl.Store }); ok {
+		return sr.Store()
+	}
+	return nil
+}
+
 // Metrics implements Device: the inner device's flash accounting with the
 // wrapper's host-visible request counts and the buffer's absorption.
 func (d *bufferedDevice) Metrics() DeviceMetrics {

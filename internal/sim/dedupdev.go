@@ -128,3 +128,6 @@ func (d *dedupDevice) DedupStats() dedup.Stats { return d.dmap.Stats() }
 
 // Bus exposes the flash timing model for utilization reporting.
 func (d *dedupDevice) Bus() *ssd.Bus { return d.bus }
+
+// Store exposes the physical store for wear and capacity introspection.
+func (d *dedupDevice) Store() *ftl.Store { return d.store }

@@ -281,6 +281,16 @@ func NewDevice(cfg Config) (Device, error) {
 	return dev, nil
 }
 
+// StoreOf returns the physical store behind dev (unwrapping the DRAM write
+// buffer when present), or nil for devices without one. The lifetime
+// harness samples wear and usable capacity through it.
+func StoreOf(dev Device) *ftl.Store {
+	if sr, ok := dev.(interface{ Store() *ftl.Store }); ok {
+		return sr.Store()
+	}
+	return nil
+}
+
 // buildPool constructs the configured dead-value pool over ledger.
 func buildPool(cfg Config, ledger *core.Ledger) (core.Pool, error) {
 	switch cfg.PoolKind {

@@ -123,3 +123,6 @@ func (d *dvpDevice) Metrics() DeviceMetrics {
 
 // Bus exposes the flash timing model for utilization reporting.
 func (d *dvpDevice) Bus() *ssd.Bus { return d.bus }
+
+// Store exposes the physical store for wear and capacity introspection.
+func (d *dvpDevice) Store() *ftl.Store { return d.store }

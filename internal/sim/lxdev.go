@@ -96,3 +96,6 @@ func (d *lxDevice) Metrics() DeviceMetrics {
 
 // Bus exposes the flash timing model for utilization reporting.
 func (d *lxDevice) Bus() *ssd.Bus { return d.bus }
+
+// Store exposes the physical store for wear and capacity introspection.
+func (d *lxDevice) Store() *ftl.Store { return d.store }

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-short lifetime-smoke repro examples clean
+.PHONY: all build vet test race bench fuzz-short lifetime-smoke crash-smoke repro examples clean
 
 all: build vet test
 
@@ -22,18 +22,24 @@ race:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Short fuzz smoke over the trace codecs (seed corpora live in
-# internal/trace/testdata/fuzz/).
+# Short fuzz smoke over the trace codecs and the recovery scan (seed
+# corpora live in internal/*/testdata/fuzz/).
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseTextRecord -fuzztime=5s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryReader -fuzztime=5s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzReadFIU -fuzztime=5s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzRecoveryScan -fuzztime=5s ./internal/recovery
 
 # Reduced-scale end-to-end run of the drive-to-death harness: every
 # architecture ages under the wear-scaled fault plan and the capacity /
 # write-reduction / p99 vs cumulative-erases series must render.
 lifetime-smoke:
 	$(GO) run ./cmd/zombiectl -q -requests 4000 run lifetime
+
+# Reduced-scale crashsweep: sudden power loss at 4 points per architecture,
+# full OOB recovery scan, DVP re-seed and integrity-oracle verification.
+crash-smoke:
+	$(GO) run ./cmd/zombiectl -q -requests 24000 -crash-points 4 run crashsweep
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

@@ -34,10 +34,27 @@ func main() {
 	flag.Int64Var(&opts.Faults.Seed, "fault-seed", 0, "fault stream seed")
 	flag.IntVar(&opts.Faults.SuspectThreshold, "fault-suspect", 0, "program failures before a block retires at its next erase (0 = never)")
 	flag.Float64Var(&opts.GCFaultWeight, "gc-fault-weight", 0, "fault-aware GC victim penalty per program failure (0 = off; lifetime uses its own default)")
+	flag.IntVar(&opts.CrashPoints, "crash-points", experiments.DefaultCrashPoints, "sudden-power-loss points per architecture in the crashsweep experiment")
+	flag.Int64Var(&opts.CrashSeed, "crash-seed", 0, "crash-point placement seed for the crashsweep experiment")
 	quiet := flag.Bool("q", false, "suppress progress notes on stderr")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	flag.Usage = usage
 	flag.Parse()
+
+	// Reject out-of-range flag values up front with a clear message, not a
+	// deep experiment error.
+	if opts.GCFaultWeight < 0 {
+		fatalFlag("-gc-fault-weight must be ≥ 0, got %g", opts.GCFaultWeight)
+	}
+	if opts.Faults.SuspectThreshold < 0 {
+		fatalFlag("-fault-suspect must be ≥ 0, got %d", opts.Faults.SuspectThreshold)
+	}
+	if opts.CrashPoints <= 0 {
+		fatalFlag("-crash-points must be positive, got %d", opts.CrashPoints)
+	}
+	if opts.CrashSeed < 0 {
+		fatalFlag("-crash-seed must be ≥ 0, got %d", opts.CrashSeed)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -114,6 +131,12 @@ func runExperiments(opts experiments.Options, ids []string, quiet, csv bool) err
 		fmt.Println(res.String())
 	}
 	return nil
+}
+
+// fatalFlag reports a bad flag value and exits like flag's own errors do.
+func fatalFlag(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "zombiectl: "+format+"\n", a...)
+	os.Exit(2)
 }
 
 func usage() {

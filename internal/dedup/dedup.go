@@ -163,6 +163,19 @@ func (m *Mapper) BindNew(lpn ftl.LPN, ppn ssd.PPN, h trace.Hash) {
 	m.l2p[lpn] = ppn
 }
 
+// Owners returns a copy of the logical owners of live page ppn (nil when
+// the page is not live). The first owner is the page's OOB representative
+// for crash recovery; the rest are journaled separately.
+func (m *Mapper) Owners(ppn ssd.PPN) []ftl.LPN {
+	meta, ok := m.pages[ppn]
+	if !ok {
+		return nil
+	}
+	out := make([]ftl.LPN, len(meta.lpns))
+	copy(out, meta.lpns)
+	return out
+}
+
 // Relocate rebinds every owner of src to dst; GC calls it when it moves a
 // valid page. Unknown pages are ignored (the moved page may belong to a
 // different mapping layer in mixed setups).

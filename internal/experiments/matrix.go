@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +12,79 @@ import (
 	"zombiessd/internal/trace"
 	"zombiessd/internal/workload"
 )
+
+// CellError ties one failed matrix arm to its cause.
+type CellError struct {
+	Workload string // empty when the failure is system-wide
+	Sys      System // empty when the failure is workload-wide
+	Err      error
+}
+
+// arm names the failing (workload, system) pair compactly.
+func (c CellError) arm() string {
+	switch {
+	case c.Workload == "":
+		return string(c.Sys)
+	case c.Sys == "":
+		return c.Workload
+	}
+	return c.Workload + "/" + string(c.Sys)
+}
+
+// MatrixError aggregates every failed arm of a matrix run, so one bad arm
+// in a long sweep does not hide the state of the others. Cells are sorted
+// by (workload, system).
+type MatrixError struct {
+	Cells []CellError
+}
+
+// Error renders each arm with its cause.
+func (e *MatrixError) Error() string {
+	if len(e.Cells) == 1 {
+		c := e.Cells[0]
+		return fmt.Sprintf("experiments: %s: %v", c.arm(), c.Err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "experiments: %d arms failed:", len(e.Cells))
+	for _, c := range e.Cells {
+		fmt.Fprintf(&sb, "\n  %s: %v", c.arm(), c.Err)
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the per-arm causes to errors.Is/As.
+func (e *MatrixError) Unwrap() []error {
+	out := make([]error, len(e.Cells))
+	for i, c := range e.Cells {
+		out[i] = c.Err
+	}
+	return out
+}
+
+// matrixError sorts cells deterministically and wraps them, or returns nil
+// when nothing failed.
+func matrixError(cells []CellError) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Workload != cells[j].Workload {
+			return cells[i].Workload < cells[j].Workload
+		}
+		return cells[i].Sys < cells[j].Sys
+	})
+	return &MatrixError{Cells: cells}
+}
+
+// knownSystem reports whether sys is a registered matrix configuration.
+func knownSystem(sys System) bool {
+	for _, s := range AllSystems() {
+		if s == sys {
+			return true
+		}
+	}
+	return false
+}
 
 // cellsSimulated counts the matrix cells that reached sim.Run, so tests can
 // assert that workers stop simulating once an error is recorded.
@@ -114,7 +189,16 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 		Results:   make(map[string]map[System]sim.Result, len(workloads)),
 	}
 
-	// Generate each workload's trace once, shared read-only by its cells.
+	// Pre-flight: resolve every arm's names before simulating anything, so
+	// one typo surfaces every broken arm at once instead of costing a full
+	// run per discovery. Generated traces are shared read-only by cells.
+	var failed []CellError
+	for _, sys := range systems {
+		if !knownSystem(sys) {
+			failed = append(failed, CellError{Sys: sys,
+				Err: fmt.Errorf("unknown system %q", sys)})
+		}
+	}
 	type traceData struct {
 		recs      []trace.Record
 		footprint int64
@@ -123,10 +207,14 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 	for _, name := range workloads {
 		recs, footprint, err := o.traceFor(name)
 		if err != nil {
-			return nil, err
+			failed = append(failed, CellError{Workload: name, Err: err})
+			continue
 		}
 		traces[name] = traceData{recs, footprint}
 		m.Results[name] = make(map[System]sim.Result, len(systems))
+	}
+	if err := matrixError(failed); err != nil {
+		return nil, err
 	}
 
 	type cell struct {
@@ -135,7 +223,6 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 	}
 	cells := make(chan cell)
 	var mu sync.Mutex
-	var firstErr error
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	if total := len(workloads) * len(systems); workers > total {
@@ -148,10 +235,12 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 			for c := range cells {
 				// A recorded error dooms the whole matrix; skip the
 				// remaining cells instead of simulating them at full cost.
+				// Cells already in flight still record their own errors,
+				// so the summary names every arm that actually failed.
 				mu.Lock()
-				failed := firstErr != nil
+				doomed := len(failed) > 0
 				mu.Unlock()
-				if failed {
+				if doomed {
 					continue
 				}
 				td := traces[c.workload]
@@ -171,9 +260,7 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 					}
 				}
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: %s/%s: %w", c.workload, c.sys, err)
-				}
+				failed = append(failed, CellError{Workload: c.workload, Sys: c.sys, Err: err})
 				mu.Unlock()
 			}
 		}()
@@ -185,8 +272,8 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 	}
 	close(cells)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := matrixError(failed); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -42,6 +42,12 @@ type Options struct {
 	// The zero value (the default) models perfect drives, keeping all
 	// paper figures bit-identical.
 	Faults fault.Config
+	// CrashPoints is the number of sudden-power-loss points the crash
+	// sweep injects per architecture; 0 uses the sweep's default (32).
+	CrashPoints int
+	// CrashSeed drives crash-point placement, independently of Seed so
+	// the same workload can be swept at different op indices.
+	CrashSeed int64
 	// GCFaultWeight is the fault-aware GC victim-score weight
 	// (ftl.StoreConfig.FaultPenaltyWeight) applied to every simulated
 	// device: victims lose weight × accumulated program failures of greed,
@@ -71,6 +77,12 @@ func (o Options) Validate() error {
 	}
 	if o.GCFaultWeight < 0 {
 		return fmt.Errorf("experiments: GC fault weight must be ≥ 0, got %g", o.GCFaultWeight)
+	}
+	if o.CrashPoints < 0 {
+		return fmt.Errorf("experiments: crash points must be ≥ 0, got %d", o.CrashPoints)
+	}
+	if o.CrashSeed < 0 {
+		return fmt.Errorf("experiments: crash seed must be ≥ 0, got %d", o.CrashSeed)
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return err

@@ -61,6 +61,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunLifetime(o) }},
 	{ID: "stability", Title: "Stability: Fig 9 headline across seeds",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunStability(o) }},
+	{ID: "crashsweep", Title: "Crashsweep: sudden-power-loss recovery (OOB scan, DVP re-seed, integrity oracle)",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunCrashsweep(o) }},
 }
 
 // All returns every experiment in the paper's order.

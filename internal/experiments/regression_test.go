@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
@@ -63,6 +64,27 @@ func TestMatrixAbortsPromptly(t *testing.T) {
 	}
 	if got := cellsSimulated.Load() - before; got != 0 {
 		t.Errorf("%d cells were simulated after the build error; want 0 skipped-on-error", got)
+	}
+}
+
+// TestMatrixErrorSummary pins the per-arm aggregation: when several arms
+// are broken, the error names every one of them, not just the first.
+func TestMatrixErrorSummary(t *testing.T) {
+	_, err := RunMatrix(smallOpts(), []string{"web", "no-such-workload"}, []System{"bogus", "worse"})
+	if err == nil {
+		t.Fatal("matrix with three broken arms succeeded")
+	}
+	var me *MatrixError
+	if !errors.As(err, &me) {
+		t.Fatalf("error is %T, want *MatrixError", err)
+	}
+	if len(me.Cells) != 3 {
+		t.Fatalf("got %d failed arms, want 3 (two bad systems + one bad workload): %v", len(me.Cells), err)
+	}
+	for _, needle := range []string{"bogus", "worse", "no-such-workload"} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Errorf("summary does not name %q: %v", needle, err)
+		}
 	}
 }
 

@@ -22,7 +22,18 @@
 // and behaves exactly as a fault-free drive.
 package fault
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPowerLoss is wrapped by FTL operations interrupted by the plan's
+// sudden-power-loss trigger (Config.CrashAtOp). The in-flight operation is
+// torn: a mid-write or mid-relocation program leaves an unreadable page, a
+// mid-erase leaves the whole block unreadable, and nothing after the crash
+// point was acknowledged to the host. Recovery (internal/recovery) rebuilds
+// the drive from OOB metadata.
+var ErrPowerLoss = errors.New("fault: sudden power loss")
 
 // Defaults applied by Config.WithDefaults when the corresponding field is
 // zero and the failure class is enabled.
@@ -72,12 +83,27 @@ type Config struct {
 	// controller policy of not trusting a block that keeps failing
 	// programs. 0 never retires on suspicion alone.
 	SuspectThreshold int
+
+	// CrashAtOp arms the sudden-power-loss trigger: power is cut during
+	// the Nth flash operation (1-based, counting every read, program and
+	// erase the store issues over the device's whole life, preconditioning
+	// included). The interrupted operation's page — or, for an erase, its
+	// whole block — is torn, and the FTL surfaces ErrPowerLoss. The
+	// trigger fires once; after recovery the drive runs on. 0 never
+	// crashes and is bit-identical to a plan without the field.
+	CrashAtOp int64
 }
 
-// Enabled reports whether the plan injects any faults at all.
+// Enabled reports whether the plan injects any probabilistic faults. The
+// crash trigger is deliberately excluded: it needs no random stream, and
+// the FTL arms it directly from the config.
 func (c Config) Enabled() bool {
 	return c.ProgramFailProb > 0 || c.EraseFailProb > 0 || c.ReadFailProb > 0
 }
+
+// Active reports whether the plan perturbs the drive at all: probabilistic
+// faults or the crash trigger.
+func (c Config) Active() bool { return c.Enabled() || c.CrashAtOp > 0 }
 
 // Validate reports whether the plan is usable.
 func (c Config) Validate() error {
@@ -104,6 +130,9 @@ func (c Config) Validate() error {
 	}
 	if c.SuspectThreshold < 0 {
 		return fmt.Errorf("fault: SuspectThreshold must be ≥ 0, got %d", c.SuspectThreshold)
+	}
+	if c.CrashAtOp < 0 {
+		return fmt.Errorf("fault: CrashAtOp must be ≥ 0, got %d", c.CrashAtOp)
 	}
 	return nil
 }

@@ -85,7 +85,10 @@ func TestReadRetriesPayExtraReads(t *testing.T) {
 	}
 	readsBefore, _, _ := bus.Counts()
 	plain := ssd.NewBus(tinyGeometry(), ssd.PaperLatency()).Read(ppn, 0)
-	done := s.Read(ppn, 0)
+	done, err := s.Read(ppn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	readsAfter, _, _ := bus.Counts()
 	if got := readsAfter - readsBefore; got != 3 {
 		t.Errorf("certain-failure read issued %d bus reads, want 1 + 2 retries", got)

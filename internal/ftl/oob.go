@@ -1,0 +1,303 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// This file is the crash-consistency substrate of the store: simulated
+// out-of-band (OOB) page metadata, a durable journal of mapping-only
+// updates, the sudden-power-loss trigger, and Rebuild — the block-state
+// reconstruction that recovery (internal/recovery) drives after a crash.
+//
+// Model: real NAND pages carry a spare (OOB) area programmed atomically
+// with the data, so per-page metadata written at program time survives
+// power loss; everything in controller RAM (mapping tables, the dead-value
+// pool, free lists) does not. Mapping changes that program no page —
+// zombie revivals and dedup reference bindings — cannot restamp OOB
+// (pages program once per erase cycle), so they go to an append-only
+// journal, modeling the capacitor-backed metadata log every production
+// FTL keeps. Recovery folds OOB ∪ journal with last-writer-wins by
+// sequence number.
+
+// OOBState is the readability of one page's OOB record after power loss.
+type OOBState uint8
+
+// OOB record states.
+const (
+	// OOBEmpty: the page has not been programmed since its last erase.
+	OOBEmpty OOBState = iota
+	// OOBProgrammed: the page holds data and a readable OOB record.
+	OOBProgrammed
+	// OOBTorn: a program or erase of this page was interrupted by power
+	// loss; data and OOB are unreadable garbage.
+	OOBTorn
+)
+
+// String names the state.
+func (s OOBState) String() string {
+	switch s {
+	case OOBEmpty:
+		return "empty"
+	case OOBProgrammed:
+		return "programmed"
+	case OOBTorn:
+		return "torn"
+	default:
+		return fmt.Sprintf("OOBState(%d)", uint8(s))
+	}
+}
+
+// OOB is the simulated out-of-band record of one physical page, stamped
+// atomically with the page program: the owning logical page, the content
+// hash, a drive-lifetime-monotonic sequence number, and whether the
+// binding originated as a dead-value-pool revival.
+type OOB struct {
+	State   OOBState
+	LPN     LPN
+	Hash    trace.Hash
+	Seq     uint64
+	Revived bool
+}
+
+// Binding is one journal record: a mapping-only update (revival or dedup
+// reference bind) that programmed no page and therefore lives in the
+// durable metadata journal instead of OOB. The content hash is not stored:
+// recovery resolves it from the target page's OOB.
+type Binding struct {
+	LPN     LPN
+	PPN     ssd.PPN
+	Seq     uint64
+	Revived bool
+}
+
+// journalCapFloor bounds how small the journal-prune trigger can get.
+const journalCapFloor = 4096
+
+// StampOOB records the OOB metadata of a just-programmed page. Devices
+// call it immediately after a successful Program/ProgramStream for the
+// page that landed host data; GC stamps relocation copies itself. The
+// store assigns the next sequence number.
+func (s *Store) StampOOB(ppn ssd.PPN, lpn LPN, h trace.Hash, revived bool) {
+	s.seq++
+	s.oob[ppn] = OOB{State: OOBProgrammed, LPN: lpn, Hash: h, Seq: s.seq, Revived: revived}
+}
+
+// AppendBinding journals a mapping-only update of lpn to the already-
+// programmed page ppn: a dead-value-pool revival (revived=true) or a
+// dedup reference bind (revived=false). The store assigns the next
+// sequence number, so the record outranks every earlier binding of lpn
+// under last-writer-wins.
+func (s *Store) AppendBinding(lpn LPN, ppn ssd.PPN, revived bool) {
+	s.seq++
+	s.journal = append(s.journal, Binding{LPN: lpn, PPN: ppn, Seq: s.seq, Revived: revived})
+	if len(s.journal) >= s.journalCap {
+		s.pruneJournal()
+	}
+}
+
+// pruneJournal drops records that can no longer win recovery: the target
+// page was erased, torn, or reprogrammed after the record was written
+// (its OOB sequence exceeds the record's). Compaction keeps the journal
+// proportional to live state without changing recovery's outcome.
+func (s *Store) pruneJournal() {
+	kept := s.journal[:0]
+	for _, r := range s.journal {
+		o := s.oob[r.PPN]
+		if o.State == OOBProgrammed && o.Seq <= r.Seq {
+			kept = append(kept, r)
+		}
+	}
+	s.journal = kept
+	s.journalCap = 2 * len(kept)
+	if s.journalCap < journalCapFloor {
+		s.journalCap = journalCapFloor
+	}
+}
+
+// OOBOf returns the OOB record of page p.
+func (s *Store) OOBOf(p ssd.PPN) OOB { return s.oob[p] }
+
+// OOBSnapshot returns a copy of every page's OOB record — the full-device
+// scan recovery performs.
+func (s *Store) OOBSnapshot() []OOB {
+	out := make([]OOB, len(s.oob))
+	copy(out, s.oob)
+	return out
+}
+
+// JournalSnapshot returns a copy of the durable metadata journal.
+func (s *Store) JournalSnapshot() []Binding {
+	out := make([]Binding, len(s.journal))
+	copy(out, s.journal)
+	return out
+}
+
+// JournalLen returns the current journal length (post-compaction).
+func (s *Store) JournalLen() int { return len(s.journal) }
+
+// Seq returns the last sequence number assigned.
+func (s *Store) Seq() uint64 { return s.seq }
+
+// PowerLossFired reports whether the armed crash trigger has gone off.
+func (s *Store) PowerLossFired() bool { return s.crashed }
+
+// FlashOps returns the number of flash operations counted by the crash
+// trigger. Always 0 on an unarmed store (the counter only runs when
+// Faults.CrashAtOp > 0); use the bus counters for general accounting.
+func (s *Store) FlashOps() int64 { return s.opCount }
+
+// crashNow advances the armed power-loss countdown by one flash operation
+// and reports whether the trigger fires on this one. Unarmed stores
+// (CrashAtOp 0) pay a single predictable branch and never count.
+func (s *Store) crashNow() bool {
+	if s.crashAt <= 0 || s.crashed {
+		return false
+	}
+	s.opCount++
+	if s.opCount >= s.crashAt {
+		s.crashed = true
+		return true
+	}
+	return false
+}
+
+// stampRelocated stamps the OOB of a GC relocation copy: the hash moves
+// with the data, the LPN is the page's *current* owner (asked of the
+// mapping layer via OwnerOf, so a revived or re-deduplicated page is not
+// resurrected under a long-dead logical address), and a fresh sequence
+// number makes the copy outrank the source under last-writer-wins.
+func (s *Store) stampRelocated(src, dst ssd.PPN) {
+	var lpn LPN
+	var ok bool
+	if s.OwnerOf != nil {
+		lpn, ok = s.OwnerOf(src)
+	}
+	srcOOB := s.oob[src]
+	if !ok {
+		// No mapping layer wired (raw-store tests): carry the source
+		// stamp forward, or nothing if the source was never stamped.
+		if srcOOB.State != OOBProgrammed {
+			return
+		}
+		lpn = srcOOB.LPN
+	}
+	s.seq++
+	s.oob[dst] = OOB{State: OOBProgrammed, LPN: lpn, Hash: srcOOB.Hash, Seq: s.seq}
+}
+
+// Rebuild restores the store's RAM-resident block state after a crash from
+// the surviving OOB records plus the page sets recovery computed: valid
+// pages (the last-writer-wins winners) and garbage pages (programmed,
+// readable, but superseded — the pages the dead-value pool is re-seeded
+// from). Torn pages are taken from the store's own OOB and become
+// unrevivable garbage. Per-block erase/fault history and bad-block marks
+// survive (the model's stand-in for the bad-block table every controller
+// persists); free lists and write frontiers are derived from block fill.
+func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
+	total := ssd.PPN(s.geo.TotalPages())
+	for i := range s.state {
+		s.state[i] = PageFree
+	}
+	for i := range s.blocks {
+		b := &s.blocks[i]
+		b.valid, b.invalid = 0, 0
+		b.free, b.active = false, false
+	}
+	// Torn pages: physically present but unreadable until their block is
+	// erased; they count as (unrevivable) garbage so GC reclaims them.
+	for p := ssd.PPN(0); p < total; p++ {
+		if s.oob[p].State != OOBTorn {
+			continue
+		}
+		if b := s.geo.BlockOf(p); !s.blocks[b].bad {
+			s.state[p] = PageInvalid
+			s.blocks[b].invalid++
+		}
+	}
+	mark := func(pages []ssd.PPN, st PageState) error {
+		for _, p := range pages {
+			if p >= total {
+				return fmt.Errorf("ftl: Rebuild: page %d outside the drive", p)
+			}
+			b := s.geo.BlockOf(p)
+			if s.blocks[b].bad {
+				return fmt.Errorf("ftl: Rebuild: page %d lives in retired block %d", p, b)
+			}
+			if s.state[p] != PageFree {
+				return fmt.Errorf("ftl: Rebuild: page %d assigned twice", p)
+			}
+			if s.oob[p].State != OOBProgrammed {
+				return fmt.Errorf("ftl: Rebuild: page %d is %v, not programmed", p, s.oob[p].State)
+			}
+			s.state[p] = st
+			if st == PageValid {
+				s.blocks[b].valid++
+			} else {
+				s.blocks[b].invalid++
+			}
+		}
+		return nil
+	}
+	if err := mark(valid, PageValid); err != nil {
+		return err
+	}
+	if err := mark(garbage, PageInvalid); err != nil {
+		return err
+	}
+
+	// Derive free lists and write frontiers from block fill: the number of
+	// pages programmed (or torn) since the block's last erase. Allocation
+	// is strictly sequential, so fill is where the frontier resumes.
+	for plane := range s.planes {
+		pl := &s.planes[plane]
+		pl.freeBlocks = pl.freeBlocks[:0]
+		var partial []frontier
+		for i := s.geo.BlocksPerPlane - 1; i >= 0; i-- {
+			b := s.geo.BlockAt(plane, i)
+			if s.blocks[b].bad {
+				continue
+			}
+			fill := 0
+			first := s.geo.FirstPage(b)
+			for pg := s.geo.PagesPerBlock - 1; pg >= 0; pg-- {
+				if s.oob[first+ssd.PPN(pg)].State != OOBEmpty {
+					fill = pg + 1
+					break
+				}
+			}
+			switch {
+			case fill == 0:
+				// Pushed in descending block order so allocation consumes
+				// ascending, as NewStore arranges.
+				s.blocks[b].free = true
+				pl.freeBlocks = append(pl.freeBlocks, b)
+			case fill < s.geo.PagesPerBlock:
+				partial = append(partial, frontier{active: b, nextPage: fill})
+			}
+		}
+		// Ascending block order for deterministic frontier assignment.
+		sort.Slice(partial, func(i, j int) bool { return partial[i].active < partial[j].active })
+		for f := range pl.frontiers {
+			switch {
+			case f < len(partial):
+				pl.frontiers[f] = partial[f]
+			case len(pl.freeBlocks) > 0:
+				b := pl.freeBlocks[len(pl.freeBlocks)-1]
+				pl.freeBlocks = pl.freeBlocks[:len(pl.freeBlocks)-1]
+				s.blocks[b].free = false
+				pl.frontiers[f] = frontier{active: b}
+			default:
+				return fmt.Errorf("ftl: Rebuild: plane %d has no block for frontier %d", plane, f)
+			}
+			s.blocks[pl.frontiers[f].active].active = true
+		}
+		// More partial blocks than frontiers can only follow repeated
+		// crashes; the extras stay closed and GC reclaims them normally.
+	}
+	s.cursor = 0
+	return nil
+}

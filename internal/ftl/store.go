@@ -199,9 +199,26 @@ type Store struct {
 	inj    *fault.Injector
 	faults fault.Stats
 
+	// Crash-consistency state (see oob.go): per-page OOB records, the
+	// durable mapping journal, the monotonic sequence counter, and the
+	// armed power-loss countdown.
+	oob        []OOB
+	journal    []Binding
+	journalCap int
+	seq        uint64
+	crashAt    int64 // Faults.CrashAtOp; 0 = never
+	opCount    int64 // flash ops counted while armed
+	crashed    bool  // the one-shot trigger has fired
+
 	// OnRelocate is called when GC moves a valid page; mapping layers
 	// rebind LPNs here. Nil is allowed.
 	OnRelocate func(src, dst ssd.PPN)
+
+	// OwnerOf asks the mapping layer for the current logical owner of a
+	// valid physical page; GC relocation stamps the copy's OOB with it so
+	// recovery rebinds the right LPN even for revived or deduplicated
+	// pages. Nil falls back to the source page's own OOB stamp.
+	OwnerOf func(ppn ssd.PPN) (LPN, bool)
 
 	// OnEraseGarbage is called for every invalid page destroyed by an
 	// erase; the dead-value pool drops its zombies here. Nil is allowed.
@@ -227,13 +244,19 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 			cfg.SoftGCThreshold, geo.BlocksPerPlane)
 	}
 	s := &Store{
-		cfg:    cfg,
-		geo:    geo,
-		bus:    bus,
-		state:  make([]PageState, geo.TotalPages()),
-		blocks: make([]blockInfo, geo.TotalBlocks()),
-		planes: make([]planeState, geo.TotalPlanes()),
-		inj:    fault.New(cfg.Faults),
+		cfg:     cfg,
+		geo:     geo,
+		bus:     bus,
+		state:   make([]PageState, geo.TotalPages()),
+		blocks:  make([]blockInfo, geo.TotalBlocks()),
+		planes:  make([]planeState, geo.TotalPlanes()),
+		inj:     fault.New(cfg.Faults),
+		oob:     make([]OOB, geo.TotalPages()),
+		crashAt: cfg.Faults.CrashAtOp,
+	}
+	s.journalCap = int(geo.TotalPages())
+	if s.journalCap < journalCapFloor {
+		s.journalCap = journalCapFloor
 	}
 	frontiers := cfg.UserStreams
 	if frontiers < 1 {
@@ -384,8 +407,17 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 		if err != nil {
 			return ssd.InvalidPPN, 0, err
 		}
-		done := s.bus.Program(ppn, now)
 		blk := s.geo.BlockOf(ppn)
+		if s.crashNow() {
+			// Power cut mid-program: the page is torn — unreadable data,
+			// unreadable OOB — and the write was never acknowledged.
+			s.state[ppn] = PageInvalid
+			s.blocks[blk].valid--
+			s.blocks[blk].invalid++
+			s.oob[ppn] = OOB{State: OOBTorn}
+			return ssd.InvalidPPN, 0, fmt.Errorf("ftl: program of page %d interrupted: %w", ppn, fault.ErrPowerLoss)
+		}
+		done := s.bus.Program(ppn, now)
 		if s.inj == nil || !s.inj.ProgramFails(s.blocks[blk].erases) {
 			if attempt > 1 {
 				s.faults.Relocations++
@@ -396,6 +428,7 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 		s.state[ppn] = PageInvalid
 		s.blocks[blk].valid--
 		s.blocks[blk].invalid++
+		s.oob[ppn] = OOB{State: OOBTorn} // status-failed page: contents untrustworthy
 		s.blocks[blk].progFails++
 		if s.blocks[blk].progFails == 1 {
 			s.faults.SuspectBlocks++
@@ -407,23 +440,31 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 	}
 }
 
-// Read issues a host read of page p at time now.
-func (s *Store) Read(p ssd.PPN, now ssd.Time) ssd.Time {
+// Read issues a host read of page p at time now. The error is non-nil only
+// when the armed power-loss trigger fires on this operation; the read
+// returns nothing and no device state changes.
+func (s *Store) Read(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
 	return s.readPage(p, now)
 }
 
 // readPage issues one page read plus any injected ECC retries, each a full
 // extra read operation on the chip.
-func (s *Store) readPage(p ssd.PPN, now ssd.Time) ssd.Time {
+func (s *Store) readPage(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
+	if s.crashNow() {
+		return 0, fmt.Errorf("ftl: read of page %d interrupted: %w", p, fault.ErrPowerLoss)
+	}
 	done := s.bus.Read(p, now)
 	if s.inj != nil {
 		erases := s.blocks[s.geo.BlockOf(p)].erases
 		for r := 0; r < s.inj.Config().ReadRetries && s.inj.ReadFails(erases); r++ {
 			s.faults.ReadRetries++
+			if s.crashNow() {
+				return 0, fmt.Errorf("ftl: read retry of page %d interrupted: %w", p, fault.ErrPowerLoss)
+			}
 			done = s.bus.Read(p, done)
 		}
 	}
-	return done
+	return done, nil
 }
 
 // gcStream returns the frontier index GC relocations write to.
@@ -609,10 +650,15 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 		p := first + ssd.PPN(i)
 		switch s.state[p] {
 		case PageValid:
-			readDone := s.readPage(p, now)
+			readDone, err := s.readPage(p, now)
+			if err != nil {
+				// Power cut mid-relocation read: the source page is intact
+				// and still mapped; nothing is torn.
+				return false, fmt.Errorf("ftl: GC relocation read of page %d: %w", p, err)
+			}
 			dst, _, err := s.programAt(plane, s.gcStream(plane), readDone)
 			if err != nil {
-				if s.inj == nil {
+				if s.inj == nil && s.crashAt == 0 {
 					// Threshold ≥ 2 guarantees a destination; reaching this
 					// is a bookkeeping bug.
 					panic(fmt.Sprintf("ftl: GC relocation failed: %v", err))
@@ -620,6 +666,9 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 				return false, fmt.Errorf("ftl: GC relocation of page %d: %w", p, err)
 			}
 			s.gc.Relocated++
+			// Stamp before OnRelocate: the owner must be read while the
+			// mapping still points at the source page.
+			s.stampRelocated(p, dst)
 			if s.OnRelocate != nil {
 				s.OnRelocate(p, dst)
 			}
@@ -630,7 +679,26 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 		}
 		s.state[p] = PageFree
 	}
+	if s.crashNow() {
+		// Power cut mid-erase: the whole block is torn — neither erased
+		// nor readable. Every relocated page already landed elsewhere, so
+		// the block holds only unrevivable garbage until GC retries.
+		info := &s.blocks[v]
+		info.valid = 0
+		info.invalid = int32(s.geo.PagesPerBlock)
+		for i := 0; i < s.geo.PagesPerBlock; i++ {
+			p := first + ssd.PPN(i)
+			s.state[p] = PageInvalid
+			s.oob[p] = OOB{State: OOBTorn}
+		}
+		return false, fmt.Errorf("ftl: erase of block %d interrupted: %w", v, fault.ErrPowerLoss)
+	}
 	s.bus.Erase(v, now)
+	// The erase destroys page contents and OOB alike; even a failed erase
+	// leaves nothing recovery may resurrect.
+	for i := 0; i < s.geo.PagesPerBlock; i++ {
+		s.oob[first+ssd.PPN(i)] = OOB{}
+	}
 	info := &s.blocks[v]
 	info.valid = 0
 	info.invalid = 0

@@ -1,0 +1,145 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+)
+
+// Binary snapshot format, version 1 (little-endian, fixed width):
+//
+//	magic   8 B  "ZOMBREC1"
+//	pages   8 B  uint64
+//	oob     pages × 30 B  (state 1, lpn 4, hash 16, seq 8, revived 1)
+//	jlen    8 B  uint64
+//	journal jlen × 17 B   (lpn 4, ppn 4, seq 8, revived 1)
+//	bad     ⌈pages/8⌉ B   bitmap, LSB-first
+//
+// The decoder never allocates more than the input could justify, so it is
+// safe to feed fuzzer-corrupted data.
+
+const snapshotMagic = "ZOMBREC1"
+
+const (
+	oobRecordSize     = 1 + 4 + 16 + 8 + 1
+	journalRecordSize = 4 + 4 + 8 + 1
+)
+
+// Encode serialises snap into the versioned binary format.
+func (s Snapshot) Encode() []byte {
+	size := len(snapshotMagic) + 8 + len(s.OOB)*oobRecordSize + 8 +
+		len(s.Journal)*journalRecordSize + (len(s.Bad)+7)/8
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Pages))
+	for _, o := range s.OOB {
+		buf = append(buf, byte(o.State))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.LPN))
+		buf = append(buf, o.Hash[:]...)
+		buf = binary.LittleEndian.AppendUint64(buf, o.Seq)
+		buf = append(buf, boolByte(o.Revived))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Journal)))
+	for _, r := range s.Journal {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.LPN))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.PPN))
+		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
+		buf = append(buf, boolByte(r.Revived))
+	}
+	bits := make([]byte, (len(s.Bad)+7)/8)
+	for i, b := range s.Bad {
+		if b {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return append(buf, bits...)
+}
+
+// Decode parses data produced by Encode (or corrupted variants of it),
+// rejecting anything structurally inconsistent.
+func Decode(data []byte) (Snapshot, error) {
+	if len(data) < len(snapshotMagic)+8 {
+		return Snapshot{}, fmt.Errorf("recovery: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return Snapshot{}, fmt.Errorf("recovery: bad snapshot magic")
+	}
+	data = data[len(snapshotMagic):]
+	pages := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	if pages > uint64(len(data))/oobRecordSize {
+		return Snapshot{}, fmt.Errorf("recovery: page count %d exceeds snapshot size", pages)
+	}
+	s := Snapshot{Pages: int64(pages), OOB: make([]ftl.OOB, pages)}
+	for i := range s.OOB {
+		state := ftl.OOBState(data[0])
+		if state > ftl.OOBTorn {
+			return Snapshot{}, fmt.Errorf("recovery: OOB record %d has unknown state %d", i, state)
+		}
+		revived, err := byteBool(data[29])
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("recovery: OOB record %d: %v", i, err)
+		}
+		s.OOB[i] = ftl.OOB{
+			State:   state,
+			LPN:     ftl.LPN(binary.LittleEndian.Uint32(data[1:])),
+			Seq:     binary.LittleEndian.Uint64(data[21:]),
+			Revived: revived,
+		}
+		copy(s.OOB[i].Hash[:], data[5:21])
+		data = data[oobRecordSize:]
+	}
+	if len(data) < 8 {
+		return Snapshot{}, fmt.Errorf("recovery: snapshot truncated before journal")
+	}
+	jlen := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	if jlen > uint64(len(data))/journalRecordSize {
+		return Snapshot{}, fmt.Errorf("recovery: journal length %d exceeds snapshot size", jlen)
+	}
+	s.Journal = make([]ftl.Binding, jlen)
+	for i := range s.Journal {
+		revived, err := byteBool(data[16])
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("recovery: journal record %d: %v", i, err)
+		}
+		s.Journal[i] = ftl.Binding{
+			LPN:     ftl.LPN(binary.LittleEndian.Uint32(data)),
+			PPN:     ssd.PPN(binary.LittleEndian.Uint32(data[4:])),
+			Seq:     binary.LittleEndian.Uint64(data[8:]),
+			Revived: revived,
+		}
+		data = data[journalRecordSize:]
+	}
+	bitBytes := (int(pages) + 7) / 8
+	if len(data) != bitBytes {
+		return Snapshot{}, fmt.Errorf("recovery: bad-block bitmap is %d bytes, want %d", len(data), bitBytes)
+	}
+	if pad := uint(pages) % 8; pad != 0 && data[bitBytes-1]>>pad != 0 {
+		return Snapshot{}, fmt.Errorf("recovery: bad-block bitmap has padding bits set")
+	}
+	s.Bad = make([]bool, pages)
+	for i := range s.Bad {
+		s.Bad[i] = data[i/8]&(1<<(i%8)) != 0
+	}
+	return s, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func byteBool(b byte) (bool, error) {
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("bad bool byte %d", b)
+}

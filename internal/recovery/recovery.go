@@ -1,0 +1,220 @@
+// Package recovery rebuilds a crashed device's mapping state from the
+// per-page out-of-band (OOB) metadata and the durable mapping journal —
+// the simulated analogue of the full-device OOB scan a real page-mapped
+// FTL performs after sudden power loss.
+//
+// The scan computes, for every logical page, the last writer to durably
+// claim it: OOB records (stamped at program time) and journal records
+// (appended on mapping-only updates such as zombie revivals and dedup
+// reference binds) compete by monotonic sequence number, newest wins.
+// Programmed pages no surviving logical page claims are garbage — exactly
+// the population the dead-value pool indexes — so the plan also carries
+// everything needed to re-seed the pool with warm zombies after recovery.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// Snapshot is the durable state that survives power loss: every page's OOB
+// area, the mapping journal, and the bad-block map (kept in NOR/metadata
+// blocks on real drives). Volatile state — mapping tables, pool contents,
+// popularity counters — is deliberately absent.
+type Snapshot struct {
+	Pages   int64
+	OOB     []ftl.OOB
+	Journal []ftl.Binding
+	// Bad flags pages in retired blocks; the scan skips them entirely.
+	Bad []bool
+}
+
+// SnapshotOf captures the durable state of store.
+func SnapshotOf(store *ftl.Store) Snapshot {
+	geo := store.Geometry()
+	pages := geo.TotalPages()
+	bad := make([]bool, pages)
+	for p := int64(0); p < pages; p++ {
+		bad[p] = store.BadBlock(geo.BlockOf(ssd.PPN(p)))
+	}
+	return Snapshot{
+		Pages:   pages,
+		OOB:     store.OOBSnapshot(),
+		Journal: store.JournalSnapshot(),
+		Bad:     bad,
+	}
+}
+
+// Validate reports whether the snapshot is structurally sound.
+func (s Snapshot) Validate() error {
+	if s.Pages < 0 {
+		return fmt.Errorf("recovery: negative page count %d", s.Pages)
+	}
+	if int64(len(s.OOB)) != s.Pages {
+		return fmt.Errorf("recovery: %d OOB records for %d pages", len(s.OOB), s.Pages)
+	}
+	if int64(len(s.Bad)) != s.Pages {
+		return fmt.Errorf("recovery: %d bad flags for %d pages", len(s.Bad), s.Pages)
+	}
+	return nil
+}
+
+// Winner is the recovered binding of one logical page: the newest durable
+// record claiming it.
+type Winner struct {
+	LPN     ftl.LPN
+	PPN     ssd.PPN
+	Hash    trace.Hash
+	Seq     uint64
+	Revived bool // won via a journal revival, not a program
+}
+
+// GarbagePage is a programmed page no surviving logical page claims — a
+// zombie candidate for re-seeding the dead-value pool. LPN and Hash come
+// from its OOB: the last logical owner and content it was programmed with.
+type GarbagePage struct {
+	PPN  ssd.PPN
+	LPN  ftl.LPN
+	Hash trace.Hash
+	Seq  uint64
+}
+
+// Report summarises the cost and findings of the scan.
+type Report struct {
+	PagesScanned     int64 // every non-bad page is read once
+	TornDiscarded    int64 // pages interrupted mid-program or mid-erase
+	BadSkipped       int64 // pages in retired blocks
+	JournalReplayed  int   // journal records that survived validation
+	JournalDiscarded int   // journal records invalidated by erase/reprogram
+	Winners          int   // logical pages recovered
+	Garbage          int   // zombie pages available to the pool
+}
+
+// ScanCost returns the flash time of the recovery scan: one read per
+// scanned page.
+func (r Report) ScanCost(readLatency ssd.Time) ssd.Time {
+	return ssd.Time(r.PagesScanned) * readLatency
+}
+
+// Plan is the output of the recovery scan, ready to drive Store.Rebuild
+// and mapper/pool reconstruction.
+type Plan struct {
+	// Winners holds one entry per recovered logical page, LPN-ascending.
+	Winners []Winner
+	// Garbage holds the unclaimed programmed pages, Seq-ascending (oldest
+	// first, so pool insertion order mirrors death order).
+	Garbage []GarbagePage
+	Report  Report
+}
+
+// BuildPlan runs the last-writer-wins scan over snap.
+//
+// A journal record (L → P, seq) is valid only while page P still holds the
+// program it referred to: P's OOB must be Programmed with Seq ≤ the
+// record's. An erase clears the OOB and a reprogram raises its Seq above
+// every older journal record, so stale bindings self-invalidate. Ties
+// (impossible under the store's single sequence counter, but reachable
+// from fuzzed snapshots) keep the earlier-scanned candidate.
+func BuildPlan(snap Snapshot) (Plan, error) {
+	if err := snap.Validate(); err != nil {
+		return Plan{}, err
+	}
+	var rep Report
+	best := make(map[ftl.LPN]Winner)
+	claim := func(w Winner) {
+		if w.LPN == ftl.InvalidLPN {
+			return
+		}
+		if cur, ok := best[w.LPN]; !ok || w.Seq > cur.Seq {
+			best[w.LPN] = w
+		}
+	}
+
+	// Phase 1: the OOB scan proper — every page in a live block is read.
+	for p := int64(0); p < snap.Pages; p++ {
+		if snap.Bad[p] {
+			rep.BadSkipped++
+			continue
+		}
+		rep.PagesScanned++
+		o := snap.OOB[p]
+		switch o.State {
+		case ftl.OOBTorn:
+			rep.TornDiscarded++
+		case ftl.OOBProgrammed:
+			claim(Winner{LPN: o.LPN, PPN: ssd.PPN(p), Hash: o.Hash, Seq: o.Seq, Revived: o.Revived})
+		}
+	}
+
+	// Phase 2: replay the mapping journal over the scan results.
+	for _, r := range snap.Journal {
+		p := int64(r.PPN)
+		if p < 0 || p >= snap.Pages || snap.Bad[p] {
+			rep.JournalDiscarded++
+			continue
+		}
+		o := snap.OOB[p]
+		if o.State != ftl.OOBProgrammed || o.Seq > r.Seq {
+			rep.JournalDiscarded++
+			continue
+		}
+		rep.JournalReplayed++
+		claim(Winner{LPN: r.LPN, PPN: r.PPN, Hash: o.Hash, Seq: r.Seq, Revived: r.Revived})
+	}
+
+	plan := Plan{Winners: make([]Winner, 0, len(best))}
+	claimed := make(map[ssd.PPN]bool, len(best))
+	for _, w := range best {
+		plan.Winners = append(plan.Winners, w)
+		claimed[w.PPN] = true
+	}
+	sort.Slice(plan.Winners, func(i, j int) bool {
+		return plan.Winners[i].LPN < plan.Winners[j].LPN
+	})
+
+	// Phase 3: programmed pages nobody claims are zombies.
+	for p := int64(0); p < snap.Pages; p++ {
+		if snap.Bad[p] || snap.OOB[p].State != ftl.OOBProgrammed || claimed[ssd.PPN(p)] {
+			continue
+		}
+		o := snap.OOB[p]
+		plan.Garbage = append(plan.Garbage, GarbagePage{PPN: ssd.PPN(p), LPN: o.LPN, Hash: o.Hash, Seq: o.Seq})
+	}
+	sort.Slice(plan.Garbage, func(i, j int) bool {
+		return plan.Garbage[i].Seq < plan.Garbage[j].Seq
+	})
+
+	rep.Winners = len(plan.Winners)
+	rep.Garbage = len(plan.Garbage)
+	plan.Report = rep
+	return plan, nil
+}
+
+// ValidPPNs returns the winner pages (unique, ascending) — the `valid`
+// argument to Store.Rebuild.
+func (p Plan) ValidPPNs() []ssd.PPN {
+	seen := make(map[ssd.PPN]bool, len(p.Winners))
+	out := make([]ssd.PPN, 0, len(p.Winners))
+	for _, w := range p.Winners {
+		if !seen[w.PPN] {
+			seen[w.PPN] = true
+			out = append(out, w.PPN)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GarbagePPNs returns the zombie pages — the `garbage` argument to
+// Store.Rebuild.
+func (p Plan) GarbagePPNs() []ssd.PPN {
+	out := make([]ssd.PPN, len(p.Garbage))
+	for i, g := range p.Garbage {
+		out[i] = g.PPN
+	}
+	return out
+}

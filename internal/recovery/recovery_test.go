@@ -1,0 +1,154 @@
+package recovery
+
+import (
+	"reflect"
+	"testing"
+
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+func hashOf(v uint64) trace.Hash { return trace.HashOfValue(v) }
+
+// snap8 builds an 8-page snapshot exercising every scan rule:
+//
+//	page 0: LPN 1, seq 1  — superseded by page 1's reprogram
+//	page 1: LPN 1, seq 5  — winner for LPN 1
+//	page 2: LPN 2, seq 2  — claimed away by a journal revival, becomes
+//	                        LPN 3's winner via journal (seq 6)
+//	page 3: torn mid-program
+//	page 4: bad block, never scanned
+//	page 5: LPN 4, seq 3  — winner for LPN 4
+//	page 6: empty (erased) — the stale journal target for LPN 5
+//	page 7: LPN 5, seq 4  — winner for LPN 5 (its journal move is invalid)
+func snap8() Snapshot {
+	s := Snapshot{
+		Pages: 8,
+		OOB:   make([]ftl.OOB, 8),
+		Bad:   make([]bool, 8),
+	}
+	prog := func(p int, lpn ftl.LPN, seq uint64) {
+		s.OOB[p] = ftl.OOB{State: ftl.OOBProgrammed, LPN: lpn, Hash: hashOf(seq), Seq: seq}
+	}
+	prog(0, 1, 1)
+	prog(1, 1, 5)
+	prog(2, 2, 2)
+	s.OOB[3] = ftl.OOB{State: ftl.OOBTorn}
+	s.Bad[4] = true
+	prog(5, 4, 3)
+	prog(7, 5, 4)
+	s.Journal = []ftl.Binding{
+		{LPN: 3, PPN: 2, Seq: 6, Revived: true},  // revives page 2's content as LPN 3
+		{LPN: 5, PPN: 6, Seq: 7, Revived: true},  // invalid: page 6 was erased
+		{LPN: 9, PPN: 40, Seq: 8, Revived: true}, // invalid: PPN out of range
+		{LPN: 9, PPN: 4, Seq: 9, Revived: true},  // invalid: bad block
+		{LPN: 2, PPN: 0, Seq: 0, Revived: false}, // invalid: OOB seq 1 > record seq 0
+	}
+	return s
+}
+
+func TestBuildPlanLastWriterWins(t *testing.T) {
+	plan, err := BuildPlan(snap8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Winner{
+		{LPN: 1, PPN: 1, Hash: hashOf(5), Seq: 5},
+		{LPN: 2, PPN: 2, Hash: hashOf(2), Seq: 2},
+		{LPN: 3, PPN: 2, Hash: hashOf(2), Seq: 6, Revived: true},
+		{LPN: 4, PPN: 5, Hash: hashOf(3), Seq: 3},
+		{LPN: 5, PPN: 7, Hash: hashOf(4), Seq: 4},
+	}
+	if !reflect.DeepEqual(plan.Winners, want) {
+		t.Errorf("winners = %+v\nwant %+v", plan.Winners, want)
+	}
+	// Page 0 (superseded program) is the only zombie: pages 2 and 7 are
+	// claimed, 3 is torn, 4 is bad, 6 is empty.
+	wantG := []GarbagePage{{PPN: 0, LPN: 1, Hash: hashOf(1), Seq: 1}}
+	if !reflect.DeepEqual(plan.Garbage, wantG) {
+		t.Errorf("garbage = %+v\nwant %+v", plan.Garbage, wantG)
+	}
+	rep := plan.Report
+	wantRep := Report{
+		PagesScanned: 7, TornDiscarded: 1, BadSkipped: 1,
+		JournalReplayed: 1, JournalDiscarded: 4,
+		Winners: 5, Garbage: 1,
+	}
+	if rep != wantRep {
+		t.Errorf("report = %+v\nwant %+v", rep, wantRep)
+	}
+	if got := rep.ScanCost(75 * ssd.Microsecond); got != 7*75*ssd.Microsecond {
+		t.Errorf("ScanCost = %v, want %v", got, 7*75*ssd.Microsecond)
+	}
+}
+
+func TestPlanPPNHelpers(t *testing.T) {
+	plan, err := BuildPlan(snap8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LPNs 2 and 3 share PPN 2; ValidPPNs dedupes it.
+	if got, want := plan.ValidPPNs(), []ssd.PPN{1, 2, 5, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ValidPPNs = %v, want %v", got, want)
+	}
+	if got, want := plan.GarbagePPNs(), []ssd.PPN{0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("GarbagePPNs = %v, want %v", got, want)
+	}
+}
+
+func TestBuildPlanRejectsInvalidSnapshot(t *testing.T) {
+	cases := []Snapshot{
+		{Pages: -1},
+		{Pages: 2, OOB: make([]ftl.OOB, 1), Bad: make([]bool, 2)},
+		{Pages: 2, OOB: make([]ftl.OOB, 2), Bad: make([]bool, 3)},
+	}
+	for i, s := range cases {
+		if _, err := BuildPlan(s); err == nil {
+			t.Errorf("case %d: BuildPlan accepted invalid snapshot", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := snap8()
+	back, err := Decode(orig.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, orig) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, orig)
+	}
+	// Empty snapshot round-trips too.
+	empty := Snapshot{OOB: []ftl.OOB{}, Journal: []ftl.Binding{}, Bad: []bool{}}
+	back, err = Decode(empty.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Pages != 0 || len(back.OOB) != 0 || len(back.Journal) != 0 || len(back.Bad) != 0 {
+		t.Errorf("empty round trip = %+v", back)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good := snap8().Encode()
+	mut := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"short":         good[:8],
+		"bad magic":     mut(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"huge pages":    mut(func(b []byte) []byte { b[8] = 0xFF; b[9] = 0xFF; return b }),
+		"bad oob state": mut(func(b []byte) []byte { b[16] = 99; return b }),
+		"bad oob bool":  mut(func(b []byte) []byte { b[16+29] = 7; return b }),
+		"truncated":     good[:len(good)-1],
+		"trailing":      append(append([]byte(nil), good...), 0),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted corrupted input", name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 // baselineDevice is the paper's Baseline: a page-mapped FTL with greedy GC
 // and no content awareness. Every host write programs a flash page.
 type baselineDevice struct {
+	cfg    Config
 	bus    *ssd.Bus
 	store  *ftl.Store
 	mapper *ftl.Mapper
@@ -22,7 +23,9 @@ func newBaselineDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*baselineDev
 		return nil, err
 	}
 	store.OnRelocate = mapper.Relocate
+	store.OwnerOf = mapper.OwnerOf
 	return &baselineDevice{
+		cfg:    cfg,
 		bus:    bus,
 		store:  store,
 		mapper: mapper,
@@ -31,12 +34,13 @@ func newBaselineDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*baselineDev
 }
 
 // Write implements Device.
-func (d *baselineDevice) Write(lpn ftl.LPN, _ trace.Hash, now ssd.Time) (ssd.Time, error) {
+func (d *baselineDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
 	d.m.HostWrites++
 	ppn, done, err := d.store.ProgramStream(now, d.steer.classify(lpn))
 	if err != nil {
-		return 0, err
+		return 0, wrapInterrupted(lpn, err)
 	}
+	d.store.StampOOB(ppn, lpn, h, false)
 	if old := d.mapper.Bind(lpn, ppn); old != ssd.InvalidPPN {
 		d.store.Invalidate(old)
 	}
@@ -51,7 +55,7 @@ func (d *baselineDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
-	return d.store.Read(ppn, now), nil
+	return d.store.Read(ppn, now)
 }
 
 // Metrics implements Device.

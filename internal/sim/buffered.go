@@ -22,6 +22,11 @@ type bufferedDevice struct {
 	inner Device
 	buf   *wbuf.Buffer
 
+	// onFlush, when set, observes every page that durably reaches the
+	// inner device (the crash oracle's "acknowledged" boundary: buffered
+	// pages are volatile until evicted to flash).
+	onFlush func(ftl.LPN, trace.Hash)
+
 	hostWrites, hostReads int64
 }
 
@@ -42,9 +47,17 @@ func (d *bufferedDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Tim
 		if _, err := d.inner.Write(evLPN, evHash, now); err != nil {
 			return 0, err
 		}
+		if d.onFlush != nil {
+			d.onFlush(evLPN, evHash)
+		}
 	}
 	return now + bufferLatency, nil
 }
+
+// SetFlushHook registers fn to run after each page durably reaches the
+// inner device. The crash-consistency oracle uses it to track which writes
+// are acknowledged past the volatile DRAM buffer.
+func (d *bufferedDevice) SetFlushHook(fn func(ftl.LPN, trace.Hash)) { d.onFlush = fn }
 
 // Read implements Device: dirty pages come from RAM, the rest from flash.
 func (d *bufferedDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {

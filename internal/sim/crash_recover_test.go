@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"zombiessd/internal/fault"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/recovery"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// testStoreOf reaches the flash store of any device flavour.
+func testStoreOf(t *testing.T, dev Device) *ftl.Store {
+	t.Helper()
+	switch d := dev.(type) {
+	case *baselineDevice:
+		return d.store
+	case *dvpDevice:
+		return d.store
+	case *dedupDevice:
+		return d.store
+	case *lxDevice:
+		return d.store
+	case *bufferedDevice:
+		return testStoreOf(t, d.inner)
+	}
+	t.Fatalf("no store accessor for device %T", dev)
+	return nil
+}
+
+func testBusOps(t *testing.T, dev Device) int64 {
+	t.Helper()
+	br, ok := dev.(interface{ Bus() *ssd.Bus })
+	if !ok || br.Bus() == nil {
+		t.Fatal("device has no bus")
+	}
+	r, p, e := br.Bus().Counts()
+	return r + p + e
+}
+
+// replayWithCrash preconditions the footprint, replays recs with the
+// integrity oracle attached, and — when the armed power loss fires —
+// recovers, verifies, and finishes the trace. crashAt 0 never fires (the
+// pilot). Any oracle violation fails the test.
+func replayWithCrash(t *testing.T, cfg Config, recs []trace.Record, footprint, crashAt int64) (dev Device, opsPre int64, crashed bool) {
+	t.Helper()
+	cfg.Faults.CrashAtOp = crashAt
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, ackOnWrite := AttachShadow(dev)
+	hr, ok := dev.(HashReader)
+	if !ok {
+		t.Fatalf("device %T lacks ReadHash", dev)
+	}
+	var end ssd.Time
+	for lpn := int64(0); lpn < footprint; lpn++ {
+		h := PreconditionHash(lpn)
+		done, err := dev.Write(ftl.LPN(lpn), h, 0)
+		if err != nil {
+			t.Fatalf("precondition write %d: %v", lpn, err)
+		}
+		shadow.Observe(ftl.LPN(lpn), h)
+		if ackOnWrite {
+			shadow.Ack(ftl.LPN(lpn), h)
+		}
+		if done > end {
+			end = done
+		}
+	}
+	opsPre = testBusOps(t, dev)
+	shift := end + ssd.Millisecond
+	for i, rec := range recs {
+		arrival := shift + ssd.Time(rec.Time)
+		lpn := ftl.LPN(rec.LBA)
+		var err error
+		switch rec.Op {
+		case trace.OpWrite:
+			_, err = dev.Write(lpn, rec.Hash, arrival)
+			if err == nil {
+				shadow.Observe(lpn, rec.Hash)
+				if ackOnWrite {
+					shadow.Ack(lpn, rec.Hash)
+				}
+			}
+		case trace.OpRead:
+			_, err = dev.Read(lpn, arrival)
+		}
+		if err == nil {
+			continue
+		}
+		if crashed || !errors.Is(err, fault.ErrPowerLoss) {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		crashed = true
+		var iw *InterruptedWrite
+		if errors.As(err, &iw) {
+			shadow.Exempt(iw.LPN)
+		}
+		if _, err := Recover(dev, RecoverOptions{}); err != nil {
+			t.Fatalf("recovery at record %d: %v", i, err)
+		}
+		if v := shadow.Verify(hr); len(v) > 0 {
+			t.Fatalf("%d oracle violations after recovery, first: %v", len(v), v[0])
+		}
+	}
+	if v := shadow.Verify(hr); len(v) > 0 {
+		t.Fatalf("%d oracle violations after finishing the trace, first: %v", len(v), v[0])
+	}
+	return dev, opsPre, crashed
+}
+
+// TestCrashRecoverEveryKind cuts power at three points of every device
+// flavour's life — landing mid-write, mid-GC-relocation or mid-erase as
+// the op index falls — and requires recovery plus a clean oracle pass.
+func TestCrashRecoverEveryKind(t *testing.T) {
+	recs := redundantTrace(8000)
+	kinds := []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline", testConfig(KindBaseline, testFootprint)},
+		{"dvp", testConfig(KindDVP, testFootprint)},
+		{"dvp+dedup", testConfig(KindDVPDedup, testFootprint)},
+		{"lx", testConfig(KindLX, testFootprint)},
+	}
+	buffered := testConfig(KindDVP, testFootprint)
+	buffered.WriteBufferPages = 64
+	kinds = append(kinds, struct {
+		name string
+		cfg  Config
+	}{"buffered", buffered})
+
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			dev, opsPre, _ := replayWithCrash(t, k.cfg, recs, testFootprint, 0)
+			window := testBusOps(t, dev) - opsPre
+			if window <= 0 {
+				t.Fatal("pilot issued no flash ops after preconditioning")
+			}
+			for _, q := range []int64{1, 2, 3} {
+				crashAt := opsPre + q*window/4
+				_, _, crashed := replayWithCrash(t, k.cfg, recs, testFootprint, crashAt)
+				if !crashed {
+					t.Errorf("power loss at op %d never fired", crashAt)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashRecoverDeterminism requires recovery to be a pure function of
+// the workload and crash point: two identical crashed runs must end with
+// byte-identical durable state (OOB + journal snapshot), identical
+// recovered content for every logical page, and identical metrics.
+func TestCrashRecoverDeterminism(t *testing.T) {
+	cfg := testConfig(KindDVP, testFootprint)
+	recs := redundantTrace(8000)
+	dev, opsPre, _ := replayWithCrash(t, cfg, recs, testFootprint, 0)
+	crashAt := opsPre + (testBusOps(t, dev)-opsPre)/2
+
+	run := func() ([]byte, []trace.Hash, DeviceMetrics) {
+		dev, _, crashed := replayWithCrash(t, cfg, recs, testFootprint, crashAt)
+		if !crashed {
+			t.Fatalf("power loss at op %d never fired", crashAt)
+		}
+		snap := recovery.SnapshotOf(testStoreOf(t, dev)).Encode()
+		hr := dev.(HashReader)
+		hashes := make([]trace.Hash, testFootprint)
+		for l := range hashes {
+			hashes[l], _ = hr.ReadHash(ftl.LPN(l))
+		}
+		return snap, hashes, dev.Metrics()
+	}
+	snap1, hashes1, m1 := run()
+	snap2, hashes2, m2 := run()
+	if !bytes.Equal(snap1, snap2) {
+		t.Error("durable snapshots differ across identical crashed runs")
+	}
+	if !reflect.DeepEqual(hashes1, hashes2) {
+		t.Error("recovered page contents differ across identical crashed runs")
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Errorf("metrics differ across identical crashed runs:\n %+v\n %+v", m1, m2)
+	}
+}

@@ -14,6 +14,7 @@ import (
 // into garbage and — with the pool attached — becomes revivable, which is
 // exactly the window (t3…t4 in Fig 13) deduplication alone cannot exploit.
 type dedupDevice struct {
+	cfg    Config
 	bus    *ssd.Bus
 	store  *ftl.Store
 	dmap   *dedup.Mapper
@@ -31,13 +32,31 @@ func newDedupDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*dedupDevice, e
 		return nil, err
 	}
 	d := &dedupDevice{
+		cfg:    cfg,
 		bus:    bus,
 		store:  store,
 		dmap:   dmap,
 		ledger: core.NewLedger(),
 		lat:    cfg.Latency,
 	}
-	store.OnRelocate = dmap.Relocate
+	// GC relocation stamps the copy's OOB with the first owner; the other
+	// owners of a deduplicated page are rebound via the durable journal so
+	// recovery restores every reference. The closures read d.dmap so that
+	// post-crash recovery can swap in a rebuilt mapper without rewiring.
+	store.OwnerOf = func(ppn ssd.PPN) (ftl.LPN, bool) {
+		owners := d.dmap.Owners(ppn)
+		if len(owners) == 0 {
+			return 0, false
+		}
+		return owners[0], true
+	}
+	store.OnRelocate = func(src, dst ssd.PPN) {
+		owners := d.dmap.Owners(src)
+		d.dmap.Relocate(src, dst)
+		for _, lpn := range owners[1:] {
+			store.AppendBinding(lpn, dst, false)
+		}
+	}
 	if cfg.Kind == KindDVPDedup {
 		pool, err := buildPool(cfg, d.ledger)
 		if err != nil {
@@ -78,14 +97,18 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 	// Dedup fast path: the value is live somewhere — add a reference.
 	if ppn, ok := d.dmap.LiveValue(h); ok {
 		d.dmap.BindExisting(lpn, ppn)
+		d.store.AppendBinding(lpn, ppn, false)
 		d.m.DedupHits++
 		return hashDone, nil
 	}
 
 	// Dead-value pool path: the value is dead but a zombie copy survives.
+	// Only mapping tables change, so the binding goes to the durable
+	// journal, not OOB.
 	if d.pool != nil {
 		if ppn, ok := d.pool.Lookup(h, d.tick); ok {
 			d.store.Revalidate(ppn)
+			d.store.AppendBinding(lpn, ppn, true)
 			d.dmap.BindNew(lpn, ppn, h)
 			d.m.Revived++
 			return hashDone, nil
@@ -95,8 +118,9 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 	// Cold value: program a fresh page.
 	ppn, done, err := d.store.Program(hashDone)
 	if err != nil {
-		return 0, err
+		return 0, wrapInterrupted(lpn, err)
 	}
+	d.store.StampOOB(ppn, lpn, h, false)
 	d.dmap.BindNew(lpn, ppn, h)
 	return done, nil
 }
@@ -109,7 +133,7 @@ func (d *dedupDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
-	return d.store.Read(ppn, now), nil
+	return d.store.Read(ppn, now)
 }
 
 // Metrics implements Device.

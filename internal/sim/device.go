@@ -243,7 +243,7 @@ func NewDevice(cfg Config) (Device, error) {
 		cfg.Store.UserStreams = 2
 		cfg.Store.SeparateGCStream = true
 	}
-	if cfg.Faults.Enabled() {
+	if cfg.Faults.Active() {
 		cfg.Store.Faults = cfg.Faults
 	}
 	if err := cfg.Validate(); err != nil {

@@ -12,6 +12,7 @@ import (
 // are short-circuited on a match, and GC victim selection is
 // popularity-aware (when Config.Store.PopularityWeight > 0).
 type dvpDevice struct {
+	cfg    Config
 	bus    *ssd.Bus
 	store  *ftl.Store
 	mapper *ftl.Mapper
@@ -39,6 +40,7 @@ func newDVPDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*dvpDevice, error
 		return nil, err
 	}
 	d := &dvpDevice{
+		cfg:     cfg,
 		bus:     bus,
 		store:   store,
 		mapper:  mapper,
@@ -49,6 +51,7 @@ func newDVPDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*dvpDevice, error
 		content: make([]trace.Hash, cfg.LogicalPages),
 	}
 	store.OnRelocate = mapper.Relocate
+	store.OwnerOf = mapper.OwnerOf
 	store.OnEraseGarbage = pool.Drop
 	store.Scorer = pool
 	return d, nil
@@ -74,8 +77,10 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 	var old ssd.PPN
 	if ppn, ok := d.pool.Lookup(h, d.tick); ok {
 		// Zombie revival: flip the garbage page back to valid; only
-		// mapping tables change, no program operation.
+		// mapping tables change, no program operation — so the binding
+		// goes to the durable journal, not OOB.
 		d.store.Revalidate(ppn)
+		d.store.AppendBinding(lpn, ppn, true)
 		old = d.mapper.Bind(lpn, ppn)
 		d.m.Revived++
 		done = hashDone
@@ -84,8 +89,9 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 		// stream so short-lived data ages together.
 		ppn, pdone, err := d.store.ProgramStream(hashDone, d.steer.classify(lpn))
 		if err != nil {
-			return 0, err
+			return 0, wrapInterrupted(lpn, err)
 		}
+		d.store.StampOOB(ppn, lpn, h, false)
 		old = d.mapper.Bind(lpn, ppn)
 		done = pdone
 	}
@@ -109,7 +115,7 @@ func (d *dvpDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
-	return d.store.Read(ppn, now), nil
+	return d.store.Read(ppn, now)
 }
 
 // Metrics implements Device.

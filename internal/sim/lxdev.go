@@ -11,6 +11,7 @@ import (
 // address-recency LRU and read+write popularity, on a plain FTL with
 // greedy (popularity-unaware) GC.
 type lxDevice struct {
+	cfg    Config
 	bus    *ssd.Bus
 	store  *ftl.Store
 	mapper *ftl.Mapper
@@ -27,6 +28,7 @@ func newLXDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*lxDevice, error) 
 		return nil, err
 	}
 	d := &lxDevice{
+		cfg:     cfg,
 		bus:     bus,
 		store:   store,
 		mapper:  mapper,
@@ -35,6 +37,7 @@ func newLXDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*lxDevice, error) 
 		content: make([]trace.Hash, cfg.LogicalPages),
 	}
 	store.OnRelocate = mapper.Relocate
+	store.OwnerOf = mapper.OwnerOf
 	store.OnEraseGarbage = d.pool.Drop
 	return d, nil
 }
@@ -53,14 +56,16 @@ func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, err
 	var old ssd.PPN
 	if ppn, ok := d.pool.Lookup(h); ok {
 		d.store.Revalidate(ppn)
+		d.store.AppendBinding(lpn, ppn, true)
 		old = d.mapper.Bind(lpn, ppn)
 		d.m.Revived++
 		done = hashDone
 	} else {
 		ppn, pdone, err := d.store.Program(hashDone)
 		if err != nil {
-			return 0, err
+			return 0, wrapInterrupted(lpn, err)
 		}
+		d.store.StampOOB(ppn, lpn, h, false)
 		old = d.mapper.Bind(lpn, ppn)
 		done = pdone
 	}
@@ -82,7 +87,7 @@ func (d *lxDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		return now, nil
 	}
 	d.pool.RecordAccess(d.content[lpn], uint64(lpn))
-	return d.store.Read(ppn, now), nil
+	return d.store.Read(ppn, now)
 }
 
 // Metrics implements Device.

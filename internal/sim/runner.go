@@ -41,6 +41,13 @@ type Result struct {
 // workload-generated value ID, so the fill never aliases trace values.
 const preconditionValueBase = uint64(1) << 48
 
+// PreconditionHash returns the content the preconditioning fill writes at
+// lpn. External replay loops (e.g. the crash sweep) reuse it so their
+// fills stay bit-identical to Run's.
+func PreconditionHash(lpn int64) trace.Hash {
+	return trace.HashOfValue(preconditionValueBase + uint64(lpn))
+}
+
 // Run replays recs against dev in arrival order and returns metrics and
 // latency summaries. Request arrival times come from the trace; queuing
 // shows up when a request's completion lags its arrival by more than the
@@ -59,7 +66,7 @@ func Run(dev Device, recs []trace.Record, opts RunOptions) (Result, error) {
 	if opts.PreconditionPages > 0 {
 		var end ssd.Time
 		for lpn := int64(0); lpn < opts.PreconditionPages; lpn++ {
-			done, err := dev.Write(lpnOf(lpn), trace.HashOfValue(preconditionValueBase+uint64(lpn)), 0)
+			done, err := dev.Write(lpnOf(lpn), PreconditionHash(lpn), 0)
 			if err != nil {
 				return Result{}, fmt.Errorf("sim: precondition write %d: %w", lpn, err)
 			}

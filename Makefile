@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-short lifetime-smoke crash-smoke repro examples clean
+.PHONY: all build vet test race bench fuzz-short lifetime-smoke crash-smoke scrub-smoke repro examples clean
 
 all: build vet test
 
@@ -29,6 +29,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryReader -fuzztime=5s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzReadFIU -fuzztime=5s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzRecoveryScan -fuzztime=5s ./internal/recovery
+	$(GO) test -run='^$$' -fuzz=FuzzRBEREstimator -fuzztime=5s ./internal/fault
 
 # Reduced-scale end-to-end run of the drive-to-death harness: every
 # architecture ages under the wear-scaled fault plan and the capacity /
@@ -40,6 +41,12 @@ lifetime-smoke:
 # full OOB recovery scan, DVP re-seed and integrity-oracle verification.
 crash-smoke:
 	$(GO) run ./cmd/zombiectl -q -requests 24000 -crash-points 4 run crashsweep
+
+# Reduced-scale scrubsweep: all five architectures decay under the
+# accelerated retention/read-disturb model with the background patrol off
+# (uncorrectable reads, data loss, declined revivals) and on (zero loss).
+scrub-smoke:
+	$(GO) run ./cmd/zombiectl -q -requests 24000 run scrubsweep
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

@@ -20,8 +20,10 @@ import (
 
 	"zombiessd/internal/core"
 	"zombiessd/internal/fault"
+	"zombiessd/internal/faultflags"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
+	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/trace"
@@ -39,6 +41,7 @@ type params struct {
 	softGC, wbufPages   int
 	streams, precond    bool
 	faults              fault.Config
+	scrub               scrub.Config
 	gcFaultWeight       float64
 	drainSuspects       bool
 }
@@ -59,28 +62,21 @@ func main() {
 	flag.IntVar(&p.wbufPages, "wbuf", 0, "DRAM write-back buffer size in 4KB pages (0 = none)")
 	flag.BoolVar(&p.streams, "streams", false, "hot/cold multi-stream write placement")
 	flag.BoolVar(&p.precond, "precondition", true, "fill the footprint before the timed run")
-	flag.Float64Var(&p.faults.ProgramFailProb, "fault-program", 0, "program-status failure probability (0 = perfect drive)")
-	flag.Float64Var(&p.faults.EraseFailProb, "fault-erase", 0, "erase failure probability (failed blocks retire as bad)")
-	flag.Float64Var(&p.faults.ReadFailProb, "fault-read", 0, "probability a read needs an ECC retry")
-	flag.IntVar(&p.faults.ReadRetries, "fault-read-retries", 0, "max ECC retry reads per failing read (0 = default)")
-	flag.Float64Var(&p.faults.WearFactor, "fault-wear", 0, "failure-probability scaling per block erase")
-	flag.Int64Var(&p.faults.Seed, "fault-seed", 0, "fault stream seed")
-	flag.IntVar(&p.faults.SuspectThreshold, "fault-suspect", 0, "program failures before a block retires at its next erase (0 = never)")
-	flag.Float64Var(&p.gcFaultWeight, "gc-fault-weight", 0, "fault-aware GC victim penalty per program failure (0 = fault-unaware)")
+	rf := faultflags.Register(flag.CommandLine)
 	flag.BoolVar(&p.drainSuspects, "gc-drain-suspects", false, "GC drains blocks at the suspect threshold first")
-	flag.Int64Var(&p.faults.CrashAtOp, "crash-at", 0, "cut power during the Nth flash op (1-based, preconditioning included; 0 = never), then recover, verify and finish the trace")
+	var crashAt int64
+	flag.Int64Var(&crashAt, "crash-at", 0, "cut power during the Nth flash op (1-based, preconditioning included; 0 = never), then recover, verify and finish the trace")
 	flag.Parse()
 
 	// Reject out-of-range flag values up front with a clear message.
-	if p.gcFaultWeight < 0 {
-		fatalFlag("-gc-fault-weight must be ≥ 0, got %g", p.gcFaultWeight)
+	if err := rf.Validate(); err != nil {
+		fatalFlag("%v", err)
 	}
-	if p.faults.SuspectThreshold < 0 {
-		fatalFlag("-fault-suspect must be ≥ 0, got %d", p.faults.SuspectThreshold)
+	if crashAt < 0 {
+		fatalFlag("-crash-at must be ≥ 0, got %d", crashAt)
 	}
-	if p.faults.CrashAtOp < 0 {
-		fatalFlag("-crash-at must be ≥ 0, got %d", p.faults.CrashAtOp)
-	}
+	p.faults, p.scrub, p.gcFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
+	p.faults.CrashAtOp = crashAt
 
 	if err := run(p); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdsim:", err)
@@ -132,6 +128,7 @@ func run(p params) error {
 		WriteBufferPages: p.wbufPages,
 		HotColdStreams:   p.streams,
 		Faults:           p.faults,
+		Scrub:            p.scrub,
 	}
 	dev, err := sim.NewDevice(cfg)
 	if err != nil {
@@ -289,8 +286,11 @@ func printResult(cfg sim.Config, requests int, res sim.Result) {
 	fmt.Printf("short-circ  revived=%d  dedupHits=%d  (%.1f%% of writes)\n",
 		m.Revived, m.DedupHits, 100*float64(m.ShortCircuited())/float64(max64(m.HostWrites, 1)))
 	fmt.Printf("gc          %+v\n", m.GC)
-	if cfg.Faults.Enabled() {
+	if cfg.Faults.Enabled() || cfg.Faults.IntegrityArmed() {
 		fmt.Printf("faults      %+v\n", m.Faults)
+	}
+	if cfg.Scrub.Enabled() {
+		fmt.Printf("scrub       %+v\n", m.Scrub)
 	}
 	fmt.Printf("pool        %v\n", m.Pool)
 	fmt.Printf("latency all    %v\n", res.All)

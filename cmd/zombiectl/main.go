@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"zombiessd/internal/experiments"
+	"zombiessd/internal/faultflags"
 )
 
 func main() {
@@ -26,14 +27,7 @@ func main() {
 	flag.IntVar(&opts.Days, "days", opts.Days, "days for the per-day figures (1 and 5)")
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "workload generator seed")
 	flag.Float64Var(&opts.Utilization, "util", opts.Utilization, "drive utilization (footprint / exported capacity)")
-	flag.Float64Var(&opts.Faults.ProgramFailProb, "fault-program", 0, "program-status failure probability (0 = perfect drive)")
-	flag.Float64Var(&opts.Faults.EraseFailProb, "fault-erase", 0, "erase failure probability (failed blocks retire as bad)")
-	flag.Float64Var(&opts.Faults.ReadFailProb, "fault-read", 0, "probability a read needs an ECC retry")
-	flag.IntVar(&opts.Faults.ReadRetries, "fault-read-retries", 0, "max ECC retry reads per failing read (0 = default)")
-	flag.Float64Var(&opts.Faults.WearFactor, "fault-wear", 0, "failure-probability scaling per block erase")
-	flag.Int64Var(&opts.Faults.Seed, "fault-seed", 0, "fault stream seed")
-	flag.IntVar(&opts.Faults.SuspectThreshold, "fault-suspect", 0, "program failures before a block retires at its next erase (0 = never)")
-	flag.Float64Var(&opts.GCFaultWeight, "gc-fault-weight", 0, "fault-aware GC victim penalty per program failure (0 = off; lifetime uses its own default)")
+	rf := faultflags.Register(flag.CommandLine)
 	flag.IntVar(&opts.CrashPoints, "crash-points", experiments.DefaultCrashPoints, "sudden-power-loss points per architecture in the crashsweep experiment")
 	flag.Int64Var(&opts.CrashSeed, "crash-seed", 0, "crash-point placement seed for the crashsweep experiment")
 	quiet := flag.Bool("q", false, "suppress progress notes on stderr")
@@ -43,11 +37,8 @@ func main() {
 
 	// Reject out-of-range flag values up front with a clear message, not a
 	// deep experiment error.
-	if opts.GCFaultWeight < 0 {
-		fatalFlag("-gc-fault-weight must be ≥ 0, got %g", opts.GCFaultWeight)
-	}
-	if opts.Faults.SuspectThreshold < 0 {
-		fatalFlag("-fault-suspect must be ≥ 0, got %d", opts.Faults.SuspectThreshold)
+	if err := rf.Validate(); err != nil {
+		fatalFlag("%v", err)
 	}
 	if opts.CrashPoints <= 0 {
 		fatalFlag("-crash-points must be positive, got %d", opts.CrashPoints)
@@ -55,6 +46,7 @@ func main() {
 	if opts.CrashSeed < 0 {
 		fatalFlag("-crash-seed must be ≥ 0, got %d", opts.CrashSeed)
 	}
+	opts.Faults, opts.Scrub, opts.GCFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -302,6 +302,7 @@ func RunAblationBGC(o Options) (*AblationBGCResult, error) {
 			PoolKind:     sim.PoolMQ,
 			MQ:           core.MQConfig{Queues: 8, Capacity: 1000, DefaultLifetime: 8192},
 			Faults:       o.Faults,
+			Scrub:        o.Scrub,
 		}
 		dev, err := sim.NewDevice(cfg)
 		if err != nil {

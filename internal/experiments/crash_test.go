@@ -2,27 +2,26 @@ package experiments
 
 import "testing"
 
-// TestNoCrashBitIdentity pins the exact per-cell counters of the
-// evaluation matrix with the crash-recovery machinery compiled in but
-// disarmed (CrashAtOp = 0). The OOB stamps, the mapping journal and the
-// recovery hooks must be pure bookkeeping: any drift in these counters
-// means the crash subsystem changed simulation behaviour it must only
-// observe.
-func TestNoCrashBitIdentity(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full matrix cells in -short mode")
-	}
-	type golden struct {
-		hostWrites, programs, reads, erases int64
-		revived, dedupHits, relocated       int64
-		poolHits, poolInserts, makespan     int64
-	}
-	want := map[System]golden{
-		SysBaseline: {23005, 33450, 17440, 1761, 0, 0, 10445, 0, 0, 9018204},
-		SysDVP200K:  {23005, 7630, 7350, 132, 15730, 0, 355, 15730, 23005, 9011444},
-		SysDVPDedup: {23005, 1842, 6995, 0, 299, 20864, 0, 299, 6638, 9011444},
-		SysLX:       {23005, 7748, 7369, 140, 15631, 0, 374, 15631, 23005, 9011444},
-	}
+// matrixGolden pins one cell of the zero-config evaluation matrix; shared
+// by the crash and integrity identity tests so the disarmed machinery of
+// both subsystems is held to the same exact counters.
+type matrixGolden struct {
+	hostWrites, programs, reads, erases int64
+	revived, dedupHits, relocated       int64
+	poolHits, poolInserts, makespan     int64
+}
+
+var matrixGoldens = map[System]matrixGolden{
+	SysBaseline: {23005, 33450, 17440, 1761, 0, 0, 10445, 0, 0, 9018204},
+	SysDVP200K:  {23005, 7630, 7350, 132, 15730, 0, 355, 15730, 23005, 9011444},
+	SysDVPDedup: {23005, 1842, 6995, 0, 299, 20864, 0, 299, 6638, 9011444},
+	SysLX:       {23005, 7748, 7369, 140, 15631, 0, 374, 15631, 23005, 9011444},
+}
+
+// checkMatrixGoldens runs the zero-config matrix and compares every cell
+// against the pinned counters.
+func checkMatrixGoldens(t *testing.T) *Matrix {
+	t.Helper()
 	systems := []System{SysBaseline, SysDVP200K, SysDVPDedup, SysLX}
 	m, err := RunMatrix(smallOpts(), []string{"mail"}, systems)
 	if err != nil {
@@ -34,15 +33,29 @@ func TestNoCrashBitIdentity(t *testing.T) {
 			t.Fatalf("no result for %s", sys)
 		}
 		mm := res.Metrics
-		got := golden{
+		got := matrixGolden{
 			mm.HostWrites, mm.FlashPrograms, mm.FlashReads, mm.FlashErases,
 			mm.Revived, mm.DedupHits, mm.GC.Relocated,
 			mm.Pool.Hits, mm.Pool.Inserts, int64(res.Makespan),
 		}
-		if got != want[sys] {
-			t.Errorf("%s drifted from the pinned counters:\n got %+v\nwant %+v", sys, got, want[sys])
+		if got != matrixGoldens[sys] {
+			t.Errorf("%s drifted from the pinned counters:\n got %+v\nwant %+v", sys, got, matrixGoldens[sys])
 		}
 	}
+	return m
+}
+
+// TestNoCrashBitIdentity pins the exact per-cell counters of the
+// evaluation matrix with the crash-recovery machinery compiled in but
+// disarmed (CrashAtOp = 0). The OOB stamps, the mapping journal and the
+// recovery hooks must be pure bookkeeping: any drift in these counters
+// means the crash subsystem changed simulation behaviour it must only
+// observe.
+func TestNoCrashBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix cells in -short mode")
+	}
+	checkMatrixGoldens(t)
 }
 
 // TestCrashsweepSmoke drives a small sweep through every architecture:

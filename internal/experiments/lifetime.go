@@ -43,6 +43,12 @@ func RunLifetime(o Options) (*LifetimeResult, error) {
 	if o.Faults.Enabled() {
 		cfg.Faults = o.Faults
 	}
+	if o.Scrub.Enabled() {
+		// The patrol needs the integrity model, so the caller's full fault
+		// config (already validated as a pair) replaces the wear plan.
+		cfg.Faults = o.Faults
+		cfg.Scrub = o.Scrub
+	}
 	res, err := lifetime.Run(cfg)
 	if err != nil {
 		return nil, err

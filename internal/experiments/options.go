@@ -19,6 +19,7 @@ import (
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
+	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
 	"zombiessd/internal/ssd"
 )
@@ -56,6 +57,11 @@ type Options struct {
 	// lifetime experiment substitutes its own default and carries a
 	// weight-0 ablation arm.
 	GCFaultWeight float64
+	// Scrub is the background-patrol plan applied to every simulated
+	// device. The zero value (the default) disables scrubbing, keeping all
+	// paper figures bit-identical; the scrubsweep experiment substitutes
+	// its own default interval and carries a scrub-off control arm.
+	Scrub scrub.Config
 }
 
 // DefaultOptions returns the scale used by `zombiectl` unless overridden:
@@ -86,6 +92,12 @@ func (o Options) Validate() error {
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return err
+	}
+	if err := o.Scrub.Validate(); err != nil {
+		return err
+	}
+	if o.Scrub.Enabled() && !o.Faults.IntegrityArmed() {
+		return fmt.Errorf("experiments: scrubbing needs the integrity model armed (set Faults.Integrity.BaseRBER)")
 	}
 	return nil
 }
@@ -120,6 +132,7 @@ func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolK
 		LRUCapacity:  entries,
 		LX:           lxssd.Config{Capacity: entries, MinPopularity: 0},
 		Faults:       o.Faults,
+		Scrub:        o.Scrub,
 	}
 }
 

@@ -63,6 +63,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunStability(o) }},
 	{ID: "crashsweep", Title: "Crashsweep: sudden-power-loss recovery (OOB scan, DVP re-seed, integrity oracle)",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunCrashsweep(o) }},
+	{ID: "scrubsweep", Title: "Scrubsweep: RBER decay, background scrubbing and revival gating across architectures",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunScrubsweep(o) }},
 }
 
 // All returns every experiment in the paper's order.

@@ -25,6 +25,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrPowerLoss is wrapped by FTL operations interrupted by the plan's
@@ -92,6 +93,11 @@ type Config struct {
 	// trigger fires once; after recovery the drive runs on. 0 never
 	// crashes and is bit-identical to a plan without the field.
 	CrashAtOp int64
+
+	// Integrity arms the stateful RBER accumulation model (retention,
+	// read disturb, wear → correctable / uncorrectable reads). The zero
+	// value disarms it; see integrity.go.
+	Integrity IntegrityConfig
 }
 
 // Enabled reports whether the plan injects any probabilistic faults. The
@@ -101,11 +107,18 @@ func (c Config) Enabled() bool {
 	return c.ProgramFailProb > 0 || c.EraseFailProb > 0 || c.ReadFailProb > 0
 }
 
-// Active reports whether the plan perturbs the drive at all: probabilistic
-// faults or the crash trigger.
-func (c Config) Active() bool { return c.Enabled() || c.CrashAtOp > 0 }
+// IntegrityArmed reports whether the stateful RBER model accumulates
+// errors. Like the crash trigger it is excluded from Enabled: the
+// Estimator draws from its own stream and the FTL arms it directly.
+func (c Config) IntegrityArmed() bool { return c.Integrity.Armed() }
 
-// Validate reports whether the plan is usable.
+// Active reports whether the plan perturbs the drive at all: probabilistic
+// faults, the crash trigger, or the integrity model.
+func (c Config) Active() bool { return c.Enabled() || c.CrashAtOp > 0 || c.IntegrityArmed() }
+
+// Validate reports whether the plan is usable. NaN and infinite values are
+// rejected explicitly: NaN compares false against every bound, so without
+// these checks a NaN probability would slip through and poison every draw.
 func (c Config) Validate() error {
 	for _, p := range []struct {
 		name string
@@ -115,7 +128,7 @@ func (c Config) Validate() error {
 		{"EraseFailProb", c.EraseFailProb},
 		{"ReadFailProb", c.ReadFailProb},
 	} {
-		if p.v < 0 || p.v > 1 {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
 			return fmt.Errorf("fault: %s must be in [0,1], got %g", p.name, p.v)
 		}
 	}
@@ -125,8 +138,8 @@ func (c Config) Validate() error {
 	if c.MaxProgramAttempts < 0 {
 		return fmt.Errorf("fault: MaxProgramAttempts must be ≥ 0, got %d", c.MaxProgramAttempts)
 	}
-	if c.WearFactor < 0 {
-		return fmt.Errorf("fault: WearFactor must be ≥ 0, got %g", c.WearFactor)
+	if math.IsNaN(c.WearFactor) || math.IsInf(c.WearFactor, 0) || c.WearFactor < 0 {
+		return fmt.Errorf("fault: WearFactor must be finite and ≥ 0, got %g", c.WearFactor)
 	}
 	if c.SuspectThreshold < 0 {
 		return fmt.Errorf("fault: SuspectThreshold must be ≥ 0, got %d", c.SuspectThreshold)
@@ -134,17 +147,21 @@ func (c Config) Validate() error {
 	if c.CrashAtOp < 0 {
 		return fmt.Errorf("fault: CrashAtOp must be ≥ 0, got %d", c.CrashAtOp)
 	}
-	return nil
+	return c.Integrity.Validate()
 }
 
-// WithDefaults returns c with the retry bounds filled in where zero.
+// WithDefaults returns c with the retry bounds filled in where zero. The
+// integrity model additionally fills its ECC boundaries when armed — the
+// uncorrectable path charges the full ECC retry ladder, so ReadRetries is
+// defaulted for it too.
 func (c Config) WithDefaults() Config {
-	if c.ReadRetries == 0 && c.ReadFailProb > 0 {
+	if c.ReadRetries == 0 && (c.ReadFailProb > 0 || c.IntegrityArmed()) {
 		c.ReadRetries = DefaultReadRetries
 	}
 	if c.MaxProgramAttempts == 0 {
 		c.MaxProgramAttempts = DefaultMaxProgramAttempts
 	}
+	c.Integrity = c.Integrity.WithDefaults()
 	return c
 }
 
@@ -156,6 +173,12 @@ type Stats struct {
 	RetiredBlocks   int64 // blocks retired as bad (erase failure or suspicion)
 	SuspectBlocks   int64 // blocks first marked suspect by a program failure
 	Relocations     int64 // programs re-landed on a fresh page after a failure
+
+	// Integrity-model outcomes (zero while the model is disarmed).
+	CorrectableReads   int64 // reads that needed a threshold-shifted retry
+	UncorrectableReads int64 // reads that exceeded ECC capability (page data lost)
+	RefreshWrites      int64 // pages refresh-relocated by the scrubber
+	RevivalsDeclined   int64 // zombie revivals refused on estimated RBER or UECC
 }
 
 // Any reports whether any fault activity was recorded.
@@ -170,6 +193,11 @@ func (s Stats) Sub(prev Stats) Stats {
 		RetiredBlocks:   s.RetiredBlocks - prev.RetiredBlocks,
 		SuspectBlocks:   s.SuspectBlocks - prev.SuspectBlocks,
 		Relocations:     s.Relocations - prev.Relocations,
+
+		CorrectableReads:   s.CorrectableReads - prev.CorrectableReads,
+		UncorrectableReads: s.UncorrectableReads - prev.UncorrectableReads,
+		RefreshWrites:      s.RefreshWrites - prev.RefreshWrites,
+		RevivalsDeclined:   s.RevivalsDeclined - prev.RevivalsDeclined,
 	}
 }
 

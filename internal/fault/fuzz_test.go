@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRBEREstimator checks the estimator's contract over arbitrary model
+// parameters and page histories: the estimate is never NaN, always in
+// [0,1], and monotone non-decreasing in age, block reads and block erases.
+func FuzzRBEREstimator(f *testing.F) {
+	f.Add(1e-4, 2.0, 1e-3, 0.05, int64(1_000_000), int64(100), int32(10))
+	f.Add(1e-4, 6.0, 2e-4, 0.02, int64(9_000_000), int64(5000), int32(200))
+	f.Add(0.0, 0.0, 0.0, 0.0, int64(0), int64(0), int32(0))
+	f.Add(1.0, 1e18, 1e18, 1e18, int64(math.MaxInt64), int64(math.MaxInt64), int32(math.MaxInt32))
+	f.Add(1e-9, 0.5, 0.0, 0.0, int64(-1000), int64(-7), int32(-3))
+	f.Fuzz(func(t *testing.T, base, retention, disturb, wear float64, age, reads int64, erases int32) {
+		cfg := Config{Integrity: IntegrityConfig{
+			BaseRBER:        base,
+			RetentionRate:   retention,
+			ReadDisturbRate: disturb,
+			WearRate:        wear,
+		}}
+		if cfg.Validate() != nil {
+			t.Skip() // rejected plans never reach the estimator
+		}
+		e := NewEstimator(cfg)
+		if e == nil {
+			if !cfg.IntegrityArmed() {
+				return // disarmed plans build no estimator, by contract
+			}
+			t.Fatal("armed plan built a nil estimator")
+		}
+		r := e.RBER(age, reads, erases)
+		if math.IsNaN(r) {
+			t.Fatalf("RBER(%d, %d, %d) = NaN", age, reads, erases)
+		}
+		if r < 0 || r > 1 {
+			t.Fatalf("RBER(%d, %d, %d) = %g outside [0,1]", age, reads, erases, r)
+		}
+		if age < math.MaxInt64-2_000_000 {
+			if r2 := e.RBER(age+1_000_000, reads, erases); r2 < r {
+				t.Fatalf("RBER not monotone in age: %g then %g", r, r2)
+			}
+		}
+		if reads < math.MaxInt64-2 {
+			if r2 := e.RBER(age, reads+1, erases); r2 < r {
+				t.Fatalf("RBER not monotone in reads: %g then %g", r, r2)
+			}
+		}
+		if erases < math.MaxInt32-2 {
+			if r2 := e.RBER(age, reads, erases+1); r2 < r {
+				t.Fatalf("RBER not monotone in erases: %g then %g", r, r2)
+			}
+		}
+		// Classification of any finite estimate terminates in a valid class
+		// and never reports uncorrectable below the uncorrectable boundary.
+		switch cls := e.Classify(r); cls {
+		case ReadClean, ReadCorrectable, ReadUncorrectable:
+			if cls == ReadUncorrectable && r < e.Config().UncorrectableRBER {
+				t.Fatalf("uncorrectable at RBER %g below boundary %g", r, e.Config().UncorrectableRBER)
+			}
+		default:
+			t.Fatalf("Classify returned unknown class %v", cls)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Integrity is the stateful half of the reliability model: where the
+// Injector flips memoryless coins, the Estimator turns a page's *history*
+// — retention age, read disturb, block wear — into a raw bit error rate
+// (RBER) and classifies every read against the drive's ECC capability.
+// This is what makes zombie revival risky: a page the dead-value pool
+// kept resident for seconds of simulated time has been decaying the whole
+// while, and flipping it back to valid does not refresh its charge.
+//
+// The model is the standard multiplicative accumulation used by FTL
+// reliability studies:
+//
+//	RBER(page) = BaseRBER × (1 + RetentionRate  × ageSeconds)
+//	                      × (1 + ReadDisturbRate × blockReads)
+//	                      × (1 + WearRate        × blockErases)
+//
+// clamped to [0,1]. Reads whose RBER stays at or below CorrectableRBER
+// are clean. Between CorrectableRBER and UncorrectableRBER the ECC engine
+// needs a threshold-shifted retry with rising probability; at and beyond
+// UncorrectableRBER the read risks exceeding ECC capability entirely
+// (certain at 2× UncorrectableRBER) and the data on the page is lost.
+//
+// Classification draws come from the Estimator's own splitmix64 stream,
+// seeded from Config.Seed at a fixed offset, so arming integrity does not
+// shift the Injector's stream and the two models compose deterministically.
+// Reads outside the stochastic bands perform no draw at all, preserving
+// the package's stream-alignment discipline: a run where no page ever
+// enters a band is bit-identical to one with integrity disarmed.
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// Defaults applied by IntegrityConfig when the model is armed and the
+// corresponding field is zero.
+const (
+	// DefaultCorrectableRBER is the RBER at which ECC starts needing
+	// threshold-shifted retry reads.
+	DefaultCorrectableRBER = 1e-3
+	// DefaultUncorrectableRBER is the RBER at which a read first risks
+	// exceeding ECC capability; failure is certain at twice this value.
+	DefaultUncorrectableRBER = 4e-3
+)
+
+// IntegrityConfig parameterizes the per-page RBER accumulation model. The
+// zero value disarms it entirely: no timestamps are kept, no draws are
+// made, and the drive behaves exactly as before the model existed.
+type IntegrityConfig struct {
+	// BaseRBER is the raw bit error rate of a freshly-programmed page on
+	// a pristine block. 0 disarms the whole model.
+	BaseRBER float64
+
+	// RetentionRate grows RBER with the page's age: each simulated second
+	// since the program multiplies the base by (1 + RetentionRate × age).
+	RetentionRate float64
+	// ReadDisturbRate grows RBER with reads anywhere in the page's block
+	// since its last erase.
+	ReadDisturbRate float64
+	// WearRate grows RBER with the block's cumulative erase count.
+	WearRate float64
+
+	// CorrectableRBER is the clean/correctable boundary; 0 means
+	// DefaultCorrectableRBER.
+	CorrectableRBER float64
+	// UncorrectableRBER is the RBER at which reads start going
+	// uncorrectable; 0 means DefaultUncorrectableRBER. Must exceed
+	// CorrectableRBER.
+	UncorrectableRBER float64
+
+	// RevivalRBERLimit is the estimated-RBER ceiling above which the FTL
+	// declines to revive a zombie page and the host write falls through
+	// to a normal program; 0 means UncorrectableRBER.
+	RevivalRBERLimit float64
+}
+
+// Armed reports whether the model accumulates errors at all.
+func (c IntegrityConfig) Armed() bool { return c.BaseRBER > 0 }
+
+// Validate reports whether the model's parameters are usable.
+func (c IntegrityConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"BaseRBER", c.BaseRBER},
+		{"RetentionRate", c.RetentionRate},
+		{"ReadDisturbRate", c.ReadDisturbRate},
+		{"WearRate", c.WearRate},
+		{"CorrectableRBER", c.CorrectableRBER},
+		{"UncorrectableRBER", c.UncorrectableRBER},
+		{"RevivalRBERLimit", c.RevivalRBERLimit},
+	} {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) {
+			return fmt.Errorf("fault: integrity %s must be finite, got %g", p.name, p.v)
+		}
+		if p.v < 0 {
+			return fmt.Errorf("fault: integrity %s must be ≥ 0, got %g", p.name, p.v)
+		}
+	}
+	if c.BaseRBER > 1 {
+		return fmt.Errorf("fault: integrity BaseRBER must be in [0,1], got %g", c.BaseRBER)
+	}
+	d := c.WithDefaults()
+	if d.Armed() && d.UncorrectableRBER <= d.CorrectableRBER {
+		return fmt.Errorf("fault: integrity UncorrectableRBER (%g) must exceed CorrectableRBER (%g)",
+			d.UncorrectableRBER, d.CorrectableRBER)
+	}
+	return nil
+}
+
+// WithDefaults returns c with the ECC boundaries filled in where zero.
+// The zero (disarmed) config is returned unchanged so it stays the zero
+// value.
+func (c IntegrityConfig) WithDefaults() IntegrityConfig {
+	if !c.Armed() {
+		return c
+	}
+	if c.CorrectableRBER == 0 {
+		c.CorrectableRBER = DefaultCorrectableRBER
+	}
+	if c.UncorrectableRBER == 0 {
+		c.UncorrectableRBER = DefaultUncorrectableRBER
+	}
+	if c.RevivalRBERLimit == 0 {
+		c.RevivalRBERLimit = c.UncorrectableRBER
+	}
+	return c
+}
+
+// ReadClass is the ECC outcome of one page read under the integrity model.
+type ReadClass int
+
+const (
+	// ReadClean decoded on the first attempt.
+	ReadClean ReadClass = iota
+	// ReadCorrectable needed a threshold-shifted retry read.
+	ReadCorrectable
+	// ReadUncorrectable exceeded ECC capability; the page's data is lost.
+	ReadUncorrectable
+)
+
+// Estimator evaluates the RBER model and draws read classifications from
+// its own deterministic stream. Like the Injector it owns no FTL state:
+// the store supplies age, read and erase counts and records the outcomes.
+// Not safe for concurrent use.
+type Estimator struct {
+	cfg   IntegrityConfig
+	state uint64
+}
+
+// estimatorSeedOffset separates the Estimator's splitmix64 stream from
+// the Injector's, which seeds at the plain golden-ratio offset.
+const estimatorSeedOffset = 0x6a09e667f3bcc909 // frac(sqrt(2)) — SHA-2 H0
+
+// NewEstimator returns an Estimator for the plan, or nil when the model
+// is disarmed — callers treat a nil Estimator as a decay-free drive.
+func NewEstimator(cfg Config) *Estimator {
+	ic := cfg.Integrity
+	if !ic.Armed() {
+		return nil
+	}
+	return &Estimator{
+		cfg:   ic.WithDefaults(),
+		state: uint64(cfg.Seed) + estimatorSeedOffset,
+	}
+}
+
+// Config returns the model (with defaults applied) the estimator uses.
+func (e *Estimator) Config() IntegrityConfig { return e.cfg }
+
+// next64 advances the estimator's splitmix64 stream.
+func (e *Estimator) next64() uint64 {
+	e.state += 0x9e3779b97f4a7c15
+	z := e.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// draw returns a uniform float64 in [0, 1).
+func (e *Estimator) draw() float64 {
+	return float64(e.next64()>>11) / (1 << 53)
+}
+
+// RBER estimates the raw bit error rate of a page that was programmed
+// ageMicros microseconds ago, whose block has served reads reads since
+// its last erase and has been erased erases times. The result is
+// monotone non-decreasing in each argument, never NaN, and clamped to
+// [0,1]; negative inputs (which cannot arise from a well-formed store)
+// contribute nothing rather than producing a negative rate.
+func (e *Estimator) RBER(ageMicros, reads int64, erases int32) float64 {
+	if e == nil {
+		return 0
+	}
+	r := e.cfg.BaseRBER
+	r *= 1 + e.cfg.RetentionRate*(float64(max64(ageMicros, 0))/1e6)
+	r *= 1 + e.cfg.ReadDisturbRate*float64(max64(reads, 0))
+	r *= 1 + e.cfg.WearRate*float64(max64(int64(erases), 0))
+	// The factors are finite and ≥ 1, but huge inputs can overflow to
+	// +Inf; the clamp keeps the result a probability either way.
+	if r > 1 || math.IsInf(r, 1) {
+		return 1
+	}
+	return r
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Classify maps an estimated RBER to a read outcome. Reads at or below
+// the correctable boundary are clean without consuming a draw; inside
+// (correctable, uncorrectable) one draw decides clean vs correctable on a
+// linear ramp; at and above the uncorrectable boundary one draw decides
+// correctable vs uncorrectable, with failure certain at twice the
+// boundary. Deterministic given the sequence of calls.
+func (e *Estimator) Classify(rber float64) ReadClass {
+	if e == nil || rber <= e.cfg.CorrectableRBER {
+		return ReadClean
+	}
+	c, u := e.cfg.CorrectableRBER, e.cfg.UncorrectableRBER
+	if rber < u {
+		if e.draw() < (rber-c)/(u-c) {
+			return ReadCorrectable
+		}
+		return ReadClean
+	}
+	pUE := rber/u - 1
+	if pUE >= 1 {
+		return ReadUncorrectable
+	}
+	if pUE <= 0 {
+		// Exactly at the boundary: correctable for certain, no draw.
+		return ReadCorrectable
+	}
+	if e.draw() < pUE {
+		return ReadUncorrectable
+	}
+	return ReadCorrectable
+}

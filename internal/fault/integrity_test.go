@@ -1,0 +1,268 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegrityConfigValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		cfg  IntegrityConfig
+		ok   bool
+	}{
+		{"zero (disarmed)", IntegrityConfig{}, true},
+		{"armed defaults", IntegrityConfig{BaseRBER: 1e-4}, true},
+		{"armed full", IntegrityConfig{BaseRBER: 1e-4, RetentionRate: 2, ReadDisturbRate: 1e-3,
+			WearRate: 0.05, CorrectableRBER: 1e-3, UncorrectableRBER: 5e-3, RevivalRBERLimit: 2e-3}, true},
+		{"negative base", IntegrityConfig{BaseRBER: -1e-4}, false},
+		{"base above one", IntegrityConfig{BaseRBER: 1.5}, false},
+		{"NaN base", IntegrityConfig{BaseRBER: nan}, false},
+		{"NaN retention", IntegrityConfig{BaseRBER: 1e-4, RetentionRate: nan}, false},
+		{"Inf read disturb", IntegrityConfig{BaseRBER: 1e-4, ReadDisturbRate: inf}, false},
+		{"negative wear", IntegrityConfig{BaseRBER: 1e-4, WearRate: -0.1}, false},
+		{"NaN correctable", IntegrityConfig{BaseRBER: 1e-4, CorrectableRBER: nan}, false},
+		{"negative revival limit", IntegrityConfig{BaseRBER: 1e-4, RevivalRBERLimit: -1}, false},
+		{"uncorrectable below correctable", IntegrityConfig{BaseRBER: 1e-4,
+			CorrectableRBER: 5e-3, UncorrectableRBER: 1e-3}, false},
+		{"uncorrectable equal correctable", IntegrityConfig{BaseRBER: 1e-4,
+			CorrectableRBER: 2e-3, UncorrectableRBER: 2e-3}, false},
+		{"defaulted uncorrectable below explicit correctable", IntegrityConfig{BaseRBER: 1e-4,
+			CorrectableRBER: 0.5}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: rejected valid config: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted invalid config %+v", tc.name, tc.cfg)
+		}
+	}
+}
+
+func TestIntegrityConfigWithDefaults(t *testing.T) {
+	// The zero config must stay the zero value so disarmed stays disarmed.
+	if d := (IntegrityConfig{}).WithDefaults(); d != (IntegrityConfig{}) {
+		t.Errorf("zero config gained defaults: %+v", d)
+	}
+	d := IntegrityConfig{BaseRBER: 1e-4}.WithDefaults()
+	if d.CorrectableRBER != DefaultCorrectableRBER {
+		t.Errorf("CorrectableRBER = %g, want default %g", d.CorrectableRBER, DefaultCorrectableRBER)
+	}
+	if d.UncorrectableRBER != DefaultUncorrectableRBER {
+		t.Errorf("UncorrectableRBER = %g, want default %g", d.UncorrectableRBER, DefaultUncorrectableRBER)
+	}
+	if d.RevivalRBERLimit != d.UncorrectableRBER {
+		t.Errorf("RevivalRBERLimit = %g, want the uncorrectable boundary %g", d.RevivalRBERLimit, d.UncorrectableRBER)
+	}
+	// Explicit boundaries survive.
+	d = IntegrityConfig{BaseRBER: 1e-4, CorrectableRBER: 2e-3, UncorrectableRBER: 9e-3, RevivalRBERLimit: 3e-3}.WithDefaults()
+	if d.CorrectableRBER != 2e-3 || d.UncorrectableRBER != 9e-3 || d.RevivalRBERLimit != 3e-3 {
+		t.Errorf("explicit boundaries overwritten: %+v", d)
+	}
+}
+
+// TestConfigValidateRejectsNaN pins the fix for the silent-NaN hole: NaN
+// compares false against both bounds of [0,1], so without an explicit check
+// a NaN probability validated fine and then poisoned every draw.
+func TestConfigValidateRejectsNaN(t *testing.T) {
+	nan := math.NaN()
+	bad := []Config{
+		{ProgramFailProb: nan},
+		{EraseFailProb: nan},
+		{ReadFailProb: nan},
+		{WearFactor: nan},
+		{WearFactor: math.Inf(1)},
+		{Integrity: IntegrityConfig{BaseRBER: nan}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted NaN/Inf config %+v", i, c)
+		}
+	}
+}
+
+// TestWithDefaultsIntegrityInterplay pins the ReadRetries defaulting rule:
+// the retry bound is filled in when either the probabilistic read class or
+// the integrity model needs the ECC retry ladder, and an explicit value is
+// never overwritten.
+func TestWithDefaultsIntegrityInterplay(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want int
+	}{
+		{"nothing armed", Config{}, 0},
+		{"program faults only", Config{ProgramFailProb: 0.1}, 0},
+		{"read faults armed", Config{ReadFailProb: 0.1}, DefaultReadRetries},
+		{"integrity armed", Config{Integrity: IntegrityConfig{BaseRBER: 1e-4}}, DefaultReadRetries},
+		{"integrity armed, explicit retries", Config{ReadRetries: 5,
+			Integrity: IntegrityConfig{BaseRBER: 1e-4}}, 5},
+		{"both armed", Config{ReadFailProb: 0.1, Integrity: IntegrityConfig{BaseRBER: 1e-4}}, DefaultReadRetries},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.WithDefaults().ReadRetries; got != tc.want {
+			t.Errorf("%s: ReadRetries = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Integrity defaults propagate through the outer WithDefaults.
+	d := Config{Integrity: IntegrityConfig{BaseRBER: 1e-4}}.WithDefaults()
+	if d.Integrity.UncorrectableRBER != DefaultUncorrectableRBER {
+		t.Errorf("outer WithDefaults left integrity boundaries unset: %+v", d.Integrity)
+	}
+}
+
+func TestActiveAndArmed(t *testing.T) {
+	if (Config{}).Active() {
+		t.Error("zero config reports active")
+	}
+	if !(Config{CrashAtOp: 5}).Active() {
+		t.Error("crash trigger not active")
+	}
+	c := Config{Integrity: IntegrityConfig{BaseRBER: 1e-4}}
+	if !c.IntegrityArmed() || !c.Active() {
+		t.Error("armed integrity model not active")
+	}
+	if c.Enabled() {
+		t.Error("integrity alone must not enable the probabilistic injector")
+	}
+}
+
+func TestEstimatorDisarmedIsNil(t *testing.T) {
+	if NewEstimator(Config{}) != nil {
+		t.Error("disarmed config built a non-nil estimator")
+	}
+	var e *Estimator
+	if got := e.RBER(1e9, 1e6, 1000); got != 0 {
+		t.Errorf("nil estimator RBER = %g, want 0", got)
+	}
+	if got := e.Classify(0.5); got != ReadClean {
+		t.Errorf("nil estimator Classify = %v, want clean", got)
+	}
+}
+
+func TestRBERMonotoneAndClamped(t *testing.T) {
+	e := NewEstimator(Config{Integrity: IntegrityConfig{
+		BaseRBER: 1e-4, RetentionRate: 2, ReadDisturbRate: 1e-3, WearRate: 0.05}})
+	if got := e.RBER(0, 0, 0); got != 1e-4 {
+		t.Errorf("fresh-page RBER = %g, want the base %g", got, 1e-4)
+	}
+	prev := 0.0
+	for _, age := range []int64{0, 1e6, 5e6, 1e9, 1e15} {
+		r := e.RBER(age, 0, 0)
+		if r < prev {
+			t.Fatalf("RBER not monotone in age: %g after %g", r, prev)
+		}
+		prev = r
+	}
+	if r := e.RBER(1e18, 1e12, math.MaxInt32); r != 1 {
+		t.Errorf("extreme inputs RBER = %g, want clamp to 1", r)
+	}
+	if r := e.RBER(-5, -5, -5); r != 1e-4 {
+		t.Errorf("negative inputs RBER = %g, want the base (they contribute nothing)", r)
+	}
+	if math.IsNaN(e.RBER(math.MaxInt64, math.MaxInt64, math.MaxInt32)) {
+		t.Error("RBER produced NaN")
+	}
+}
+
+func TestClassifyBandsAndDrawDiscipline(t *testing.T) {
+	cfg := Config{Seed: 3, Integrity: IntegrityConfig{BaseRBER: 1e-4}}
+	e := NewEstimator(cfg)
+	c, u := e.Config().CorrectableRBER, e.Config().UncorrectableRBER
+
+	// At or below the correctable boundary: clean, and no draw consumed —
+	// the stream stays aligned with a fresh estimator.
+	for i := 0; i < 100; i++ {
+		if got := e.Classify(c); got != ReadClean {
+			t.Fatalf("Classify(correctable boundary) = %v, want clean", got)
+		}
+	}
+	f := NewEstimator(cfg)
+	if e.state != f.state {
+		t.Fatal("clean classifications consumed draws")
+	}
+
+	// Exactly at the uncorrectable boundary: correctable for certain, no draw.
+	for i := 0; i < 100; i++ {
+		if got := e.Classify(u); got != ReadCorrectable {
+			t.Fatalf("Classify(uncorrectable boundary) = %v, want correctable", got)
+		}
+	}
+	if e.state != f.state {
+		t.Fatal("boundary classifications consumed draws")
+	}
+
+	// At and beyond certain failure: uncorrectable, no draw.
+	for _, r := range []float64{2 * u, 3 * u, 1} {
+		if got := e.Classify(r); got != ReadUncorrectable {
+			t.Fatalf("Classify(%g) = %v, want uncorrectable", r, got)
+		}
+	}
+	if e.state != f.state {
+		t.Fatal("certain-failure classifications consumed draws")
+	}
+
+	// Inside the stochastic bands the outcome rate tracks the ramp.
+	const n = 100_000
+	mid := (c + u) / 2
+	correctable := 0
+	for i := 0; i < n; i++ {
+		switch e.Classify(mid) {
+		case ReadCorrectable:
+			correctable++
+		case ReadUncorrectable:
+			t.Fatal("uncorrectable below the uncorrectable boundary")
+		}
+	}
+	if rate := float64(correctable) / n; rate < 0.45 || rate > 0.55 {
+		t.Errorf("mid-band correctable rate = %g, want ≈0.5", rate)
+	}
+	uecc := 0
+	for i := 0; i < n; i++ {
+		switch e.Classify(1.5 * u) {
+		case ReadUncorrectable:
+			uecc++
+		case ReadClean:
+			t.Fatal("clean above the uncorrectable boundary")
+		}
+	}
+	if rate := float64(uecc) / n; rate < 0.45 || rate > 0.55 {
+		t.Errorf("1.5×U uncorrectable rate = %g, want ≈0.5", rate)
+	}
+}
+
+// TestEstimatorStreamIndependence pins the seeding discipline: arming the
+// integrity model must not shift the Injector's stream, and equal seeds
+// give equal estimator streams.
+func TestEstimatorStreamIndependence(t *testing.T) {
+	plain := New(Config{Seed: 11, ReadFailProb: 0.5})
+	armed := New(Config{Seed: 11, ReadFailProb: 0.5, Integrity: IntegrityConfig{BaseRBER: 1e-4}})
+	for i := 0; i < 1000; i++ {
+		if plain.ReadFails(0) != armed.ReadFails(0) {
+			t.Fatalf("injector stream %d shifted by arming integrity", i)
+		}
+	}
+	cfg := Config{Seed: 11, Integrity: IntegrityConfig{BaseRBER: 1e-4}}
+	a, b := NewEstimator(cfg), NewEstimator(cfg)
+	mid := (a.Config().CorrectableRBER + a.Config().UncorrectableRBER) / 2
+	for i := 0; i < 1000; i++ {
+		if a.Classify(mid) != b.Classify(mid) {
+			t.Fatalf("estimator decision %d diverged between equal seeds", i)
+		}
+	}
+}
+
+func TestIntegrityStatsSub(t *testing.T) {
+	s := Stats{CorrectableReads: 7, UncorrectableReads: 3, RefreshWrites: 10, RevivalsDeclined: 4}
+	d := s.Sub(Stats{CorrectableReads: 2, UncorrectableReads: 1, RefreshWrites: 4, RevivalsDeclined: 4})
+	want := Stats{CorrectableReads: 5, UncorrectableReads: 2, RefreshWrites: 6}
+	if d != want {
+		t.Errorf("Sub = %+v, want %+v", d, want)
+	}
+	if !s.Any() {
+		t.Error("integrity-only stats report no activity")
+	}
+}

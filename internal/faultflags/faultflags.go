@@ -1,0 +1,77 @@
+// Package faultflags registers the reliability knobs shared by the
+// simulator binaries (ssdsim and zombiectl) on a flag set: the
+// fault-injection plan (-fault-*), the data-integrity error model
+// (-integrity-*), the background scrubber (-scrub-*) and the fault-aware
+// GC victim weight. Keeping the definitions in one place guarantees both
+// binaries expose the same names, defaults and validation messages.
+package faultflags
+
+import (
+	"flag"
+	"fmt"
+
+	"zombiessd/internal/fault"
+	"zombiessd/internal/scrub"
+)
+
+// Set holds the parsed values of the shared reliability flags.
+type Set struct {
+	Faults        fault.Config
+	Scrub         scrub.Config
+	GCFaultWeight float64
+}
+
+// Register wires the shared reliability flags into fs and returns the Set
+// their parsed values land in. Binary-specific knobs (ssdsim's -crash-at,
+// zombiectl's -crash-points) stay with their binaries.
+func Register(fs *flag.FlagSet) *Set {
+	s := &Set{}
+	fs.Float64Var(&s.Faults.ProgramFailProb, "fault-program", 0, "program-status failure probability (0 = perfect drive)")
+	fs.Float64Var(&s.Faults.EraseFailProb, "fault-erase", 0, "erase failure probability (failed blocks retire as bad)")
+	fs.Float64Var(&s.Faults.ReadFailProb, "fault-read", 0, "probability a read needs an ECC retry")
+	fs.IntVar(&s.Faults.ReadRetries, "fault-read-retries", 0, "max ECC retry reads per failing read (0 = default)")
+	fs.Float64Var(&s.Faults.WearFactor, "fault-wear", 0, "failure-probability scaling per block erase")
+	fs.Int64Var(&s.Faults.Seed, "fault-seed", 0, "fault stream seed")
+	fs.IntVar(&s.Faults.SuspectThreshold, "fault-suspect", 0, "program failures before a block retires at its next erase (0 = never)")
+	fs.Float64Var(&s.GCFaultWeight, "gc-fault-weight", 0, "fault-aware GC victim penalty per program failure (0 = fault-unaware)")
+
+	fs.Float64Var(&s.Faults.Integrity.BaseRBER, "integrity-rber", 0, "raw bit error rate of a fresh page (0 = integrity model off)")
+	fs.Float64Var(&s.Faults.Integrity.RetentionRate, "integrity-retention", 0, "RBER growth per second of page age")
+	fs.Float64Var(&s.Faults.Integrity.ReadDisturbRate, "integrity-read-disturb", 0, "RBER growth per read of the page's block")
+	fs.Float64Var(&s.Faults.Integrity.WearRate, "integrity-wear", 0, "RBER growth per erase of the page's block")
+	fs.Float64Var(&s.Faults.Integrity.CorrectableRBER, "integrity-correctable", 0,
+		fmt.Sprintf("RBER above which reads need ECC retries (0 = default %g)", fault.DefaultCorrectableRBER))
+	fs.Float64Var(&s.Faults.Integrity.UncorrectableRBER, "integrity-uncorrectable", 0,
+		fmt.Sprintf("RBER above which reads may be uncorrectable (0 = default %g)", fault.DefaultUncorrectableRBER))
+	fs.Float64Var(&s.Faults.Integrity.RevivalRBERLimit, "integrity-revival-limit", 0,
+		"estimated RBER above which zombie revival is declined (0 = the uncorrectable threshold)")
+
+	fs.Int64Var((*int64)(&s.Scrub.Interval), "scrub-interval", 0,
+		"background patrol: simulated µs between block visits (0 = scrubber off; needs -integrity-rber)")
+	fs.Float64Var(&s.Scrub.RefreshRBER, "scrub-rber", 0,
+		"estimated RBER above which the patrol refresh-relocates a page (0 = the correctable threshold)")
+	fs.IntVar(&s.Scrub.MaxCatchUp, "scrub-catchup", 0,
+		fmt.Sprintf("max patrol visits recovered per host op after an idle gap (0 = default %d)", scrub.DefaultMaxCatchUp))
+	return s
+}
+
+// Validate rejects out-of-range values with the flag name in the message,
+// so binaries can report bad input before any simulation starts.
+func (s *Set) Validate() error {
+	if s.GCFaultWeight < 0 {
+		return fmt.Errorf("-gc-fault-weight must be ≥ 0, got %g", s.GCFaultWeight)
+	}
+	if s.Faults.SuspectThreshold < 0 {
+		return fmt.Errorf("-fault-suspect must be ≥ 0, got %d", s.Faults.SuspectThreshold)
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := s.Scrub.Validate(); err != nil {
+		return err
+	}
+	if s.Scrub.Enabled() && !s.Faults.IntegrityArmed() {
+		return fmt.Errorf("-scrub-interval needs the integrity model armed (set -integrity-rber)")
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package faultflags
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+func parse(t *testing.T, args ...string) (*Set, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	s := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return s, s.Validate()
+}
+
+func TestParseLandsInConfigs(t *testing.T) {
+	s, err := parse(t,
+		"-fault-program", "1e-4", "-fault-erase", "1e-5", "-fault-read", "1e-3",
+		"-fault-read-retries", "5", "-fault-wear", "0.1", "-fault-seed", "42",
+		"-fault-suspect", "3", "-gc-fault-weight", "2.5",
+		"-integrity-rber", "1e-4", "-integrity-retention", "6",
+		"-integrity-read-disturb", "2e-4", "-integrity-wear", "0.02",
+		"-integrity-correctable", "1e-3", "-integrity-uncorrectable", "4e-3",
+		"-integrity-revival-limit", "2e-3",
+		"-scrub-interval", "1500", "-scrub-rber", "2e-3", "-scrub-catchup", "8",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Faults
+	if f.ProgramFailProb != 1e-4 || f.EraseFailProb != 1e-5 || f.ReadFailProb != 1e-3 ||
+		f.ReadRetries != 5 || f.WearFactor != 0.1 || f.Seed != 42 || f.SuspectThreshold != 3 {
+		t.Errorf("fault flags did not land: %+v", f)
+	}
+	ic := f.Integrity
+	if ic.BaseRBER != 1e-4 || ic.RetentionRate != 6 || ic.ReadDisturbRate != 2e-4 ||
+		ic.WearRate != 0.02 || ic.CorrectableRBER != 1e-3 || ic.UncorrectableRBER != 4e-3 ||
+		ic.RevivalRBERLimit != 2e-3 {
+		t.Errorf("integrity flags did not land: %+v", ic)
+	}
+	if s.Scrub.Interval != 1500*ssd.Microsecond || s.Scrub.RefreshRBER != 2e-3 || s.Scrub.MaxCatchUp != 8 {
+		t.Errorf("scrub flags did not land: %+v", s.Scrub)
+	}
+	if s.GCFaultWeight != 2.5 {
+		t.Errorf("GCFaultWeight = %g, want 2.5", s.GCFaultWeight)
+	}
+}
+
+func TestZeroFlagsAreInert(t *testing.T) {
+	s, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.Enabled() || s.Faults.IntegrityArmed() || s.Scrub.Enabled() || s.GCFaultWeight != 0 {
+		t.Errorf("no flags armed something: %+v", s)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative gc weight", []string{"-gc-fault-weight", "-1"}},
+		{"negative suspect", []string{"-fault-suspect", "-1"}},
+		{"probability above one", []string{"-fault-program", "1.5"}},
+		{"negative base rber", []string{"-integrity-rber", "-1e-4"}},
+		{"scrub without integrity", []string{"-scrub-interval", "1500"}},
+		{"negative scrub threshold", []string{"-integrity-rber", "1e-4", "-scrub-interval", "1500", "-scrub-rber", "-1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parse(t, tc.args...); err == nil {
+				t.Errorf("Validate accepted %v", tc.args)
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package ftl
+
+// Integrity threading: the store-side half of the stateful RBER model
+// (fault.Estimator). The store owns the inputs the model ages against —
+// per-page program timestamps, per-block read counters (read disturb) and
+// erase counts (wear) — and the consequences: uncorrectable reads mark the
+// page's data as lost forever (until a fresh program or an erase), the
+// scrubber refresh-relocates decaying pages through RefreshPage, and the
+// dead-value pool vets every zombie through VerifyRevive before flipping
+// it back to valid. Everything here is a no-op on a store whose plan
+// leaves the model disarmed.
+
+import (
+	"errors"
+	"fmt"
+
+	"zombiessd/internal/fault"
+	"zombiessd/internal/ssd"
+)
+
+// ErrUncorrectable is wrapped by reads that exceed ECC capability under
+// the integrity model. The page's data is lost; the returned completion
+// time is still valid (the controller paid the full ECC retry ladder
+// before giving up), so callers can keep simulating past the loss.
+var ErrUncorrectable = errors.New("ftl: read exceeded ECC capability (data lost)")
+
+// IntegrityArmed reports whether the stateful RBER model is accumulating
+// errors on this store.
+func (s *Store) IntegrityArmed() bool { return s.integ != nil }
+
+// IntegrityConfig returns the armed model's parameters with defaults
+// applied, or the zero config while disarmed.
+func (s *Store) IntegrityConfig() fault.IntegrityConfig {
+	if s.integ == nil {
+		return fault.IntegrityConfig{}
+	}
+	return s.integ.Config()
+}
+
+// LostPage reports whether an uncorrectable read has destroyed p's data.
+// Always false while the model is disarmed.
+func (s *Store) LostPage(p ssd.PPN) bool { return s.integ != nil && s.lost[p] }
+
+// BlockReads returns the reads block b has served since its last erase
+// (the read-disturb input). Always 0 while the model is disarmed.
+func (s *Store) BlockReads(b ssd.BlockID) int64 { return s.blocks[b].reads }
+
+// EstimatedRBER returns the model's raw bit error rate estimate for page
+// p at the given instant — what the controller's background media scan
+// would compute without touching the flash. 0 while the model is
+// disarmed.
+func (s *Store) EstimatedRBER(p ssd.PPN, clock ssd.Time) float64 {
+	if s.integ == nil {
+		return 0
+	}
+	b := s.geo.BlockOf(p)
+	return s.integ.RBER(int64(clock-s.progTime[p]), s.blocks[b].reads, s.blocks[b].erases)
+}
+
+// integrityCheck classifies one completed read of page p against the RBER
+// model: clean reads pass through, correctable ones pay one
+// threshold-shifted retry read, uncorrectable ones pay the full ECC
+// ladder, mark the page's data lost and return ErrUncorrectable. Every
+// read — whatever its outcome — disturbs the block.
+func (s *Store) integrityCheck(p ssd.PPN, done, clock ssd.Time) (ssd.Time, error) {
+	b := s.geo.BlockOf(p)
+	info := &s.blocks[b]
+	info.reads++
+	if s.lost[p] {
+		// Known-lost data fails again without consuming draws, so rereads
+		// of a dead page do not perturb the stream for live ones.
+		s.faults.UncorrectableReads++
+		return done, fmt.Errorf("ftl: reread of page %d: %w", p, ErrUncorrectable)
+	}
+	age := int64(clock - s.progTime[p])
+	switch s.integ.Classify(s.integ.RBER(age, info.reads, info.erases)) {
+	case fault.ReadClean:
+		return done, nil
+	case fault.ReadCorrectable:
+		s.faults.CorrectableReads++
+		if s.crashNow() {
+			return 0, fmt.Errorf("ftl: ECC retry of page %d interrupted: %w", p, fault.ErrPowerLoss)
+		}
+		return s.bus.Read(p, done), nil
+	default: // ReadUncorrectable
+		s.faults.UncorrectableReads++
+		s.lost[p] = true
+		// The controller exhausts the whole retry ladder before giving up.
+		for r := 0; r < s.integRetries; r++ {
+			if s.crashNow() {
+				return 0, fmt.Errorf("ftl: ECC retry of page %d interrupted: %w", p, fault.ErrPowerLoss)
+			}
+			done = s.bus.Read(p, done)
+		}
+		return done, fmt.Errorf("ftl: read of page %d: %w", p, ErrUncorrectable)
+	}
+}
+
+// ScrubRead issues one patrol read of page p on behalf of the scrubber:
+// stamped at stamp (pass 0 to land it in idle bus windows) but aged
+// against clock, the real current time. The returned error is
+// ErrUncorrectable when the patrol itself discovers the page is beyond
+// ECC, or a power-loss wrap.
+func (s *Store) ScrubRead(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
+	return s.readPageAt(p, stamp, clock)
+}
+
+// RefreshPage rewrites a decaying valid page onto fresh flash before its
+// RBER crosses ECC capability: read the old copy, program a new one on
+// the GC stream (running GC first if the plane is low), rebind the
+// mapping via OnRelocate, and turn the old copy into plain garbage. The
+// old copy is deliberately NOT offered to the dead-value pool — its
+// content is still live under the same logical page, so pooling it would
+// let a later write "revive" data that was never dead.
+//
+// Flash operations are stamped at stamp (the scrubber passes 0 for idle
+// scheduling); RBER ages against clock. If making room relocated p in
+// the meantime, the refresh is already done and nothing further happens.
+// An uncorrectable read aborts the refresh — the page is lost, not
+// refreshable — and returns ErrUncorrectable.
+func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
+	if s.state[p] != PageValid {
+		panic(fmt.Sprintf("ftl: RefreshPage(%d): page is %v, not valid", p, s.state[p]))
+	}
+	plane := s.geo.PlaneOfBlock(s.geo.BlockOf(p))
+	if err := s.ensureSpace(plane, stamp); err != nil {
+		return 0, err
+	}
+	if s.state[p] != PageValid {
+		// GC relocated the page while making room — already refreshed.
+		return stamp, nil
+	}
+	readDone, err := s.readPageAt(p, stamp, clock)
+	if err != nil {
+		return readDone, err
+	}
+	dst, done, err := s.programAt(plane, s.gcStream(plane), readDone)
+	if err != nil {
+		return 0, fmt.Errorf("ftl: refresh of page %d: %w", p, err)
+	}
+	s.faults.RefreshWrites++
+	if s.progTime[dst] < clock {
+		// The refresh writes the data now; the bus merely charged the
+		// transfer to an idle window that already passed. Age the new copy
+		// from now, or a patrol running ahead of the chip's last-idle time
+		// would find its own fresh copies stale and re-refresh them forever.
+		s.progTime[dst] = clock
+	}
+	// Stamp before OnRelocate: the owner must be read while the mapping
+	// still points at the source page (same discipline as GC relocation).
+	s.stampRelocated(p, dst)
+	if s.OnRelocate != nil {
+		s.OnRelocate(p, dst)
+	}
+	s.Invalidate(p)
+	return done, nil
+}
+
+// VerifyRevive vets a zombie page before the dead-value pool flips it
+// back to valid. On a disarmed store every revival is approved for free.
+// Armed, the revival is declined — and the host write falls through to a
+// normal program — when the page's data is already lost, when the
+// estimated RBER is at or above the plan's RevivalRBERLimit, or when the
+// verify read itself comes back uncorrectable. An approved revival costs
+// one verify read (plus any ECC retries it needs), reflected in the
+// returned completion time. Only power loss surfaces as an error.
+func (s *Store) VerifyRevive(p ssd.PPN, now ssd.Time) (ssd.Time, bool, error) {
+	if s.integ == nil {
+		return now, true, nil
+	}
+	if s.lost[p] || s.EstimatedRBER(p, now) >= s.integ.Config().RevivalRBERLimit {
+		s.faults.RevivalsDeclined++
+		return now, false, nil
+	}
+	done, err := s.readPageAt(p, now, now)
+	if err != nil {
+		if errors.Is(err, ErrUncorrectable) {
+			s.faults.RevivalsDeclined++
+			return done, false, nil
+		}
+		return 0, false, err
+	}
+	return done, true, nil
+}
+
+// ProgramTimeOf returns when page p was last programmed (zero until the
+// first program, or while the model is disarmed — timestamps are only
+// kept when something consumes them).
+func (s *Store) ProgramTimeOf(p ssd.PPN) ssd.Time {
+	if s.integ == nil {
+		return 0
+	}
+	return s.progTime[p]
+}

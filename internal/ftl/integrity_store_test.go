@@ -1,0 +1,286 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+
+	"zombiessd/internal/fault"
+	"zombiessd/internal/ssd"
+)
+
+// integrityConfig arms the RBER model with the given accumulation rates on
+// an otherwise-perfect drive.
+func integrityConfig(ic fault.IntegrityConfig) StoreConfig {
+	cfg := DefaultStoreConfig()
+	cfg.Faults = fault.Config{Integrity: ic}
+	return cfg
+}
+
+func TestIntegrityDisarmedNoops(t *testing.T) {
+	s, _ := newTinyStore(t, DefaultStoreConfig())
+	if s.IntegrityArmed() {
+		t.Fatal("zero plan armed the integrity model")
+	}
+	ppn, done, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LostPage(ppn) || s.EstimatedRBER(ppn, ssd.Time(1e9)) != 0 || s.ProgramTimeOf(ppn) != 0 {
+		t.Error("disarmed store tracked integrity state")
+	}
+	vdone, ok, err := s.VerifyRevive(ppn, done)
+	if err != nil || !ok || vdone != done {
+		t.Errorf("disarmed VerifyRevive = (%v, %v, %v), want free approval at %v", vdone, ok, err, done)
+	}
+	if s.IntegrityConfig() != (fault.IntegrityConfig{}) {
+		t.Error("disarmed store reports a non-zero integrity config")
+	}
+}
+
+func TestReadDisturbAccumulatesAndAges(t *testing.T) {
+	s, _ := newTinyStore(t, integrityConfig(fault.IntegrityConfig{
+		BaseRBER: 1e-4, RetentionRate: 1, ReadDisturbRate: 0.1,
+	}))
+	ppn, done, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProgramTimeOf(ppn) != done {
+		t.Errorf("ProgramTimeOf = %v, want the program completion %v", s.ProgramTimeOf(ppn), done)
+	}
+	b := s.Geometry().BlockOf(ppn)
+	if got := s.BlockReads(b); got != 0 {
+		t.Fatalf("fresh block has %d reads", got)
+	}
+	young := s.EstimatedRBER(ppn, done)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Read(ppn, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.BlockReads(b); got != 3 {
+		t.Errorf("block reads = %d after 3 reads, want 3", got)
+	}
+	disturbed := s.EstimatedRBER(ppn, done)
+	aged := s.EstimatedRBER(ppn, done+ssd.Time(1e6))
+	if !(young < disturbed && disturbed < aged) {
+		t.Errorf("RBER not rising with disturbance and age: young %g, disturbed %g, aged %g",
+			young, disturbed, aged)
+	}
+}
+
+func TestUncorrectableReadMarksPageLost(t *testing.T) {
+	// Retention ×10⁴/s: one second after the program the estimate is ≈1,
+	// far past certain failure — no draw, deterministic UECC.
+	s, bus := newTinyStore(t, integrityConfig(fault.IntegrityConfig{
+		BaseRBER: 1e-4, RetentionRate: 1e4,
+	}))
+	ppn, done, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := done + ssd.Time(1e6)
+	readsBefore, _, _ := bus.Counts()
+	_, err = s.Read(ppn, late)
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("decayed read returned %v, want ErrUncorrectable", err)
+	}
+	if !s.LostPage(ppn) {
+		t.Error("uncorrectable read did not mark the page lost")
+	}
+	readsAfter, _, _ := bus.Counts()
+	// One media read plus the full default ECC retry ladder.
+	if got, want := readsAfter-readsBefore, int64(1+fault.DefaultReadRetries); got != want {
+		t.Errorf("uncorrectable read issued %d media reads, want %d", got, want)
+	}
+	if got := s.FaultStats().UncorrectableReads; got != 1 {
+		t.Errorf("UncorrectableReads = %d, want 1", got)
+	}
+
+	// Rereads of a known-lost page fail again, cheaply: one media read, no
+	// retry ladder, no classification draw.
+	readsBefore = readsAfter
+	if _, err := s.Read(ppn, late); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("reread of lost page returned %v, want ErrUncorrectable", err)
+	}
+	readsAfter, _, _ = bus.Counts()
+	if got := readsAfter - readsBefore; got != 1 {
+		t.Errorf("reread of lost page issued %d media reads, want 1", got)
+	}
+	if got := s.FaultStats().UncorrectableReads; got != 2 {
+		t.Errorf("UncorrectableReads = %d after reread, want 2", got)
+	}
+}
+
+func TestRefreshPageRelocatesBeforeLoss(t *testing.T) {
+	s, _ := newTinyStore(t, integrityConfig(fault.IntegrityConfig{
+		BaseRBER: 1e-4, RetentionRate: 30,
+	}))
+	var src, dst ssd.PPN = ssd.InvalidPPN, ssd.InvalidPPN
+	s.OnRelocate = func(a, b ssd.PPN) { src, dst = a, b }
+	ppn, done, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One second old: ×31 puts the estimate at 3.1e-3 — past the
+	// correctable boundary, still below the uncorrectable one.
+	clock := done + ssd.Time(1_000_000)
+	if rber := s.EstimatedRBER(ppn, clock); rber <= fault.DefaultCorrectableRBER {
+		t.Fatalf("test premise broken: RBER %g not yet past correctable", rber)
+	}
+	rdone, err := s.RefreshPage(ppn, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != ppn || dst == ssd.InvalidPPN {
+		t.Fatalf("OnRelocate saw (%v, %v), want src %v and a fresh dst", src, dst, ppn)
+	}
+	if s.State(ppn) != PageInvalid {
+		t.Errorf("old copy is %v, want invalid", s.State(ppn))
+	}
+	if s.State(dst) != PageValid {
+		t.Errorf("new copy is %v, want valid", s.State(dst))
+	}
+	if got := s.FaultStats().RefreshWrites; got != 1 {
+		t.Errorf("RefreshWrites = %d, want 1", got)
+	}
+	// The patrol stamps flash work at 0 (idle windows), so the program
+	// completes "in the past"; the copy's age is still measured from the
+	// patrol's clock so it does not look instantly stale.
+	if got := s.ProgramTimeOf(dst); got != clock {
+		t.Errorf("refreshed copy aged from %v, want the patrol clock %v (program done %v)", got, clock, rdone)
+	}
+	if fresh := s.EstimatedRBER(dst, clock); fresh >= s.EstimatedRBER(ppn, clock) {
+		t.Errorf("refresh did not reset the estimate: %g", fresh)
+	}
+}
+
+func TestRefreshPagePanicsOnNonValid(t *testing.T) {
+	s, _ := newTinyStore(t, integrityConfig(fault.IntegrityConfig{BaseRBER: 1e-4}))
+	ppn, _, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate(ppn)
+	defer func() {
+		if recover() == nil {
+			t.Error("RefreshPage of an invalid page did not panic")
+		}
+	}()
+	_, _ = s.RefreshPage(ppn, 0, 0)
+}
+
+func TestVerifyReviveGatesOnEstimateAndLoss(t *testing.T) {
+	s, bus := newTinyStore(t, integrityConfig(fault.IntegrityConfig{
+		BaseRBER: 1e-4, RetentionRate: 100,
+	}))
+	ppn, done, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate(ppn) // the page dies; a pool would hold it as a zombie
+
+	// Fresh zombie: the estimate is near base, the verify read passes and
+	// its latency lands in the completion time.
+	readsBefore, _, _ := bus.Counts()
+	vdone, ok, err := s.VerifyRevive(ppn, done)
+	if err != nil || !ok {
+		t.Fatalf("fresh zombie declined: (%v, %v)", ok, err)
+	}
+	if vdone <= done {
+		t.Error("approved revival charged no verify-read latency")
+	}
+	if readsAfter, _, _ := bus.Counts(); readsAfter != readsBefore+1 {
+		t.Error("approved revival did not issue exactly one verify read")
+	}
+
+	// A second of decay at ×100/s puts the estimate at ≈1e-2, past the
+	// default revival limit: declined on the estimate alone, no read.
+	late := done + ssd.Time(1e6)
+	readsBefore, _, _ = bus.Counts()
+	vdone, ok, err = s.VerifyRevive(ppn, late)
+	if err != nil || ok {
+		t.Fatalf("decayed zombie approved: (%v, %v)", ok, err)
+	}
+	if vdone != late {
+		t.Errorf("estimate-declined revival returned %v, want the caller's clock %v", vdone, late)
+	}
+	if readsAfter, _, _ := bus.Counts(); readsAfter != readsBefore {
+		t.Error("estimate-declined revival touched the media")
+	}
+	if got := s.FaultStats().RevivalsDeclined; got != 1 {
+		t.Errorf("RevivalsDeclined = %d, want 1", got)
+	}
+
+	// Lost pages are declined regardless of the estimate.
+	s.Revalidate(ppn)
+	if _, err := s.Read(ppn, late+ssd.Time(1e6)); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("setup read returned %v, want ErrUncorrectable", err)
+	}
+	s.Invalidate(ppn)
+	if _, ok, _ := s.VerifyRevive(ppn, done); ok {
+		t.Error("lost zombie approved for revival")
+	}
+	if got := s.FaultStats().RevivalsDeclined; got != 2 {
+		t.Errorf("RevivalsDeclined = %d, want 2", got)
+	}
+}
+
+// TestGCCarriesLossThroughRelocation: relocating a block that contains a
+// lost page must not resurrect its data — the loss mark travels to the
+// relocated copy.
+func TestGCCarriesLossThroughRelocation(t *testing.T) {
+	s, _ := newTinyStore(t, integrityConfig(fault.IntegrityConfig{
+		BaseRBER: 1e-4, RetentionRate: 1e4,
+	}))
+	relocated := make(map[ssd.PPN]ssd.PPN)
+	s.OnRelocate = func(a, b ssd.PPN) { relocated[a] = b }
+
+	lostPPN, done, err := s.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := done + ssd.Time(1e6)
+	if _, err := s.Read(lostPPN, late); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("setup read returned %v, want ErrUncorrectable", err)
+	}
+
+	// Fill the lost page's block with garbage so it is the plane's only
+	// profitable victim, then collect the plane directly.
+	geo := s.Geometry()
+	lostBlock := geo.BlockOf(lostPPN)
+	for {
+		ppn, _, err := s.Program(late)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if geo.BlockOf(ppn) != lostBlock {
+			continue
+		}
+		s.Invalidate(ppn)
+		if geo.PageInBlock(ppn) == geo.PagesPerBlock-1 {
+			break
+		}
+	}
+	// Advance every frontier one more program so the filled block sheds
+	// its active mark and becomes eligible for victim selection.
+	for i := 0; i < geo.TotalPlanes(); i++ {
+		if _, _, err := s.Program(late); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plane := geo.PlaneOfBlock(lostBlock)
+	if _, err := s.collectPlaneMin(plane, late, 1); err != nil {
+		t.Fatal(err)
+	}
+	dst, ok := relocated[lostPPN]
+	if !ok {
+		t.Fatal("GC did not relocate the lost page")
+	}
+	if !s.LostPage(dst) {
+		t.Fatalf("relocation of lost page %v to %v dropped the loss mark", lostPPN, dst)
+	}
+	if _, err := s.Read(dst, late); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("read of the relocated copy returned %v, want ErrUncorrectable", err)
+	}
+}

@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -150,6 +151,7 @@ type blockInfo struct {
 	invalid   int32
 	erases    int32
 	progFails int32 // injected program-status failures (suspect tracking)
+	reads     int64 // reads since last erase (read-disturb input; integrity only)
 	free      bool
 	active    bool
 	bad       bool // retired: never erased, allocated or collected again
@@ -198,6 +200,15 @@ type Store struct {
 	// counts the injected failures and the recovery work they caused.
 	inj    *fault.Injector
 	faults fault.Stats
+
+	// Integrity-model state (see integrity.go): the RBER estimator, the
+	// per-page program timestamps it ages against, and the pages whose
+	// data an uncorrectable read has already destroyed. All nil/empty
+	// while the model is disarmed — no per-read cost, no draws.
+	integ        *fault.Estimator
+	progTime     []ssd.Time
+	lost         []bool
+	integRetries int // ECC ladder reads charged per uncorrectable read
 
 	// Crash-consistency state (see oob.go): per-page OOB records, the
 	// durable mapping journal, the monotonic sequence counter, and the
@@ -251,8 +262,14 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 		blocks:  make([]blockInfo, geo.TotalBlocks()),
 		planes:  make([]planeState, geo.TotalPlanes()),
 		inj:     fault.New(cfg.Faults),
+		integ:   fault.NewEstimator(cfg.Faults),
 		oob:     make([]OOB, geo.TotalPages()),
 		crashAt: cfg.Faults.CrashAtOp,
+	}
+	if s.integ != nil {
+		s.progTime = make([]ssd.Time, geo.TotalPages())
+		s.lost = make([]bool, geo.TotalPages())
+		s.integRetries = cfg.Faults.WithDefaults().ReadRetries
 	}
 	s.journalCap = int(geo.TotalPages())
 	if s.journalCap < journalCapFloor {
@@ -422,6 +439,11 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 			if attempt > 1 {
 				s.faults.Relocations++
 			}
+			if s.integ != nil {
+				// A fresh program resets the page's decay clock.
+				s.progTime[ppn] = done
+				s.lost[ppn] = false
+			}
 			return ppn, done, nil
 		}
 		s.faults.ProgramFailures++
@@ -440,9 +462,11 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 	}
 }
 
-// Read issues a host read of page p at time now. The error is non-nil only
-// when the armed power-loss trigger fires on this operation; the read
-// returns nothing and no device state changes.
+// Read issues a host read of page p at time now. The error is non-nil when
+// the armed power-loss trigger fires on this operation (the read returns
+// nothing and no device state changes) or when the integrity model declares
+// the read uncorrectable (ErrUncorrectable; the returned time is still the
+// completion of the failed ECC ladder and the page's data is lost).
 func (s *Store) Read(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
 	return s.readPage(p, now)
 }
@@ -450,10 +474,18 @@ func (s *Store) Read(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
 // readPage issues one page read plus any injected ECC retries, each a full
 // extra read operation on the chip.
 func (s *Store) readPage(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
+	return s.readPageAt(p, now, now)
+}
+
+// readPageAt is readPage with the bus stamp and the decay clock split:
+// host reads pass the same instant for both, while the scrubber stamps its
+// patrol reads at time 0 — the bus then starts them the moment the chip
+// last went idle — yet ages pages against the real current time.
+func (s *Store) readPageAt(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
 	if s.crashNow() {
 		return 0, fmt.Errorf("ftl: read of page %d interrupted: %w", p, fault.ErrPowerLoss)
 	}
-	done := s.bus.Read(p, now)
+	done := s.bus.Read(p, stamp)
 	if s.inj != nil {
 		erases := s.blocks[s.geo.BlockOf(p)].erases
 		for r := 0; r < s.inj.Config().ReadRetries && s.inj.ReadFails(erases); r++ {
@@ -463,6 +495,9 @@ func (s *Store) readPage(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
 			}
 			done = s.bus.Read(p, done)
 		}
+	}
+	if s.integ != nil {
+		return s.integrityCheck(p, done, clock)
 	}
 	return done, nil
 }
@@ -651,11 +686,16 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 		switch s.state[p] {
 		case PageValid:
 			readDone, err := s.readPage(p, now)
-			if err != nil {
+			if err != nil && !errors.Is(err, ErrUncorrectable) {
 				// Power cut mid-relocation read: the source page is intact
 				// and still mapped; nothing is torn.
 				return false, fmt.Errorf("ftl: GC relocation read of page %d: %w", p, err)
 			}
+			// An uncorrectable relocation read cannot abort GC — the block
+			// must still be reclaimed — so the copy proceeds with garbled
+			// data and the loss mark travels to the destination below; the
+			// damage surfaces when the host next reads the logical page.
+			wasLost := err != nil
 			dst, _, err := s.programAt(plane, s.gcStream(plane), readDone)
 			if err != nil {
 				if s.inj == nil && s.crashAt == 0 {
@@ -664,6 +704,9 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 					panic(fmt.Sprintf("ftl: GC relocation failed: %v", err))
 				}
 				return false, fmt.Errorf("ftl: GC relocation of page %d: %w", p, err)
+			}
+			if wasLost {
+				s.lost[dst] = true
 			}
 			s.gc.Relocated++
 			// Stamp before OnRelocate: the owner must be read while the
@@ -698,11 +741,15 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 	// leaves nothing recovery may resurrect.
 	for i := 0; i < s.geo.PagesPerBlock; i++ {
 		s.oob[first+ssd.PPN(i)] = OOB{}
+		if s.integ != nil {
+			s.lost[first+ssd.PPN(i)] = false
+		}
 	}
 	info := &s.blocks[v]
 	info.valid = 0
 	info.invalid = 0
 	info.erases++
+	info.reads = 0 // read disturb is reset by the erase
 	eraseFailed := s.inj != nil && s.inj.EraseFails(info.erases)
 	if eraseFailed {
 		s.faults.EraseFailures++

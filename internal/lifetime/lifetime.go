@@ -29,6 +29,7 @@ import (
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
+	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/stats"
@@ -119,6 +120,10 @@ type Config struct {
 	// DefaultFaultPlan(Seed).
 	Faults fault.Config
 
+	// Scrub runs the background patrol scrubber while the drive ages;
+	// requires Faults.Integrity to be armed. Zero leaves it off.
+	Scrub scrub.Config
+
 	// CapacityFloorFrac declares the drive dead when usable capacity falls
 	// below this fraction of its initial value. 0 means 0.92 — at the
 	// paper-style 15% over-provisioning, losing ~8% of usable pages
@@ -169,7 +174,11 @@ func DefaultConfig() Config {
 // withDefaults resolves the zero-value knobs.
 func (c Config) withDefaults() Config {
 	if !c.Faults.Enabled() {
+		// Keep any armed integrity model: the caller may want decay (and
+		// the patrol) on top of the default wear plan.
+		integ := c.Faults.Integrity
 		c.Faults = DefaultFaultPlan(c.Seed)
+		c.Faults.Integrity = integ
 	}
 	if c.CapacityFloorFrac == 0 {
 		c.CapacityFloorFrac = 0.92
@@ -215,7 +224,16 @@ func (c Config) Validate() error {
 	if c.MaxEpochs < 1 {
 		return fmt.Errorf("lifetime: max epochs must be ≥ 1, got %d", c.MaxEpochs)
 	}
-	return c.Faults.Validate()
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Scrub.Validate(); err != nil {
+		return err
+	}
+	if c.Scrub.Enabled() && !c.Faults.IntegrityArmed() {
+		return fmt.Errorf("lifetime: scrubbing needs the integrity model armed (set Faults.Integrity.BaseRBER)")
+	}
+	return nil
 }
 
 // Sample is one epoch's measurement of one aging device. Cumulative fields
@@ -304,6 +322,7 @@ func (c Config) deviceConfig(k Kind, footprint int64) (sim.Config, error) {
 		LRUCapacity:  c.PoolEntries,
 		LX:           lxssd.Config{Capacity: c.PoolEntries, MinPopularity: 0},
 		Faults:       c.Faults,
+		Scrub:        c.Scrub,
 	}
 	switch k {
 	case KindBaseline:

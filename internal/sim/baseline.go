@@ -55,7 +55,7 @@ func (d *baselineDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
-	return d.store.Read(ppn, now)
+	return absorbUncorrectable(d.store.Read(ppn, now))
 }
 
 // Metrics implements Device.

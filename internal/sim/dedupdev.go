@@ -104,14 +104,23 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 
 	// Dead-value pool path: the value is dead but a zombie copy survives.
 	// Only mapping tables change, so the binding goes to the durable
-	// journal, not OOB.
+	// journal, not OOB. On an armed store the revival must pass the
+	// integrity gate first; a declined zombie falls through to a fresh
+	// program, paying the verify read that condemned it.
 	if d.pool != nil {
 		if ppn, ok := d.pool.Lookup(h, d.tick); ok {
-			d.store.Revalidate(ppn)
-			d.store.AppendBinding(lpn, ppn, true)
-			d.dmap.BindNew(lpn, ppn, h)
-			d.m.Revived++
-			return hashDone, nil
+			vdone, ok, err := d.store.VerifyRevive(ppn, hashDone)
+			if err != nil {
+				return 0, wrapInterrupted(lpn, err)
+			}
+			if ok {
+				d.store.Revalidate(ppn)
+				d.store.AppendBinding(lpn, ppn, true)
+				d.dmap.BindNew(lpn, ppn, h)
+				d.m.Revived++
+				return vdone, nil
+			}
+			hashDone = vdone
 		}
 	}
 
@@ -133,7 +142,7 @@ func (d *dedupDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
-	return d.store.Read(ppn, now)
+	return absorbUncorrectable(d.store.Read(ppn, now))
 }
 
 // Metrics implements Device.

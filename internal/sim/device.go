@@ -12,12 +12,14 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"zombiessd/internal/core"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
+	"zombiessd/internal/scrub"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/trace"
 )
@@ -81,9 +83,15 @@ type Config struct {
 
 	// Faults is the reliability plan injected into the flash pipeline:
 	// program-status failures, erase failures (bad-block retirement) and
-	// ECC read retries, optionally wear-scaled. The zero value models a
-	// perfect drive and leaves every result bit-identical.
+	// ECC read retries, optionally wear-scaled, plus the stateful RBER
+	// integrity model (Faults.Integrity). The zero value models a perfect
+	// drive and leaves every result bit-identical.
 	Faults fault.Config
+
+	// Scrub enables the background patrol scrubber (requires
+	// Faults.Integrity to be armed — there is nothing to patrol for
+	// otherwise). The zero value runs no patrol.
+	Scrub scrub.Config
 }
 
 // DefaultPopularityWeight is the GC victim-score weight experiments use for
@@ -143,6 +151,12 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
+	if err := c.Scrub.Validate(); err != nil {
+		return err
+	}
+	if c.Scrub.Enabled() && !c.Faults.IntegrityArmed() {
+		return fmt.Errorf("sim: the scrubber needs the integrity model armed (set Faults.Integrity.BaseRBER)")
+	}
 	return nil
 }
 
@@ -166,6 +180,7 @@ type DeviceMetrics struct {
 	GC     ftl.GCStats
 	Pool   core.PoolStats
 	Faults fault.Stats
+	Scrub  scrub.Stats
 }
 
 // ShortCircuited returns the number of writes that required no flash
@@ -216,6 +231,7 @@ func (m DeviceMetrics) Sub(prev DeviceMetrics) DeviceMetrics {
 			Demoted:   m.Pool.Demoted - prev.Pool.Demoted,
 		},
 		Faults: m.Faults.Sub(prev.Faults),
+		Scrub:  m.Scrub.Sub(prev.Scrub),
 	}
 }
 
@@ -276,9 +292,31 @@ func NewDevice(cfg Config) (Device, error) {
 		return nil, err
 	}
 	if cfg.WriteBufferPages > 0 {
-		return newBufferedDevice(dev, cfg.WriteBufferPages)
+		dev, err = newBufferedDevice(dev, cfg.WriteBufferPages)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Scrub.Enabled() {
+		scr, err := scrub.New(cfg.Scrub, store)
+		if err != nil {
+			return nil, err
+		}
+		dev = &scrubbedDevice{inner: dev, scr: scr}
 	}
 	return dev, nil
+}
+
+// absorbUncorrectable completes a host read whose page exceeded ECC
+// capability: the loss is already counted in the store's fault stats and
+// surfaces through the integrity oracle (ReadHash reports the page
+// unreadable), so the simulation keeps running — a real host would see an
+// I/O error on this request, not a bricked drive.
+func absorbUncorrectable(done ssd.Time, err error) (ssd.Time, error) {
+	if err != nil && errors.Is(err, ftl.ErrUncorrectable) {
+		return done, nil
+	}
+	return done, err
 }
 
 // StoreOf returns the physical store behind dev (unwrapping the DRAM write

@@ -75,19 +75,36 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 	// page, and Bind always reports its current location.
 	var done ssd.Time
 	var old ssd.PPN
+	revived := false
+	start := hashDone
 	if ppn, ok := d.pool.Lookup(h, d.tick); ok {
-		// Zombie revival: flip the garbage page back to valid; only
-		// mapping tables change, no program operation — so the binding
-		// goes to the durable journal, not OOB.
-		d.store.Revalidate(ppn)
-		d.store.AppendBinding(lpn, ppn, true)
-		old = d.mapper.Bind(lpn, ppn)
-		d.m.Revived++
-		done = hashDone
-	} else {
+		// Zombie revival — but only if the page's accumulated decay passes
+		// the integrity gate: on an armed store VerifyRevive estimates the
+		// RBER and pays a verify read; declined zombies (too decayed, or
+		// the verify read itself went uncorrectable) fall through to a
+		// normal program. Disarmed stores approve for free.
+		vdone, ok, err := d.store.VerifyRevive(ppn, hashDone)
+		if err != nil {
+			return 0, wrapInterrupted(lpn, err)
+		}
+		if ok {
+			// Flip the garbage page back to valid; only mapping tables
+			// change, no program operation — so the binding goes to the
+			// durable journal, not OOB.
+			d.store.Revalidate(ppn)
+			d.store.AppendBinding(lpn, ppn, true)
+			old = d.mapper.Bind(lpn, ppn)
+			d.m.Revived++
+			done = vdone
+			revived = true
+		} else {
+			start = vdone
+		}
+	}
+	if !revived {
 		// With hot/cold streams, pages overwritten quickly go to the hot
 		// stream so short-lived data ages together.
-		ppn, pdone, err := d.store.ProgramStream(hashDone, d.steer.classify(lpn))
+		ppn, pdone, err := d.store.ProgramStream(start, d.steer.classify(lpn))
 		if err != nil {
 			return 0, wrapInterrupted(lpn, err)
 		}
@@ -115,7 +132,7 @@ func (d *dvpDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
-	return d.store.Read(ppn, now)
+	return absorbUncorrectable(d.store.Read(ppn, now))
 }
 
 // Metrics implements Device.

@@ -54,14 +54,28 @@ func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, err
 	// triggered by the program are observed.
 	var done ssd.Time
 	var old ssd.PPN
+	revived := false
+	start := hashDone
 	if ppn, ok := d.pool.Lookup(h); ok {
-		d.store.Revalidate(ppn)
-		d.store.AppendBinding(lpn, ppn, true)
-		old = d.mapper.Bind(lpn, ppn)
-		d.m.Revived++
-		done = hashDone
-	} else {
-		ppn, pdone, err := d.store.Program(hashDone)
+		// Same integrity gate as dvpDevice: a recycled page must pass the
+		// RBER estimate and a verify read before it is trusted again.
+		vdone, ok, err := d.store.VerifyRevive(ppn, hashDone)
+		if err != nil {
+			return 0, wrapInterrupted(lpn, err)
+		}
+		if ok {
+			d.store.Revalidate(ppn)
+			d.store.AppendBinding(lpn, ppn, true)
+			old = d.mapper.Bind(lpn, ppn)
+			d.m.Revived++
+			done = vdone
+			revived = true
+		} else {
+			start = vdone
+		}
+	}
+	if !revived {
+		ppn, pdone, err := d.store.Program(start)
 		if err != nil {
 			return 0, wrapInterrupted(lpn, err)
 		}
@@ -87,7 +101,7 @@ func (d *lxDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		return now, nil
 	}
 	d.pool.RecordAccess(d.content[lpn], uint64(lpn))
-	return d.store.Read(ppn, now)
+	return absorbUncorrectable(d.store.Read(ppn, now))
 }
 
 // Metrics implements Device.

@@ -121,6 +121,9 @@ func (s *Shadow) Verify(dev HashReader) []Violation {
 // the flush hook acks pages as they durably reach flash.
 func AttachShadow(dev Device) (*Shadow, bool) {
 	sh := NewShadow()
+	if sd, ok := dev.(*scrubbedDevice); ok {
+		dev = sd.inner // the scrubber adds no durability semantics
+	}
 	if bd, ok := dev.(*bufferedDevice); ok {
 		bd.SetFlushHook(sh.Ack)
 		return sh, false

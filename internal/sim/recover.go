@@ -97,7 +97,9 @@ func (d *baselineDevice) ReadHash(lpn ftl.LPN) (trace.Hash, bool) {
 
 func storedHash(mapper *ftl.Mapper, store *ftl.Store, lpn ftl.LPN) (trace.Hash, bool) {
 	ppn, ok := mapper.Lookup(lpn)
-	if !ok {
+	if !ok || store.LostPage(ppn) {
+		// Unmapped, or destroyed by an uncorrectable read: either way the
+		// host cannot get the data back, and the oracle records a loss.
 		return trace.Hash{}, false
 	}
 	return store.OOBOf(ppn).Hash, true
@@ -178,7 +180,7 @@ func (d *dedupDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
 // ReadHash implements HashReader.
 func (d *dedupDevice) ReadHash(lpn ftl.LPN) (trace.Hash, bool) {
 	ppn, ok := d.dmap.Lookup(lpn)
-	if !ok {
+	if !ok || d.store.LostPage(ppn) {
 		return trace.Hash{}, false
 	}
 	return d.store.OOBOf(ppn).Hash, true

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/recovery"
+	"zombiessd/internal/scrub"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// scrubbedDevice interposes the background patrol scrubber in front of any
+// device: every host request first advances the scrubber to the request's
+// arrival time, so patrol visits that came due during the preceding idle
+// gap run (stamped into that gap) before the request is serviced. The
+// wrapper is outermost — the scrubber must see the true host clock, not
+// times already delayed by a write buffer.
+type scrubbedDevice struct {
+	inner Device
+	scr   *scrub.Scrubber
+}
+
+// Write implements Device.
+func (d *scrubbedDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
+	if err := d.scr.Tick(now); err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
+	return d.inner.Write(lpn, h, now)
+}
+
+// Read implements Device.
+func (d *scrubbedDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
+	if err := d.scr.Tick(now); err != nil {
+		return 0, err
+	}
+	return d.inner.Read(lpn, now)
+}
+
+// Metrics implements Device, adding the patrol counters.
+func (d *scrubbedDevice) Metrics() DeviceMetrics {
+	m := d.inner.Metrics()
+	m.Scrub = d.scr.Stats()
+	return m
+}
+
+// Scrubber exposes the patrol daemon for tests and reports.
+func (d *scrubbedDevice) Scrubber() *scrub.Scrubber { return d.scr }
+
+// Bus forwards to the inner device for utilization reporting.
+func (d *scrubbedDevice) Bus() *ssd.Bus {
+	if br, ok := d.inner.(interface{ Bus() *ssd.Bus }); ok {
+		return br.Bus()
+	}
+	return nil
+}
+
+// Store forwards to the inner device for wear and capacity introspection.
+func (d *scrubbedDevice) Store() *ftl.Store { return StoreOf(d.inner) }
+
+// Recover implements Recoverer by forwarding; the scrubber itself holds no
+// durable state, so its patrol simply resumes after the inner device is
+// rebuilt.
+func (d *scrubbedDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
+	return Recover(d.inner, opts)
+}
+
+// ReadHash implements HashReader by forwarding.
+func (d *scrubbedDevice) ReadHash(lpn ftl.LPN) (trace.Hash, bool) {
+	if hr, ok := d.inner.(HashReader); ok {
+		return hr.ReadHash(lpn)
+	}
+	return trace.Hash{}, false
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-short lifetime-smoke crash-smoke scrub-smoke repro examples clean
+.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke repro examples clean
 
 all: build vet test
 
@@ -19,8 +19,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Telemetry overhead benchmark: sim.Run with the observability layer off
+# and on, recorded machine-readably in BENCH_telemetry.json.
 bench:
+	$(GO) test -run='^$$' -bench BenchmarkRunTelemetry -benchmem ./internal/sim \
+		| $(GO) run ./cmd/benchjson -o BENCH_telemetry.json
+
+# The full benchmark sweep: every figure, ablation and micro-benchmark.
+bench-all:
 	$(GO) test -bench . -benchmem ./...
+
+# Telemetry export smoke: a short instrumented ssdsim run must produce a
+# schema-valid Chrome trace and a parsable Prometheus scrape.
+trace-smoke:
+	$(GO) run ./cmd/ssdsim -workload mail -n 20000 -system dvp -telemetry \
+		-telemetry-trace smoke_trace.json -telemetry-prom smoke_metrics.prom >/dev/null
+	$(GO) run ./cmd/tracecheck -prom smoke_metrics.prom smoke_trace.json
 
 # Short fuzz smoke over the trace codecs and the recovery scan (seed
 # corpora live in internal/*/testdata/fuzz/).

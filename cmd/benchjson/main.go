@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON report. `make bench` pipes the telemetry on/off
+// benchmark through it to produce BENCH_telemetry.json.
+//
+// Usage:
+//
+//	go test -bench BenchmarkRunTelemetry -benchmem ./internal/sim | benchjson -o BENCH_telemetry.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps a unit ("ns/op", "B/op", "allocs/op", custom units) to
+	// its reported value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the file layout of BENCH_telemetry.json.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "-", "output file ('-' = stdout)")
+	flag.Parse()
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+}
+
+// parse consumes go test -bench output: header lines ("goos: linux"),
+// benchmark result lines ("BenchmarkX-8  10  12345 ns/op  3.14 foo%") and
+// everything else (PASS, ok) ignored.
+func parse(sc *bufio.Scanner) (Report, error) {
+	var rep Report
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return rep, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBench splits one result line into name, iteration count and
+// (value, unit) metric pairs.
+func parseBench(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchmark line %q: bad iteration count: %v", line, err)
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchmark line %q: bad value %q: %v", line, f[i], err)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, nil
+}

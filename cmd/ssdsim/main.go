@@ -26,6 +26,8 @@ import (
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
+	"zombiessd/internal/telemetryflags"
 	"zombiessd/internal/trace"
 	"zombiessd/internal/workload"
 )
@@ -44,6 +46,7 @@ type params struct {
 	scrub               scrub.Config
 	gcFaultWeight       float64
 	drainSuspects       bool
+	tel                 *telemetryflags.Set
 }
 
 func main() {
@@ -63,6 +66,7 @@ func main() {
 	flag.BoolVar(&p.streams, "streams", false, "hot/cold multi-stream write placement")
 	flag.BoolVar(&p.precond, "precondition", true, "fill the footprint before the timed run")
 	rf := faultflags.Register(flag.CommandLine)
+	p.tel = telemetryflags.Register(flag.CommandLine)
 	flag.BoolVar(&p.drainSuspects, "gc-drain-suspects", false, "GC drains blocks at the suspect threshold first")
 	var crashAt int64
 	flag.Int64Var(&crashAt, "crash-at", 0, "cut power during the Nth flash op (1-based, preconditioning included; 0 = never), then recover, verify and finish the trace")
@@ -70,6 +74,9 @@ func main() {
 
 	// Reject out-of-range flag values up front with a clear message.
 	if err := rf.Validate(); err != nil {
+		fatalFlag("%v", err)
+	}
+	if err := p.tel.Validate(); err != nil {
 		fatalFlag("%v", err)
 	}
 	if crashAt < 0 {
@@ -108,8 +115,8 @@ func run(p params) error {
 		popWeight = sim.DefaultPopularityWeight
 	}
 	cfg := sim.Config{
-		Geometry:     sim.GeometryFor(footprint, p.util),
-		Latency:      ssd.PaperLatency(),
+		Geometry: sim.GeometryFor(footprint, p.util),
+		Latency:  ssd.PaperLatency(),
 		Store: ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: p.softGC,
 			FaultPenaltyWeight: p.gcFaultWeight, DrainSuspects: p.drainSuspects},
 		LogicalPages: footprint,
@@ -130,12 +137,17 @@ func run(p params) error {
 		Faults:           p.faults,
 		Scrub:            p.scrub,
 	}
+	tel := telemetry.New(p.tel.Telemetry)
+	cfg.Telemetry = tel
 	dev, err := sim.NewDevice(cfg)
 	if err != nil {
 		return err
 	}
 	if p.faults.CrashAtOp > 0 {
-		return runWithCrash(cfg, dev, recs, footprint, p.precond)
+		if err := runWithCrash(cfg, dev, recs, footprint, p.precond); err != nil {
+			return err
+		}
+		return p.tel.WriteExports(tel)
 	}
 	opts := sim.RunOptions{LogicalPages: footprint}
 	if p.precond {
@@ -146,7 +158,7 @@ func run(p params) error {
 		return err
 	}
 	printResult(cfg, len(recs), res)
-	return nil
+	return p.tel.WriteExports(tel)
 }
 
 // runWithCrash replays the trace with the power-loss trigger armed: when

@@ -1,0 +1,72 @@
+// Command tracecheck validates telemetry export files: a Chrome
+// trace-event JSON timeline (against the schema subset the tracer emits)
+// and, optionally, a Prometheus text scrape. CI's trace-smoke target runs
+// it over the artifacts a short ssdsim run produced.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	tracecheck -prom metrics.prom trace.json
+//	ssdsim ... -telemetry -telemetry-trace - | tracecheck -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"zombiessd/internal/telemetry"
+)
+
+func main() {
+	prom := flag.String("prom", "", "also validate this Prometheus text file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-prom metrics.prom] <trace.json | ->")
+		os.Exit(2)
+	}
+	data, err := readFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if err := telemetry.ValidateTraceJSON(data); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace ok: %s (%d events)\n", flag.Arg(0), countEvents(data))
+	if *prom != "" {
+		pd, err := readFile(*prom)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.ValidatePrometheusText(pd); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("prom ok: %s\n", *prom)
+	}
+}
+
+func readFile(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// countEvents reports the traceEvents length for the success message; the
+// schema check already guaranteed the array parses.
+func countEvents(data []byte) int {
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if json.Unmarshal(data, &f) != nil {
+		return 0
+	}
+	return len(f.TraceEvents)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

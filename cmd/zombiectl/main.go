@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"zombiessd/internal/experiments"
 	"zombiessd/internal/faultflags"
+	"zombiessd/internal/telemetryflags"
 )
 
 func main() {
@@ -28,6 +30,10 @@ func main() {
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "workload generator seed")
 	flag.Float64Var(&opts.Utilization, "util", opts.Utilization, "drive utilization (footprint / exported capacity)")
 	rf := faultflags.Register(flag.CommandLine)
+	tf := telemetryflags.Register(flag.CommandLine)
+	flag.IntVar(&opts.Jobs, "j", 0, "parallel matrix workers (0 = all cores); results are identical for every value")
+	telCell := flag.String("telemetry-cell", "mail/dvp-200k",
+		"matrix cell (workload/system) whose telemetry the -telemetry-* exports cover")
 	flag.IntVar(&opts.CrashPoints, "crash-points", experiments.DefaultCrashPoints, "sudden-power-loss points per architecture in the crashsweep experiment")
 	flag.Int64Var(&opts.CrashSeed, "crash-seed", 0, "crash-point placement seed for the crashsweep experiment")
 	quiet := flag.Bool("q", false, "suppress progress notes on stderr")
@@ -40,6 +46,16 @@ func main() {
 	if err := rf.Validate(); err != nil {
 		fatalFlag("%v", err)
 	}
+	if err := tf.Validate(); err != nil {
+		fatalFlag("%v", err)
+	}
+	if opts.Jobs < 0 {
+		fatalFlag("-j must be ≥ 0 (0 = all cores), got %d", opts.Jobs)
+	}
+	cellWorkload, cellSys, ok := strings.Cut(*telCell, "/")
+	if !ok || cellWorkload == "" || cellSys == "" {
+		fatalFlag("-telemetry-cell must be workload/system (e.g. mail/dvp-200k), got %q", *telCell)
+	}
 	if opts.CrashPoints <= 0 {
 		fatalFlag("-crash-points must be positive, got %d", opts.CrashPoints)
 	}
@@ -47,6 +63,7 @@ func main() {
 		fatalFlag("-crash-seed must be ≥ 0, got %d", opts.CrashSeed)
 	}
 	opts.Faults, opts.Scrub, opts.GCFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
+	opts.Telemetry = tf.Telemetry
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -70,7 +87,7 @@ func main() {
 				ids = append(ids, e.ID)
 			}
 		}
-		if err := runExperiments(opts, ids, *quiet, *csv); err != nil {
+		if err := runExperiments(opts, ids, *quiet, *csv, tf, cellWorkload, cellSys); err != nil {
 			fmt.Fprintln(os.Stderr, "zombiectl:", err)
 			os.Exit(1)
 		}
@@ -81,7 +98,8 @@ func main() {
 	}
 }
 
-func runExperiments(opts experiments.Options, ids []string, quiet, csv bool) error {
+func runExperiments(opts experiments.Options, ids []string, quiet, csv bool,
+	tf *telemetryflags.Set, cellWorkload, cellSys string) error {
 	note := func(format string, a ...any) {
 		if !quiet {
 			fmt.Fprintf(os.Stderr, format, a...)
@@ -121,6 +139,19 @@ func runExperiments(opts experiments.Options, ids []string, quiet, csv bool) err
 			}
 		}
 		fmt.Println(res.String())
+	}
+	if tf.WantsExport() {
+		if matrix == nil {
+			return fmt.Errorf("telemetry exports need a matrix experiment (e.g. 'run fig9'); none of %v builds the matrix", ids)
+		}
+		tel := matrix.TelemetryFor(cellWorkload, experiments.System(cellSys))
+		if tel == nil {
+			return fmt.Errorf("no telemetry for cell %s/%s (unknown workload or system?)", cellWorkload, cellSys)
+		}
+		note("writing telemetry exports for %s/%s...\n", cellWorkload, cellSys)
+		if err := tf.WriteExports(tel); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -22,8 +22,16 @@ var matrixGoldens = map[System]matrixGolden{
 // against the pinned counters.
 func checkMatrixGoldens(t *testing.T) *Matrix {
 	t.Helper()
+	return checkMatrixGoldensOpts(t, smallOpts())
+}
+
+// checkMatrixGoldensOpts is checkMatrixGoldens under explicit options, so
+// observe-only features (telemetry, parallelism) can assert they leave the
+// pinned counters untouched.
+func checkMatrixGoldensOpts(t *testing.T, o Options) *Matrix {
+	t.Helper()
 	systems := []System{SysBaseline, SysDVP200K, SysDVPDedup, SysLX}
-	m, err := RunMatrix(smallOpts(), []string{"mail"}, systems)
+	m, err := RunMatrix(o, []string{"mail"}, systems)
 	if err != nil {
 		t.Fatal(err)
 	}

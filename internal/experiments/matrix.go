@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"zombiessd/internal/sim"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 	"zombiessd/internal/workload"
 )
@@ -117,6 +118,13 @@ func AllSystems() []System {
 type Matrix struct {
 	Workloads []string
 	Results   map[string]map[System]sim.Result
+
+	// Telemetry holds each cell's observability instance when
+	// Options.Telemetry was enabled (nil maps otherwise). Instances are
+	// per-cell — parallel arms never share one — so exporting the series,
+	// attribution or timeline of a single (workload, system) run is a
+	// plain lookup.
+	Telemetry map[string]map[System]*telemetry.Telemetry
 }
 
 // Result returns the run for (workload, system).
@@ -125,8 +133,16 @@ func (m *Matrix) Result(workload string, sys System) (sim.Result, bool) {
 	return r, ok
 }
 
-// buildDevice constructs the device for one system over one footprint.
-func (o Options) buildDevice(sys System, footprint int64) (sim.Device, error) {
+// TelemetryFor returns the observability instance of one cell, or nil when
+// telemetry was off for the run.
+func (m *Matrix) TelemetryFor(workload string, sys System) *telemetry.Telemetry {
+	return m.Telemetry[workload][sys]
+}
+
+// buildDevice constructs the device for one system over one footprint,
+// along with the cell's telemetry instance (nil when Options.Telemetry is
+// disabled).
+func (o Options) buildDevice(sys System, footprint int64) (sim.Device, *telemetry.Telemetry, error) {
 	var cfg sim.Config
 	switch sys {
 	case SysBaseline:
@@ -146,9 +162,15 @@ func (o Options) buildDevice(sys System, footprint int64) (sim.Device, error) {
 	case SysDVPDedup:
 		cfg = o.deviceConfig(sim.KindDVPDedup, footprint, sim.PoolMQ, 200_000)
 	default:
-		return nil, fmt.Errorf("experiments: unknown system %q", sys)
+		return nil, nil, fmt.Errorf("experiments: unknown system %q", sys)
 	}
-	return sim.NewDevice(cfg)
+	tel := telemetry.New(o.Telemetry)
+	cfg.Telemetry = tel
+	dev, err := sim.NewDevice(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dev, tel, nil
 }
 
 // traceFor generates the workload's trace once per matrix build.
@@ -187,6 +209,7 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 	m := &Matrix{
 		Workloads: workloads,
 		Results:   make(map[string]map[System]sim.Result, len(workloads)),
+		Telemetry: make(map[string]map[System]*telemetry.Telemetry, len(workloads)),
 	}
 
 	// Pre-flight: resolve every arm's names before simulating anything, so
@@ -212,6 +235,7 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 		}
 		traces[name] = traceData{recs, footprint}
 		m.Results[name] = make(map[System]sim.Result, len(systems))
+		m.Telemetry[name] = make(map[System]*telemetry.Telemetry, len(systems))
 	}
 	if err := matrixError(failed); err != nil {
 		return nil, err
@@ -224,7 +248,10 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 	cells := make(chan cell)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
+	workers := o.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if total := len(workloads) * len(systems); workers > total {
 		workers = total
 	}
@@ -244,7 +271,7 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 					continue
 				}
 				td := traces[c.workload]
-				dev, err := o.buildDevice(c.sys, td.footprint)
+				dev, tel, err := o.buildDevice(c.sys, td.footprint)
 				if err == nil {
 					var res sim.Result
 					cellsSimulated.Add(1)
@@ -255,6 +282,9 @@ func RunMatrix(o Options, workloads []string, systems []System) (*Matrix, error)
 					if err == nil {
 						mu.Lock()
 						m.Results[c.workload][c.sys] = res
+						if tel != nil {
+							m.Telemetry[c.workload][c.sys] = tel
+						}
 						mu.Unlock()
 						continue
 					}

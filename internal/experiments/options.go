@@ -22,6 +22,7 @@ import (
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 )
 
 // PaperRequests approximates the per-trace request count of the paper's
@@ -62,6 +63,18 @@ type Options struct {
 	// paper figures bit-identical; the scrubsweep experiment substitutes
 	// its own default interval and carries a scrub-off control arm.
 	Scrub scrub.Config
+	// Jobs bounds the worker goroutines RunMatrix spreads its cells
+	// across; 0 (the default) uses GOMAXPROCS. Results are byte-identical
+	// for every value — cells are independent simulations and the matrix
+	// is keyed, not ordered by completion.
+	Jobs int
+	// Telemetry, when Enabled, attaches a fresh observability instance
+	// (metrics registry, latency attribution, timeline tracer) to every
+	// simulated matrix device. Each cell gets its own instance, so
+	// parallel arms share nothing; instances are retained on the Matrix
+	// for export. The zero value observes nothing and keeps every counter
+	// bit-identical.
+	Telemetry telemetry.Config
 }
 
 // DefaultOptions returns the scale used by `zombiectl` unless overridden:
@@ -98,6 +111,12 @@ func (o Options) Validate() error {
 	}
 	if o.Scrub.Enabled() && !o.Faults.IntegrityArmed() {
 		return fmt.Errorf("experiments: scrubbing needs the integrity model armed (set Faults.Integrity.BaseRBER)")
+	}
+	if o.Jobs < 0 {
+		return fmt.Errorf("experiments: jobs must be ≥ 0 (0 = all cores), got %d", o.Jobs)
+	}
+	if err := o.Telemetry.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

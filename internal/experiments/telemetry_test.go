@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"zombiessd/internal/telemetry"
+)
+
+// TestNoTelemetryBitIdentity pins the observe-only discipline of the
+// telemetry layer against the same exact counters the crash and integrity
+// tests use: with telemetry disabled the matrix reproduces the pinned
+// cells (nothing regressed), and with telemetry enabled it reproduces
+// them again — attaching the registry, the attribution hooks and the
+// tracer must not move a single simulated-time result.
+func TestNoTelemetryBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix cells in -short mode")
+	}
+	t.Run("disabled", func(t *testing.T) {
+		m := checkMatrixGoldensOpts(t, smallOpts())
+		if tel := m.TelemetryFor("mail", SysDVP200K); tel != nil {
+			t.Error("telemetry instance present on a telemetry-off matrix")
+		}
+	})
+	t.Run("enabled", func(t *testing.T) {
+		o := smallOpts()
+		o.Telemetry = telemetry.Config{Enabled: true}
+		m := checkMatrixGoldensOpts(t, o)
+		tel := m.TelemetryFor("mail", SysDVP200K)
+		if tel == nil {
+			t.Fatal("no telemetry instance for mail/dvp-200k")
+		}
+		if n := tel.Attribution().Requests(); n != o.Requests {
+			t.Errorf("attribution saw %d requests, want %d", n, o.Requests)
+		}
+		if len(tel.Registry().Series()) == 0 {
+			t.Error("no time-series samples recorded")
+		}
+		if len(tel.Tracer().Events()) == 0 {
+			t.Error("no timeline events recorded")
+		}
+	})
+}
+
+// TestMatrixJobsIdentical checks the -j contract: the matrix's results are
+// byte-identical regardless of how many workers simulated its cells.
+func TestMatrixJobsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix cells in -short mode")
+	}
+	o := smallOpts()
+	workloads := []string{"mail"}
+	systems := []System{SysBaseline, SysDVP200K}
+	var want *Matrix
+	for _, jobs := range []int{1, 2, 8} {
+		o.Jobs = jobs
+		m, err := RunMatrix(o, workloads, systems)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if want == nil {
+			want = m
+			continue
+		}
+		if !reflect.DeepEqual(m.Results, want.Results) {
+			t.Errorf("jobs=%d produced different results than jobs=1", jobs)
+		}
+	}
+}

@@ -81,11 +81,16 @@ func (s *Store) integrityCheck(p ssd.PPN, done, clock ssd.Time) (ssd.Time, error
 		if s.crashNow() {
 			return 0, fmt.Errorf("ftl: ECC retry of page %d interrupted: %w", p, fault.ErrPowerLoss)
 		}
-		return s.bus.Read(p, done), nil
+		prev := s.Tel.EnterECC()
+		done = s.bus.Read(p, done)
+		s.Tel.ExitOrigin(prev)
+		return done, nil
 	default: // ReadUncorrectable
 		s.faults.UncorrectableReads++
 		s.lost[p] = true
 		// The controller exhausts the whole retry ladder before giving up.
+		prev := s.Tel.EnterECC()
+		defer s.Tel.ExitOrigin(prev)
 		for r := 0; r < s.integRetries; r++ {
 			if s.crashNow() {
 				return 0, fmt.Errorf("ftl: ECC retry of page %d interrupted: %w", p, fault.ErrPowerLoss)

@@ -7,6 +7,7 @@ import (
 
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 )
 
 // PageState is the lifecycle state of one physical page.
@@ -238,6 +239,13 @@ type Store struct {
 	// Scorer provides garbage popularity for popularity-aware GC. Nil
 	// (or PopularityWeight 0) selects greedy GC.
 	Scorer GarbageScorer
+
+	// Tel is the observability instance the device builder wires in; nil
+	// (the default) observes nothing. The store tags GC and ECC-retry
+	// operations with their origin and emits GC-cycle spans through it —
+	// all strictly after the bus has stamped the timeline, so telemetry
+	// cannot change a simulated-time result.
+	Tel *telemetry.Telemetry
 }
 
 // NewStore returns a Store over bus with every block free.
@@ -361,6 +369,33 @@ func (s *Store) EraseCountOf(b ssd.BlockID) int32 { return s.blocks[b].erases }
 // FreeBlocksInPlane returns the free-list length of a plane (for tests and
 // introspection).
 func (s *Store) FreeBlocksInPlane(plane int) int { return len(s.planes[plane].freeBlocks) }
+
+// Telemetry returns the observability instance wired into this store (nil
+// when telemetry is off).
+func (s *Store) Telemetry() *telemetry.Telemetry { return s.Tel }
+
+// TotalFreeBlocks returns the free-list length summed over every plane.
+func (s *Store) TotalFreeBlocks() int {
+	var n int
+	for p := range s.planes {
+		n += len(s.planes[p].freeBlocks)
+	}
+	return n
+}
+
+// GCDebt returns how many free blocks GC currently owes the drive: the sum
+// over planes of the shortfall below the effective low-water mark. A
+// positive debt means upcoming writes on those planes will pay for GC
+// cycles before they can allocate.
+func (s *Store) GCDebt() int {
+	var debt int
+	for p := range s.planes {
+		if short := s.effThreshold - len(s.planes[p].freeBlocks); short > 0 {
+			debt += short
+		}
+	}
+	return debt
+}
 
 // Program allocates a fresh physical page, programs it on the bus at time
 // now, marks it Valid, and returns it with the completion time. GC runs
@@ -493,7 +528,9 @@ func (s *Store) readPageAt(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
 			if s.crashNow() {
 				return 0, fmt.Errorf("ftl: read retry of page %d interrupted: %w", p, fault.ErrPowerLoss)
 			}
+			prev := s.Tel.EnterECC()
 			done = s.bus.Read(p, done)
+			s.Tel.ExitOrigin(prev)
 		}
 	}
 	if s.integ != nil {
@@ -680,6 +717,9 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 		return false, nil
 	}
 	s.gc.Runs++
+	prevOrigin := s.Tel.EnterOrigin(telemetry.OriginGC)
+	defer s.Tel.ExitOrigin(prevOrigin)
+	relocBefore := s.gc.Relocated
 	first := s.geo.FirstPage(v)
 	for i := 0; i < s.geo.PagesPerBlock; i++ {
 		p := first + ssd.PPN(i)
@@ -736,7 +776,14 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 		}
 		return false, fmt.Errorf("ftl: erase of block %d interrupted: %w", v, fault.ErrPowerLoss)
 	}
-	s.bus.Erase(v, now)
+	eraseDone := s.bus.Erase(v, now)
+	if s.Tel.On() {
+		s.Tel.EmitSpan(telemetry.OriginGC, "gc cycle", now, eraseDone, map[string]any{
+			"plane":     plane,
+			"block":     int64(v),
+			"relocated": s.gc.Relocated - relocBefore,
+		})
+	}
 	// The erase destroys page contents and OOB alike; even a failed erase
 	// leaves nothing recovery may resurrect.
 	for i := 0; i < s.geo.PagesPerBlock; i++ {

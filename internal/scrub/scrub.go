@@ -24,6 +24,7 @@ import (
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 )
 
 // DefaultMaxCatchUp bounds how many overdue patrol visits one Tick may
@@ -193,6 +194,20 @@ func (sc *Scrubber) visit(clock ssd.Time) error {
 // patrol's sample — this is what discovers latent UECC); every live page
 // past the refresh threshold is relocated to fresh flash.
 func (sc *Scrubber) patrol(b ssd.BlockID, clock ssd.Time) error {
+	tel := sc.store.Telemetry()
+	prevOrigin := tel.EnterOrigin(telemetry.OriginScrub)
+	refreshedBefore, ueccBefore := sc.st.Refreshed, sc.st.UECCFound
+	spanEnd := clock
+	defer func() {
+		tel.ExitOrigin(prevOrigin)
+		if tel.On() {
+			tel.EmitSpan(telemetry.OriginScrub, "patrol visit", clock, spanEnd, map[string]any{
+				"block":     int64(b),
+				"refreshed": sc.st.Refreshed - refreshedBefore,
+				"uecc":      sc.st.UECCFound - ueccBefore,
+			})
+		}
+	}()
 	geo := sc.store.Geometry()
 	first := geo.FirstPage(b)
 	sampled := false
@@ -205,7 +220,11 @@ func (sc *Scrubber) patrol(b ssd.BlockID, clock ssd.Time) error {
 		if !sampled {
 			sampled = true
 			sc.st.ScrubReads++
-			if _, err := sc.store.ScrubRead(p, 0, clock); err != nil {
+			done, err := sc.store.ScrubRead(p, 0, clock)
+			if done > spanEnd {
+				spanEnd = done
+			}
+			if err != nil {
 				if errors.Is(err, ftl.ErrUncorrectable) {
 					sc.st.UECCFound++
 					continue
@@ -218,7 +237,11 @@ func (sc *Scrubber) patrol(b ssd.BlockID, clock ssd.Time) error {
 		}
 		// RefreshPage reads the old copy before reprogramming it.
 		sc.st.ScrubReads++
-		if _, err := sc.store.RefreshPage(p, 0, clock); err != nil {
+		done, err := sc.store.RefreshPage(p, 0, clock)
+		if done > spanEnd {
+			spanEnd = done
+		}
+		if err != nil {
 			if errors.Is(err, ftl.ErrUncorrectable) {
 				sc.st.UECCFound++
 				continue

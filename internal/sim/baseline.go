@@ -3,6 +3,7 @@ package sim
 import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
 
@@ -64,6 +65,13 @@ func (d *baselineDevice) Metrics() DeviceMetrics {
 	d.m.Faults = d.store.FaultStats()
 	busCounts(&d.m, d.bus)
 	return d.m
+}
+
+// registerTelemetry adds the baseline's architecture-specific gauges.
+func (d *baselineDevice) registerTelemetry(tel *telemetry.Telemetry) {
+	tel.RegisterGauge("unmapped_reads_total",
+		"reads of never-written logical pages, served as no-ops", nil,
+		func(ssd.Time) float64 { return float64(d.m.UnmappedReads) })
 }
 
 // Bus exposes the flash timing model for utilization reporting.

@@ -3,6 +3,7 @@ package sim
 import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 	"zombiessd/internal/wbuf"
 )
@@ -21,6 +22,7 @@ const bufferLatency = 2 * ssd.Microsecond
 type bufferedDevice struct {
 	inner Device
 	buf   *wbuf.Buffer
+	tel   *telemetry.Telemetry
 
 	// onFlush, when set, observes every page that durably reaches the
 	// inner device (the crash oracle's "acknowledged" boundary: buffered
@@ -30,21 +32,26 @@ type bufferedDevice struct {
 	hostWrites, hostReads int64
 }
 
-func newBufferedDevice(inner Device, pages int) (*bufferedDevice, error) {
+func newBufferedDevice(inner Device, pages int, tel *telemetry.Telemetry) (*bufferedDevice, error) {
 	buf, err := wbuf.New(pages)
 	if err != nil {
 		return nil, err
 	}
-	return &bufferedDevice{inner: inner, buf: buf}, nil
+	return &bufferedDevice{inner: inner, buf: buf, tel: tel}, nil
 }
 
 // Write implements Device: acknowledge from RAM, flush the evicted page (if
-// any) to the inner device in the background of this request.
+// any) to the inner device in the background of this request. The flush is
+// tagged OriginFlush: it runs off the acknowledgement path, so its flash
+// cost must not be attributed to this request's critical path.
 func (d *bufferedDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
 	d.hostWrites++
 	evLPN, evHash, evicted := d.buf.Put(lpn, h)
 	if evicted {
-		if _, err := d.inner.Write(evLPN, evHash, now); err != nil {
+		prev := d.tel.EnterOrigin(telemetry.OriginFlush)
+		_, err := d.inner.Write(evLPN, evHash, now)
+		d.tel.ExitOrigin(prev)
+		if err != nil {
 			return 0, err
 		}
 		if d.onFlush != nil {

@@ -5,6 +5,7 @@ import (
 	"zombiessd/internal/dedup"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
 
@@ -154,6 +155,27 @@ func (d *dedupDevice) Metrics() DeviceMetrics {
 	}
 	busCounts(&d.m, d.bus)
 	return d.m
+}
+
+// registerTelemetry adds the deduplication gauges, plus the dead-value
+// pool gauges when this is the combined DVP+Dedup architecture.
+func (d *dedupDevice) registerTelemetry(tel *telemetry.Telemetry) {
+	tel.RegisterGauge("dedup_hit_rate",
+		"host writes short-circuited by a live duplicate", nil,
+		func(ssd.Time) float64 {
+			if d.m.HostWrites == 0 {
+				return 0
+			}
+			return float64(d.m.DedupHits) / float64(d.m.HostWrites)
+		})
+	if d.pool != nil {
+		tel.RegisterGauge("dvp_hit_rate",
+			"dead-value pool lookup hit rate", nil,
+			func(ssd.Time) float64 { return poolHitRate(d.pool.Stats()) })
+		tel.RegisterGauge("dvp_revived_total",
+			"host writes short-circuited by a zombie revival", nil,
+			func(ssd.Time) float64 { return float64(d.m.Revived) })
+	}
 }
 
 // DedupStats exposes the mapper's counters for tests and reports.

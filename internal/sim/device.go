@@ -21,6 +21,7 @@ import (
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
 
@@ -92,6 +93,15 @@ type Config struct {
 	// Faults.Integrity to be armed — there is nothing to patrol for
 	// otherwise). The zero value runs no patrol.
 	Scrub scrub.Config
+
+	// Telemetry, when non-nil, is attached to the assembled device: the
+	// bus reports every stamped flash operation to it, the store tags GC
+	// and ECC work, and the device registers its gauges (queue backlog, GC
+	// debt, pool hit rates). Telemetry observes times the simulator
+	// already computed and never feeds back, so attaching it cannot change
+	// a simulated-time result (pinned by TestNoTelemetryBitIdentity). Nil
+	// (the default) observes nothing at zero cost.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultPopularityWeight is the GC victim-score weight experiments use for
@@ -275,6 +285,16 @@ func NewDevice(cfg Config) (Device, error) {
 			"(frontiers and GC reserve shrink it below the exported size)",
 			cfg.LogicalPages, store.UsablePages())
 	}
+	tel := cfg.Telemetry
+	if tel.On() {
+		// Wire the observability layer before the first operation: the bus
+		// reports every stamped op, the store tags GC/ECC work with its
+		// origin. None of it can influence timing — the observer runs after
+		// the timeline is already updated.
+		store.Tel = tel
+		tel.Attach(cfg.Geometry)
+		bus.SetObserver(tel)
+	}
 	var dev Device
 	switch cfg.Kind {
 	case KindBaseline:
@@ -291,8 +311,9 @@ func NewDevice(cfg Config) (Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := dev
 	if cfg.WriteBufferPages > 0 {
-		dev, err = newBufferedDevice(dev, cfg.WriteBufferPages)
+		dev, err = newBufferedDevice(dev, cfg.WriteBufferPages, tel)
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +325,43 @@ func NewDevice(cfg Config) (Device, error) {
 		}
 		dev = &scrubbedDevice{inner: dev, scr: scr}
 	}
+	if tel.On() {
+		registerDeviceGauges(tel, dev, bus, store)
+		if rt, ok := base.(interface {
+			registerTelemetry(*telemetry.Telemetry)
+		}); ok {
+			rt.registerTelemetry(tel)
+		}
+	}
 	return dev, nil
+}
+
+// registerDeviceGauges exposes the architecture-independent health gauges
+// of one assembled device: queued flash work, GC debt, free blocks and
+// write amplification. Gauges are sampled into the time series on the
+// runner's clock and evaluated again at export time.
+func registerDeviceGauges(tel *telemetry.Telemetry, dev Device, bus *ssd.Bus, store *ftl.Store) {
+	tel.RegisterGauge("flash_backlog_us",
+		"flash work queued beyond the current instant, in chip-microseconds", nil,
+		func(now ssd.Time) float64 { return float64(bus.Backlog(now)) })
+	tel.RegisterGauge("gc_debt_blocks",
+		"free blocks GC owes below the per-plane low-water mark", nil,
+		func(ssd.Time) float64 { return float64(store.GCDebt()) })
+	tel.RegisterGauge("free_blocks",
+		"free blocks summed over every plane", nil,
+		func(ssd.Time) float64 { return float64(store.TotalFreeBlocks()) })
+	tel.RegisterGauge("write_amplification",
+		"flash programs per host-attributable program", nil,
+		func(ssd.Time) float64 { return dev.Metrics().WriteAmplification() })
+}
+
+// telemetryOf returns the observability instance wired into dev (through
+// its store), or nil when the device has none.
+func telemetryOf(dev Device) *telemetry.Telemetry {
+	if s := StoreOf(dev); s != nil {
+		return s.Telemetry()
+	}
+	return nil
 }
 
 // absorbUncorrectable completes a host read whose page exceeded ECC

@@ -4,8 +4,17 @@ import (
 	"zombiessd/internal/core"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
+
+// poolHitRate computes a dead-value pool's lookup hit rate from its stats.
+func poolHitRate(st core.PoolStats) float64 {
+	if tot := st.Hits + st.Misses; tot > 0 {
+		return float64(st.Hits) / float64(tot)
+	}
+	return 0
+}
 
 // dvpDevice is the paper's proposal on a normal (non-deduplicated) FTL: a
 // dead-value pool indexes garbage pages by content hash, incoming writes
@@ -142,6 +151,17 @@ func (d *dvpDevice) Metrics() DeviceMetrics {
 	d.m.Pool = d.pool.Stats()
 	busCounts(&d.m, d.bus)
 	return d.m
+}
+
+// registerTelemetry adds the dead-value-pool gauges: the lookup hit rate
+// the paper's Fig 9 write reduction hinges on, and the revival count.
+func (d *dvpDevice) registerTelemetry(tel *telemetry.Telemetry) {
+	tel.RegisterGauge("dvp_hit_rate",
+		"dead-value pool lookup hit rate", nil,
+		func(ssd.Time) float64 { return poolHitRate(d.pool.Stats()) })
+	tel.RegisterGauge("dvp_revived_total",
+		"host writes short-circuited by a zombie revival", nil,
+		func(ssd.Time) float64 { return float64(d.m.Revived) })
 }
 
 // Bus exposes the flash timing model for utilization reporting.

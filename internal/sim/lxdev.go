@@ -4,6 +4,7 @@ import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
 
@@ -111,6 +112,16 @@ func (d *lxDevice) Metrics() DeviceMetrics {
 	d.m.Pool = d.pool.Stats()
 	busCounts(&d.m, d.bus)
 	return d.m
+}
+
+// registerTelemetry adds the LX-SSD recycler gauges.
+func (d *lxDevice) registerTelemetry(tel *telemetry.Telemetry) {
+	tel.RegisterGauge("lx_pool_hit_rate",
+		"LX-SSD recycler lookup hit rate", nil,
+		func(ssd.Time) float64 { return poolHitRate(d.pool.Stats()) })
+	tel.RegisterGauge("lx_recycled_total",
+		"host writes short-circuited by the LX recycler", nil,
+		func(ssd.Time) float64 { return float64(d.m.Revived) })
 }
 
 // Bus exposes the flash timing model for utilization reporting.

@@ -8,6 +8,7 @@ import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/recovery"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
 
@@ -45,14 +46,24 @@ func Recover(dev Device, opts RecoverOptions) (recovery.Report, error) {
 }
 
 // recoverPlan scans the store and rebuilds its physical block accounting —
-// the part of recovery every architecture shares.
+// the part of recovery every architecture shares. Any flash traffic during
+// the scan is tagged OriginRecovery, and the scan lands as one span on the
+// timeline's recovery track.
 func recoverPlan(store *ftl.Store) (recovery.Plan, error) {
+	tel := store.Telemetry()
+	prevOrigin := tel.EnterOrigin(telemetry.OriginRecovery)
+	defer tel.ExitOrigin(prevOrigin)
 	plan, err := recovery.BuildPlan(recovery.SnapshotOf(store))
 	if err != nil {
 		return recovery.Plan{}, err
 	}
 	if err := store.Rebuild(plan.ValidPPNs(), plan.GarbagePPNs()); err != nil {
 		return recovery.Plan{}, err
+	}
+	if tel.On() {
+		tel.EmitSpan(telemetry.OriginRecovery, "recovery scan", 0, 0, map[string]any{
+			"winners": len(plan.Winners),
+		})
 	}
 	return plan, nil
 }

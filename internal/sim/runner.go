@@ -6,6 +6,7 @@ import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/stats"
+	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
 
@@ -61,19 +62,25 @@ func Run(dev Device, recs []trace.Record, opts RunOptions) (Result, error) {
 			opts.PreconditionPages, opts.LogicalPages)
 	}
 
-	// Untimed preconditioning fill.
+	tel := telemetryOf(dev)
+
+	// Untimed preconditioning fill, tagged so its flash traffic is never
+	// attributed to a host request or charted as steady-state activity.
 	var shift ssd.Time
 	if opts.PreconditionPages > 0 {
+		prevOrigin := tel.EnterOrigin(telemetry.OriginPrecond)
 		var end ssd.Time
 		for lpn := int64(0); lpn < opts.PreconditionPages; lpn++ {
 			done, err := dev.Write(lpnOf(lpn), PreconditionHash(lpn), 0)
 			if err != nil {
+				tel.ExitOrigin(prevOrigin)
 				return Result{}, fmt.Errorf("sim: precondition write %d: %w", lpn, err)
 			}
 			if done > end {
 				end = done
 			}
 		}
+		tel.ExitOrigin(prevOrigin)
 		shift = end + ssd.Millisecond
 	}
 	baseline := dev.Metrics()
@@ -86,12 +93,15 @@ func Run(dev Device, recs []trace.Record, opts RunOptions) (Result, error) {
 				i, rec.LBA, opts.LogicalPages)
 		}
 		arrival := shift + ssd.Time(rec.Time)
+		tel.Sample(arrival)
 		var done ssd.Time
 		var err error
 		switch rec.Op {
 		case trace.OpWrite:
+			tel.BeginRequest(telemetry.ReqWrite, arrival)
 			done, err = dev.Write(lpnOf(int64(rec.LBA)), rec.Hash, arrival)
 		case trace.OpRead:
+			tel.BeginRequest(telemetry.ReqRead, arrival)
 			done, err = dev.Read(lpnOf(int64(rec.LBA)), arrival)
 		default:
 			return Result{}, fmt.Errorf("sim: record %d has unknown op %v", i, rec.Op)
@@ -99,6 +109,7 @@ func Run(dev Device, recs []trace.Record, opts RunOptions) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: record %d: %w", i, err)
 		}
+		tel.EndRequest(done)
 		lat := int64(done - arrival)
 		all.Add(lat)
 		if rec.Op == trace.OpWrite {

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"zombiessd/internal/core"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
+	"zombiessd/internal/trace"
+	"zombiessd/internal/workload"
+)
+
+// benchReplay generates the mail replay shared by the telemetry on/off
+// benchmarks.
+func benchReplay(b *testing.B) ([]trace.Record, int64) {
+	b.Helper()
+	p, ok := workload.ProfileByName("mail")
+	if !ok {
+		b.Fatal("mail workload missing")
+	}
+	recs, err := workload.Generate(p, 60_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var footprint int64
+	for _, r := range recs {
+		if int64(r.LBA) >= footprint {
+			footprint = int64(r.LBA) + 1
+		}
+	}
+	return recs, footprint
+}
+
+// BenchmarkRunTelemetry measures the full replay loop with the
+// observability layer detached (the production default) and attached, so
+// `make bench` quantifies what observing every flash op, request and
+// sample costs. The off arm is the baseline the on arm is compared to in
+// BENCH_telemetry.json.
+func BenchmarkRunTelemetry(b *testing.B) {
+	recs, footprint := benchReplay(b)
+	for _, mode := range []struct {
+		name string
+		cfg  telemetry.Config
+	}{
+		{"off", telemetry.Config{}},
+		{"on", telemetry.Config{Enabled: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tel := telemetry.New(mode.cfg)
+				cfg := Config{
+					Geometry:     GeometryFor(footprint, 0.80),
+					Latency:      ssd.PaperLatency(),
+					Store:        ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: DefaultPopularityWeight},
+					LogicalPages: footprint,
+					Kind:         KindDVP,
+					PoolKind:     PoolMQ,
+					MQ:           core.MQConfig{Queues: 8, Capacity: 3000, DefaultLifetime: 8192},
+					Telemetry:    tel,
+				}
+				dev, err := NewDevice(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := Run(dev, recs, RunOptions{LogicalPages: footprint, PreconditionPages: footprint})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Metrics.HostWrites == 0 {
+					b.Fatal("replay performed no writes")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"zombiessd/internal/core"
+	"zombiessd/internal/fault"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/lxssd"
+	"zombiessd/internal/scrub"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
+	"zombiessd/internal/trace"
+	"zombiessd/internal/workload"
+)
+
+// telemetryTestTrace generates a shared mail replay for the telemetry
+// tests.
+func telemetryTestTrace(t *testing.T, n int64) ([]trace.Record, int64) {
+	t.Helper()
+	p, ok := workload.ProfileByName("mail")
+	if !ok {
+		t.Fatal("mail workload missing")
+	}
+	recs, err := workload.Generate(p, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var footprint int64
+	for _, r := range recs {
+		if int64(r.LBA) >= footprint {
+			footprint = int64(r.LBA) + 1
+		}
+	}
+	return recs, footprint
+}
+
+// telemetryTestConfig assembles one instrumented device config.
+func telemetryTestConfig(kind Kind, footprint int64, tel *telemetry.Telemetry) Config {
+	popWeight := 0.0
+	if kind == KindDVP || kind == KindDVPDedup {
+		popWeight = DefaultPopularityWeight
+	}
+	return Config{
+		Geometry:     GeometryFor(footprint, 0.85),
+		Latency:      ssd.PaperLatency(),
+		Store:        ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight},
+		LogicalPages: footprint,
+		Kind:         kind,
+		PoolKind:     PoolMQ,
+		MQ:           core.MQConfig{Queues: 8, Capacity: 2000, DefaultLifetime: 8192},
+		LX:           lxssd.Config{Capacity: 2000, MinPopularity: 0},
+		Telemetry:    tel,
+	}
+}
+
+// TestPhaseSumExact is the property test of the latency attribution: on
+// every architecture, every single host request's phase components sum
+// exactly to its end-to-end latency, no phase is negative, and the running
+// totals agree. One arm adds ECC retries, a patrol scrubber and a DRAM
+// write buffer so the ECC phase and the background origins are exercised
+// too.
+func TestPhaseSumExact(t *testing.T) {
+	recs, footprint := telemetryTestTrace(t, 20_000)
+	arms := []struct {
+		name string
+		kind Kind
+		mod  func(*Config)
+	}{
+		{"baseline", KindBaseline, nil},
+		{"dvp", KindDVP, nil},
+		{"dedup", KindDedup, nil},
+		{"dvp+dedup", KindDVPDedup, nil},
+		{"lx", KindLX, nil},
+		{"dvp-faulty", KindDVP, func(cfg *Config) {
+			cfg.Faults = fault.Config{
+				ReadFailProb: 0.05,
+				Seed:         7,
+				Integrity:    fault.IntegrityConfig{BaseRBER: 1e-5, RetentionRate: 1e-9},
+			}
+			cfg.Scrub = scrub.Config{Interval: 50 * ssd.Millisecond}
+			cfg.WriteBufferPages = 256
+		}},
+	}
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			tel := telemetry.New(telemetry.Config{Enabled: true})
+			cfg := telemetryTestConfig(arm.kind, footprint, tel)
+			if arm.mod != nil {
+				arm.mod(&cfg)
+			}
+			var checked int64
+			tel.OnRequestEnd = func(req telemetry.Request) {
+				checked++
+				var sum ssd.Time
+				for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+					if req.Phases[p] < 0 {
+						t.Fatalf("request %d: phase %v negative: %d", checked, p, req.Phases[p])
+					}
+					sum += req.Phases[p]
+				}
+				if sum != req.Latency() {
+					t.Fatalf("request %d (%v): phases sum to %d, latency is %d (%+v)",
+						checked, req.Op, sum, req.Latency(), req.Phases)
+				}
+			}
+			dev, err := NewDevice(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(dev, recs, RunOptions{LogicalPages: footprint, PreconditionPages: footprint}); err != nil {
+				t.Fatal(err)
+			}
+			if checked != int64(len(recs)) {
+				t.Errorf("checked %d requests, want %d", checked, len(recs))
+			}
+			phases, latency := tel.Attribution().Totals()
+			var total int64
+			for _, p := range phases {
+				total += p
+			}
+			if total != latency {
+				t.Errorf("phase totals sum to %d, end-to-end total is %d", total, latency)
+			}
+			if tel.Attribution().Requests() != int64(len(recs)) {
+				t.Errorf("attribution closed %d requests, want %d", tel.Attribution().Requests(), len(recs))
+			}
+		})
+	}
+}
+
+// TestTelemetryExportsEndToEnd runs one instrumented device and validates
+// every export format: the Chrome trace against the schema check CI uses,
+// the Prometheus scrape against the exposition-format check, and the CSV
+// header/row shape.
+func TestTelemetryExportsEndToEnd(t *testing.T) {
+	recs, footprint := telemetryTestTrace(t, 20_000)
+	tel := telemetry.New(telemetry.Config{Enabled: true})
+	dev, err := NewDevice(telemetryTestConfig(KindDVP, footprint, tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(dev, recs, RunOptions{LogicalPages: footprint, PreconditionPages: footprint}); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr bytes.Buffer
+	if err := tel.WriteTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTraceJSON(tr.Bytes()); err != nil {
+		t.Errorf("trace export fails its own schema check: %v", err)
+	}
+
+	var prom bytes.Buffer
+	if err := tel.WritePrometheus(&prom, tel.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidatePrometheusText(prom.Bytes()); err != nil {
+		t.Errorf("prometheus export fails its own format check: %v", err)
+	}
+	for _, metric := range []string{
+		"flash_chip_ops_total", "flash_ops_total", "request_latency_us",
+		"request_phase_us", "dvp_hit_rate", "gc_debt_blocks", "write_amplification",
+	} {
+		if !strings.Contains(prom.String(), metric) {
+			t.Errorf("prometheus export missing %s", metric)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tel.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV export does not parse: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("CSV export has %d rows, want a header plus samples", len(rows))
+	}
+	if rows[0][0] != "time_us" {
+		t.Errorf("CSV header starts %q, want time_us first", rows[0][0])
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("CSV row %d has %d columns, header has %d", i+1, len(row), len(rows[0]))
+		}
+	}
+}
+
+// TestTelemetryOriginsObserved checks that the per-origin flash-op
+// counters attribute real traffic: host, GC and preconditioning ops must
+// all be non-zero on a GC-active run.
+func TestTelemetryOriginsObserved(t *testing.T) {
+	recs, footprint := telemetryTestTrace(t, 20_000)
+	tel := telemetry.New(telemetry.Config{Enabled: true})
+	dev, err := NewDevice(telemetryTestConfig(KindBaseline, footprint, tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(dev, recs, RunOptions{LogicalPages: footprint, PreconditionPages: footprint}); err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	if err := tel.WritePrometheus(&prom, tel.Now()); err != nil {
+		t.Fatal(err)
+	}
+	for _, origin := range []string{"host", "gc", "precond"} {
+		found := false
+		for _, line := range strings.Split(prom.String(), "\n") {
+			if strings.HasPrefix(line, "flash_ops_total") &&
+				strings.Contains(line, `origin="`+origin+`"`) &&
+				!strings.HasSuffix(line, " 0") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no non-zero flash_ops_total sample for origin %q", origin)
+		}
+	}
+}

@@ -47,6 +47,50 @@ func (l Latency) Validate() error {
 	return nil
 }
 
+// OpKind identifies one class of flash operation for observers.
+type OpKind uint8
+
+// The flash operation classes the bus stamps.
+const (
+	OpRead OpKind = iota
+	OpProgram
+	OpErase
+)
+
+// String names the operation class.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// OpObservation is one stamped flash operation, as seen by an OpObserver:
+// issued at Issue, actually started on the chip at Start (the difference is
+// queueing behind earlier work), done at Done. Erases carry no transfer, so
+// Transfer is 0 for them.
+type OpObservation struct {
+	Kind          OpKind
+	Chip, Channel int
+	Issue, Start  Time
+	Done          Time
+	Transfer      Time // channel hold (0 for erases)
+	Cell          Time // cell operation duration
+}
+
+// OpObserver receives every flash operation the bus stamps. Observers must
+// not mutate simulation state: the bus calls them after the timeline is
+// already updated, purely for measurement.
+type OpObserver interface {
+	ObserveOp(OpObservation)
+}
+
 // Bus tracks when each chip and each channel next becomes free, and stamps
 // flash operations onto that timeline. It is the timing heart of the
 // simulator: an operation issued at time t on a busy chip waits until the
@@ -67,6 +111,10 @@ type Bus struct {
 	chipBusy  []Time
 	totalWait Time
 	waitedOps int64
+
+	// observer, when non-nil, is told about every stamped operation. It
+	// never influences timing, so attaching one cannot change results.
+	observer OpObserver
 }
 
 // NewBus returns a Bus for the given geometry and latencies with every chip
@@ -84,6 +132,10 @@ func NewBus(geo Geometry, lat Latency) *Bus {
 // Geometry returns the geometry the bus was built with.
 func (b *Bus) Geometry() Geometry { return b.geo }
 
+// SetObserver attaches o (nil detaches). The observer sees every stamped
+// operation but cannot affect the timeline.
+func (b *Bus) SetObserver(o OpObserver) { b.observer = o }
+
 // Latency returns the latency model the bus was built with.
 func (b *Bus) Latency() Latency { return b.lat }
 
@@ -95,10 +147,10 @@ func (b *Bus) Counts() (reads, programs, erases int64) {
 
 // occupy stamps an operation of the given cell duration onto chip (and its
 // channel, for transfer time) starting no earlier than now, and returns the
-// completion time.
-func (b *Bus) occupy(chip int, now, cell Time) Time {
+// start and completion times.
+func (b *Bus) occupy(chip int, now, cell Time) (start, done Time) {
 	ch := b.geo.ChannelOfChip(chip)
-	start := now
+	start = now
 	if b.chipFree[chip] > start {
 		start = b.chipFree[chip]
 	}
@@ -112,23 +164,37 @@ func (b *Bus) occupy(chip int, now, cell Time) Time {
 	// The channel is held only for the page transfer; the chip is held for
 	// the transfer plus the cell operation.
 	b.channelFree[ch] = start + b.lat.Transfer
-	done := start + b.lat.Transfer + cell
+	done = start + b.lat.Transfer + cell
 	b.chipFree[chip] = done
 	b.chipBusy[chip] += b.lat.Transfer + cell
-	return done
+	return start, done
 }
 
 // Read issues a page read of p at time now and returns its completion time.
 func (b *Bus) Read(p PPN, now Time) Time {
 	b.reads++
-	return b.occupy(b.geo.ChipOf(p), now, b.lat.Read)
+	chip := b.geo.ChipOf(p)
+	start, done := b.occupy(chip, now, b.lat.Read)
+	if b.observer != nil {
+		b.observer.ObserveOp(OpObservation{Kind: OpRead, Chip: chip,
+			Channel: b.geo.ChannelOfChip(chip), Issue: now, Start: start,
+			Done: done, Transfer: b.lat.Transfer, Cell: b.lat.Read})
+	}
+	return done
 }
 
 // Program issues a page program of p at time now and returns its completion
 // time.
 func (b *Bus) Program(p PPN, now Time) Time {
 	b.programs++
-	return b.occupy(b.geo.ChipOf(p), now, b.lat.Program)
+	chip := b.geo.ChipOf(p)
+	start, done := b.occupy(chip, now, b.lat.Program)
+	if b.observer != nil {
+		b.observer.ObserveOp(OpObservation{Kind: OpProgram, Chip: chip,
+			Channel: b.geo.ChannelOfChip(chip), Issue: now, Start: start,
+			Done: done, Transfer: b.lat.Transfer, Cell: b.lat.Program})
+	}
+	return done
 }
 
 // Erase issues an erase of block blk at time now and returns its completion
@@ -147,6 +213,11 @@ func (b *Bus) Erase(blk BlockID, now Time) Time {
 	done := start + b.lat.Erase
 	b.chipFree[chip] = done
 	b.chipBusy[chip] += b.lat.Erase
+	if b.observer != nil {
+		b.observer.ObserveOp(OpObservation{Kind: OpErase, Chip: chip,
+			Channel: b.geo.ChannelOfChip(chip), Issue: now, Start: start,
+			Done: done, Cell: b.lat.Erase})
+	}
 	return done
 }
 
@@ -179,6 +250,18 @@ func (b *Bus) Utilization(until Time) (mean, max float64) {
 		}
 	}
 	return sum / float64(len(b.chipBusy)), max
+}
+
+// Backlog returns the total time chips remain committed beyond now — the
+// drive's queued-work depth in chip-microseconds. 0 on an idle drive.
+func (b *Bus) Backlog(now Time) Time {
+	var sum Time
+	for _, free := range b.chipFree {
+		if free > now {
+			sum += free - now
+		}
+	}
+	return sum
 }
 
 // WaitStats returns the cumulative queueing delay flash operations spent

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBucketsPartition checks the exported bucket iteration: non-empty
+// buckets arrive in increasing, non-overlapping [lo, hi) ranges, every
+// count is positive, every range brackets only values that bucket can
+// hold, and the counts sum to Count().
+func TestBucketsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	for i := 0; i < 20000; i++ {
+		h.Add(rng.Int63n(1 << uint(1+rng.Intn(40))))
+	}
+	var total int64
+	prevHi := int64(-1)
+	h.Buckets(func(lo, hi, count int64) bool {
+		if count <= 0 {
+			t.Errorf("bucket [%d,%d) has non-positive count %d", lo, hi, count)
+		}
+		if lo >= hi {
+			t.Errorf("bucket [%d,%d) is empty or inverted", lo, hi)
+		}
+		if lo < prevHi {
+			t.Errorf("bucket [%d,%d) overlaps previous (ended at %d)", lo, hi, prevHi)
+		}
+		prevHi = hi
+		total += count
+		return true
+	})
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, want Count() = %d", total, h.Count())
+	}
+}
+
+// TestBucketsEarlyStop checks that a false return stops the iteration.
+func TestBucketsEarlyStop(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	h.Add(1000)
+	h.Add(1_000_000)
+	calls := 0
+	h.Buckets(func(lo, hi, count int64) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("iteration made %d calls after a false return, want 1", calls)
+	}
+}
+
+// TestBucketsEmpty checks that an empty histogram iterates nothing.
+func TestBucketsEmpty(t *testing.T) {
+	var h Histogram
+	h.Buckets(func(lo, hi, count int64) bool {
+		t.Errorf("empty histogram yielded bucket [%d,%d)×%d", lo, hi, count)
+		return true
+	})
+}
+
+// clampQ folds an arbitrary float into a usable quantile in [0, 1].
+func clampQ(q float64) float64 {
+	if math.IsNaN(q) || math.IsInf(q, 0) {
+		return 0.5
+	}
+	q = math.Abs(q)
+	return q - math.Floor(q)
+}
+
+// TestQuantileMonotone is the property test that quantiles never decrease
+// as q grows, on histograms filled from random seeds.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64, q1, q2 float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			h.Add(rng.Int63n(1 << uint(1+rng.Intn(40))))
+		}
+		a, b := clampQ(q1), clampQ(q2)
+		if a > b {
+			a, b = b, a
+		}
+		return h.Quantile(a) <= h.Quantile(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeQuantileMonotonicity is the property test that merging
+// preserves quantile order: for any two histograms built over the same
+// bucket layout, the merged quantile at q lies between the smaller and the
+// larger of the parts' quantiles at q — a merge can average populations
+// but never escape their envelope.
+func TestMergeQuantileMonotonicity(t *testing.T) {
+	f := func(seedA, seedB int64, qf float64) bool {
+		q := clampQ(qf)
+		fill := func(seed int64) *Histogram {
+			rng := rand.New(rand.NewSource(seed))
+			var h Histogram
+			n := 1 + rng.Intn(1500)
+			for i := 0; i < n; i++ {
+				h.Add(rng.Int63n(1 << uint(1+rng.Intn(32))))
+			}
+			return &h
+		}
+		a, b := fill(seedA), fill(seedB)
+		qa, qb := a.Quantile(q), b.Quantile(q)
+		lo, hi := qa, qb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var merged Histogram
+		merged.Merge(a)
+		merged.Merge(b)
+		if merged.Count() != a.Count()+b.Count() {
+			return false
+		}
+		got := merged.Quantile(q)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeEqualsSequential is the property test that merging two
+// histograms is indistinguishable from adding every sample to one: counts,
+// sums, extremes and any quantile agree exactly (identical bucket layouts
+// make this an integer identity, not an approximation).
+func TestMergeEqualsSequential(t *testing.T) {
+	f := func(seed int64, qf float64) bool {
+		q := clampQ(qf)
+		rng := rand.New(rand.NewSource(seed))
+		var a, b, all Histogram
+		n := 2 + rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(1 << uint(1+rng.Intn(40)))
+			if i%2 == 0 {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+			all.Add(v)
+		}
+		a.Merge(&b)
+		return a.Count() == all.Count() && a.Sum() == all.Sum() &&
+			a.Min() == all.Min() && a.Max() == all.Max() &&
+			a.Quantile(q) == all.Quantile(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

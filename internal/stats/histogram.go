@@ -134,6 +134,26 @@ func (h *Histogram) Quantile(q float64) int64 {
 // P99 returns the 99th percentile, the paper's tail-latency metric.
 func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
 
+// Buckets calls f for every non-empty bucket in ascending value order with
+// the bucket's bounds and count: samples in the bucket satisfy
+// lo ≤ v < hi (hi saturates to math.MaxInt64 in the top tier). Iteration
+// stops early when f returns false. Exporters use it to render the
+// histogram without knowing the internal bucketing scheme.
+func (h *Histogram) Buckets(f func(lo, hi, count int64) bool) {
+	for i := range h.counts {
+		if h.counts[i] == 0 {
+			continue
+		}
+		hi := int64(math.MaxInt64)
+		if i+1 < len(h.counts) {
+			hi = bucketLow(i + 1)
+		}
+		if !f(bucketLow(i), hi, h.counts[i]) {
+			return
+		}
+	}
+}
+
 // Merge adds every sample of other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other.n == 0 {

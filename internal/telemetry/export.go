@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"zombiessd/internal/ssd"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms with cumulative le buckets, _sum and _count.
+// Gauges are evaluated at the simulated instant now.
+func (t *Telemetry) WritePrometheus(w io.Writer, now ssd.Time) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: disabled, nothing to export")
+	}
+	bw := bufio.NewWriter(w)
+	r := t.reg
+
+	headered := make(map[string]bool)
+	header := func(name, help, typ string) {
+		if headered[name] {
+			return
+		}
+		headered[name] = true
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	for _, c := range r.counters {
+		header(c.name, c.help, "counter")
+		fmt.Fprintf(bw, "%s%s %d\n", c.name, c.labels, c.c.Value())
+	}
+	for _, g := range r.gauges {
+		header(g.name, g.help, "gauge")
+		fmt.Fprintf(bw, "%s%s %s\n", g.name, g.labels,
+			strconv.FormatFloat(g.f(now), 'g', -1, 64))
+	}
+	for _, h := range r.hists {
+		header(h.name, h.help, "histogram")
+		labelsWithLE := func(le string) string {
+			if h.labels == "" {
+				return fmt.Sprintf(`{le="%s"}`, le)
+			}
+			return h.labels[:len(h.labels)-1] + fmt.Sprintf(`,le="%s"}`, le)
+		}
+		var cum int64
+		h.h.Buckets(func(lo, hi, count int64) bool {
+			cum += count
+			if hi != math.MaxInt64 {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", h.name, labelsWithLE(
+					strconv.FormatInt(hi, 10)), cum)
+			}
+			return true
+		})
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", h.name, labelsWithLE("+Inf"), h.h.Count())
+		fmt.Fprintf(bw, "%s_sum%s %d\n", h.name, h.labels, h.h.Sum())
+		fmt.Fprintf(bw, "%s_count%s %d\n", h.name, h.labels, h.h.Count())
+	}
+	return bw.Flush()
+}
+
+// WriteCSV renders the sampled time series: a header row of column names
+// (time_us first), then one row per retained sample.
+func (t *Telemetry) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: disabled, nothing to export")
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("time_us")
+	for _, col := range t.reg.SeriesColumns() {
+		bw.WriteByte(',')
+		bw.WriteString(csvQuote(col))
+	}
+	bw.WriteByte('\n')
+	for _, row := range t.reg.Series() {
+		fmt.Fprintf(bw, "%d", int64(row.T))
+		for _, v := range row.Values {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// csvQuote wraps a field in double quotes when it contains a comma or
+// quote (metric labels do: they are rendered {a="b"}).
+func csvQuote(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == '"' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			out = append(out, '"')
+		}
+		out = append(out, s[i])
+	}
+	return string(append(out, '"'))
+}
+
+// traceFile is the JSON object format of the Chrome trace-event spec.
+type traceFile struct {
+	TraceEvents     []Event        `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTrace renders the retained timeline as Chrome trace-event JSON
+// (object form, displayTimeUnit ms), loadable in Perfetto or
+// chrome://tracing.
+func (t *Telemetry) WriteTrace(w io.Writer) error {
+	if t == nil || t.tracer == nil {
+		return fmt.Errorf("telemetry: tracer disabled, nothing to export")
+	}
+	events := t.tracer.Events()
+	// Chrome sorts internally, but a sorted file diffs and validates more
+	// pleasantly. Metadata events (ts 0) stay in front.
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].Ts < events[j].Ts
+	})
+	f := traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+	}
+	if d := t.tracer.Dropped(); d > 0 {
+		f.OtherData = map[string]any{"dropped_events": d}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ValidateTraceJSON checks data against the Chrome trace-event schema
+// subset this tracer emits: a traceEvents array whose entries carry a
+// name, a known phase, non-negative ts/pid/tid, and a non-negative dur on
+// complete events. Shared by the unit tests and cmd/tracecheck.
+func ValidateTraceJSON(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace: traceEvents is empty")
+	}
+	for i, e := range f.TraceEvents {
+		var name, ph string
+		if err := requireString(e, "name", &name); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := requireString(e, "ph", &ph); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		switch ph {
+		case "X", "M", "B", "E", "i", "C":
+		default:
+			return fmt.Errorf("trace: event %d (%s): unknown phase %q", i, name, ph)
+		}
+		var ts, dur, pid, tid float64
+		if err := optionalNumber(e, "ts", &ts); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		if err := optionalNumber(e, "dur", &dur); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		if err := optionalNumber(e, "pid", &pid); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		if err := optionalNumber(e, "tid", &tid); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		if ts < 0 || dur < 0 || pid < 0 || tid < 0 {
+			return fmt.Errorf("trace: event %d (%s): negative ts/dur/pid/tid", i, name)
+		}
+		if ph == "X" {
+			if _, ok := e["ts"]; !ok {
+				return fmt.Errorf("trace: event %d (%s): complete event without ts", i, name)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidatePrometheusText checks data against the Prometheus text
+// exposition format subset WritePrometheus emits: # HELP / # TYPE comment
+// lines, and sample lines of the form name[{labels}] value with a parsable
+// value. Shared by the unit tests and cmd/tracecheck.
+func ValidatePrometheusText(data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	samples := 0
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 3 || (f[1] != "HELP" && f[1] != "TYPE") {
+				return fmt.Errorf("prometheus: line %d: malformed comment %q", i+1, line)
+			}
+			if f[1] == "TYPE" {
+				switch f[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("prometheus: line %d: unknown type %q", i+1, f[3])
+				}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("prometheus: line %d: no value on sample %q", i+1, line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if name == "" {
+			return fmt.Errorf("prometheus: line %d: empty metric name", i+1)
+		}
+		if open := strings.IndexByte(name, '{'); open >= 0 && !strings.HasSuffix(name, "}") {
+			return fmt.Errorf("prometheus: line %d: unterminated label set in %q", i+1, name)
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("prometheus: line %d: bad value %q", i+1, val)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("prometheus: no samples")
+	}
+	return nil
+}
+
+func requireString(e map[string]json.RawMessage, key string, dst *string) error {
+	raw, ok := e[key]
+	if !ok {
+		return fmt.Errorf("missing %q", key)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("%q is not a string: %w", key, err)
+	}
+	return nil
+}
+
+func optionalNumber(e map[string]json.RawMessage, key string, dst *float64) error {
+	raw, ok := e[key]
+	if !ok {
+		return nil
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("%q is not a number: %w", key, err)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/stats"
+)
+
+// Labels attaches dimensions (chip, channel, component, phase, …) to a
+// metric. Rendered in sorted key order so output is deterministic.
+type Labels map[string]string
+
+// render formats labels Prometheus-style: {a="1",b="2"}; empty labels
+// render as the empty string.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, l[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds delta (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v += delta
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// GaugeFunc computes a gauge's value at the simulated instant now.
+type GaugeFunc func(now ssd.Time) float64
+
+// metricKey identifies one metric instance in the registry.
+type metricKey struct {
+	name   string
+	labels string // rendered form, for map identity
+}
+
+// counterEntry, gaugeEntry and histEntry are the registry's typed rows.
+type counterEntry struct {
+	name, help, labels string
+	c                  *Counter
+}
+
+type gaugeEntry struct {
+	name, help, labels string
+	f                  GaugeFunc
+}
+
+type histEntry struct {
+	name, help, labels string
+	h                  *stats.Histogram
+}
+
+// SeriesRow is one time-series sample: the simulated time plus one value
+// per column (gauges first, then counters, in registration order).
+type SeriesRow struct {
+	T      ssd.Time
+	Values []float64
+}
+
+// Registry holds the named metrics of one telemetry instance and the
+// time-series ring they are sampled into. Registration order is preserved
+// so exports and series columns are deterministic.
+type Registry struct {
+	counters []counterEntry
+	gauges   []gaugeEntry
+	hists    []histEntry
+	index    map[metricKey]int // into counters
+
+	series      []SeriesRow
+	seriesHead  int  // next write position once the ring wrapped
+	wrapped     bool // the ring has overwritten its oldest row
+	frozen      bool // column set locked by the first sample
+	gaugeCols   int
+	counterCols int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[metricKey]int)}
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it on first use. Help is recorded on creation only.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	key := metricKey{name, labels.render()}
+	if i, ok := r.index[key]; ok {
+		return r.counters[i].c
+	}
+	c := &Counter{}
+	r.index[key] = len(r.counters)
+	r.counters = append(r.counters, counterEntry{name, help, key.labels, c})
+	return c
+}
+
+// Gauge registers a callback gauge. Gauges are evaluated at sample time
+// and at export time; they are never stored between samples.
+func (r *Registry) Gauge(name, help string, labels Labels, f GaugeFunc) {
+	r.gauges = append(r.gauges, gaugeEntry{name, help, labels.render(), f})
+}
+
+// Histogram registers an externally owned histogram for export.
+func (r *Registry) Histogram(name, help string, labels Labels, h *stats.Histogram) {
+	r.hists = append(r.hists, histEntry{name, help, labels.render(), h})
+}
+
+// SeriesColumns names the time-series columns in order: every gauge, then
+// every counter, each as name plus rendered labels. After the first
+// sample the set is frozen to the columns the rows actually hold.
+func (r *Registry) SeriesColumns() []string {
+	ng, nc := len(r.gauges), len(r.counters)
+	if r.frozen {
+		ng, nc = r.gaugeCols, r.counterCols
+	}
+	cols := make([]string, 0, ng+nc)
+	for _, g := range r.gauges[:ng] {
+		cols = append(cols, g.name+g.labels)
+	}
+	for _, c := range r.counters[:nc] {
+		cols = append(cols, c.name+c.labels)
+	}
+	return cols
+}
+
+// Series returns the retained samples oldest-first.
+func (r *Registry) Series() []SeriesRow {
+	if !r.wrapped {
+		return r.series
+	}
+	out := make([]SeriesRow, 0, len(r.series))
+	out = append(out, r.series[r.seriesHead:]...)
+	out = append(out, r.series[:r.seriesHead]...)
+	return out
+}
+
+// sample appends one row to the ring, evaluating every gauge at now and
+// snapshotting every counter. The column set freezes at the first sample
+// so late registrations cannot skew rows.
+func (r *Registry) sample(now ssd.Time, cap int) {
+	if !r.frozen {
+		r.frozen = true
+		r.gaugeCols = len(r.gauges)
+		r.counterCols = len(r.counters)
+	}
+	row := SeriesRow{T: now, Values: make([]float64, 0, r.gaugeCols+r.counterCols)}
+	for _, g := range r.gauges[:r.gaugeCols] {
+		row.Values = append(row.Values, g.f(now))
+	}
+	for _, c := range r.counters[:r.counterCols] {
+		row.Values = append(row.Values, float64(c.c.Value()))
+	}
+	if cap > 0 && len(r.series) >= cap {
+		r.series[r.seriesHead] = row
+		r.seriesHead = (r.seriesHead + 1) % len(r.series)
+		r.wrapped = true
+		return
+	}
+	r.series = append(r.series, row)
+}

@@ -1,0 +1,346 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+// TestNilSafety drives every exported method on the nil (disabled)
+// instance: the contract is that instrumented code needs no guards.
+func TestNilSafety(t *testing.T) {
+	var tel *Telemetry
+	if tel.On() {
+		t.Fatal("nil instance reports On")
+	}
+	tel.Attach(ssd.DefaultGeometry())
+	prev := tel.EnterOrigin(OriginGC)
+	tel.ExitOrigin(prev)
+	tel.ExitOrigin(tel.EnterECC())
+	tel.ObserveOp(ssd.OpObservation{})
+	tel.BeginRequest(ReqWrite, 10)
+	tel.EndRequest(20)
+	tel.EmitSpan(OriginGC, "x", 0, 1, nil)
+	tel.Sample(100)
+	tel.RegisterGauge("g", "h", nil, func(ssd.Time) float64 { return 0 })
+	if tel.Registry() != nil || tel.Attribution() != nil || tel.Tracer() != nil {
+		t.Error("nil instance exposes live components")
+	}
+	if tel.PhaseHistogram(ReqRead, PhaseQueue) != nil {
+		t.Error("nil instance exposes a histogram")
+	}
+	if tel.Now() != 0 {
+		t.Error("nil instance has a clock")
+	}
+	if err := tel.WritePrometheus(&bytes.Buffer{}, 0); err == nil {
+		t.Error("nil prometheus export must error")
+	}
+	if err := tel.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("nil CSV export must error")
+	}
+	if err := tel.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Error("nil trace export must error")
+	}
+}
+
+// TestNewDisabled checks that a disabled config yields the nil instance.
+func TestNewDisabled(t *testing.T) {
+	if tel := New(Config{}); tel != nil {
+		t.Fatal("New with Enabled=false must return nil")
+	}
+}
+
+// TestConfigDefaults checks zero-field substitution and validation.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Enabled: true}.WithDefaults()
+	if c.SampleInterval != DefaultSampleInterval || c.TraceCap != DefaultTraceCap || c.SeriesCap != DefaultSeriesCap {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if err := (Config{SampleInterval: -1}).Validate(); err == nil {
+		t.Error("negative sample interval must fail validation")
+	}
+	if err := (Config{Enabled: true}).Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	if tel := New(Config{Enabled: true, TraceCap: -1}); tel.Tracer() != nil {
+		t.Error("negative TraceCap must disable the tracer")
+	}
+}
+
+// TestEnterECC checks the origin-sensitive switch: only a host-origin
+// scope moves to ECC; daemon origins keep their attribution.
+func TestEnterECC(t *testing.T) {
+	tel := New(Config{Enabled: true})
+	prev := tel.EnterECC()
+	if prev != OriginHost || tel.origin != OriginECC {
+		t.Errorf("host scope: EnterECC gave prev=%v origin=%v", prev, tel.origin)
+	}
+	tel.ExitOrigin(prev)
+
+	outer := tel.EnterOrigin(OriginGC)
+	prev = tel.EnterECC()
+	if prev != OriginGC || tel.origin != OriginGC {
+		t.Errorf("gc scope: EnterECC gave prev=%v origin=%v, want GC kept", prev, tel.origin)
+	}
+	tel.ExitOrigin(prev)
+	tel.ExitOrigin(outer)
+	if tel.origin != OriginHost {
+		t.Errorf("origin not restored: %v", tel.origin)
+	}
+}
+
+// TestRegistryCounterDedupe checks that (name, labels) identifies one
+// counter regardless of how often it is requested.
+func TestRegistryCounterDedupe(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ops", "h", Labels{"chip": "1"})
+	b := r.Counter("ops", "h", Labels{"chip": "1"})
+	c := r.Counter("ops", "h", Labels{"chip": "2"})
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	if a == c {
+		t.Error("distinct labels share a counter")
+	}
+	a.Inc()
+	a.Add(4)
+	a.Add(-100)
+	if b.Value() != 5 {
+		t.Errorf("counter value %d, want 5 (negative Add ignored)", b.Value())
+	}
+}
+
+// TestLabelsRender checks deterministic sorted rendering.
+func TestLabelsRender(t *testing.T) {
+	got := Labels{"b": "2", "a": "1"}.render()
+	if got != `{a="1",b="2"}` {
+		t.Errorf("render = %s", got)
+	}
+	if (Labels{}).render() != "" {
+		t.Error("empty labels must render empty")
+	}
+}
+
+// TestSeriesRingWrap checks the time-series ring: bounded retention,
+// oldest-first order after wrapping.
+func TestSeriesRingWrap(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "h", nil)
+	const ringCap = 8
+	for i := 1; i <= 20; i++ {
+		r.sample(ssd.Time(i), ringCap)
+	}
+	rows := r.Series()
+	if len(rows) != ringCap {
+		t.Fatalf("ring holds %d rows, want %d", len(rows), ringCap)
+	}
+	for i, row := range rows {
+		if want := ssd.Time(13 + i); row.T != want {
+			t.Errorf("row %d has time %d, want %d (oldest-first)", i, row.T, want)
+		}
+	}
+}
+
+// TestRegistryColumnFreeze checks that registrations after the first
+// sample do not skew existing rows: columns and row widths stay in sync.
+func TestRegistryColumnFreeze(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("early", "h", nil)
+	r.sample(1, 16)
+	r.Counter("late", "h", nil)
+	r.Gauge("late_gauge", "h", nil, func(ssd.Time) float64 { return 1 })
+	r.sample(2, 16)
+	cols := r.SeriesColumns()
+	for _, row := range r.Series() {
+		if len(row.Values) != len(cols) {
+			t.Fatalf("row width %d, columns %d", len(row.Values), len(cols))
+		}
+	}
+	if len(cols) != 1 || cols[0] != "early" {
+		t.Errorf("columns = %v, want the frozen pre-sample set", cols)
+	}
+}
+
+// TestSampleCadence checks that rows land at most once per interval and
+// that a long idle gap does not backfill a row per missed tick.
+func TestSampleCadence(t *testing.T) {
+	tel := New(Config{Enabled: true, SampleInterval: 10})
+	tel.Sample(1) // first observation establishes the clock and samples once
+	for now := ssd.Time(2); now < 8; now++ {
+		tel.Sample(now) // within the interval: no new rows
+	}
+	if n := len(tel.Registry().Series()); n != 1 {
+		t.Fatalf("%d rows inside one interval, want 1", n)
+	}
+	tel.Sample(1000) // long gap: exactly one catch-up row, not one per missed tick
+	if n := len(tel.Registry().Series()); n != 2 {
+		t.Fatalf("%d rows after gap, want 2", n)
+	}
+	tel.Sample(1000) // same instant again: the tick has advanced past it
+	if n := len(tel.Registry().Series()); n != 2 {
+		t.Fatalf("%d rows, want 2 (sampling clock must advance past the gap)", n)
+	}
+}
+
+// testObservation builds a plausible stamped op.
+func testObservation(kind ssd.OpKind, at ssd.Time) ssd.OpObservation {
+	return ssd.OpObservation{
+		Kind: kind, Chip: 0, Channel: 0,
+		Issue: at, Start: at, Transfer: 2, Cell: 10, Done: at + 12,
+	}
+}
+
+// TestTracerRingBounded checks the tracer ring: retention bounded by
+// TraceCap, dropped events counted, metadata track names always present.
+func TestTracerRingBounded(t *testing.T) {
+	tel := New(Config{Enabled: true, TraceCap: 16})
+	tel.Attach(ssd.DefaultGeometry())
+	for i := 0; i < 100; i++ {
+		tel.ObserveOp(testObservation(ssd.OpRead, ssd.Time(i*20)))
+	}
+	tr := tel.Tracer()
+	if tr.Dropped() == 0 {
+		t.Error("overflowing the ring dropped nothing")
+	}
+	events := tr.Events()
+	meta, spans := 0, 0
+	for _, e := range events {
+		if e.Ph == "M" {
+			meta++
+		} else {
+			spans++
+		}
+	}
+	if spans > 16 {
+		t.Errorf("%d span events retained, cap is 16", spans)
+	}
+	if meta == 0 {
+		t.Error("metadata track names missing after wrap")
+	}
+	var buf bytes.Buffer
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Errorf("wrapped trace fails schema: %v", err)
+	}
+	if !strings.Contains(buf.String(), "dropped_events") {
+		t.Error("trace with drops must record dropped_events in otherData")
+	}
+}
+
+// TestValidateTraceJSONRejects drives the schema checker over the
+// malformed shapes it must catch.
+func TestValidateTraceJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{`,
+		"no array":     `{"displayTimeUnit":"ms"}`,
+		"empty array":  `{"traceEvents":[]}`,
+		"no name":      `{"traceEvents":[{"ph":"X","ts":1}]}`,
+		"no phase":     `{"traceEvents":[{"name":"a"}]}`,
+		"bad phase":    `{"traceEvents":[{"name":"a","ph":"Z"}]}`,
+		"negative ts":  `{"traceEvents":[{"name":"a","ph":"X","ts":-5}]}`,
+		"X without ts": `{"traceEvents":[{"name":"a","ph":"X"}]}`,
+		"string ts":    `{"traceEvents":[{"name":"a","ph":"X","ts":"soon"}]}`,
+		"negative pid": `{"traceEvents":[{"name":"a","ph":"M","pid":-1}]}`,
+		"number name":  `{"traceEvents":[{"name":7,"ph":"M"}]}`,
+	}
+	for label, data := range cases {
+		if err := ValidateTraceJSON([]byte(data)); err == nil {
+			t.Errorf("%s: accepted %s", label, data)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"a","ph":"X","ts":1,"dur":2,"pid":0,"tid":0}]}`
+	if err := ValidateTraceJSON([]byte(ok)); err != nil {
+		t.Errorf("minimal valid trace rejected: %v", err)
+	}
+}
+
+// TestValidatePrometheusTextRejects drives the exposition-format checker.
+func TestValidatePrometheusTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"comment only": "# HELP x y\n# TYPE x counter\n",
+		"bad value":    "x{a=\"1\"} banana\n",
+		"no value":     "lonely_metric\n",
+		"bad type":     "# TYPE x rainbow\nx 1\n",
+		"bad labels":   "x{a=\"1\" 4\n",
+	}
+	for label, data := range cases {
+		if err := ValidatePrometheusText([]byte(data)); err == nil {
+			t.Errorf("%s: accepted %q", label, data)
+		}
+	}
+	ok := "# HELP x y\n# TYPE x counter\nx{a=\"1\"} 4\nplain 2.5\n"
+	if err := ValidatePrometheusText([]byte(ok)); err != nil {
+		t.Errorf("valid scrape rejected: %v", err)
+	}
+}
+
+// TestAttributionScope checks one request scope end to end: host op wait
+// splits into queue vs GC-blocked, ECC charges full duration, and the
+// residual lands in ctrl.
+func TestAttributionScope(t *testing.T) {
+	tel := New(Config{Enabled: true})
+	tel.BeginRequest(ReqWrite, 100)
+	// A GC program holds the chip for 30µs before the host's own program.
+	gcPrev := tel.EnterOrigin(OriginGC)
+	tel.ObserveOp(ssd.OpObservation{Kind: ssd.OpProgram, Issue: 100, Start: 100, Transfer: 5, Cell: 25, Done: 130})
+	tel.ExitOrigin(gcPrev)
+	// Host program issued at 100 waits to 130 behind the GC op.
+	tel.ObserveOp(ssd.OpObservation{Kind: ssd.OpProgram, Issue: 100, Start: 130, Transfer: 5, Cell: 25, Done: 160})
+	// An ECC retry read chains after it.
+	eccPrev := tel.EnterECC()
+	tel.ObserveOp(ssd.OpObservation{Kind: ssd.OpRead, Issue: 160, Start: 160, Transfer: 2, Cell: 8, Done: 170})
+	tel.ExitOrigin(eccPrev)
+	var got Request
+	tel.OnRequestEnd = func(r Request) { got = r }
+	tel.EndRequest(182) // 12µs of controller time on top
+
+	if got.Phases[PhaseGCBlocked] != 30 {
+		t.Errorf("gc-blocked = %d, want 30", got.Phases[PhaseGCBlocked])
+	}
+	if got.Phases[PhaseQueue] != 0 {
+		t.Errorf("queue = %d, want 0 (all wait was GC)", got.Phases[PhaseQueue])
+	}
+	if got.Phases[PhaseBus] != 5 || got.Phases[PhaseChip] != 25 {
+		t.Errorf("bus/chip = %d/%d, want 5/25", got.Phases[PhaseBus], got.Phases[PhaseChip])
+	}
+	if got.Phases[PhaseECC] != 10 {
+		t.Errorf("ecc = %d, want 10", got.Phases[PhaseECC])
+	}
+	if got.Phases[PhaseCtrl] != 12 {
+		t.Errorf("ctrl = %d, want 12", got.Phases[PhaseCtrl])
+	}
+	if got.FlashOps != 3 {
+		t.Errorf("flash ops = %d, want 3", got.FlashOps)
+	}
+	var sum ssd.Time
+	for _, p := range got.Phases {
+		sum += p
+	}
+	if sum != got.Latency() || sum != 82 {
+		t.Errorf("phases sum to %d, latency %d, want 82", sum, got.Latency())
+	}
+}
+
+// TestNowClock checks the exporters' "as of" clock follows every
+// observation channel.
+func TestNowClock(t *testing.T) {
+	tel := New(Config{Enabled: true})
+	tel.ObserveOp(testObservation(ssd.OpRead, 50))
+	if tel.Now() != 62 {
+		t.Errorf("Now = %d after op done at 62", tel.Now())
+	}
+	tel.BeginRequest(ReqRead, 70)
+	tel.EndRequest(90)
+	if tel.Now() != 90 {
+		t.Errorf("Now = %d after request done at 90", tel.Now())
+	}
+	tel.Sample(120)
+	if tel.Now() != 120 {
+		t.Errorf("Now = %d after sample at 120", tel.Now())
+	}
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"zombiessd/internal/ssd"
+)
+
+// Track pids of the emitted timeline. Perfetto groups events by (pid, tid):
+// host requests get one track per op kind, flash chips one track each, and
+// the background daemons (GC, scrub, recovery) one track each.
+const (
+	PidHost    = 0
+	PidFlash   = 1
+	PidDaemons = 2
+)
+
+// Daemon track tids under PidDaemons.
+const (
+	TidGC       = 0
+	TidScrub    = 1
+	TidRecovery = 2
+)
+
+// Event is one Chrome trace-event (the JSON array format Perfetto and
+// chrome://tracing consume). Only complete events ("X") and metadata
+// events ("M") are emitted.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // microseconds (simulated time)
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer retains the most recent flash-op and span events in a bounded
+// ring, so tracing a long run holds memory constant: when the ring fills,
+// the oldest events are overwritten — the exported timeline is the tail of
+// the run, which is the part an investigation usually wants.
+type Tracer struct {
+	meta    []Event // track-naming metadata, emitted once, never evicted
+	ring    []Event
+	head    int
+	wrapped bool
+	dropped int64
+}
+
+func newTracer(cap int) *Tracer {
+	return &Tracer{ring: make([]Event, 0, cap)}
+}
+
+// attach names the tracks for the drive's geometry.
+func (tr *Tracer) attach(geo ssd.Geometry) {
+	if tr == nil {
+		return
+	}
+	name := func(pid, tid int, what, n string) {
+		tr.meta = append(tr.meta,
+			Event{Name: what, Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": n}})
+	}
+	name(PidHost, 0, "process_name", "host requests")
+	name(PidFlash, 0, "process_name", "flash chips")
+	name(PidDaemons, 0, "process_name", "daemons")
+	name(PidHost, int(ReqRead), "thread_name", "reads")
+	name(PidHost, int(ReqWrite), "thread_name", "writes")
+	for c := 0; c < geo.TotalChips(); c++ {
+		name(PidFlash, c, "thread_name",
+			fmt.Sprintf("chip %d (ch %d)", c, geo.ChannelOfChip(c)))
+	}
+	name(PidDaemons, TidGC, "thread_name", "garbage collection")
+	name(PidDaemons, TidScrub, "thread_name", "scrub patrol")
+	name(PidDaemons, TidRecovery, "thread_name", "crash recovery")
+}
+
+// push adds one event to the ring, evicting the oldest when full.
+func (tr *Tracer) push(e Event) {
+	if tr == nil {
+		return
+	}
+	if len(tr.ring) < cap(tr.ring) {
+		tr.ring = append(tr.ring, e)
+		return
+	}
+	tr.ring[tr.head] = e
+	tr.head = (tr.head + 1) % len(tr.ring)
+	tr.wrapped = true
+	tr.dropped++
+}
+
+// emitOp places one flash operation on its chip's track. The queue wait,
+// when present, is exposed in args so Perfetto can surface it.
+func (tr *Tracer) emitOp(origin Origin, op ssd.OpObservation) {
+	if tr == nil {
+		return
+	}
+	e := Event{
+		Name: op.Kind.String(),
+		Cat:  origin.String(),
+		Ph:   "X",
+		Ts:   int64(op.Start),
+		Dur:  int64(op.Done - op.Start),
+		Pid:  PidFlash,
+		Tid:  op.Chip,
+	}
+	if wait := op.Start - op.Issue; wait > 0 {
+		e.Args = map[string]any{"wait_us": int64(wait)}
+	}
+	tr.push(e)
+}
+
+// emitRequest places one finished host request on the read or write track
+// with its phase decomposition in args.
+func (tr *Tracer) emitRequest(req Request) {
+	if tr == nil {
+		return
+	}
+	args := make(map[string]any, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		if req.Phases[p] != 0 {
+			args[p.String()+"_us"] = int64(req.Phases[p])
+		}
+	}
+	tr.push(Event{
+		Name: req.Op.String(),
+		Cat:  "request",
+		Ph:   "X",
+		Ts:   int64(req.Arrival),
+		Dur:  int64(req.Latency()),
+		Pid:  PidHost,
+		Tid:  int(req.Op),
+		Args: args,
+	})
+}
+
+// emitSpan places a daemon span (GC cycle, patrol visit, recovery scan).
+func (tr *Tracer) emitSpan(origin Origin, name string, start, end ssd.Time, args map[string]any) {
+	if tr == nil {
+		return
+	}
+	tid := TidGC
+	switch origin {
+	case OriginScrub:
+		tid = TidScrub
+	case OriginRecovery:
+		tid = TidRecovery
+	}
+	if end < start {
+		end = start
+	}
+	tr.push(Event{
+		Name: name,
+		Cat:  origin.String(),
+		Ph:   "X",
+		Ts:   int64(start),
+		Dur:  int64(end - start),
+		Pid:  PidDaemons,
+		Tid:  tid,
+		Args: args,
+	})
+}
+
+// Events returns the retained events: metadata first, then the ring's
+// events oldest-first.
+func (tr *Tracer) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(tr.meta)+len(tr.ring))
+	out = append(out, tr.meta...)
+	if tr.wrapped {
+		out = append(out, tr.ring[tr.head:]...)
+		out = append(out, tr.ring[:tr.head]...)
+	} else {
+		out = append(out, tr.ring...)
+	}
+	return out
+}
+
+// Dropped returns how many events the bounded ring has evicted.
+func (tr *Tracer) Dropped() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.dropped
+}

@@ -1,0 +1,140 @@
+// Package telemetryflags registers the observability knobs shared by the
+// simulator binaries (ssdsim and zombiectl) on a flag set: the telemetry
+// layer's configuration (-telemetry, -telemetry-sample, the ring caps) and
+// the export destinations (-telemetry-prom, -telemetry-csv,
+// -telemetry-trace). Keeping the definitions in one place guarantees both
+// binaries expose the same names, defaults and validation messages —
+// the same contract internal/faultflags provides for the reliability
+// knobs.
+package telemetryflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zombiessd/internal/telemetry"
+)
+
+// Set holds the parsed values of the shared telemetry flags.
+type Set struct {
+	// Telemetry is the layer configuration handed to telemetry.New.
+	Telemetry telemetry.Config
+
+	// PromPath, CSVPath and TracePath are export destinations written
+	// after the run; empty means "don't write that export".
+	PromPath  string
+	CSVPath   string
+	TracePath string
+}
+
+// Register wires the shared telemetry flags into fs and returns the Set
+// their parsed values land in. Binary-specific knobs (zombiectl's
+// -telemetry-cell) stay with their binaries.
+func Register(fs *flag.FlagSet) *Set {
+	s := &Set{}
+	fs.BoolVar(&s.Telemetry.Enabled, "telemetry", false,
+		"attach the observability layer: metrics registry, latency attribution, timeline tracer")
+	fs.Int64Var((*int64)(&s.Telemetry.SampleInterval), "telemetry-sample", 0,
+		fmt.Sprintf("simulated µs between time-series samples (0 = default %d)", int64(telemetry.DefaultSampleInterval)))
+	fs.IntVar(&s.Telemetry.TraceCap, "telemetry-trace-cap", 0,
+		fmt.Sprintf("timeline events retained, most recent kept (0 = default %d; negative disables the tracer)", telemetry.DefaultTraceCap))
+	fs.IntVar(&s.Telemetry.SeriesCap, "telemetry-series-cap", 0,
+		fmt.Sprintf("time-series rows retained, most recent kept (0 = default %d)", telemetry.DefaultSeriesCap))
+	fs.StringVar(&s.PromPath, "telemetry-prom", "",
+		"write the final metrics in Prometheus text format to this file ('-' = stdout)")
+	fs.StringVar(&s.CSVPath, "telemetry-csv", "",
+		"write the sampled time series as CSV to this file ('-' = stdout)")
+	fs.StringVar(&s.TracePath, "telemetry-trace", "",
+		"write the flash-op timeline as Chrome trace-event JSON to this file ('-' = stdout; view in Perfetto)")
+	return s
+}
+
+// Validate rejects inconsistent values with the flag name in the message,
+// so binaries can report bad input before any simulation starts.
+func (s *Set) Validate() error {
+	if s.Telemetry.SampleInterval < 0 {
+		return fmt.Errorf("-telemetry-sample must be ≥ 0, got %d", int64(s.Telemetry.SampleInterval))
+	}
+	if s.Telemetry.SeriesCap < 0 {
+		return fmt.Errorf("-telemetry-series-cap must be ≥ 0, got %d", s.Telemetry.SeriesCap)
+	}
+	if !s.Telemetry.Enabled {
+		for _, dep := range []struct {
+			flag string
+			set  bool
+		}{
+			{"-telemetry-sample", s.Telemetry.SampleInterval != 0},
+			{"-telemetry-trace-cap", s.Telemetry.TraceCap != 0},
+			{"-telemetry-series-cap", s.Telemetry.SeriesCap != 0},
+			{"-telemetry-prom", s.PromPath != ""},
+			{"-telemetry-csv", s.CSVPath != ""},
+			{"-telemetry-trace", s.TracePath != ""},
+		} {
+			if dep.set {
+				return fmt.Errorf("%s needs -telemetry", dep.flag)
+			}
+		}
+	}
+	if s.TracePath != "" && s.Telemetry.TraceCap < 0 {
+		return fmt.Errorf("-telemetry-trace conflicts with -telemetry-trace-cap %d (tracer disabled)", s.Telemetry.TraceCap)
+	}
+	return s.Telemetry.Validate()
+}
+
+// WantsExport reports whether any export destination was requested.
+func (s *Set) WantsExport() bool {
+	return s.PromPath != "" || s.CSVPath != "" || s.TracePath != ""
+}
+
+// WriteExports writes every requested export of tel. Gauges are evaluated
+// at tel.Now(), the last simulated instant the run observed. A nil tel
+// with exports requested is an error (the caller's run never attached the
+// instance Validate promised).
+func (s *Set) WriteExports(tel *telemetry.Telemetry) error {
+	if !s.WantsExport() {
+		return nil
+	}
+	if !tel.On() {
+		return fmt.Errorf("telemetry exports requested but no telemetry instance was attached")
+	}
+	if s.PromPath != "" {
+		if err := writeTo(s.PromPath, func(f *os.File) error {
+			return tel.WritePrometheus(f, tel.Now())
+		}); err != nil {
+			return fmt.Errorf("-telemetry-prom: %w", err)
+		}
+	}
+	if s.CSVPath != "" {
+		if err := writeTo(s.CSVPath, func(f *os.File) error {
+			return tel.WriteCSV(f)
+		}); err != nil {
+			return fmt.Errorf("-telemetry-csv: %w", err)
+		}
+	}
+	if s.TracePath != "" {
+		if err := writeTo(s.TracePath, func(f *os.File) error {
+			return tel.WriteTrace(f)
+		}); err != nil {
+			return fmt.Errorf("-telemetry-trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeTo streams one export into path ('-' = stdout), surfacing both
+// write and close errors.
+func writeTo(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,102 @@
+package telemetryflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zombiessd/internal/telemetry"
+)
+
+// parse registers the shared flags on a fresh flag set and parses args.
+func parse(t *testing.T, args ...string) *Set {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return s
+}
+
+// TestValidate drives the up-front validation both binaries run before
+// any simulation starts: bad values and dependent flags without
+// -telemetry must be rejected with the offending flag named.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr string // empty = valid
+	}{
+		{nil, ""},
+		{[]string{"-telemetry"}, ""},
+		{[]string{"-telemetry", "-telemetry-sample", "500", "-telemetry-trace-cap", "-1"}, ""},
+		{[]string{"-telemetry", "-telemetry-sample", "-3"}, "-telemetry-sample"},
+		{[]string{"-telemetry", "-telemetry-series-cap", "-2"}, "-telemetry-series-cap"},
+		{[]string{"-telemetry-sample", "500"}, "-telemetry-sample needs -telemetry"},
+		{[]string{"-telemetry-prom", "m.prom"}, "-telemetry-prom needs -telemetry"},
+		{[]string{"-telemetry-csv", "s.csv"}, "-telemetry-csv needs -telemetry"},
+		{[]string{"-telemetry-trace", "t.json"}, "-telemetry-trace needs -telemetry"},
+		{[]string{"-telemetry", "-telemetry-trace", "t.json", "-telemetry-trace-cap", "-1"},
+			"-telemetry-trace conflicts"},
+	}
+	for _, c := range cases {
+		err := parse(t, c.args...).Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%v: unexpected error %v", c.args, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%v: error %v, want mention of %q", c.args, err, c.wantErr)
+		}
+	}
+}
+
+// TestWriteExports checks the export plumbing: nothing requested is a
+// no-op, requested exports without an instance error, and a live
+// instance lands valid files at the requested paths.
+func TestWriteExports(t *testing.T) {
+	if err := (&Set{}).WriteExports(nil); err != nil {
+		t.Errorf("no exports requested must be a no-op, got %v", err)
+	}
+	if err := (&Set{PromPath: "x"}).WriteExports(nil); err == nil {
+		t.Error("exports without an instance must error")
+	}
+
+	dir := t.TempDir()
+	s := &Set{
+		PromPath:  filepath.Join(dir, "m.prom"),
+		CSVPath:   filepath.Join(dir, "s.csv"),
+		TracePath: filepath.Join(dir, "t.json"),
+	}
+	tel := telemetry.New(telemetry.Config{Enabled: true})
+	tel.Sample(0)
+	tel.EmitSpan(telemetry.OriginGC, "cycle", 10, 20, nil)
+	if err := s.WriteExports(tel); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(s.PromPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidatePrometheusText(prom); err != nil {
+		t.Errorf("exported prometheus invalid: %v", err)
+	}
+	tr, err := os.ReadFile(s.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTraceJSON(tr); err != nil {
+		t.Errorf("exported trace invalid: %v", err)
+	}
+	csvData, err := os.ReadFile(s.CSVPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvData), "time_us") {
+		t.Errorf("exported CSV starts %q, want time_us header", string(csvData[:20]))
+	}
+}

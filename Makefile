@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke repro examples clean
+.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke repro examples clean
 
 all: build vet test
 
@@ -44,6 +44,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFIU -fuzztime=5s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzRecoveryScan -fuzztime=5s ./internal/recovery
 	$(GO) test -run='^$$' -fuzz=FuzzRBEREstimator -fuzztime=5s ./internal/fault
+	$(GO) test -run='^$$' -fuzz=FuzzTenantConfig -fuzztime=5s ./internal/sim
 
 # Reduced-scale end-to-end run of the drive-to-death harness: every
 # architecture ages under the wear-scaled fault plan and the capacity /
@@ -61,6 +62,12 @@ crash-smoke:
 # (uncorrectable reads, data loss, declined revivals) and on (zero loss).
 scrub-smoke:
 	$(GO) run ./cmd/zombiectl -q -requests 24000 run scrubsweep
+
+# Reduced-scale multi-tenant sweep: a 2-tenant set under WRR across all
+# five architectures through the multi-queue host engine, reporting
+# per-tenant tail latency, DVP hit rate and the cross-tenant subsidy.
+tenant-smoke:
+	$(GO) run ./cmd/zombiectl -q -requests 24000 -tenants "mail,trans:ia=0.5" -qos wrr run tenantsweep
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

@@ -46,6 +46,8 @@ type params struct {
 	scrub               scrub.Config
 	gcFaultWeight       float64
 	drainSuspects       bool
+	tenants, qos        string
+	qd                  int
 	tel                 *telemetryflags.Set
 }
 
@@ -68,6 +70,9 @@ func main() {
 	rf := faultflags.Register(flag.CommandLine)
 	p.tel = telemetryflags.Register(flag.CommandLine)
 	flag.BoolVar(&p.drainSuspects, "gc-drain-suspects", false, "GC drains blocks at the suspect threshold first")
+	flag.StringVar(&p.tenants, "tenants", "", "multi-tenant run: tenant set (a count like 2, or specs like mail,trans:weight=2); empty = single-stream replay")
+	flag.StringVar(&p.qos, "qos", "fifo", "QoS arbiter for -tenants runs: fifo, wrr or tbucket")
+	flag.IntVar(&p.qd, "qd", 0, "per-tenant queue depth and shared device-slot bound for -tenants runs (0 = unlimited)")
 	var crashAt int64
 	flag.Int64Var(&crashAt, "crash-at", 0, "cut power during the Nth flash op (1-based, preconditioning included; 0 = never), then recover, verify and finish the trace")
 	flag.Parse()
@@ -82,6 +87,23 @@ func main() {
 	if crashAt < 0 {
 		fatalFlag("-crash-at must be ≥ 0, got %d", crashAt)
 	}
+	if p.tenants != "" {
+		if _, err := sim.ParseTenants(p.tenants); err != nil {
+			fatalFlag("-tenants: %v", err)
+		}
+		if p.tracePath != "" {
+			fatalFlag("-tenants generates its own workloads; it cannot be combined with -trace")
+		}
+		if crashAt > 0 {
+			fatalFlag("-tenants cannot be combined with -crash-at")
+		}
+	}
+	if _, err := sim.ParseArbiterKind(p.qos); err != nil {
+		fatalFlag("-qos: %v", err)
+	}
+	if p.qd < 0 {
+		fatalFlag("-qd must be ≥ 0, got %d", p.qd)
+	}
 	p.faults, p.scrub, p.gcFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
 	p.faults.CrashAtOp = crashAt
 
@@ -92,6 +114,9 @@ func main() {
 }
 
 func run(p params) error {
+	if p.tenants != "" {
+		return runMultiTenant(p)
+	}
 	recs, err := loadTrace(p.tracePath, p.traceFmt, p.workload, p.n, p.seed)
 	if err != nil {
 		return err
@@ -105,38 +130,7 @@ func run(p params) error {
 			footprint = int64(r.LBA) + 1
 		}
 	}
-
-	kind := sim.Kind(strings.ToLower(p.system))
-	if kind == "lx-ssd" {
-		kind = sim.KindLX
-	}
-	popWeight := 0.0
-	if kind == sim.KindDVP || kind == sim.KindDVPDedup {
-		popWeight = sim.DefaultPopularityWeight
-	}
-	cfg := sim.Config{
-		Geometry: sim.GeometryFor(footprint, p.util),
-		Latency:  ssd.PaperLatency(),
-		Store: ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: p.softGC,
-			FaultPenaltyWeight: p.gcFaultWeight, DrainSuspects: p.drainSuspects},
-		LogicalPages: footprint,
-		Kind:         kind,
-		PoolKind:     sim.PoolKind(strings.ToLower(p.pool)),
-		MQ:           core.MQConfig{Queues: p.queues, Capacity: p.entries, DefaultLifetime: 8192},
-		LRUCapacity:  p.entries,
-		Adaptive: core.AdaptiveConfig{
-			MQ:          core.MQConfig{Queues: p.queues, Capacity: p.entries, DefaultLifetime: 8192},
-			MinCapacity: p.entries / 4,
-			MaxCapacity: p.entries * 8,
-			Window:      8192,
-			Step:        0.25,
-		},
-		LX:               lxssd.Config{Capacity: p.entries, MinPopularity: 2},
-		WriteBufferPages: p.wbufPages,
-		HotColdStreams:   p.streams,
-		Faults:           p.faults,
-		Scrub:            p.scrub,
-	}
+	cfg := simConfig(p, footprint)
 	tel := telemetry.New(p.tel.Telemetry)
 	cfg.Telemetry = tel
 	dev, err := sim.NewDevice(cfg)
@@ -159,6 +153,89 @@ func run(p params) error {
 	}
 	printResult(cfg, len(recs), res)
 	return p.tel.WriteExports(tel)
+}
+
+// runMultiTenant generates one seeded stream per configured tenant and
+// drives them through the multi-queue host engine under the chosen
+// arbiter, printing the aggregate block followed by one line per tenant.
+func runMultiTenant(p params) error {
+	cfgs, err := sim.ParseTenants(p.tenants)
+	if err != nil {
+		return err
+	}
+	arb, err := sim.ParseArbiterKind(p.qos)
+	if err != nil {
+		return err
+	}
+	traces, err := sim.GenerateTenants(cfgs, p.n, p.seed)
+	if err != nil {
+		return err
+	}
+	footprint := sim.TotalFootprint(traces)
+	cfg := simConfig(p, footprint)
+	tel := telemetry.New(p.tel.Telemetry)
+	cfg.Telemetry = tel
+	dev, err := sim.NewDevice(cfg)
+	if err != nil {
+		return err
+	}
+	opts := sim.EngineOptions{Arbiter: arb, QueueDepth: p.qd, DeviceSlots: p.qd, LogicalPages: footprint}
+	if p.precond {
+		opts.PreconditionPages = footprint
+	}
+	mr, err := sim.RunTenants(dev, traces, opts)
+	if err != nil {
+		return err
+	}
+	var requests int
+	for _, t := range traces {
+		requests += len(t.Recs)
+	}
+	printResult(cfg, requests, mr.Result)
+	fmt.Printf("qos         %s (qd=%d)\n", arb, p.qd)
+	for _, tr := range mr.Tenants {
+		fmt.Printf("tenant %-16s n=%-8d rej=%-6d mean=%.1fµs p99=%dµs p99.9=%dµs wait=%.1fµs dvp-hit=%.1f%% WA=%.2f rev-other=%d rev-by-other=%d\n",
+			tr.Name, tr.Requests, tr.Rejected, tr.All.Mean, tr.All.P99, tr.P999,
+			tr.Wait.Mean, tr.DVPHitPct(), tr.Metrics.WriteAmplification(),
+			tr.Store.RevivedOther, tr.Store.RevivedByOther)
+	}
+	return p.tel.WriteExports(tel)
+}
+
+// simConfig assembles the device configuration shared by the single-stream
+// and multi-tenant paths for a run addressing footprint logical pages.
+func simConfig(p params, footprint int64) sim.Config {
+	kind := sim.Kind(strings.ToLower(p.system))
+	if kind == "lx-ssd" {
+		kind = sim.KindLX
+	}
+	popWeight := 0.0
+	if kind == sim.KindDVP || kind == sim.KindDVPDedup {
+		popWeight = sim.DefaultPopularityWeight
+	}
+	return sim.Config{
+		Geometry: sim.GeometryFor(footprint, p.util),
+		Latency:  ssd.PaperLatency(),
+		Store: ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: p.softGC,
+			FaultPenaltyWeight: p.gcFaultWeight, DrainSuspects: p.drainSuspects},
+		LogicalPages: footprint,
+		Kind:         kind,
+		PoolKind:     sim.PoolKind(strings.ToLower(p.pool)),
+		MQ:           core.MQConfig{Queues: p.queues, Capacity: p.entries, DefaultLifetime: 8192},
+		LRUCapacity:  p.entries,
+		Adaptive: core.AdaptiveConfig{
+			MQ:          core.MQConfig{Queues: p.queues, Capacity: p.entries, DefaultLifetime: 8192},
+			MinCapacity: p.entries / 4,
+			MaxCapacity: p.entries * 8,
+			Window:      8192,
+			Step:        0.25,
+		},
+		LX:               lxssd.Config{Capacity: p.entries, MinPopularity: 2},
+		WriteBufferPages: p.wbufPages,
+		HotColdStreams:   p.streams,
+		Faults:           p.faults,
+		Scrub:            p.scrub,
+	}
 }
 
 // runWithCrash replays the trace with the power-loss trigger armed: when

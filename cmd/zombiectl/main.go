@@ -20,6 +20,7 @@ import (
 
 	"zombiessd/internal/experiments"
 	"zombiessd/internal/faultflags"
+	"zombiessd/internal/sim"
 	"zombiessd/internal/telemetryflags"
 )
 
@@ -36,6 +37,9 @@ func main() {
 		"matrix cell (workload/system) whose telemetry the -telemetry-* exports cover")
 	flag.IntVar(&opts.CrashPoints, "crash-points", experiments.DefaultCrashPoints, "sudden-power-loss points per architecture in the crashsweep experiment")
 	flag.Int64Var(&opts.CrashSeed, "crash-seed", 0, "crash-point placement seed for the crashsweep experiment")
+	flag.StringVar(&opts.TenantSpec, "tenants", "", "tenantsweep tenant set (a count like 2, or specs like mail,trans:weight=2:ia=0.5); empty = built-in 1→8 ladder plus antagonist arm")
+	flag.StringVar(&opts.QoSPolicies, "qos", "fifo,wrr", "comma-separated QoS arbiters the tenantsweep crosses: fifo, wrr, tbucket")
+	flag.IntVar(&opts.QueueDepth, "qd", 0, "per-tenant queue-depth bound for multi-tenant cells (0 = tenantsweep default)")
 	quiet := flag.Bool("q", false, "suppress progress notes on stderr")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	flag.Usage = usage
@@ -61,6 +65,17 @@ func main() {
 	}
 	if opts.CrashSeed < 0 {
 		fatalFlag("-crash-seed must be ≥ 0, got %d", opts.CrashSeed)
+	}
+	if opts.TenantSpec != "" {
+		if _, err := sim.ParseTenants(opts.TenantSpec); err != nil {
+			fatalFlag("-tenants: %v", err)
+		}
+	}
+	if _, err := sim.ParseArbiterList(opts.QoSPolicies); err != nil {
+		fatalFlag("-qos: %v", err)
+	}
+	if opts.QueueDepth < 0 {
+		fatalFlag("-qd must be ≥ 0, got %d", opts.QueueDepth)
 	}
 	opts.Faults, opts.Scrub, opts.GCFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
 	opts.Telemetry = tf.Telemetry

@@ -47,7 +47,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4",
 		"fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15",
 		"ablation-policy", "ablation-gc", "ablation-adaptive", "ablation-bgc",
-		"ablation-faults", "lifetime", "stability", "crashsweep", "scrubsweep"}
+		"ablation-faults", "lifetime", "stability", "crashsweep", "scrubsweep",
+		"tenantsweep"}
 	if len(All()) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
 	}

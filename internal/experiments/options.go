@@ -68,6 +68,17 @@ type Options struct {
 	// for every value — cells are independent simulations and the matrix
 	// is keyed, not ordered by completion.
 	Jobs int
+	// TenantSpec, when non-empty, replaces the tenantsweep experiment's
+	// built-in 1→8 tenant-count ladder with an explicit tenant set in the
+	// sim.ParseTenants grammar (the -tenants flag).
+	TenantSpec string
+	// QoSPolicies is the comma-separated arbiter list the tenantsweep
+	// crosses its cells with (the -qos flag); empty means "fifo,wrr".
+	QoSPolicies string
+	// QueueDepth is the default per-tenant queue-depth bound for
+	// multi-tenant runs (the -qd flag); 0 lets the tenantsweep pick its
+	// own default.
+	QueueDepth int
 	// Telemetry, when Enabled, attaches a fresh observability instance
 	// (metrics registry, latency attribution, timeline tracer) to every
 	// simulated matrix device. Each cell gets its own instance, so
@@ -114,6 +125,19 @@ func (o Options) Validate() error {
 	}
 	if o.Jobs < 0 {
 		return fmt.Errorf("experiments: jobs must be ≥ 0 (0 = all cores), got %d", o.Jobs)
+	}
+	if o.TenantSpec != "" {
+		if _, err := sim.ParseTenants(o.TenantSpec); err != nil {
+			return err
+		}
+	}
+	if o.QoSPolicies != "" {
+		if _, err := sim.ParseArbiterList(o.QoSPolicies); err != nil {
+			return err
+		}
+	}
+	if o.QueueDepth < 0 {
+		return fmt.Errorf("experiments: queue depth must be ≥ 0, got %d", o.QueueDepth)
 	}
 	if err := o.Telemetry.Validate(); err != nil {
 		return err

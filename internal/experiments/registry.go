@@ -65,6 +65,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunCrashsweep(o) }},
 	{ID: "scrubsweep", Title: "Scrubsweep: RBER decay, background scrubbing and revival gating across architectures",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunScrubsweep(o) }},
+	{ID: "tenantsweep", Title: "Tenantsweep: multi-tenant QoS isolation and cross-tenant DVP subsidy",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunTenantsweep(o) }},
 }
 
 // All returns every experiment in the paper's order.

@@ -84,6 +84,7 @@ const journalCapFloor = 4096
 func (s *Store) StampOOB(ppn ssd.PPN, lpn LPN, h trace.Hash, revived bool) {
 	s.seq++
 	s.oob[ppn] = OOB{State: OOBProgrammed, LPN: lpn, Hash: h, Seq: s.seq, Revived: revived}
+	s.ownProgrammed(int64(ppn))
 }
 
 // AppendBinding journals a mapping-only update of lpn to the already-
@@ -187,6 +188,7 @@ func (s *Store) stampRelocated(src, dst ssd.PPN) {
 	}
 	s.seq++
 	s.oob[dst] = OOB{State: OOBProgrammed, LPN: lpn, Hash: srcOOB.Hash, Seq: s.seq}
+	s.ownRelocated(int64(src), int64(dst))
 }
 
 // Rebuild restores the store's RAM-resident block state after a crash from

@@ -246,6 +246,13 @@ type Store struct {
 	// all strictly after the bus has stamped the timeline, so telemetry
 	// cannot change a simulated-time result.
 	Tel *telemetry.Telemetry
+
+	// Multi-tenant attribution (see tenant.go): per-page owner stamps, the
+	// scoped current tenant, and the per-tenant flash ledger. All nil/idle
+	// until EnableTenants; like Tel, strictly observational.
+	pageOwner   []int16
+	curTenant   int16
+	tenantStats []TenantStoreStats
 }
 
 // NewStore returns a Store over bus with every block free.
@@ -605,6 +612,7 @@ func (s *Store) Revalidate(p ssd.PPN) {
 	b := s.geo.BlockOf(p)
 	s.blocks[b].valid++
 	s.blocks[b].invalid--
+	s.ownRevived(int64(p))
 }
 
 // ensureSpace runs GC on the plane until its free list reaches the

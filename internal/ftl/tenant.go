@@ -1,0 +1,150 @@
+package ftl
+
+// Multi-tenant attribution inside the store: when the host engine runs
+// several tenant streams against one device, the flash-level effects that
+// matter for isolation — programs, GC relocation traffic, and zombie
+// revivals that consume another tenant's garbage — need a per-tenant
+// ledger. The store keeps a per-page owner stamp (who last programmed or
+// revived the page) and a scoped current-tenant register the engine sets
+// around each request, mirroring the telemetry EnterOrigin/ExitOrigin
+// pattern. Everything here is observational: owners never influence
+// allocation, GC victim choice or revival decisions, so enabling tenants
+// cannot change a simulated-time result, and a store without
+// EnableTenants pays one nil check per hook (TestNoTenantBitIdentity
+// pins both properties).
+
+// TenantStoreStats is one tenant's flash-level ledger.
+type TenantStoreStats struct {
+	// HostPrograms counts pages programmed for the tenant's own writes
+	// (OOB-stamped while the tenant was in scope).
+	HostPrograms int64
+
+	// GCRelocations counts relocation copies performed by GC cycles that
+	// ran while servicing this tenant's request — the write-amplification
+	// work the tenant induced, whoever's pages moved.
+	GCRelocations int64
+
+	// RelocatedOwn counts relocation copies whose moved page this tenant
+	// owned — the tenant's data being dragged around by anyone's GC.
+	RelocatedOwn int64
+
+	// RevivedSelf counts zombie revivals that matched garbage the tenant
+	// itself had written.
+	RevivedSelf int64
+
+	// RevivedOther counts revivals where the tenant's write matched
+	// garbage another tenant (or preconditioning) left behind — the
+	// cross-tenant DVP subsidy received.
+	RevivedOther int64
+
+	// RevivedByOther counts this tenant's garbage pages revived by some
+	// other tenant's write — the subsidy granted.
+	RevivedByOther int64
+}
+
+// noTenant marks an unowned page or an out-of-scope operation
+// (preconditioning, recovery, background daemons).
+const noTenant = -1
+
+// EnableTenants switches on per-tenant attribution for n tenants. Every
+// page starts unowned; the current scope starts out-of-scope. Calling it
+// again resets the ledger.
+func (s *Store) EnableTenants(n int) {
+	s.tenantStats = make([]TenantStoreStats, n)
+	s.pageOwner = make([]int16, s.geo.TotalPages())
+	for i := range s.pageOwner {
+		s.pageOwner[i] = noTenant
+	}
+	s.curTenant = noTenant
+}
+
+// TenantsEnabled reports whether per-tenant attribution is on.
+func (s *Store) TenantsEnabled() bool { return s.pageOwner != nil }
+
+// EnterTenant scopes subsequent flash activity to tenant t (noTenant, or
+// any negative value, for none) and returns the previous scope; callers
+// restore it with ExitTenant. No-op (returning noTenant) while tenant
+// attribution is disabled.
+func (s *Store) EnterTenant(t int) int {
+	if s.pageOwner == nil {
+		return noTenant
+	}
+	prev := s.curTenant
+	if t < 0 || t >= len(s.tenantStats) {
+		s.curTenant = noTenant
+	} else {
+		s.curTenant = int16(t)
+	}
+	return int(prev)
+}
+
+// ExitTenant restores the scope returned by EnterTenant.
+func (s *Store) ExitTenant(prev int) {
+	if s.pageOwner == nil {
+		return
+	}
+	if prev < 0 || prev >= len(s.tenantStats) {
+		s.curTenant = noTenant
+	} else {
+		s.curTenant = int16(prev)
+	}
+}
+
+// TenantStats returns a copy of the per-tenant ledger (nil when
+// attribution is off).
+func (s *Store) TenantStats() []TenantStoreStats {
+	if s.tenantStats == nil {
+		return nil
+	}
+	out := make([]TenantStoreStats, len(s.tenantStats))
+	copy(out, s.tenantStats)
+	return out
+}
+
+// ownProgrammed records a host program of ppn under the current scope.
+func (s *Store) ownProgrammed(ppn int64) {
+	if s.pageOwner == nil {
+		return
+	}
+	s.pageOwner[ppn] = s.curTenant
+	if s.curTenant >= 0 {
+		s.tenantStats[s.curTenant].HostPrograms++
+	}
+}
+
+// ownRelocated moves src's owner stamp to its GC relocation copy dst and
+// charges the ledger: the in-scope tenant induced the copy, the owner had
+// a page moved.
+func (s *Store) ownRelocated(src, dst int64) {
+	if s.pageOwner == nil {
+		return
+	}
+	owner := s.pageOwner[src]
+	s.pageOwner[dst] = owner
+	if s.curTenant >= 0 {
+		s.tenantStats[s.curTenant].GCRelocations++
+	}
+	if owner >= 0 {
+		s.tenantStats[owner].RelocatedOwn++
+	}
+}
+
+// ownRevived reassigns a revived garbage page to the in-scope tenant and
+// books the subsidy direction.
+func (s *Store) ownRevived(ppn int64) {
+	if s.pageOwner == nil || s.curTenant < 0 {
+		return
+	}
+	prev := s.pageOwner[ppn]
+	st := &s.tenantStats[s.curTenant]
+	switch {
+	case prev == s.curTenant:
+		st.RevivedSelf++
+	default:
+		st.RevivedOther++
+		if prev >= 0 {
+			s.tenantStats[prev].RevivedByOther++
+		}
+	}
+	s.pageOwner[ppn] = s.curTenant
+}

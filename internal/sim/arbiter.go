@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+
+	"zombiessd/internal/ssd"
+)
+
+// The QoS arbiter contract. At each decision point the engine hands the
+// arbiter the set of ready tenants — queued work and spare queue depth —
+// with the arrival time of each tenant's queue head, and the arbiter
+// either picks one or declines with a wake time (a rate limiter whose
+// buckets are all empty). Arbiters are pure functions of their own state,
+// the ready set and simulated time: no real clocks, no map iteration, no
+// randomness, so every policy is deterministic and replayable.
+//
+// Invariants the property tests pin (arbiter_test.go): WRR service shares
+// converge to the configured weights under saturation; the token bucket
+// never serves more than burst + rate·window requests in any window; no
+// ready tenant starves; a returned wake time is strictly in the future.
+type arbiter interface {
+	// pick chooses the next tenant to dispatch among ready (ascending
+	// tenant indices; never empty). heads[t] is the arrival time of tenant
+	// t's oldest queued request. Returns tenant -1 and a wake time > now
+	// when policy blocks every ready tenant.
+	pick(now ssd.Time, ready []int, heads []ssd.Time) (int, ssd.Time)
+
+	// served records that one request of tenant t was dispatched at now.
+	served(t int, now ssd.Time)
+}
+
+// newArbiter builds the arbiter for kind over tenant configs.
+func newArbiter(kind ArbiterKind, tenants []TenantConfig) arbiter {
+	switch kind {
+	case ArbWRR:
+		w := make([]float64, len(tenants))
+		for i, t := range tenants {
+			w[i] = t.Weight
+			if w[i] <= 0 {
+				w[i] = 1
+			}
+		}
+		return &wrrArbiter{weights: w, current: make([]float64, len(tenants))}
+	case ArbTokenBucket:
+		tb := &tokenBucketArbiter{
+			ratePerUS: make([]float64, len(tenants)),
+			burst:     make([]float64, len(tenants)),
+			tokens:    make([]float64, len(tenants)),
+			last:      make([]ssd.Time, len(tenants)),
+		}
+		for i, t := range tenants {
+			tb.ratePerUS[i] = t.Rate / 1e6
+			tb.burst[i] = t.Burst
+			if tb.burst[i] <= 0 {
+				tb.burst[i] = defaultBucketBurst
+			}
+			tb.tokens[i] = tb.burst[i] // buckets start full
+		}
+		return tb
+	default:
+		return fifoArbiter{}
+	}
+}
+
+// defaultBucketBurst is the token-bucket capacity when a rate-limited
+// tenant leaves burst unset.
+const defaultBucketBurst = 8
+
+// fifoArbiter serves the globally oldest queued request — arrival order
+// across all tenants, exactly the single-submitter behaviour of the
+// paper's trace runner. Ties break to the lower tenant index.
+type fifoArbiter struct{}
+
+func (fifoArbiter) pick(now ssd.Time, ready []int, heads []ssd.Time) (int, ssd.Time) {
+	best := ready[0]
+	for _, t := range ready[1:] {
+		if heads[t] < heads[best] {
+			best = t
+		}
+	}
+	return best, 0
+}
+
+func (fifoArbiter) served(int, ssd.Time) {}
+
+// wrrArbiter is smooth weighted round-robin: each decision adds every
+// ready tenant's weight to its running credit, serves the largest credit,
+// and subtracts the ready total from the winner. Under saturation the
+// service shares converge to the weights, and a ready tenant's credit
+// grows every round, so none starves. Ties break to the lower index.
+type wrrArbiter struct {
+	weights []float64
+	current []float64
+}
+
+func (a *wrrArbiter) pick(now ssd.Time, ready []int, heads []ssd.Time) (int, ssd.Time) {
+	var total float64
+	best := -1
+	for _, t := range ready {
+		a.current[t] += a.weights[t]
+		total += a.weights[t]
+		if best == -1 || a.current[t] > a.current[best] {
+			best = t
+		}
+	}
+	a.current[best] -= total
+	return best, 0
+}
+
+func (a *wrrArbiter) served(int, ssd.Time) {}
+
+// tokenBucketArbiter rate-limits each tenant: tokens refill at Rate
+// requests per simulated second up to the burst capacity, one token is
+// spent per dispatch, and a tenant is eligible only while it holds a full
+// token (rate 0 = unlimited). Among eligible tenants the oldest queue
+// head is served (FIFO), so the policy shapes throughput without
+// reordering within the admitted rate. When every ready tenant's bucket
+// is empty the arbiter declines and reports the earliest refill instant.
+type tokenBucketArbiter struct {
+	ratePerUS []float64
+	burst     []float64
+	tokens    []float64
+	last      []ssd.Time
+}
+
+func (a *tokenBucketArbiter) refill(t int, now ssd.Time) {
+	if now > a.last[t] {
+		a.tokens[t] += a.ratePerUS[t] * float64(now-a.last[t])
+		if a.tokens[t] > a.burst[t] {
+			a.tokens[t] = a.burst[t]
+		}
+		a.last[t] = now
+	}
+}
+
+func (a *tokenBucketArbiter) pick(now ssd.Time, ready []int, heads []ssd.Time) (int, ssd.Time) {
+	best := -1
+	var wake ssd.Time
+	for _, t := range ready {
+		a.refill(t, now)
+		if a.ratePerUS[t] == 0 || a.tokens[t] >= 1 {
+			if best == -1 || heads[t] < heads[best] {
+				best = t
+			}
+			continue
+		}
+		need := (1 - a.tokens[t]) / a.ratePerUS[t]
+		w := now + ssd.Time(math.Ceil(need))
+		if w <= now {
+			w = now + 1
+		}
+		if wake == 0 || w < wake {
+			wake = w
+		}
+	}
+	if best == -1 {
+		return -1, wake
+	}
+	return best, 0
+}
+
+func (a *tokenBucketArbiter) served(t int, now ssd.Time) {
+	if a.ratePerUS[t] > 0 {
+		a.tokens[t]--
+	}
+}

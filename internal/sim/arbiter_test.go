@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+// The property tests below pin the arbiter contract stated in arbiter.go:
+// WRR shares converge to the weights under saturation, no ready tenant
+// starves, the token bucket never exceeds burst + rate·window over any
+// window, and a declined pick always reports a wake strictly in the
+// future.
+
+func tenantsWithWeights(ws ...float64) []TenantConfig {
+	out := make([]TenantConfig, len(ws))
+	for i, w := range ws {
+		out[i] = TenantConfig{Name: "t", Weight: w}
+	}
+	return out
+}
+
+func TestFIFOPicksOldestHead(t *testing.T) {
+	a := newArbiter(ArbFIFO, tenantsWithWeights(1, 1, 1))
+	heads := []ssd.Time{30, 10, 20}
+	pick, _ := a.pick(100, []int{0, 1, 2}, heads)
+	if pick != 1 {
+		t.Fatalf("fifo picked %d, want 1 (oldest head)", pick)
+	}
+	// Ties break to the lower tenant index.
+	heads = []ssd.Time{10, 10, 5}
+	pick, _ = a.pick(100, []int{0, 1}, heads)
+	if pick != 0 {
+		t.Fatalf("fifo tie picked %d, want 0", pick)
+	}
+}
+
+// TestWRRSharesConverge saturates three tenants with weights 1:2:4 and
+// checks the served shares land within 1% of the weights.
+func TestWRRSharesConverge(t *testing.T) {
+	weights := []float64{1, 2, 4}
+	a := newArbiter(ArbWRR, tenantsWithWeights(weights...))
+	ready := []int{0, 1, 2}
+	heads := []ssd.Time{1, 1, 1}
+	const rounds = 7000
+	counts := make([]float64, 3)
+	for i := 0; i < rounds; i++ {
+		pick, _ := a.pick(ssd.Time(i), ready, heads)
+		if pick < 0 {
+			t.Fatal("wrr declined with ready tenants")
+		}
+		counts[pick]++
+		a.served(pick, ssd.Time(i))
+	}
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	for i, w := range weights {
+		got := counts[i] / rounds
+		want := w / totalW
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("tenant %d share %.4f, want %.4f ± 0.01", i, got, want)
+		}
+	}
+}
+
+// TestWRRNoStarvation gives one tenant a 1000× weight disadvantage and a
+// ready set that changes every round; the weak tenant must still be
+// served at least once per total-weight window.
+func TestWRRNoStarvation(t *testing.T) {
+	a := newArbiter(ArbWRR, tenantsWithWeights(1, 1000))
+	heads := []ssd.Time{1, 1}
+	rng := rand.New(rand.NewSource(3))
+	gap, worst := 0, 0
+	for i := 0; i < 50_000; i++ {
+		ready := []int{0, 1}
+		if rng.Intn(10) == 0 { // tenant 1 occasionally absent
+			ready = []int{0}
+		}
+		pick, _ := a.pick(ssd.Time(i), ready, heads)
+		if pick == 0 {
+			gap = 0
+		} else {
+			gap++
+			if gap > worst {
+				worst = gap
+			}
+		}
+	}
+	// Smooth WRR bounds the weak tenant's wait by ~totalWeight/weight
+	// rounds (1001 here).
+	if worst > 1100 {
+		t.Fatalf("weight-1 tenant starved for %d consecutive rounds", worst)
+	}
+}
+
+// TestWRRUnreadyTenantsGainNothing checks credits only accrue while
+// ready: a tenant absent from the ready set must not bank credit and
+// then monopolize service on return.
+func TestWRRUnreadyTenantsGainNothing(t *testing.T) {
+	a := newArbiter(ArbWRR, tenantsWithWeights(1, 1))
+	heads := []ssd.Time{1, 1}
+	// Tenant 1 absent for many rounds.
+	for i := 0; i < 1000; i++ {
+		pick, _ := a.pick(ssd.Time(i), []int{0}, heads)
+		if pick != 0 {
+			t.Fatalf("round %d: picked %d with only tenant 0 ready", i, pick)
+		}
+		a.served(pick, ssd.Time(i))
+	}
+	// On return, equal weights must alternate — not hand tenant 1 a
+	// 1000-round burst.
+	burst := 0
+	for i := 0; i < 10; i++ {
+		pick, _ := a.pick(ssd.Time(2000+i), []int{0, 1}, heads)
+		if pick == 1 {
+			burst++
+		} else {
+			break
+		}
+		a.served(pick, ssd.Time(2000+i))
+	}
+	if burst > 1 {
+		t.Fatalf("returning tenant served %d consecutive times with equal weights", burst)
+	}
+}
+
+// tokenBucketServeTimes saturates one rate-limited tenant and returns
+// every service instant: pick until declined, then jump to the wake.
+func tokenBucketServeTimes(t *testing.T, rate, burst float64, horizon ssd.Time) []ssd.Time {
+	t.Helper()
+	a := newArbiter(ArbTokenBucket, []TenantConfig{{Name: "t", Weight: 1, Rate: rate, Burst: burst}})
+	heads := []ssd.Time{1}
+	var serves []ssd.Time
+	now := ssd.Time(1)
+	for now < horizon {
+		pick, wake := a.pick(now, []int{0}, heads)
+		if pick < 0 {
+			if wake <= now {
+				t.Fatalf("declined with wake %d ≤ now %d", wake, now)
+			}
+			now = wake
+			continue
+		}
+		serves = append(serves, now)
+		a.served(pick, now)
+	}
+	return serves
+}
+
+// TestTokenBucketRateBound checks the defining token-bucket property:
+// over any window [ti, tj] the served count never exceeds
+// burst + rate·window (+1 for the integer-µs wake ceiling).
+func TestTokenBucketRateBound(t *testing.T) {
+	const rate, burst = 10_000.0, 5.0 // 0.01 requests/µs
+	serves := tokenBucketServeTimes(t, rate, burst, 400_000)
+	if len(serves) < 100 {
+		t.Fatalf("only %d serves; saturated run should produce thousands", len(serves))
+	}
+	ratePerUS := rate / 1e6
+	for i := 0; i < len(serves); i++ {
+		for j := i + 1; j < len(serves); j++ {
+			window := float64(serves[j] - serves[i])
+			if got := float64(j - i + 1); got > burst+ratePerUS*window+1 {
+				t.Fatalf("window [%d,%d] (%gµs) served %g > burst %g + rate·window %g",
+					serves[i], serves[j], window, got, burst, ratePerUS*window)
+			}
+		}
+	}
+	// Long-run throughput should also approach the configured rate.
+	total := float64(serves[len(serves)-1] - serves[0])
+	long := float64(len(serves)) / total * 1e6
+	if long > rate*1.05 {
+		t.Fatalf("long-run rate %.0f req/s exceeds configured %g", long, rate)
+	}
+}
+
+// TestTokenBucketBurstThenPace checks a full bucket grants exactly the
+// burst back-to-back, then paces at the refill rate.
+func TestTokenBucketBurstThenPace(t *testing.T) {
+	serves := tokenBucketServeTimes(t, 1000, 4, 50_000)
+	burstLen := 1
+	for burstLen < len(serves) && serves[burstLen] == serves[0] {
+		burstLen++
+	}
+	if burstLen != 4 {
+		t.Fatalf("initial burst served %d, want 4 (the bucket capacity)", burstLen)
+	}
+	// After the burst, spacing approaches 1/rate = 1000µs.
+	for i := burstLen + 1; i < len(serves); i++ {
+		if gap := serves[i] - serves[i-1]; gap < 900 {
+			t.Fatalf("paced serves %d and %d only %dµs apart, want ≥ 900", i-1, i, gap)
+		}
+	}
+}
+
+func TestTokenBucketUnlimitedServesFIFO(t *testing.T) {
+	a := newArbiter(ArbTokenBucket, []TenantConfig{
+		{Name: "a", Weight: 1},                     // rate 0 = unlimited
+		{Name: "b", Weight: 1, Rate: 10, Burst: 1}, // one token, then empty
+	})
+	heads := []ssd.Time{50, 10}
+	pick, _ := a.pick(100, []int{0, 1}, heads)
+	if pick != 1 {
+		t.Fatalf("picked %d, want 1 (oldest eligible head while b still holds a token)", pick)
+	}
+	a.served(1, 100)
+	// b's bucket now empty; only the unlimited tenant is eligible.
+	pick, _ = a.pick(101, []int{0, 1}, heads)
+	if pick != 0 {
+		t.Fatalf("picked %d, want 0 (b exhausted its bucket)", pick)
+	}
+}
+
+func TestTokenBucketWakeIsFuture(t *testing.T) {
+	a := newArbiter(ArbTokenBucket, []TenantConfig{{Name: "t", Weight: 1, Rate: 1, Burst: 1}})
+	heads := []ssd.Time{1}
+	pick, _ := a.pick(10, []int{0}, heads)
+	if pick != 0 {
+		t.Fatal("full bucket must serve")
+	}
+	a.served(0, 10)
+	for _, now := range []ssd.Time{10, 11, 1000} {
+		pick, wake := a.pick(now, []int{0}, heads)
+		if pick >= 0 {
+			t.Fatalf("empty bucket served at now=%d", now)
+		}
+		if wake <= now {
+			t.Fatalf("wake %d not strictly after now %d", wake, now)
+		}
+	}
+}

@@ -245,6 +245,14 @@ func (m DeviceMetrics) Sub(prev DeviceMetrics) DeviceMetrics {
 	}
 }
 
+// Add returns m plus d, field-wise — the inverse of Sub. The multi-tenant
+// engine uses it to accumulate per-request metric deltas into per-tenant
+// totals.
+func (m DeviceMetrics) Add(d DeviceMetrics) DeviceMetrics {
+	zero := DeviceMetrics{}
+	return d.Sub(zero.Sub(m))
+}
+
 // Device is one simulated SSD processing host requests. Implementations
 // are single-goroutine: the runner drives them sequentially, as SSDSim does.
 type Device interface {

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tenantDevice builds a device sized for the tenant set's combined
+// footprint at high utilization, so GC is active in engine tests.
+func tenantDevice(t *testing.T, kind Kind, footprint int64) Device {
+	t.Helper()
+	cfg := testConfig(kind, footprint)
+	cfg.Geometry = GeometryFor(footprint, 0.85)
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func mustGenerate(t *testing.T, spec string, requests, seed int64) []TenantTrace {
+	t.Helper()
+	cfgs, err := ParseTenants(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := GenerateTenants(cfgs, requests, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces
+}
+
+// TestRunTenantsSingleMatchesRun pins the degenerate-case contract: a
+// single tenant under any work-conserving arbiter with unlimited depth
+// must reproduce the single-submitter runner exactly.
+func TestRunTenantsSingleMatchesRun(t *testing.T) {
+	recs := redundantTrace(6000)
+	want := mustRun(t, KindDVP, recs)
+	for _, arb := range []ArbiterKind{ArbFIFO, ArbWRR, ArbTokenBucket} {
+		dev, err := NewDevice(testConfig(KindDVP, testFootprint))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := RunTenants(dev, []TenantTrace{{
+			Cfg:       TenantConfig{Name: "host", Weight: 1},
+			Recs:      recs,
+			Footprint: testFootprint,
+		}}, EngineOptions{
+			Arbiter:           arb,
+			PreconditionPages: testFootprint,
+			LogicalPages:      testFootprint,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mr.Result, want) {
+			t.Errorf("%v: single-tenant engine result diverged from Run:\n got %+v\nwant %+v",
+				arb, mr.Result, want)
+		}
+		if len(mr.Tenants) != 1 || mr.Tenants[0].Requests != int64(len(recs)) {
+			t.Errorf("%v: tenant breakdown wrong: %+v", arb, mr.Tenants)
+		}
+	}
+}
+
+// TestRunTenantsDeterministic runs the same 2-tenant configuration twice
+// on fresh devices: a multi-tenant run is a pure function of
+// (seeds, config), so every field must match exactly.
+func TestRunTenantsDeterministic(t *testing.T) {
+	run := func() MultiResult {
+		traces := mustGenerate(t, "mail,trans:ia=0.5", 6000, 42)
+		fp := TotalFootprint(traces)
+		dev := tenantDevice(t, KindDVP, fp)
+		mr, err := RunTenants(dev, traces, EngineOptions{
+			Arbiter:           ArbWRR,
+			QueueDepth:        4,
+			DeviceSlots:       4,
+			PreconditionPages: fp,
+			LogicalPages:      fp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mr
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated multi-tenant runs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// TestDeviceSlotsBackpressure checks the shared slot bound creates real
+// queueing — positive arbiter holds — while every admitted request still
+// completes (admitted + rejected = trace length per tenant).
+func TestDeviceSlotsBackpressure(t *testing.T) {
+	run := func(qd, slots int) MultiResult {
+		traces := mustGenerate(t, "mail:ia=0.2,trans:ia=0.2", 6000, 7)
+		fp := TotalFootprint(traces)
+		dev := tenantDevice(t, KindBaseline, fp)
+		mr, err := RunTenants(dev, traces, EngineOptions{
+			Arbiter:           ArbWRR,
+			QueueDepth:        qd,
+			DeviceSlots:       slots,
+			PreconditionPages: fp,
+			LogicalPages:      fp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mr
+	}
+
+	bounded := run(16, 1)
+	var held bool
+	for i, tr := range bounded.Tenants {
+		if tr.Wait.Max > 0 {
+			held = true
+		}
+		traceLen := tr.Requests + tr.Rejected
+		if traceLen == 0 {
+			t.Errorf("tenant %d processed nothing", i)
+		}
+	}
+	if !held {
+		t.Error("DeviceSlots=1 produced no arbiter holds; shared bound is not binding")
+	}
+
+	open := run(0, 0)
+	for i, tr := range open.Tenants {
+		if tr.Wait.Max != 0 {
+			t.Errorf("tenant %d held %dµs with unlimited slots", i, tr.Wait.Max)
+		}
+		if tr.Rejected != 0 {
+			t.Errorf("tenant %d rejected %d with no admission bound", i, tr.Rejected)
+		}
+	}
+}
+
+// TestCrossTenantSubsidy pins the revival ledger: two mail tenants
+// sharing a content space subsidize each other symmetrically (what t0
+// revives from t1's garbage is exactly what t1 reports revived-by-other),
+// and private value spaces eliminate the subsidy entirely.
+func TestCrossTenantSubsidy(t *testing.T) {
+	run := func(spec string) MultiResult {
+		traces := mustGenerate(t, spec, 8000, 11)
+		fp := TotalFootprint(traces)
+		dev := tenantDevice(t, KindDVP, fp)
+		mr, err := RunTenants(dev, traces, EngineOptions{
+			Arbiter:           ArbFIFO,
+			PreconditionPages: fp,
+			LogicalPages:      fp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mr
+	}
+
+	shared := run("mail*2")
+	s0, s1 := shared.Tenants[0].Store, shared.Tenants[1].Store
+	if s0.RevivedOther != s1.RevivedByOther || s1.RevivedOther != s0.RevivedByOther {
+		t.Errorf("subsidy ledger asymmetric: t0 %+v, t1 %+v", s0, s1)
+	}
+	if s0.RevivedOther+s1.RevivedOther == 0 {
+		t.Error("shared content space produced no cross-tenant revivals")
+	}
+	if s0.RevivedSelf+s1.RevivedSelf == 0 {
+		t.Error("no self revivals at all; DVP machinery looks dead")
+	}
+
+	private := run("mail*2:values=private")
+	p0, p1 := private.Tenants[0].Store, private.Tenants[1].Store
+	if p0.RevivedOther != 0 || p1.RevivedOther != 0 || p0.RevivedByOther != 0 || p1.RevivedByOther != 0 {
+		t.Errorf("private value spaces still subsidized: t0 %+v, t1 %+v", p0, p1)
+	}
+}
+
+// TestMultiResultAggregates checks the per-tenant breakdown ties out to
+// the aggregate: request counts sum, and per-tenant device-metric deltas
+// sum to the whole run's metrics.
+func TestMultiResultAggregates(t *testing.T) {
+	traces := mustGenerate(t, "mail,web,trans", 6000, 5)
+	fp := TotalFootprint(traces)
+	dev := tenantDevice(t, KindDVP, fp)
+	mr, err := RunTenants(dev, traces, EngineOptions{
+		Arbiter:           ArbWRR,
+		QueueDepth:        8,
+		DeviceSlots:       8,
+		PreconditionPages: fp,
+		LogicalPages:      fp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs int64
+	var metrics DeviceMetrics
+	for _, tr := range mr.Tenants {
+		reqs += tr.Requests
+		metrics = metrics.Add(tr.Metrics)
+	}
+	if reqs != int64(mr.All.Count) {
+		t.Errorf("tenant requests sum %d, aggregate count %d", reqs, int64(mr.All.Count))
+	}
+	if metrics != mr.Metrics {
+		t.Errorf("per-tenant metric deltas do not sum to the aggregate:\n sum %+v\n all %+v",
+			metrics, mr.Metrics)
+	}
+	var hostPrograms int64
+	for _, tr := range mr.Tenants {
+		hostPrograms += tr.Store.HostPrograms
+	}
+	if hostPrograms != mr.Metrics.HostPrograms() {
+		t.Errorf("store ledger host programs %d, device metrics %d",
+			hostPrograms, mr.Metrics.HostPrograms())
+	}
+}
+
+func TestRunTenantsValidation(t *testing.T) {
+	traces := mustGenerate(t, "mail", 2000, 1)
+	fp := TotalFootprint(traces)
+	cases := []struct {
+		name string
+		mut  func(*[]TenantTrace, *EngineOptions)
+		want string
+	}{
+		{"no tenants", func(tt *[]TenantTrace, _ *EngineOptions) { *tt = nil }, "no tenants"},
+		{"zero logical", func(_ *[]TenantTrace, o *EngineOptions) { o.LogicalPages = 0 }, "LogicalPages"},
+		{"negative qd", func(_ *[]TenantTrace, o *EngineOptions) { o.QueueDepth = -1 }, "queue depth"},
+		{"negative slots", func(_ *[]TenantTrace, o *EngineOptions) { o.DeviceSlots = -2 }, "device slots"},
+		{"precondition too big", func(_ *[]TenantTrace, o *EngineOptions) { o.PreconditionPages = o.LogicalPages + 1 }, "precondition"},
+		{"footprint overflow", func(tt *[]TenantTrace, _ *EngineOptions) { (*tt)[0].Footprint *= 100 }, "exceed logical space"},
+		{"zero footprint", func(tt *[]TenantTrace, _ *EngineOptions) { (*tt)[0].Footprint = 0 }, "footprint"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tt := make([]TenantTrace, len(traces))
+			copy(tt, traces)
+			opts := EngineOptions{LogicalPages: fp}
+			c.mut(&tt, &opts)
+			dev := tenantDevice(t, KindBaseline, fp)
+			_, err := RunTenants(dev, tt, opts)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import "zombiessd/internal/ssd"
+
+// This file holds the two queue structures of the multi-queue host
+// engine: the per-tenant submission queue (FIFO with queue-depth
+// admission control, the NVMe SQ analogue) and the global completion
+// heap (the engine's event clock for outstanding requests, the CQ
+// analogue). Both are plain deterministic data structures — no maps, no
+// time sources — so N-tenant runs are a pure function of (seeds, config).
+
+// subQueue is one tenant's submission queue: admitted request indices in
+// arrival order. depth bounds the tenant's outstanding requests
+// (queued here plus in flight on the device); 0 means unlimited.
+type subQueue struct {
+	items    []int // indices into the tenant's trace, FIFO
+	head     int   // first live element of items
+	depth    int
+	rejected int64
+	maxQueue int // high-water mark of queued (not yet dispatched) requests
+}
+
+// tryAdmit appends record index i if the tenant's outstanding count
+// (queued + inflight) is under the depth bound; otherwise the request is
+// shed and counted. FIFO order within a tenant is structural: admission
+// happens in arrival order and pop always returns the oldest entry.
+func (q *subQueue) tryAdmit(i, inflight int) bool {
+	if q.depth > 0 && q.len()+inflight >= q.depth {
+		q.rejected++
+		return false
+	}
+	q.items = append(q.items, i)
+	if n := q.len(); n > q.maxQueue {
+		q.maxQueue = n
+	}
+	return true
+}
+
+// len returns how many admitted requests await dispatch.
+func (q *subQueue) len() int { return len(q.items) - q.head }
+
+// empty reports whether no admitted request awaits dispatch.
+func (q *subQueue) empty() bool { return q.len() == 0 }
+
+// peek returns the oldest queued record index. Caller checks empty.
+func (q *subQueue) peek() int { return q.items[q.head] }
+
+// pop removes and returns the oldest queued record index, compacting the
+// backing slice once the dead prefix dominates.
+func (q *subQueue) pop() int {
+	v := q.items[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
+}
+
+// completion is one in-flight request's completion event.
+type completion struct {
+	done   ssd.Time
+	tenant int
+	seq    int64 // dispatch order, the deterministic tie-break
+}
+
+// cqueue is a binary min-heap of completions ordered by (done, seq): the
+// engine pops them as simulated time passes to retire in-flight requests.
+// The seq tie-break makes pop order — and therefore every downstream
+// decision — independent of heap internals when completions collide.
+type cqueue struct {
+	h []completion
+}
+
+func (c *cqueue) len() int { return len(c.h) }
+
+func (c *cqueue) less(i, j int) bool {
+	if c.h[i].done != c.h[j].done {
+		return c.h[i].done < c.h[j].done
+	}
+	return c.h[i].seq < c.h[j].seq
+}
+
+// push adds one completion event.
+func (c *cqueue) push(e completion) {
+	c.h = append(c.h, e)
+	i := len(c.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			break
+		}
+		c.h[i], c.h[parent] = c.h[parent], c.h[i]
+		i = parent
+	}
+}
+
+// min returns the earliest completion. Caller checks len.
+func (c *cqueue) min() completion { return c.h[0] }
+
+// pop removes and returns the earliest completion. Caller checks len.
+func (c *cqueue) pop() completion {
+	top := c.h[0]
+	last := len(c.h) - 1
+	c.h[0] = c.h[last]
+	c.h = c.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(c.h) && c.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(c.h) && c.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		c.h[i], c.h[smallest] = c.h[smallest], c.h[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+func TestSubQueueDepthEnforcement(t *testing.T) {
+	cases := []struct {
+		name         string
+		depth        int
+		inflight     int
+		offers       int
+		wantAdmitted int
+		wantRejected int64
+	}{
+		{"unlimited", 0, 100, 50, 50, 0},
+		{"depth bounds queued", 4, 0, 10, 4, 6},
+		{"inflight counts against depth", 4, 3, 10, 1, 9},
+		{"inflight at depth sheds everything", 4, 4, 10, 0, 10},
+		{"inflight beyond depth sheds everything", 2, 5, 10, 0, 10},
+		{"depth one", 1, 0, 3, 1, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q := subQueue{depth: c.depth}
+			admitted := 0
+			for i := 0; i < c.offers; i++ {
+				if q.tryAdmit(i, c.inflight) {
+					admitted++
+				}
+			}
+			if admitted != c.wantAdmitted {
+				t.Errorf("admitted %d, want %d", admitted, c.wantAdmitted)
+			}
+			if q.len() != c.wantAdmitted {
+				t.Errorf("queued %d, want %d", q.len(), c.wantAdmitted)
+			}
+			if q.rejected != c.wantRejected {
+				t.Errorf("rejected %d, want %d", q.rejected, c.wantRejected)
+			}
+		})
+	}
+}
+
+func TestSubQueueDepthFreesOnPop(t *testing.T) {
+	q := subQueue{depth: 2}
+	if !q.tryAdmit(0, 0) || !q.tryAdmit(1, 0) {
+		t.Fatal("first two admissions should succeed")
+	}
+	if q.tryAdmit(2, 0) {
+		t.Fatal("third admission should be shed at depth 2")
+	}
+	q.pop()
+	if !q.tryAdmit(3, 0) {
+		t.Fatal("admission should succeed again after a pop freed a slot")
+	}
+	if q.rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", q.rejected)
+	}
+}
+
+// TestSubQueueFIFOOrder drains the queue through interleaved admissions
+// and pops large enough to trigger slice compaction, and checks strict
+// FIFO within the tenant throughout.
+func TestSubQueueFIFOOrder(t *testing.T) {
+	var q subQueue // unlimited
+	rng := rand.New(rand.NewSource(7))
+	next, expect := 0, 0
+	for step := 0; step < 10_000; step++ {
+		if q.empty() || rng.Intn(3) > 0 {
+			q.tryAdmit(next, 0)
+			next++
+		} else {
+			if got := q.peek(); got != expect {
+				t.Fatalf("peek = %d, want %d", got, expect)
+			}
+			if got := q.pop(); got != expect {
+				t.Fatalf("pop = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for !q.empty() {
+		if got := q.pop(); got != expect {
+			t.Fatalf("drain pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d items, admitted %d", expect, next)
+	}
+}
+
+func TestSubQueueMaxQueueHighWater(t *testing.T) {
+	var q subQueue
+	for i := 0; i < 5; i++ {
+		q.tryAdmit(i, 0)
+	}
+	q.pop()
+	q.pop()
+	q.tryAdmit(5, 0)
+	if q.maxQueue != 5 {
+		t.Fatalf("maxQueue = %d, want 5", q.maxQueue)
+	}
+}
+
+// TestCompletionHeapMonotone pushes pseudo-random completions (with
+// deliberate done-time collisions) and checks that pops come out in
+// nondecreasing (done, seq) order — the engine's determinism hinges on
+// collisions resolving by dispatch sequence, not heap internals.
+func TestCompletionHeapMonotone(t *testing.T) {
+	var cq cqueue
+	rng := rand.New(rand.NewSource(11))
+	var seq int64
+	for i := 0; i < 5000; i++ {
+		seq++
+		cq.push(completion{
+			done:   ssd.Time(rng.Intn(200)), // dense range forces ties
+			tenant: rng.Intn(8),
+			seq:    seq,
+		})
+		// Occasionally pop mid-stream, as the engine does.
+		if rng.Intn(4) == 0 && cq.len() > 1 {
+			a, b := cq.pop(), cq.min()
+			if b.done < a.done || (b.done == a.done && b.seq < a.seq) {
+				t.Fatalf("heap order violated mid-stream: %+v then %+v", a, b)
+			}
+		}
+	}
+	prev := completion{done: -1}
+	for cq.len() > 0 {
+		e := cq.pop()
+		if e.done < prev.done || (e.done == prev.done && e.seq <= prev.seq) {
+			t.Fatalf("pop order violated: %+v after %+v", e, prev)
+		}
+		prev = e
+	}
+}

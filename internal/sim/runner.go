@@ -6,7 +6,6 @@ import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/stats"
-	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
 
@@ -53,6 +52,12 @@ func PreconditionHash(lpn int64) trace.Hash {
 // latency summaries. Request arrival times come from the trace; queuing
 // shows up when a request's completion lags its arrival by more than the
 // raw operation latency.
+//
+// Run is the degenerate case of the multi-queue host engine (engine.go):
+// one tenant stream, the FIFO arbiter, unlimited queue depth. With a
+// monotone trace the engine dispatches every request at its own arrival
+// instant, so results stay bit-identical to the pre-engine runner —
+// pinned by TestNoTenantBitIdentity.
 func Run(dev Device, recs []trace.Record, opts RunOptions) (Result, error) {
 	if opts.LogicalPages <= 0 {
 		return Result{}, fmt.Errorf("sim: RunOptions.LogicalPages must be positive")
@@ -61,76 +66,19 @@ func Run(dev Device, recs []trace.Record, opts RunOptions) (Result, error) {
 		return Result{}, fmt.Errorf("sim: precondition pages %d exceed logical pages %d",
 			opts.PreconditionPages, opts.LogicalPages)
 	}
-
-	tel := telemetryOf(dev)
-
-	// Untimed preconditioning fill, tagged so its flash traffic is never
-	// attributed to a host request or charted as steady-state activity.
-	var shift ssd.Time
-	if opts.PreconditionPages > 0 {
-		prevOrigin := tel.EnterOrigin(telemetry.OriginPrecond)
-		var end ssd.Time
-		for lpn := int64(0); lpn < opts.PreconditionPages; lpn++ {
-			done, err := dev.Write(lpnOf(lpn), PreconditionHash(lpn), 0)
-			if err != nil {
-				tel.ExitOrigin(prevOrigin)
-				return Result{}, fmt.Errorf("sim: precondition write %d: %w", lpn, err)
-			}
-			if done > end {
-				end = done
-			}
-		}
-		tel.ExitOrigin(prevOrigin)
-		shift = end + ssd.Millisecond
+	mr, err := RunTenants(dev, []TenantTrace{{
+		Cfg:       TenantConfig{Name: "host", Weight: 1},
+		Recs:      recs,
+		Footprint: opts.LogicalPages,
+	}}, EngineOptions{
+		Arbiter:           ArbFIFO,
+		PreconditionPages: opts.PreconditionPages,
+		LogicalPages:      opts.LogicalPages,
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	baseline := dev.Metrics()
-
-	var all, reads, writes stats.Histogram
-	var res Result
-	for i, rec := range recs {
-		if rec.LBA >= uint64(opts.LogicalPages) {
-			return Result{}, fmt.Errorf("sim: record %d LBA %d outside logical space %d",
-				i, rec.LBA, opts.LogicalPages)
-		}
-		arrival := shift + ssd.Time(rec.Time)
-		tel.Sample(arrival)
-		var done ssd.Time
-		var err error
-		switch rec.Op {
-		case trace.OpWrite:
-			tel.BeginRequest(telemetry.ReqWrite, arrival)
-			done, err = dev.Write(lpnOf(int64(rec.LBA)), rec.Hash, arrival)
-		case trace.OpRead:
-			tel.BeginRequest(telemetry.ReqRead, arrival)
-			done, err = dev.Read(lpnOf(int64(rec.LBA)), arrival)
-		default:
-			return Result{}, fmt.Errorf("sim: record %d has unknown op %v", i, rec.Op)
-		}
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: record %d: %w", i, err)
-		}
-		tel.EndRequest(done)
-		lat := int64(done - arrival)
-		all.Add(lat)
-		if rec.Op == trace.OpWrite {
-			writes.Add(lat)
-		} else {
-			reads.Add(lat)
-		}
-		if end := done - shift; end > res.Makespan {
-			res.Makespan = end
-		}
-	}
-	res.Metrics = dev.Metrics().Sub(baseline)
-	res.All = all.Summarize()
-	res.Reads = reads.Summarize()
-	res.Writes = writes.Summarize()
-	if br, ok := dev.(interface{ Bus() *ssd.Bus }); ok {
-		if bus := br.Bus(); bus != nil {
-			res.MeanChipUtil, res.MaxChipUtil = bus.Utilization(shift + res.Makespan)
-		}
-	}
-	return res, nil
+	return mr.Result, nil
 }
 
 func lpnOf(v int64) ftl.LPN { return ftl.LPN(v) }

@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"zombiessd/internal/workload"
+)
+
+// This file is the multi-tenant configuration surface: the per-tenant
+// stream description (profile, QoS weight, token-bucket rate, queue depth,
+// burst envelope, content-space partition) and the text grammar both CLIs
+// expose through -tenants/-qos/-qd. Parsing is strict — NaN, infinities,
+// negative rates and zero weights are rejected here with a validated
+// error, never silently clamped — because a fuzzer (FuzzTenantConfig)
+// drives this grammar and every accepted spec must produce a config the
+// engine can run deterministically.
+
+// ArbiterKind selects the QoS arbitration policy of the host engine.
+type ArbiterKind uint8
+
+// The arbitration policies.
+const (
+	// ArbFIFO serves the globally oldest queued request — no isolation,
+	// the single-submitter behaviour of the paper's trace runner.
+	ArbFIFO ArbiterKind = iota
+	// ArbWRR is smooth weighted round-robin over tenants with queued work:
+	// service shares converge to the configured weights under saturation.
+	ArbWRR
+	// ArbTokenBucket rate-limits each tenant by a token bucket (Rate
+	// requests per simulated second, capacity Burst) and serves FIFO among
+	// tenants holding a token.
+	ArbTokenBucket
+)
+
+// String names the policy (the -qos flag vocabulary).
+func (k ArbiterKind) String() string {
+	switch k {
+	case ArbFIFO:
+		return "fifo"
+	case ArbWRR:
+		return "wrr"
+	case ArbTokenBucket:
+		return "tbucket"
+	default:
+		return fmt.Sprintf("ArbiterKind(%d)", uint8(k))
+	}
+}
+
+// ParseArbiterKind parses one -qos policy name.
+func ParseArbiterKind(s string) (ArbiterKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fifo":
+		return ArbFIFO, nil
+	case "wrr":
+		return ArbWRR, nil
+	case "tbucket", "token-bucket", "tb":
+		return ArbTokenBucket, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown QoS policy %q (want fifo, wrr or tbucket)", s)
+	}
+}
+
+// ParseArbiterList parses a comma-separated -qos policy list, rejecting
+// duplicates and empty entries.
+func ParseArbiterList(s string) ([]ArbiterKind, error) {
+	var out []ArbiterKind
+	seen := map[ArbiterKind]bool{}
+	for _, part := range strings.Split(s, ",") {
+		k, err := ParseArbiterKind(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("sim: QoS policy %v listed twice", k)
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sim: empty QoS policy list")
+	}
+	return out, nil
+}
+
+// TenantConfig describes one tenant stream of the multi-queue host engine.
+type TenantConfig struct {
+	// Name labels the tenant in results and telemetry. Defaults to
+	// "t<i>-<profile>" when built by ParseTenants.
+	Name string
+
+	// Profile is the tenant's workload shape (a Table II profile, possibly
+	// modified by spec options: burst envelope, private value space,
+	// inter-arrival scale).
+	Profile workload.Profile
+
+	// Seed seeds the tenant's generator. ParseTenants leaves 0 for
+	// "derive from the run seed and tenant index".
+	Seed int64
+
+	// Requests is the tenant's trace length; 0 means an equal share of the
+	// run's request budget.
+	Requests int64
+
+	// Weight is the WRR service weight. Must be positive and finite;
+	// defaults to 1.
+	Weight float64
+
+	// Rate and Burst parameterize the token-bucket policy: Rate is in
+	// requests per simulated second (0 = unlimited), Burst is the bucket
+	// capacity in requests (0 = default 8 when rate-limited).
+	Rate, Burst float64
+
+	// QueueDepth bounds this tenant's outstanding requests
+	// (queued + in flight); arrivals beyond it are rejected by admission
+	// control and counted. 0 inherits the engine default (-qd flag);
+	// the engine treats a resulting 0 as unlimited.
+	QueueDepth int
+
+	// privateValues marks a values=private spec entry; ParseTenants
+	// resolves it to a per-index Profile.ValueBase once tenant positions
+	// are known. Direct constructions set Profile.ValueBase themselves.
+	privateValues bool
+}
+
+// Validate reports whether the tenant configuration is usable.
+func (c TenantConfig) Validate() error {
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	bad := func(field string, v float64) error {
+		return fmt.Errorf("sim: tenant %s: %s=%g invalid", c.Name, field, v)
+	}
+	if math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) || c.Weight <= 0 {
+		return bad("weight", c.Weight)
+	}
+	if math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) || c.Rate < 0 {
+		return bad("rate", c.Rate)
+	}
+	if math.IsNaN(c.Burst) || math.IsInf(c.Burst, 0) || c.Burst < 0 {
+		return bad("burst", c.Burst)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("sim: tenant %s: qd=%d must be ≥ 0", c.Name, c.QueueDepth)
+	}
+	if c.Requests < 0 {
+		return fmt.Errorf("sim: tenant %s: n=%d must be ≥ 0", c.Name, c.Requests)
+	}
+	return nil
+}
+
+// privateValueBase returns the content-space base isolating tenant i:
+// below the preconditioning region (2^48) and far above any minted value
+// count.
+func privateValueBase(i int) uint64 { return uint64(i+1) << 40 }
+
+// ParseTenants parses the -tenants grammar into tenant configs.
+//
+// The spec is either a bare tenant count ("4": that many tenants cycling
+// the six Table II profiles), or a comma-separated list of entries
+//
+//	profile[*count][:key=value]...
+//
+// with option keys
+//
+//	weight=F   WRR weight (> 0)
+//	rate=F     token-bucket requests/second (≥ 0, 0 = unlimited)
+//	burst=F    token-bucket capacity (≥ 0)
+//	qd=N       per-tenant queue depth (≥ 0, 0 = engine default)
+//	seed=N     generator seed override
+//	n=N        per-tenant request count (0 = equal share)
+//	amp=F      diurnal burst amplitude (≥ 0)
+//	period=F   burst period in simulated seconds (> 0 when amp > 0)
+//	ia=F       inter-arrival scale: mean gap × F (> 0)
+//	values=V   "shared" (default) or "private" content space
+//	name=S     tenant label override
+//
+// Example: "mail*2:weight=2:qd=8,trans:values=private:ia=0.25".
+func ParseTenants(spec string) ([]TenantConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("sim: empty tenant spec")
+	}
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n < 1 || n > 64 {
+			return nil, fmt.Errorf("sim: tenant count %d outside [1,64]", n)
+		}
+		names := workload.Names()
+		out := make([]TenantConfig, n)
+		for i := range out {
+			p, _ := workload.ProfileByName(names[i%len(names)])
+			out[i] = TenantConfig{Name: fmt.Sprintf("t%d-%s", i, p.Name), Profile: p, Weight: 1}
+		}
+		return out, nil
+	}
+	var out []TenantConfig
+	for _, entry := range strings.Split(spec, ",") {
+		cfgs, err := parseTenantEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfgs...)
+	}
+	if len(out) > 64 {
+		return nil, fmt.Errorf("sim: tenant count %d outside [1,64]", len(out))
+	}
+	for i := range out {
+		if out[i].Name == "" {
+			out[i].Name = fmt.Sprintf("t%d-%s", i, out[i].Profile.Name)
+		}
+		if out[i].privateValues {
+			out[i].Profile.ValueBase = privateValueBase(i)
+		}
+		if err := out[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func parseTenantEntry(entry string) ([]TenantConfig, error) {
+	parts := strings.Split(strings.TrimSpace(entry), ":")
+	head := strings.TrimSpace(parts[0])
+	count := 1
+	if star := strings.IndexByte(head, '*'); star >= 0 {
+		n, err := strconv.Atoi(head[star+1:])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sim: bad tenant multiplier in %q", entry)
+		}
+		count = n
+		head = head[:star]
+	}
+	prof, ok := workload.ProfileByName(head)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown workload profile %q (want one of %s)",
+			head, strings.Join(workload.Names(), ", "))
+	}
+	c := TenantConfig{Profile: prof, Weight: 1}
+	for _, opt := range parts[1:] {
+		kv := strings.SplitN(opt, "=", 2)
+		if len(kv) != 2 || strings.TrimSpace(kv[0]) == "" {
+			return nil, fmt.Errorf("sim: bad tenant option %q in %q (want key=value)", opt, entry)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		pf := func() (float64, error) {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+				return 0, fmt.Errorf("sim: tenant option %s=%q is not a finite number", key, val)
+			}
+			return f, nil
+		}
+		pi := func() (int64, error) {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("sim: tenant option %s=%q is not an integer", key, val)
+			}
+			return n, nil
+		}
+		var err error
+		switch key {
+		case "weight":
+			c.Weight, err = pf()
+		case "rate":
+			c.Rate, err = pf()
+		case "burst":
+			c.Burst, err = pf()
+		case "amp":
+			c.Profile.BurstAmplitude, err = pf()
+			if err == nil && c.Profile.BurstPeriodUS == 0 {
+				c.Profile.BurstPeriodUS = defaultBurstPeriodUS
+			}
+		case "period":
+			var sec float64
+			sec, err = pf()
+			if err == nil && sec <= 0 {
+				err = fmt.Errorf("sim: tenant option period=%q must be positive", val)
+			}
+			c.Profile.BurstPeriodUS = sec * 1e6
+		case "ia":
+			var scale float64
+			scale, err = pf()
+			if err == nil && scale <= 0 {
+				err = fmt.Errorf("sim: tenant option ia=%q must be positive", val)
+			}
+			c.Profile.MeanInterarrivalUS *= scale
+		case "qd":
+			var n int64
+			n, err = pi()
+			if err == nil && (n < 0 || n > 1<<20) {
+				err = fmt.Errorf("sim: tenant option qd=%q outside [0,2^20]", val)
+			}
+			c.QueueDepth = int(n)
+		case "seed":
+			c.Seed, err = pi()
+		case "n":
+			var n int64
+			n, err = pi()
+			if err == nil && n < 0 {
+				err = fmt.Errorf("sim: tenant option n=%q must be ≥ 0", val)
+			}
+			c.Requests = n
+		case "values":
+			switch val {
+			case "shared":
+			case "private":
+				c.privateValues = true
+			default:
+				err = fmt.Errorf("sim: tenant option values=%q (want shared or private)", val)
+			}
+		case "name":
+			if val == "" {
+				err = fmt.Errorf("sim: tenant option name must not be empty")
+			}
+			c.Name = val
+		default:
+			err = fmt.Errorf("sim: unknown tenant option %q in %q", key, entry)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]TenantConfig, count)
+	for i := range out {
+		out[i] = c
+		if count > 1 && c.Name != "" {
+			out[i].Name = fmt.Sprintf("%s-%d", c.Name, i)
+		}
+	}
+	return out, nil
+}
+
+// defaultBurstPeriodUS is one simulated minute — long enough that a burst
+// half-period spans many requests at the default inter-arrival times.
+const defaultBurstPeriodUS = 60e6

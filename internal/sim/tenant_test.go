@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"zombiessd/internal/workload"
+)
+
+func TestParseArbiterKind(t *testing.T) {
+	good := map[string]ArbiterKind{
+		"fifo": ArbFIFO, "wrr": ArbWRR, "tbucket": ArbTokenBucket,
+		"token-bucket": ArbTokenBucket, "tb": ArbTokenBucket,
+		" WRR ": ArbWRR,
+	}
+	for in, want := range good {
+		k, err := ParseArbiterKind(in)
+		if err != nil || k != want {
+			t.Errorf("ParseArbiterKind(%q) = %v, %v; want %v", in, k, err, want)
+		}
+	}
+	for _, in := range []string{"", "bogus", "fifo,wrr"} {
+		if _, err := ParseArbiterKind(in); err == nil {
+			t.Errorf("ParseArbiterKind(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseArbiterList(t *testing.T) {
+	ks, err := ParseArbiterList("fifo,wrr,tbucket")
+	if err != nil || len(ks) != 3 {
+		t.Fatalf("full list: %v, %v", ks, err)
+	}
+	for _, in := range []string{"", "fifo,", "fifo,fifo", "wrr,tb,tbucket"} {
+		if _, err := ParseArbiterList(in); err == nil {
+			t.Errorf("ParseArbiterList(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseTenantsCount(t *testing.T) {
+	cfgs, err := ParseTenants("4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 4 {
+		t.Fatalf("got %d tenants, want 4", len(cfgs))
+	}
+	names := workload.Names()
+	for i, c := range cfgs {
+		if c.Profile.Name != names[i%len(names)] {
+			t.Errorf("tenant %d profile %s, want %s", i, c.Profile.Name, names[i%len(names)])
+		}
+		if c.Weight != 1 {
+			t.Errorf("tenant %d weight %g, want 1", i, c.Weight)
+		}
+		if !strings.HasPrefix(c.Name, "t") {
+			t.Errorf("tenant %d name %q lacks default pattern", i, c.Name)
+		}
+	}
+}
+
+func TestParseTenantsSpecs(t *testing.T) {
+	cfgs, err := ParseTenants("mail*2:weight=2:qd=8,trans:values=private:ia=0.25:rate=500:burst=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(cfgs))
+	}
+	for i := 0; i < 2; i++ {
+		if cfgs[i].Weight != 2 || cfgs[i].QueueDepth != 8 || cfgs[i].Profile.Name != "mail" {
+			t.Errorf("mail tenant %d wrong: %+v", i, cfgs[i])
+		}
+		if cfgs[i].Profile.ValueBase != 0 {
+			t.Errorf("shared-values tenant %d got ValueBase %d", i, cfgs[i].Profile.ValueBase)
+		}
+	}
+	tr := cfgs[2]
+	if tr.Profile.Name != "trans" || tr.Rate != 500 || tr.Burst != 4 {
+		t.Errorf("trans tenant wrong: %+v", tr)
+	}
+	if tr.Profile.ValueBase != privateValueBase(2) {
+		t.Errorf("values=private resolved to base %d, want %d (index 2)",
+			tr.Profile.ValueBase, privateValueBase(2))
+	}
+	base, _ := workload.ProfileByName("trans")
+	if want := base.MeanInterarrivalUS * 0.25; tr.Profile.MeanInterarrivalUS != want {
+		t.Errorf("ia=0.25 gave mean %g, want %g", tr.Profile.MeanInterarrivalUS, want)
+	}
+}
+
+func TestParseTenantsBurstEnvelope(t *testing.T) {
+	cfgs, err := ParseTenants("web:amp=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].Profile.BurstAmplitude != 0.5 || cfgs[0].Profile.BurstPeriodUS != defaultBurstPeriodUS {
+		t.Fatalf("amp without period: %+v", cfgs[0].Profile)
+	}
+	cfgs, err = ParseTenants("web:amp=0.5:period=120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].Profile.BurstPeriodUS != 120e6 {
+		t.Fatalf("period=120 gave %g µs, want 120e6", cfgs[0].Profile.BurstPeriodUS)
+	}
+}
+
+func TestParseTenantsRejects(t *testing.T) {
+	bad := []string{
+		"",                  // empty spec
+		"0",                 // count below 1
+		"65",                // count above 64
+		"nosuchprofile",     // unknown profile
+		"mail:weight=0",     // zero weight
+		"mail:weight=-1",    // negative weight
+		"mail:weight=nan",   // NaN weight
+		"mail:weight=+Inf",  // infinite weight
+		"mail:rate=-5",      // negative rate
+		"mail:rate=nan",     // NaN rate
+		"mail:burst=-1",     // negative burst
+		"mail:qd=-1",        // negative queue depth
+		"mail:qd=9999999",   // queue depth beyond 2^20
+		"mail:n=-10",        // negative request count
+		"mail:ia=0",         // zero inter-arrival scale
+		"mail:ia=-2",        // negative inter-arrival scale
+		"mail:amp=-0.5",     // negative burst amplitude
+		"mail:amp=nan",      // NaN amplitude
+		"mail:period=0",     // zero burst period
+		"mail:values=wrong", // bad values mode
+		"mail:name=",        // empty name
+		"mail:bogus=1",      // unknown key
+		"mail:weight",       // missing value
+		"mail*0",            // zero multiplier
+		"mail*x",            // junk multiplier
+		"mail*65",           // multiplier beyond 64 tenants
+		"mail,",             // trailing empty entry
+	}
+	for _, spec := range bad {
+		if cfgs, err := ParseTenants(spec); err == nil {
+			t.Errorf("ParseTenants(%q) accepted: %+v", spec, cfgs)
+		}
+	}
+}
+
+func TestTenantConfigValidate(t *testing.T) {
+	prof, _ := workload.ProfileByName("mail")
+	good := TenantConfig{Name: "t", Profile: prof, Weight: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*TenantConfig)
+	}{
+		{"zero weight", func(c *TenantConfig) { c.Weight = 0 }},
+		{"negative weight", func(c *TenantConfig) { c.Weight = -2 }},
+		{"nan weight", func(c *TenantConfig) { c.Weight = math.NaN() }},
+		{"inf weight", func(c *TenantConfig) { c.Weight = math.Inf(1) }},
+		{"negative rate", func(c *TenantConfig) { c.Rate = -1 }},
+		{"nan rate", func(c *TenantConfig) { c.Rate = math.NaN() }},
+		{"negative burst", func(c *TenantConfig) { c.Burst = -1 }},
+		{"inf burst", func(c *TenantConfig) { c.Burst = math.Inf(1) }},
+		{"negative qd", func(c *TenantConfig) { c.QueueDepth = -1 }},
+		{"negative requests", func(c *TenantConfig) { c.Requests = -1 }},
+		{"bad profile", func(c *TenantConfig) { c.Profile.MeanInterarrivalUS = -1 }},
+		{"nan amplitude", func(c *TenantConfig) { c.Profile.BurstAmplitude = math.NaN() }},
+		{"amp without period", func(c *TenantConfig) { c.Profile.BurstAmplitude = 0.5; c.Profile.BurstPeriodUS = 0 }},
+	}
+	for _, c := range cases {
+		cfg := good
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", c.name)
+		}
+	}
+}
+
+// FuzzTenantConfig drives the -tenants grammar: any spec ParseTenants
+// accepts must yield configs that validate cleanly and are safe for the
+// engine — finite positive weights, non-negative rates, bounded counts —
+// and parsing must be deterministic.
+func FuzzTenantConfig(f *testing.F) {
+	seeds := []string{
+		"1", "8", "64",
+		"mail", "mail*2", "mail,trans,web",
+		"mail*2:weight=2:qd=8,trans:values=private:ia=0.25",
+		"web:amp=0.5:period=120:seed=7:n=1000",
+		"trans:rate=500:burst=4:name=antag",
+		"mail:weight=nan", "mail:weight=0", "mail:weight=-1",
+		"mail:rate=1e308", "mail:qd=-1", "mail:values=private",
+		"0", "65", ",", ":", "mail:", "mail:=", "mail*",
+		"mail:weight=2:weight=3", "MAIL", "mail :weight=1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfgs, err := ParseTenants(spec)
+		if err != nil {
+			if cfgs != nil {
+				t.Fatalf("error %v returned alongside configs", err)
+			}
+			return
+		}
+		if len(cfgs) < 1 || len(cfgs) > 64 {
+			t.Fatalf("accepted %d tenants, outside [1,64]", len(cfgs))
+		}
+		for i, c := range cfgs {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("accepted spec %q but tenant %d fails Validate: %v", spec, i, err)
+			}
+			if c.Name == "" {
+				t.Fatalf("accepted spec %q left tenant %d unnamed", spec, i)
+			}
+			if math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) || c.Weight <= 0 {
+				t.Fatalf("accepted weight %g", c.Weight)
+			}
+			if c.Profile.ValueBase >= 1<<48 {
+				t.Fatalf("accepted ValueBase %d aliasing the precondition region", c.Profile.ValueBase)
+			}
+		}
+		// Parsing is pure: a second parse must agree exactly.
+		again, err := ParseTenants(spec)
+		if err != nil || len(again) != len(cfgs) {
+			t.Fatalf("reparse diverged: %v", err)
+		}
+		for i := range cfgs {
+			if cfgs[i] != again[i] {
+				t.Fatalf("reparse of %q differs at tenant %d", spec, i)
+			}
+		}
+	})
+}

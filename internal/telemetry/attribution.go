@@ -99,16 +99,32 @@ type Attribution struct {
 	latSum   int64
 	requests int64
 
+	// Per-tenant attribution (multi-tenant engine runs only; see
+	// DeclareTenants). Empty for single-submitter runs, so their registry
+	// contents and histograms stay byte-identical to the pre-tenant layer.
+	tenants []tenantAttr
+
 	// Open request scope.
-	open     bool
-	op       RequestOp
-	arrival  ssd.Time
-	hostWait ssd.Time // queue wait of host-origin ops (incl. GC share)
-	busT     ssd.Time
-	chipT    ssd.Time
-	eccT     ssd.Time
-	gcHold   ssd.Time // chip time GC ops occupied during this request
-	flashOps int
+	open        bool
+	op          RequestOp
+	arrival     ssd.Time
+	hostWait    ssd.Time // queue wait of host-origin ops (incl. GC share)
+	busT        ssd.Time
+	chipT       ssd.Time
+	eccT        ssd.Time
+	gcHold      ssd.Time // chip time GC ops occupied during this request
+	dispatchLag ssd.Time // arbiter hold: dispatch − arrival (0 single-tenant)
+	tenant      int      // owning tenant, -1 when untagged
+	flashOps    int
+}
+
+// tenantAttr is one tenant's slice of the attribution state.
+type tenantAttr struct {
+	name     string
+	e2e      [numReqOps]stats.Histogram
+	phaseSum [NumPhases]int64
+	latSum   int64
+	requests int64
 }
 
 func newAttribution() *Attribution { return &Attribution{} }
@@ -131,7 +147,37 @@ func (a *Attribution) begin(op RequestOp, arrival ssd.Time) {
 	a.op = op
 	a.arrival = arrival
 	a.hostWait, a.busT, a.chipT, a.eccT, a.gcHold = 0, 0, 0, 0, 0
+	a.dispatchLag = 0
+	a.tenant = -1
 	a.flashOps = 0
+}
+
+// declareTenants sizes the per-tenant state and registers each tenant's
+// end-to-end histograms under a tenant label.
+func (a *Attribution) declareTenants(names []string, reg *Registry) {
+	a.tenants = make([]tenantAttr, len(names))
+	for i, name := range names {
+		a.tenants[i].name = name
+		for op := RequestOp(0); op < numReqOps; op++ {
+			reg.Histogram("tenant_request_latency_us",
+				"end-to-end host request latency by tenant",
+				Labels{"op": op.String(), "tenant": name}, &a.tenants[i].e2e[op])
+		}
+	}
+}
+
+// beginTenant opens a request scope tagged with its tenant and the
+// engine's dispatch instant. The arbiter hold (dispatch − arrival) is
+// charged to the queue phase when the scope closes, keeping the exact-sum
+// property; a zero hold reduces to begin.
+func (a *Attribution) beginTenant(op RequestOp, arrival, dispatch ssd.Time, tenant int) {
+	a.begin(op, arrival)
+	if dispatch > arrival {
+		a.dispatchLag = dispatch - arrival
+	}
+	if tenant >= 0 && tenant < len(a.tenants) {
+		a.tenant = tenant
+	}
 }
 
 // observeOp folds one stamped flash operation into the open scope. Ops
@@ -174,7 +220,7 @@ func (a *Attribution) end(done ssd.Time) Request {
 	if gcBlocked > a.hostWait {
 		gcBlocked = a.hostWait
 	}
-	queue := a.hostWait - gcBlocked
+	queue := a.hostWait - gcBlocked + a.dispatchLag
 	onFlash := queue + gcBlocked + a.busT + a.chipT + a.eccT
 	ctrl := lat - onFlash
 	if ctrl < 0 {
@@ -199,7 +245,35 @@ func (a *Attribution) end(done ssd.Time) Request {
 		a.hists[a.op][p].Add(int64(req.Phases[p]))
 		a.phaseSum[p] += int64(req.Phases[p])
 	}
+	if a.tenant >= 0 {
+		ta := &a.tenants[a.tenant]
+		ta.e2e[a.op].Add(int64(lat))
+		ta.latSum += int64(lat)
+		ta.requests++
+		for p := Phase(0); p < NumPhases; p++ {
+			ta.phaseSum[p] += int64(req.Phases[p])
+		}
+	}
 	return req
+}
+
+// Tenants returns how many tenants were declared.
+func (a *Attribution) Tenants() int { return len(a.tenants) }
+
+// TenantName returns tenant t's label.
+func (a *Attribution) TenantName(t int) string { return a.tenants[t].name }
+
+// TenantE2E returns tenant t's end-to-end latency histogram for op.
+func (a *Attribution) TenantE2E(t int, op RequestOp) *stats.Histogram {
+	return &a.tenants[t].e2e[op]
+}
+
+// TenantTotals returns tenant t's per-phase sums, end-to-end sum and
+// request count. The phase sums add up to the end-to-end sum exactly,
+// tenant by tenant.
+func (a *Attribution) TenantTotals(t int) (phases [NumPhases]int64, latency, requests int64) {
+	ta := &a.tenants[t]
+	return ta.phaseSum, ta.latSum, ta.requests
 }
 
 // hist returns the histogram for (op, phase).

@@ -302,6 +302,28 @@ func (t *Telemetry) BeginRequest(op RequestOp, arrival ssd.Time) {
 	t.attr.begin(op, arrival)
 }
 
+// DeclareTenants sizes the per-tenant attribution dimension and registers
+// per-tenant latency histograms. The multi-tenant engine calls it once
+// before the run; single-submitter runs never do, keeping their registry
+// contents identical to the pre-tenant layer.
+func (t *Telemetry) DeclareTenants(names []string) {
+	if t == nil {
+		return
+	}
+	t.attr.declareTenants(names, t.reg)
+}
+
+// BeginRequestTenant opens a host-request attribution scope tagged with
+// the owning tenant and the engine's dispatch instant; the arbiter hold
+// (dispatch − arrival) is charged to the queue phase. With dispatch equal
+// to arrival and tenant -1 it reduces exactly to BeginRequest.
+func (t *Telemetry) BeginRequestTenant(op RequestOp, arrival, dispatch ssd.Time, tenant int) {
+	if t == nil {
+		return
+	}
+	t.attr.beginTenant(op, arrival, dispatch, tenant)
+}
+
 // EndRequest closes the current request scope with its completion time,
 // folds the phase decomposition into the per-phase histograms, and emits
 // the request span onto the timeline.

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"zombiessd/internal/trace"
@@ -111,8 +112,21 @@ func (g *Generator) Next() (rec trace.Record, ok bool) {
 }
 
 // interarrival draws an exponential-ish gap in microseconds, at least 1.
+// With a burst envelope configured, the mean gap is modulated by a square
+// wave over BurstPeriodUS — the busy half-period runs (1+A)× faster, the
+// quiet half (1+A)× slower — using no extra RNG draws, so amplitude 0 is
+// bit-identical to the flat profile.
 func (g *Generator) interarrival() int64 {
-	gap := int64(g.rng.ExpFloat64() * g.p.MeanInterarrivalUS)
+	mean := g.p.MeanInterarrivalUS
+	if g.p.BurstAmplitude > 0 {
+		phase := math.Mod(float64(g.now), g.p.BurstPeriodUS)
+		if phase < g.p.BurstPeriodUS/2 {
+			mean /= 1 + g.p.BurstAmplitude
+		} else {
+			mean *= 1 + g.p.BurstAmplitude
+		}
+	}
+	gap := int64(g.rng.ExpFloat64() * mean)
 	if gap < 1 {
 		gap = 1
 	}
@@ -154,7 +168,7 @@ func (g *Generator) nextWrite() trace.Record {
 		Time: g.now,
 		Op:   trace.OpWrite,
 		LBA:  lba,
-		Hash: trace.HashOfValue(uint64(val)),
+		Hash: trace.HashOfValue(g.p.ValueBase + uint64(val)),
 	}
 }
 
@@ -221,7 +235,7 @@ func (g *Generator) nextRead() trace.Record {
 		Time: g.now,
 		Op:   trace.OpRead,
 		LBA:  lba,
-		Hash: trace.HashOfValue(uint64(g.lbaValue[lba])),
+		Hash: trace.HashOfValue(g.p.ValueBase + uint64(g.lbaValue[lba])),
 	}
 }
 

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"zombiessd/internal/trace"
+)
+
+// TestZeroBurstAndBaseBitIdentity pins the multi-tenant profile
+// extensions' no-op contract: BurstAmplitude 0 and ValueBase 0 (the
+// defaults every pre-existing caller uses) must leave generated traces
+// byte-identical to a profile that has never heard of these fields.
+func TestZeroBurstAndBaseBitIdentity(t *testing.T) {
+	p, _ := ProfileByName("mail")
+	base, err := Generate(p, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.BurstAmplitude = 0
+	p2.BurstPeriodUS = 0
+	p2.ValueBase = 0
+	again, err := Generate(p2, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, again) {
+		t.Fatal("zero-valued burst/base fields changed the generated trace")
+	}
+}
+
+// TestValueBaseShiftsContentOnly checks a private value base rewrites
+// every hash while leaving the request schedule — times, ops, LBAs —
+// untouched, so content partitioning never perturbs arrival timing.
+func TestValueBaseShiftsContentOnly(t *testing.T) {
+	p, _ := ProfileByName("mail")
+	shared, err := Generate(p, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ValueBase = 1 << 40
+	private, err := Generate(p, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != len(private) {
+		t.Fatalf("lengths differ: %d vs %d", len(shared), len(private))
+	}
+	sharedHashes := make(map[trace.Hash]bool, len(shared))
+	for i := range shared {
+		if shared[i].Time != private[i].Time || shared[i].Op != private[i].Op || shared[i].LBA != private[i].LBA {
+			t.Fatalf("record %d schedule changed: %+v vs %+v", i, shared[i], private[i])
+		}
+		if shared[i].Hash == private[i].Hash {
+			t.Fatalf("record %d hash unchanged under private base", i)
+		}
+		sharedHashes[shared[i].Hash] = true
+	}
+	for i := range private {
+		if sharedHashes[private[i].Hash] {
+			t.Fatalf("record %d private hash collides with the shared space", i)
+		}
+	}
+}
+
+// TestBurstEnvelopeShapesArrivals checks the diurnal square wave
+// compresses arrivals in the first half-period and stretches them in the
+// second, without adding or removing RNG draws (same ops, LBAs, hashes).
+func TestBurstEnvelopeShapesArrivals(t *testing.T) {
+	p, _ := ProfileByName("mail")
+	flat, err := Generate(p, 8000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.BurstAmplitude = 1.0 // 2× rate in the peak half, ½× in the trough
+	p.BurstPeriodUS = 2e6
+	bursty, err := Generate(p, 8000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != len(bursty) {
+		t.Fatalf("lengths differ: %d vs %d", len(flat), len(bursty))
+	}
+	for i := range flat {
+		if flat[i].Op != bursty[i].Op || flat[i].LBA != bursty[i].LBA || flat[i].Hash != bursty[i].Hash {
+			t.Fatalf("record %d: burst envelope disturbed the op/LBA/value stream", i)
+		}
+	}
+	// Gap ratio bursty/flat should average below 1/(1+A) · slack in peak
+	// halves and above (1+A) · slack in trough halves.
+	var peakRatio, troughRatio float64
+	var peakN, troughN int
+	for i := 1; i < len(flat); i++ {
+		fg := float64(flat[i].Time - flat[i-1].Time)
+		bg := float64(bursty[i].Time - bursty[i-1].Time)
+		if fg <= 0 {
+			continue
+		}
+		phase := math.Mod(float64(bursty[i-1].Time), p.BurstPeriodUS)
+		if phase < p.BurstPeriodUS/2 {
+			peakRatio += bg / fg
+			peakN++
+		} else {
+			troughRatio += bg / fg
+			troughN++
+		}
+	}
+	if peakN == 0 || troughN == 0 {
+		t.Fatalf("trace never crossed both half-periods (peak %d, trough %d)", peakN, troughN)
+	}
+	peakRatio /= float64(peakN)
+	troughRatio /= float64(troughN)
+	if peakRatio > 0.75 {
+		t.Errorf("peak-half gap ratio %.2f; want well under 1 (compressed arrivals)", peakRatio)
+	}
+	if troughRatio < 1.5 {
+		t.Errorf("trough-half gap ratio %.2f; want well above 1 (stretched arrivals)", troughRatio)
+	}
+	if troughRatio <= peakRatio {
+		t.Errorf("trough ratio %.2f not above peak ratio %.2f", troughRatio, peakRatio)
+	}
+}
+
+// TestProfileValidateTenantFields covers the new profile knobs' bounds.
+func TestProfileValidateTenantFields(t *testing.T) {
+	good, _ := ProfileByName("mail")
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"negative amplitude", func(p *Profile) { p.BurstAmplitude = -0.1 }},
+		{"nan amplitude", func(p *Profile) { p.BurstAmplitude = math.NaN() }},
+		{"inf amplitude", func(p *Profile) { p.BurstAmplitude = math.Inf(1) }},
+		{"amp without period", func(p *Profile) { p.BurstAmplitude = 0.5; p.BurstPeriodUS = 0 }},
+		{"nan period", func(p *Profile) { p.BurstAmplitude = 0.5; p.BurstPeriodUS = math.NaN() }},
+		{"value base in precondition region", func(p *Profile) { p.ValueBase = 1 << 48 }},
+	}
+	for _, c := range cases {
+		p := good
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", c.name)
+		}
+	}
+	p := good
+	p.BurstAmplitude = 0.5
+	p.BurstPeriodUS = 60e6
+	p.ValueBase = 1 << 40
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid tenant profile rejected: %v", err)
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke repro examples clean
+.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke gc-smoke repro examples clean
 
 all: build vet test
 
@@ -45,6 +45,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzRecoveryScan -fuzztime=5s ./internal/recovery
 	$(GO) test -run='^$$' -fuzz=FuzzRBEREstimator -fuzztime=5s ./internal/fault
 	$(GO) test -run='^$$' -fuzz=FuzzTenantConfig -fuzztime=5s ./internal/sim
+	$(GO) test -run='^$$' -fuzz=FuzzGCConfig -fuzztime=5s ./internal/faultflags
 
 # Reduced-scale end-to-end run of the drive-to-death harness: every
 # architecture ages under the wear-scaled fault plan and the capacity /
@@ -68,6 +69,12 @@ scrub-smoke:
 # per-tenant tail latency, DVP hit rate and the cross-tenant subsidy.
 tenant-smoke:
 	$(GO) run ./cmd/zombiectl -q -requests 24000 -tenants "mail,trans:ia=0.5" -qos wrr run tenantsweep
+
+# Reduced-scale gcsweep: blocking / soft / partial-k / partial+suspension GC
+# policies across all five architectures plus the antagonist tenant pair,
+# reporting read p99/p99.9 and the gc-blocked attribution phase.
+gc-smoke:
+	$(GO) run ./cmd/zombiectl -q -requests 24000 run gcsweep
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

@@ -45,6 +45,7 @@ type params struct {
 	faults              fault.Config
 	scrub               scrub.Config
 	gcFaultWeight       float64
+	preempt             ftl.PreemptConfig
 	drainSuspects       bool
 	tenants, qos        string
 	qd                  int
@@ -105,6 +106,7 @@ func main() {
 		fatalFlag("-qd must be ≥ 0, got %d", p.qd)
 	}
 	p.faults, p.scrub, p.gcFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
+	p.preempt = rf.Preempt()
 	p.faults.CrashAtOp = crashAt
 
 	if err := run(p); err != nil {
@@ -217,7 +219,7 @@ func simConfig(p params, footprint int64) sim.Config {
 		Geometry: sim.GeometryFor(footprint, p.util),
 		Latency:  ssd.PaperLatency(),
 		Store: ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: p.softGC,
-			FaultPenaltyWeight: p.gcFaultWeight, DrainSuspects: p.drainSuspects},
+			FaultPenaltyWeight: p.gcFaultWeight, DrainSuspects: p.drainSuspects, Preempt: p.preempt},
 		LogicalPages: footprint,
 		Kind:         kind,
 		PoolKind:     sim.PoolKind(strings.ToLower(p.pool)),

@@ -78,6 +78,7 @@ func main() {
 		fatalFlag("-qd must be ≥ 0, got %d", opts.QueueDepth)
 	}
 	opts.Faults, opts.Scrub, opts.GCFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
+	opts.GCPreempt = rf.Preempt()
 	opts.Telemetry = tf.Telemetry
 
 	args := flag.Args()

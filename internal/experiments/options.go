@@ -79,6 +79,12 @@ type Options struct {
 	// multi-tenant runs (the -qd flag); 0 lets the tenantsweep pick its
 	// own default.
 	QueueDepth int
+	// GCPreempt is the preemptible-GC policy (ftl.StoreConfig.Preempt)
+	// applied to every simulated device: idle-window partial victim
+	// drains, read-over-GC suspension and multi-victim lookahead. The zero
+	// value (the default) keeps GC blocking and every paper figure
+	// bit-identical; the gcsweep experiment crosses its own policy arms.
+	GCPreempt ftl.PreemptConfig
 	// Telemetry, when Enabled, attaches a fresh observability instance
 	// (metrics registry, latency attribution, timeline tracer) to every
 	// simulated matrix device. Each cell gets its own instance, so
@@ -139,6 +145,9 @@ func (o Options) Validate() error {
 	if o.QueueDepth < 0 {
 		return fmt.Errorf("experiments: queue depth must be ≥ 0, got %d", o.QueueDepth)
 	}
+	if err := o.GCPreempt.Validate(); err != nil {
+		return err
+	}
 	if err := o.Telemetry.Validate(); err != nil {
 		return err
 	}
@@ -167,6 +176,7 @@ func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolK
 			GCFreeBlockThreshold: 2,
 			PopularityWeight:     popularityWeightFor(kind),
 			FaultPenaltyWeight:   o.GCFaultWeight,
+			Preempt:              o.GCPreempt,
 		},
 		LogicalPages: footprint,
 		Kind:         kind,

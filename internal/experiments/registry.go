@@ -67,6 +67,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunScrubsweep(o) }},
 	{ID: "tenantsweep", Title: "Tenantsweep: multi-tenant QoS isolation and cross-tenant DVP subsidy",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunTenantsweep(o) }},
+	{ID: "gcsweep", Title: "GCsweep: read tail latency and gc-blocked attribution vs preemptible-GC policy",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunGCsweep(o) }},
 }
 
 // All returns every experiment in the paper's order.

@@ -9,9 +9,12 @@ package faultflags
 import (
 	"flag"
 	"fmt"
+	"math"
 
 	"zombiessd/internal/fault"
+	"zombiessd/internal/ftl"
 	"zombiessd/internal/scrub"
+	"zombiessd/internal/ssd"
 )
 
 // Set holds the parsed values of the shared reliability flags.
@@ -19,6 +22,15 @@ type Set struct {
 	Faults        fault.Config
 	Scrub         scrub.Config
 	GCFaultWeight float64
+
+	// Preemptible-GC knobs (-gc-partial-k, -gc-lookahead, -gc-suspend-*).
+	// The suspend costs are parsed as float64 microseconds so garbage like
+	// NaN is caught by Validate with a named error instead of truncating.
+	GCPartialK      int
+	GCLookahead     int
+	GCSuspendMax    int
+	GCSuspendCostUS float64
+	GCResumeCostUS  float64
 }
 
 // Register wires the shared reliability flags into fs and returns the Set
@@ -52,7 +64,30 @@ func Register(fs *flag.FlagSet) *Set {
 		"estimated RBER above which the patrol refresh-relocates a page (0 = the correctable threshold)")
 	fs.IntVar(&s.Scrub.MaxCatchUp, "scrub-catchup", 0,
 		fmt.Sprintf("max patrol visits recovered per host op after an idle gap (0 = default %d)", scrub.DefaultMaxCatchUp))
+
+	fs.IntVar(&s.GCPartialK, "gc-partial-k", 0,
+		"partial GC: max valid-page migrations per idle window (0 = blocking GC)")
+	fs.IntVar(&s.GCLookahead, "gc-lookahead", 0,
+		"partial GC: victims pre-selected per plane scoring scan (0 = 1; needs -gc-partial-k)")
+	fs.IntVar(&s.GCSuspendMax, "gc-suspend-max", 0,
+		"max host-read suspensions per in-flight GC erase/program (0 = no suspension)")
+	fs.Float64Var(&s.GCSuspendCostUS, "gc-suspend-cost", 0,
+		fmt.Sprintf("suspend overhead charged to a preempting read, µs (0 = default %d)", int64(ftl.DefaultSuspendCost)))
+	fs.Float64Var(&s.GCResumeCostUS, "gc-suspend-resume", 0,
+		fmt.Sprintf("resume overhead charged to the suspended GC op, µs (0 = default %d)", int64(ftl.DefaultResumeCost)))
 	return s
+}
+
+// Preempt converts the parsed -gc-* knobs into the FTL's preemption
+// config. Call only after Validate accepted the set.
+func (s *Set) Preempt() ftl.PreemptConfig {
+	return ftl.PreemptConfig{
+		PartialK:    s.GCPartialK,
+		Lookahead:   s.GCLookahead,
+		MaxSuspends: s.GCSuspendMax,
+		SuspendCost: ssd.Time(s.GCSuspendCostUS) * ssd.Microsecond,
+		ResumeCost:  ssd.Time(s.GCResumeCostUS) * ssd.Microsecond,
+	}
 }
 
 // Validate rejects out-of-range values with the flag name in the message,
@@ -72,6 +107,20 @@ func (s *Set) Validate() error {
 	}
 	if s.Scrub.Enabled() && !s.Faults.IntegrityArmed() {
 		return fmt.Errorf("-scrub-interval needs the integrity model armed (set -integrity-rber)")
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"-gc-suspend-cost", s.GCSuspendCostUS}, {"-gc-suspend-resume", s.GCResumeCostUS}} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("%w: %s must be a finite number of µs, got %g", ftl.ErrBadSuspend, c.name, c.v)
+		}
+		if c.v != math.Trunc(c.v) {
+			return fmt.Errorf("%w: %s must be whole µs, got %g", ftl.ErrBadSuspend, c.name, c.v)
+		}
+	}
+	if err := s.Preempt().Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 package faultflags
 
 import (
+	"errors"
 	"flag"
 	"io"
 	"testing"
 
+	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
 )
 
@@ -81,4 +83,117 @@ func TestValidateRejections(t *testing.T) {
 			}
 		})
 	}
+}
+
+func TestGCFlagsLand(t *testing.T) {
+	s, err := parse(t,
+		"-gc-partial-k", "8", "-gc-lookahead", "2",
+		"-gc-suspend-max", "4", "-gc-suspend-cost", "25", "-gc-suspend-resume", "15",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ftl.PreemptConfig{
+		PartialK: 8, Lookahead: 2, MaxSuspends: 4,
+		SuspendCost: 25 * ssd.Microsecond, ResumeCost: 15 * ssd.Microsecond,
+	}
+	if got := s.Preempt(); got != want {
+		t.Errorf("Preempt() = %+v, want %+v", got, want)
+	}
+}
+
+// TestGCValidateNamedErrors pins the error classes the -gc-* surface must
+// report, so scripts (and the fuzzer) can branch on errors.Is.
+func TestGCValidateNamedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want error
+	}{
+		{"negative k", []string{"-gc-partial-k", "-1"}, ftl.ErrBadPartialK},
+		{"lookahead without partial", []string{"-gc-lookahead", "2"}, ftl.ErrBadLookahead},
+		{"lookahead too big", []string{"-gc-partial-k", "4", "-gc-lookahead", "9"}, ftl.ErrBadLookahead},
+		{"negative suspends", []string{"-gc-suspend-max", "-3"}, ftl.ErrBadSuspend},
+		{"zero-window cost", []string{"-gc-suspend-cost", "25"}, ftl.ErrBadSuspend},
+		{"nan cost", []string{"-gc-suspend-max", "4", "-gc-suspend-cost", "NaN"}, ftl.ErrBadSuspend},
+		{"inf resume", []string{"-gc-suspend-max", "4", "-gc-suspend-resume", "+Inf"}, ftl.ErrBadSuspend},
+		{"fractional cost", []string{"-gc-suspend-max", "4", "-gc-suspend-cost", "12.5"}, ftl.ErrBadSuspend},
+		{"negative resume", []string{"-gc-suspend-max", "4", "-gc-suspend-resume", "-20"}, ftl.ErrBadSuspend},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parse(t, tc.args...)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("parse %v: got %v, want %v", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzGCConfig hammers the five -gc-* knobs with arbitrary flag values.
+// Invariants: parsing and validation never panic; a rejected set fails with
+// one of the named preemption errors (so callers can report which knob is
+// bad); an accepted set yields a PreemptConfig that survives WithDefaults,
+// re-validates cleanly and builds a working store.
+func FuzzGCConfig(f *testing.F) {
+	seeds := [][5]string{
+		{"", "", "", "", ""},
+		{"8", "2", "4", "20", "20"},
+		{"8", "", "", "", ""},
+		{"1", "8", "1", "1", "1"},
+		{"0", "2", "", "", ""},
+		{"-1", "", "", "", ""},
+		{"8", "9", "", "", ""},
+		{"8", "-2", "", "", ""},
+		{"", "", "-3", "", ""},
+		{"", "", "0", "25", ""},
+		{"", "", "", "", "20"},
+		{"", "", "4", "NaN", ""},
+		{"", "", "4", "+Inf", ""},
+		{"", "", "4", "-Inf", ""},
+		{"", "", "4", "12.5", ""},
+		{"", "", "4", "-20", ""},
+		{"", "", "4", "1e300", "1e300"},
+		{"9999999", "8", "9999", "3800", "3800"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4])
+	}
+	f.Fuzz(func(t *testing.T, partialK, lookahead, suspendMax, suspendCost, resumeCost string) {
+		var args []string
+		for _, kv := range [][2]string{
+			{"-gc-partial-k", partialK}, {"-gc-lookahead", lookahead},
+			{"-gc-suspend-max", suspendMax}, {"-gc-suspend-cost", suspendCost},
+			{"-gc-suspend-resume", resumeCost},
+		} {
+			if kv[1] != "" {
+				args = append(args, kv[0], kv[1])
+			}
+		}
+		fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		s := Register(fs)
+		if err := fs.Parse(args); err != nil {
+			return // the flag package rejected the raw value
+		}
+		if err := s.Validate(); err != nil {
+			if !errors.Is(err, ftl.ErrBadPartialK) && !errors.Is(err, ftl.ErrBadLookahead) &&
+				!errors.Is(err, ftl.ErrBadSuspend) {
+				t.Fatalf("rejection %v is not a named preemption error (args %v)", err, args)
+			}
+			return
+		}
+		p := s.Preempt().WithDefaults()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted set fails after WithDefaults: %v (args %v)", err, args)
+		}
+		geo := ssd.Geometry{
+			Channels: 2, ChipsPerChannel: 2, DiesPerChip: 1, PlanesPerDie: 1,
+			BlocksPerPlane: 8, PagesPerBlock: 16, PageSize: 4096, OverProvision: 0.15,
+		}
+		bus := ssd.NewBus(geo, ssd.PaperLatency())
+		if _, err := ftl.NewStore(ftl.StoreConfig{GCFreeBlockThreshold: 2, Preempt: p}, bus); err != nil {
+			t.Fatalf("accepted set rejected by the store: %v (args %v)", err, args)
+		}
+	})
 }

@@ -107,7 +107,7 @@ func (s *Store) integrityCheck(p ssd.PPN, done, clock ssd.Time) (ssd.Time, error
 // ErrUncorrectable when the patrol itself discovers the page is beyond
 // ECC, or a power-loss wrap.
 func (s *Store) ScrubRead(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
-	return s.readPageAt(p, stamp, clock)
+	return s.readPageAt(p, stamp, clock, false)
 }
 
 // RefreshPage rewrites a decaying valid page onto fresh flash before its
@@ -135,7 +135,7 @@ func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) 
 		// GC relocated the page while making room — already refreshed.
 		return stamp, nil
 	}
-	readDone, err := s.readPageAt(p, stamp, clock)
+	readDone, err := s.readPageAt(p, stamp, clock, false)
 	if err != nil {
 		return readDone, err
 	}
@@ -177,7 +177,7 @@ func (s *Store) VerifyRevive(p ssd.PPN, now ssd.Time) (ssd.Time, bool, error) {
 		s.faults.RevivalsDeclined++
 		return now, false, nil
 	}
-	done, err := s.readPageAt(p, now, now)
+	done, err := s.readPageAt(p, now, now, false)
 	if err != nil {
 		if errors.Is(err, ErrUncorrectable) {
 			s.faults.RevivalsDeclined++

@@ -209,6 +209,10 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 		b.valid, b.invalid = 0, 0
 		b.free, b.active = false, false
 	}
+	// Partial-GC drain positions do not survive power loss; block states
+	// are re-derived below, so any queued victim is simply a candidate
+	// again.
+	s.resetDrains()
 	// Torn pages: physically present but unreadable until their block is
 	// erased; they count as (unrevivable) garbage so GC reclaims them.
 	for p := ssd.PPN(0); p < total; p++ {

@@ -1,0 +1,390 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/telemetry"
+)
+
+// Preemptible GC (Nagel et al., "Time-efficient Garbage Collection in
+// SSDs"): instead of holding the host for a whole victim migration, the
+// store drains victims a few pages at a time inside the idle windows
+// between requests (the scrub patrol's stamp-at-zero trick), suspends
+// in-flight GC erases/programs when a host read arrives mid-operation,
+// and pre-selects several victims at once so migrations coalesce onto the
+// idlest destination chips. The zero PreemptConfig disables all of it and
+// is bit-identical to the blocking collector.
+
+// Named configuration errors, so the flag surfaces (and FuzzGCConfig) can
+// assert the exact rejection class with errors.Is.
+var (
+	// ErrBadPartialK rejects invalid -gc-partial-k values.
+	ErrBadPartialK = errors.New("ftl: bad -gc-partial-k")
+	// ErrBadLookahead rejects invalid -gc-lookahead values.
+	ErrBadLookahead = errors.New("ftl: bad -gc-lookahead")
+	// ErrBadSuspend rejects inconsistent -gc-suspend-* values.
+	ErrBadSuspend = errors.New("ftl: bad -gc-suspend configuration")
+)
+
+// maxLookahead bounds how many victims one plane may pre-select: the
+// foreground fallback must always find a non-draining victim, so the
+// drain queue may never monopolize a plane's candidate set.
+const maxLookahead = 8
+
+// Default suspend/resume overheads, applied by WithDefaults when
+// suspension is enabled with zero costs (the ~20 µs erase-suspend latency
+// reported for modern NAND).
+const (
+	DefaultSuspendCost = 20 * ssd.Microsecond
+	DefaultResumeCost  = 20 * ssd.Microsecond
+)
+
+// PreemptConfig parameterizes preemptible garbage collection. The zero
+// value disables partial GC, lookahead batching and suspension alike.
+type PreemptConfig struct {
+	// PartialK is the migration budget of one idle window: at most this
+	// many valid pages are relocated per host-request gap. 0 disables
+	// partial GC entirely.
+	PartialK int
+
+	// Lookahead is how many victims a plane pre-selects per scoring scan
+	// (multi-victim batching, in [1, 8]). 0 means 1 when partial GC is on;
+	// setting it without PartialK is a configuration error.
+	Lookahead int
+
+	// MaxSuspends bounds how many times one in-flight GC erase/program may
+	// be suspended by host reads; the bound is what keeps suspended erases
+	// starvation-free. 0 disables suspension.
+	MaxSuspends int
+
+	// SuspendCost and ResumeCost are the per-suspension overheads charged
+	// on the chip timeline (see ssd.SuspendConfig). 0 picks the defaults
+	// when suspension is enabled; negative is rejected.
+	SuspendCost ssd.Time
+	ResumeCost  ssd.Time
+}
+
+// PartialEnabled reports whether idle-window partial GC is on.
+func (c PreemptConfig) PartialEnabled() bool { return c.PartialK > 0 }
+
+// SuspendEnabled reports whether read-over-GC suspension is on.
+func (c PreemptConfig) SuspendEnabled() bool { return c.MaxSuspends > 0 }
+
+// Enabled reports whether any preemption mechanism is on.
+func (c PreemptConfig) Enabled() bool { return c.PartialEnabled() || c.SuspendEnabled() }
+
+// Validate rejects malformed configurations with the named errors above.
+func (c PreemptConfig) Validate() error {
+	if c.PartialK < 0 {
+		return fmt.Errorf("%w: migration budget must be ≥ 0, got %d", ErrBadPartialK, c.PartialK)
+	}
+	if c.Lookahead < 0 || c.Lookahead > maxLookahead {
+		return fmt.Errorf("%w: victim lookahead must be in [0,%d], got %d", ErrBadLookahead, maxLookahead, c.Lookahead)
+	}
+	if c.Lookahead > 0 && c.PartialK == 0 {
+		return fmt.Errorf("%w: lookahead %d needs partial GC (-gc-partial-k > 0)", ErrBadLookahead, c.Lookahead)
+	}
+	if c.MaxSuspends < 0 {
+		return fmt.Errorf("%w: suspension bound must be ≥ 0, got %d", ErrBadSuspend, c.MaxSuspends)
+	}
+	if c.SuspendCost < 0 || c.ResumeCost < 0 {
+		return fmt.Errorf("%w: suspend/resume costs must be ≥ 0, got %d/%d",
+			ErrBadSuspend, c.SuspendCost, c.ResumeCost)
+	}
+	if c.MaxSuspends == 0 && (c.SuspendCost > 0 || c.ResumeCost > 0) {
+		return fmt.Errorf("%w: suspend costs set but -gc-suspend-max is 0 (suspension window disabled)",
+			ErrBadSuspend)
+	}
+	return nil
+}
+
+// WithDefaults returns c with the enabled-but-unset knobs filled in:
+// Lookahead 1 under partial GC, the default suspend/resume costs under
+// suspension. The disabled zero value passes through unchanged.
+func (c PreemptConfig) WithDefaults() PreemptConfig {
+	if c.PartialEnabled() && c.Lookahead == 0 {
+		c.Lookahead = 1
+	}
+	if c.SuspendEnabled() {
+		if c.SuspendCost == 0 {
+			c.SuspendCost = DefaultSuspendCost
+		}
+		if c.ResumeCost == 0 {
+			c.ResumeCost = DefaultResumeCost
+		}
+	}
+	return c
+}
+
+// drainState is one plane's resumable partial-GC position: the pre-selected
+// victim queue (head first) and the next page index within the head victim.
+// It survives across idle windows; the head victim's pages below cursor are
+// already migrated (or dropped as garbage) and set PageFree, pages at or
+// after cursor are still live state the host may update or revive.
+type drainState struct {
+	queue  []ssd.BlockID
+	cursor int
+}
+
+// PartialGCEnabled reports whether idle-window partial GC is configured.
+func (s *Store) PartialGCEnabled() bool { return s.cfg.Preempt.PartialEnabled() }
+
+// DrainBacklogPages returns the valid pages still awaiting migration in
+// every plane's drain queue — the partial collector's outstanding debt.
+func (s *Store) DrainBacklogPages() int64 {
+	var n int64
+	for p := range s.drains {
+		for _, v := range s.drains[p].queue {
+			n += int64(s.blocks[v].valid)
+		}
+	}
+	return n
+}
+
+// partialTrigger is the free-block level below which a plane starts
+// draining victims in the background: the soft threshold when configured,
+// otherwise one block of headroom above the hard low-water mark. The
+// headroom is deliberately minimal — every free block held in reserve is a
+// block's worth of garbage that can't ripen, and victims harvested early
+// carry more valid pages (write amplification climbs fast on drives whose
+// spare capacity is only a handful of blocks per plane).
+func (s *Store) partialTrigger() int {
+	t := s.cfg.SoftGCThreshold
+	if t <= 0 {
+		t = s.effThreshold + 1
+	}
+	if t > s.geo.BlocksPerPlane-1 {
+		t = s.geo.BlocksPerPlane - 1
+	}
+	return t
+}
+
+// PartialGCTick runs one idle window of partial GC: at most PartialK valid
+// pages are migrated (plus at most one block erase), stamped at time 0 so
+// the bus lands them in the gap since each chip last went idle. Planes are
+// visited in ascending chip-idle order, coalescing the window's migrations
+// onto the idlest destination chips/channels first. The device wrapper
+// calls this before every host operation, like the scrub patrol's Tick.
+func (s *Store) PartialGCTick(now ssd.Time) error {
+	k := s.cfg.Preempt.PartialK
+	if k <= 0 {
+		return nil
+	}
+	planes := s.needyPlanes(now)
+	if len(planes) == 0 {
+		return nil
+	}
+	budget := k
+	worked := false
+	for _, plane := range planes {
+		if budget <= 0 {
+			break
+		}
+		d := &s.drains[plane]
+		if len(d.queue) == 0 {
+			s.fillDrain(plane)
+			if len(d.queue) == 0 {
+				continue
+			}
+		}
+		n, erased, err := s.drainStep(plane, 0, budget, true)
+		if err != nil {
+			return err
+		}
+		budget -= n
+		if n > 0 || erased {
+			worked = true
+		}
+		if erased {
+			// An erase (3.8 ms) fills an idle window on its own; leave the
+			// remaining planes to the next window.
+			break
+		}
+	}
+	if worked {
+		s.gc.PartialWindows++
+	}
+	return nil
+}
+
+// needyPlanes returns the planes with an open drain or a free list below
+// the trigger whose chip is actually idle at now, ordered by when the chip
+// last went idle (ties by plane index) — the lookahead batching order.
+// The idleness gate is what makes the drain preemptible rather than merely
+// deferred: a stamped-at-zero operation starts at the chip's current
+// horizon, so draining a busy chip would push its backlog — and every host
+// request behind it — further out. Only chips with a genuine gap between
+// their horizon and the present absorb drain work for free.
+func (s *Store) needyPlanes(now ssd.Time) []int {
+	s.drainScratch = s.drainScratch[:0]
+	trigger := s.partialTrigger()
+	perChip := s.geo.PlanesPerChip()
+	for p := range s.planes {
+		if s.bus.ChipFreeTime(p/perChip) > now {
+			continue
+		}
+		if len(s.drains[p].queue) > 0 || len(s.planes[p].freeBlocks) < trigger {
+			s.drainScratch = append(s.drainScratch, p)
+		}
+	}
+	sort.Slice(s.drainScratch, func(i, j int) bool {
+		pi, pj := s.drainScratch[i], s.drainScratch[j]
+		fi, fj := s.bus.ChipFreeTime(pi/perChip), s.bus.ChipFreeTime(pj/perChip)
+		if fi != fj {
+			return fi < fj
+		}
+		return pi < pj
+	})
+	return s.drainScratch
+}
+
+// fillDrain pre-selects up to Lookahead victims for the plane in one
+// scoring scan, best victimScore first (ties to the lower block), marking
+// them draining so the foreground selector leaves them alone. Victims are
+// admitted only while their combined valid pages fit the plane's current
+// relocation capacity, so an admitted queue can always be drained.
+func (s *Store) fillDrain(plane int) {
+	look := s.cfg.Preempt.Lookahead
+	if look < 1 {
+		look = 1
+	}
+	capacity := s.relocationCapacity(plane)
+	type cand struct {
+		b     ssd.BlockID
+		score float64
+	}
+	var cands []cand
+	for i := 0; i < s.geo.BlocksPerPlane; i++ {
+		b := s.geo.BlockAt(plane, i)
+		info := &s.blocks[b]
+		if info.free || info.active || info.bad || info.draining ||
+			info.invalid == 0 || info.valid > capacity {
+			continue
+		}
+		cands = append(cands, cand{b, s.victimScore(b)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].b < cands[j].b
+	})
+	d := &s.drains[plane]
+	for _, c := range cands {
+		if len(d.queue) >= look {
+			break
+		}
+		if s.blocks[c.b].valid > capacity {
+			continue
+		}
+		capacity -= s.blocks[c.b].valid
+		s.blocks[c.b].draining = true
+		d.queue = append(d.queue, c.b)
+		s.gc.Runs++
+	}
+}
+
+// drainStep advances the plane's head drain victim by at most budget valid-
+// page migrations stamped at stamp, finishing with the erase when the whole
+// block is clear. It reports how many migrations it consumed and whether
+// the head victim was erased. background distinguishes idle-window work
+// (counted in GCStats.PartialPages) from the foreground finish. A step that
+// returns (0, false, nil) is stalled: the plane cannot absorb a page right
+// now and the caller must reclaim space some other way.
+func (s *Store) drainStep(plane int, stamp ssd.Time, budget int, background bool) (int, bool, error) {
+	d := &s.drains[plane]
+	if len(d.queue) == 0 {
+		return 0, false, nil
+	}
+	v := d.queue[0]
+	info := &s.blocks[v]
+	first := s.geo.FirstPage(v)
+	prevOrigin := s.Tel.EnterOrigin(telemetry.OriginGC)
+	defer s.Tel.ExitOrigin(prevOrigin)
+	s.bus.SuspendScope(true)
+	defer s.bus.SuspendScope(false)
+	migrated := 0
+	for d.cursor < s.geo.PagesPerBlock {
+		p := first + ssd.PPN(d.cursor)
+		switch s.state[p] {
+		case PageValid:
+			if migrated >= budget {
+				return migrated, false, nil
+			}
+			if s.relocationCapacity(plane) < 1 {
+				return migrated, false, nil
+			}
+			readDone, err := s.readPage(p, stamp)
+			if err != nil && !errors.Is(err, ErrUncorrectable) {
+				return migrated, false, fmt.Errorf("ftl: partial GC read of page %d: %w", p, err)
+			}
+			wasLost := err != nil
+			dst, _, err := s.programAt(plane, s.gcStream(plane), readDone)
+			if err != nil {
+				if s.inj == nil && s.crashAt == 0 {
+					panic(fmt.Sprintf("ftl: partial GC relocation failed: %v", err))
+				}
+				return migrated, false, fmt.Errorf("ftl: partial GC relocation of page %d: %w", p, err)
+			}
+			if wasLost {
+				s.lost[dst] = true
+			}
+			s.gc.Relocated++
+			if background {
+				s.gc.PartialPages++
+			}
+			// Stamp before OnRelocate: the owner must be read while the
+			// mapping still points at the source page.
+			s.stampRelocated(p, dst)
+			if s.OnRelocate != nil {
+				s.OnRelocate(p, dst)
+			}
+			s.state[p] = PageFree
+			info.valid--
+			migrated++
+		case PageInvalid:
+			if s.OnEraseGarbage != nil {
+				s.OnEraseGarbage(p)
+			}
+			s.state[p] = PageFree
+			info.invalid--
+		}
+		d.cursor++
+	}
+	// Every page is clear: erase, pop the victim, and let the block rejoin
+	// the free list (or retire).
+	info.draining = false
+	_, err := s.eraseVictim(plane, v, stamp, int64(migrated))
+	copy(d.queue, d.queue[1:])
+	d.queue = d.queue[:len(d.queue)-1]
+	d.cursor = 0
+	return migrated, true, err
+}
+
+// finishDrainHead synchronously completes the plane's head drain victim at
+// now — the hard-threshold path when a request catches the plane mid-drain.
+// The stall is bounded by the victim's *remaining* pages, which is the
+// partial scheme's tail-latency win over blocking whole-victim cycles.
+// Reports whether a block was reclaimed; false with a nil error means the
+// drain is stalled on relocation capacity and the caller should fall back
+// to a normal cycle on a different victim.
+func (s *Store) finishDrainHead(plane int, now ssd.Time) (bool, error) {
+	_, erased, err := s.drainStep(plane, now, math.MaxInt, false)
+	return erased, err
+}
+
+// resetDrains clears every plane's drain queue and draining mark; recovery
+// calls it from Rebuild, where block states are re-derived from scratch.
+func (s *Store) resetDrains() {
+	for p := range s.drains {
+		for _, v := range s.drains[p].queue {
+			s.blocks[v].draining = false
+		}
+		s.drains[p].queue = s.drains[p].queue[:0]
+		s.drains[p].cursor = 0
+	}
+}

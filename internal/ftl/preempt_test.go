@@ -1,0 +1,282 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+func TestPreemptConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  PreemptConfig
+		want error // nil means accepted
+	}{
+		{"zero", PreemptConfig{}, nil},
+		{"partial", PreemptConfig{PartialK: 8, Lookahead: 2}, nil},
+		{"full", PreemptConfig{PartialK: 8, Lookahead: 2, MaxSuspends: 4, SuspendCost: 20, ResumeCost: 20}, nil},
+		{"suspend-only", PreemptConfig{MaxSuspends: 4}, nil},
+		{"negative-k", PreemptConfig{PartialK: -1}, ErrBadPartialK},
+		{"negative-lookahead", PreemptConfig{PartialK: 4, Lookahead: -1}, ErrBadLookahead},
+		{"lookahead-too-big", PreemptConfig{PartialK: 4, Lookahead: maxLookahead + 1}, ErrBadLookahead},
+		{"lookahead-without-partial", PreemptConfig{Lookahead: 2}, ErrBadLookahead},
+		{"negative-suspends", PreemptConfig{MaxSuspends: -1}, ErrBadSuspend},
+		{"negative-cost", PreemptConfig{MaxSuspends: 2, SuspendCost: -1}, ErrBadSuspend},
+		{"negative-resume", PreemptConfig{MaxSuspends: 2, ResumeCost: -1}, ErrBadSuspend},
+		{"cost-without-window", PreemptConfig{SuspendCost: 20}, ErrBadSuspend},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if c.want == nil {
+				if err != nil {
+					t.Fatalf("rejected valid config: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("got %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPreemptConfigWithDefaults(t *testing.T) {
+	if got := (PreemptConfig{}).WithDefaults(); got != (PreemptConfig{}) {
+		t.Errorf("zero config changed by defaults: %+v", got)
+	}
+	got := PreemptConfig{PartialK: 4, MaxSuspends: 2}.WithDefaults()
+	if got.Lookahead != 1 {
+		t.Errorf("lookahead default = %d, want 1", got.Lookahead)
+	}
+	if got.SuspendCost != DefaultSuspendCost || got.ResumeCost != DefaultResumeCost {
+		t.Errorf("suspend costs default = %d/%d, want %d/%d",
+			got.SuspendCost, got.ResumeCost, DefaultSuspendCost, DefaultResumeCost)
+	}
+	kept := PreemptConfig{PartialK: 4, Lookahead: 3, MaxSuspends: 2, SuspendCost: 7, ResumeCost: 9}
+	if got := kept.WithDefaults(); got != kept {
+		t.Errorf("explicit knobs overwritten: %+v", got)
+	}
+}
+
+// TestPartialDrainNoLossNoDoubleMigration is the partial collector's
+// correctness property: across thousands of host updates interleaved with
+// idle-window drain ticks, zombie revivals (including mid-drain revivals of
+// pages in a queued victim) and foreground GC, no valid page is ever lost
+// or double-migrated, and the free-block reserve is only ever below the
+// post-allocation floor while a resumable drain holds the replacement
+// block. Ownership is tracked through the OnRelocate hook: the source must
+// be owned when the hook fires and the destination must not be.
+func TestPartialDrainNoLossNoDoubleMigration(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.Preempt = PreemptConfig{PartialK: 4, Lookahead: 2}
+	s, _ := newTinyStore(t, cfg)
+	g := s.Geometry()
+	rng := rand.New(rand.NewSource(7))
+
+	owners := make(map[int]ssd.PPN)   // live logical page -> physical page
+	rev := make(map[ssd.PPN]int)      // physical page -> owning logical page
+	zombies := make(map[ssd.PPN]bool) // invalidated, not yet erased or revived
+
+	s.OnRelocate = func(src, dst ssd.PPN) {
+		lpn, ok := rev[src]
+		if !ok {
+			t.Fatalf("relocated page %d has no owner (lost or double-migrated)", src)
+		}
+		if other, taken := rev[dst]; taken {
+			t.Fatalf("relocation destination %d already owned by lpn %d", dst, other)
+		}
+		if s.State(dst) != PageValid {
+			t.Fatalf("relocation destination %d is %v", dst, s.State(dst))
+		}
+		delete(rev, src)
+		rev[dst] = lpn
+		owners[lpn] = dst
+	}
+	s.OnEraseGarbage = func(p ssd.PPN) {
+		if _, owned := rev[p]; owned {
+			t.Fatalf("erased page %d still owned by lpn %d", p, rev[p])
+		}
+		delete(zombies, p)
+	}
+
+	checkInvariants := func(op string) {
+		t.Helper()
+		floor := cfg.GCFreeBlockThreshold - 1
+		for plane := 0; plane < g.TotalPlanes(); plane++ {
+			if s.FreeBlocksInPlane(plane) < floor && len(s.drains[plane].queue) == 0 {
+				t.Fatalf("after %s: plane %d has %d free blocks (floor %d) and no open drain",
+					op, plane, s.FreeBlocksInPlane(plane), floor)
+			}
+		}
+	}
+
+	program := func(lpn int, now ssd.Time) {
+		t.Helper()
+		ppn, _, err := s.Program(now)
+		if err != nil {
+			t.Fatalf("program of lpn %d: %v", lpn, err)
+		}
+		if other, taken := rev[ppn]; taken {
+			t.Fatalf("program returned page %d already owned by lpn %d", ppn, other)
+		}
+		owners[lpn] = ppn
+		rev[ppn] = lpn
+	}
+
+	// Fill to a GC-active occupancy: 300 of the 384 usable pages.
+	var now ssd.Time
+	live := 300
+	if int64(live) > s.UsablePages() {
+		t.Fatalf("test sized wrong: %d live pages > %d usable", live, s.UsablePages())
+	}
+	for lpn := 0; lpn < live; lpn++ {
+		program(lpn, now)
+		now += 10
+	}
+
+	revivals, ticks := 0, 0
+	for i := 0; i < 4000; i++ {
+		// Gaps wide enough that chips drain their backlog and go idle
+		// between requests — the partial collector only works idle chips.
+		now += ssd.Time(rng.Intn(2000))
+		if err := s.PartialGCTick(now); err != nil {
+			t.Fatalf("op %d: partial tick: %v", i, err)
+		}
+		ticks++
+		checkInvariants("tick")
+
+		lpn := rng.Intn(live)
+		old := owners[lpn]
+		s.Invalidate(old)
+		delete(rev, old)
+		zombies[old] = true
+
+		// One in eight updates is satisfied by reviving a random zombie
+		// (the dead-value-pool path) instead of programming — when the
+		// zombie is still revivable. Drained-past pages are PageFree and
+		// erased pages left the set, so State gates the legality.
+		revived := false
+		if rng.Intn(8) == 0 {
+			for z := range zombies {
+				if s.State(z) == PageInvalid {
+					s.Revalidate(z)
+					delete(zombies, z)
+					owners[lpn] = z
+					rev[z] = lpn
+					revived = true
+					revivals++
+					break
+				}
+			}
+		}
+		if !revived {
+			program(lpn, now)
+		}
+		checkInvariants("update")
+	}
+
+	// End state: the ownership map and the store's page states must agree
+	// exactly — every owned page valid, every valid page owned.
+	if len(rev) != live {
+		t.Fatalf("end state owns %d pages, want %d", len(rev), live)
+	}
+	var valid int
+	for p := ssd.PPN(0); p < ssd.PPN(g.TotalPages()); p++ {
+		if s.State(p) != PageValid {
+			if _, owned := rev[p]; owned {
+				t.Fatalf("owned page %d ended %v (data loss)", p, s.State(p))
+			}
+			continue
+		}
+		valid++
+		if _, owned := rev[p]; !owned {
+			t.Fatalf("valid page %d has no owner", p)
+		}
+	}
+	if valid != live {
+		t.Fatalf("store holds %d valid pages, want %d", valid, live)
+	}
+	gc := s.GC()
+	if gc.PartialWindows == 0 || gc.PartialPages == 0 {
+		t.Fatalf("partial GC never ran (windows=%d pages=%d over %d ticks); the property was not exercised",
+			gc.PartialWindows, gc.PartialPages, ticks)
+	}
+	if revivals == 0 {
+		t.Fatal("no zombie was ever revived; the revival-mid-drain path was not exercised")
+	}
+}
+
+// TestDrainBacklogAndResetDrains checks the introspection and recovery
+// hooks around the drain queues: a store with open drains reports a
+// positive backlog, and resetDrains clears every queue and draining mark.
+func TestDrainBacklogAndResetDrains(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.Preempt = PreemptConfig{PartialK: 1, Lookahead: 2}
+	s, _ := newTinyStore(t, cfg)
+	g := s.Geometry()
+
+	// GC (foreground or drain steps) moves live pages, so follow them
+	// through the relocation hook to keep the handles fresh.
+	pages := make([]ssd.PPN, 0, 300)
+	idx := make(map[ssd.PPN]int)
+	s.OnRelocate = func(src, dst ssd.PPN) {
+		if j, ok := idx[src]; ok {
+			delete(idx, src)
+			idx[dst] = j
+			pages[j] = dst
+		}
+	}
+
+	var now ssd.Time
+	for i := 0; i < 300; i++ {
+		p, _, err := s.Program(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx[p] = len(pages)
+		pages = append(pages, p)
+		now += 10
+	}
+	// Churn until the free lists sit below the partial trigger and every
+	// block holds a mix of garbage and live pages.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		j := rng.Intn(len(pages))
+		s.Invalidate(pages[j])
+		delete(idx, pages[j])
+		p, _, err := s.Program(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages[j] = p
+		idx[p] = j
+		now += 10
+	}
+	// Step far past the churn's chip backlog so the idle gate opens.
+	for i := 0; i < 64 && s.DrainBacklogPages() == 0; i++ {
+		now += 10_000
+		if err := s.PartialGCTick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.DrainBacklogPages() == 0 {
+		t.Fatal("no drain ever opened")
+	}
+	s.resetDrains()
+	if got := s.DrainBacklogPages(); got != 0 {
+		t.Errorf("backlog after reset = %d, want 0", got)
+	}
+	for p := 0; p < g.TotalPlanes(); p++ {
+		if len(s.drains[p].queue) != 0 || s.drains[p].cursor != 0 {
+			t.Errorf("plane %d drain not reset: %+v", p, s.drains[p])
+		}
+	}
+	for b := range s.blocks {
+		if s.blocks[b].draining {
+			t.Errorf("block %d still marked draining after reset", b)
+		}
+	}
+}

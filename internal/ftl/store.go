@@ -99,6 +99,12 @@ type StoreConfig struct {
 	// block as bad) and ECC read retries, optionally wear-scaled. The zero
 	// value models a perfect drive and changes nothing.
 	Faults fault.Config
+
+	// Preempt is the preemptible-GC policy (see preempt.go): idle-window
+	// partial victim drains, read-over-GC erase/program suspension, and
+	// multi-victim lookahead batching. The zero value keeps GC blocking
+	// and bit-identical to the pre-preemption collector.
+	Preempt PreemptConfig
 }
 
 // DefaultStoreConfig returns a 2-block threshold, greedy GC.
@@ -127,15 +133,20 @@ func (c StoreConfig) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
+	if err := c.Preempt.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
 // GCStats counts garbage-collection activity.
 type GCStats struct {
-	Runs       int64 // victim selections
-	Relocated  int64 // valid pages copied out of victims
-	Erased     int64 // blocks erased
-	Background int64 // cycles initiated by the soft threshold
+	Runs           int64 // victim selections
+	Relocated      int64 // valid pages copied out of victims
+	Erased         int64 // blocks erased
+	Background     int64 // cycles initiated by the soft threshold
+	PartialWindows int64 // idle windows in which partial GC made progress
+	PartialPages   int64 // valid pages migrated inside idle windows
 }
 
 // ErrNoSpace is wrapped by Program when a plane has no free page and GC can
@@ -156,6 +167,7 @@ type blockInfo struct {
 	free      bool
 	active    bool
 	bad       bool // retired: never erased, allocated or collected again
+	draining  bool // queued by the partial collector; foreground GC skips it
 }
 
 // frontier is one open write block.
@@ -196,6 +208,12 @@ type Store struct {
 	effThreshold int
 
 	gc GCStats
+
+	// Partial-GC state (see preempt.go): per-plane resumable drain
+	// positions and the scratch slice the idle-order plane sort reuses.
+	// Idle with the zero PreemptConfig.
+	drains       []drainState
+	drainScratch []int
 
 	// inj draws fault decisions; nil models a perfect drive. faults
 	// counts the injected failures and the recovery work they caused.
@@ -269,6 +287,7 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 		return nil, fmt.Errorf("ftl: soft GC threshold %d must be below blocks per plane %d",
 			cfg.SoftGCThreshold, geo.BlocksPerPlane)
 	}
+	cfg.Preempt = cfg.Preempt.WithDefaults()
 	s := &Store{
 		cfg:     cfg,
 		geo:     geo,
@@ -276,10 +295,18 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 		state:   make([]PageState, geo.TotalPages()),
 		blocks:  make([]blockInfo, geo.TotalBlocks()),
 		planes:  make([]planeState, geo.TotalPlanes()),
+		drains:  make([]drainState, geo.TotalPlanes()),
 		inj:     fault.New(cfg.Faults),
 		integ:   fault.NewEstimator(cfg.Faults),
 		oob:     make([]OOB, geo.TotalPages()),
 		crashAt: cfg.Faults.CrashAtOp,
+	}
+	if pc := cfg.Preempt; pc.SuspendEnabled() {
+		bus.ConfigureSuspend(ssd.SuspendConfig{
+			MaxPerOp:    pc.MaxSuspends,
+			SuspendCost: pc.SuspendCost,
+			ResumeCost:  pc.ResumeCost,
+		})
 	}
 	if s.integ != nil {
 		s.progTime = make([]ssd.Time, geo.TotalPages())
@@ -510,24 +537,31 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 // the read uncorrectable (ErrUncorrectable; the returned time is still the
 // completion of the failed ECC ladder and the page's data is lost).
 func (s *Store) Read(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
-	return s.readPage(p, now)
+	return s.readPageAt(p, now, now, true)
 }
 
 // readPage issues one page read plus any injected ECC retries, each a full
 // extra read operation on the chip.
 func (s *Store) readPage(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
-	return s.readPageAt(p, now, now)
+	return s.readPageAt(p, now, now, false)
 }
 
 // readPageAt is readPage with the bus stamp and the decay clock split:
 // host reads pass the same instant for both, while the scrubber stamps its
 // patrol reads at time 0 — the bus then starts them the moment the chip
-// last went idle — yet ages pages against the real current time.
-func (s *Store) readPageAt(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
+// last went idle — yet ages pages against the real current time. Only host
+// reads (host true) may suspend an in-flight GC erase/program; GC, scrub
+// and ECC-ladder reads queue normally.
+func (s *Store) readPageAt(p ssd.PPN, stamp, clock ssd.Time, host bool) (ssd.Time, error) {
 	if s.crashNow() {
 		return 0, fmt.Errorf("ftl: read of page %d interrupted: %w", p, fault.ErrPowerLoss)
 	}
-	done := s.bus.Read(p, stamp)
+	var done ssd.Time
+	if host {
+		done = s.bus.ReadHost(p, stamp)
+	} else {
+		done = s.bus.Read(p, stamp)
+	}
 	if s.inj != nil {
 		erases := s.blocks[s.geo.BlockOf(p)].erases
 		for r := 0; r < s.inj.Config().ReadRetries && s.inj.ReadFails(erases); r++ {
@@ -619,6 +653,20 @@ func (s *Store) Revalidate(p ssd.PPN) {
 // threshold or no block yields free space.
 func (s *Store) ensureSpace(plane int, now ssd.Time) error {
 	for len(s.planes[plane].freeBlocks) < s.effThreshold {
+		// A plane caught mid-drain finishes its head victim first: the
+		// stall is bounded by the pages partial GC has not yet moved, and
+		// the free-block floor is restored the same way a blocking cycle
+		// would. A stalled drain (no relocation capacity for the head) falls
+		// through to a normal cycle on a different victim.
+		if len(s.drains[plane].queue) > 0 {
+			finished, err := s.finishDrainHead(plane, now)
+			if err != nil {
+				return err
+			}
+			if finished {
+				continue
+			}
+		}
 		collected, err := s.collectPlane(plane, now)
 		if err != nil {
 			return err
@@ -650,7 +698,8 @@ func (s *Store) victim(plane int) ssd.BlockID {
 	for i := 0; i < s.geo.BlocksPerPlane; i++ {
 		b := s.geo.BlockAt(plane, i)
 		info := &s.blocks[b]
-		if info.free || info.active || info.bad || info.invalid == 0 || info.valid > capacity {
+		if info.free || info.active || info.bad || info.draining ||
+			info.invalid == 0 || info.valid > capacity {
 			continue
 		}
 		score := s.victimScore(b)
@@ -727,6 +776,8 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 	s.gc.Runs++
 	prevOrigin := s.Tel.EnterOrigin(telemetry.OriginGC)
 	defer s.Tel.ExitOrigin(prevOrigin)
+	s.bus.SuspendScope(true)
+	defer s.bus.SuspendScope(false)
 	relocBefore := s.gc.Relocated
 	first := s.geo.FirstPage(v)
 	for i := 0; i < s.geo.PagesPerBlock; i++ {
@@ -770,6 +821,17 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 		}
 		s.state[p] = PageFree
 	}
+	return s.eraseVictim(plane, v, now, s.gc.Relocated-relocBefore)
+}
+
+// eraseVictim is the erase tail every GC path shares — blocking cycles and
+// partial drains alike: stamp the erase (or tear the whole block on a
+// power cut), clear the OOB and integrity marks, and either retire the
+// block or return it to the plane's free list. Reports whether a block was
+// reclaimed (a retired victim still counts: its pages were consumed even
+// though the block left service).
+func (s *Store) eraseVictim(plane int, v ssd.BlockID, now ssd.Time, relocated int64) (bool, error) {
+	first := s.geo.FirstPage(v)
 	if s.crashNow() {
 		// Power cut mid-erase: the whole block is torn — neither erased
 		// nor readable. Every relocated page already landed elsewhere, so
@@ -789,7 +851,7 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 		s.Tel.EmitSpan(telemetry.OriginGC, "gc cycle", now, eraseDone, map[string]any{
 			"plane":     plane,
 			"block":     int64(v),
-			"relocated": s.gc.Relocated - relocBefore,
+			"relocated": relocated,
 		})
 	}
 	// The erase destroys page contents and OOB alike; even a failed erase

@@ -187,6 +187,10 @@ type DeviceMetrics struct {
 	BufferAbsorbed int64 // writes absorbed by the DRAM write buffer
 	BufferReadHits int64 // reads served from the DRAM write buffer
 
+	// Suspensions counts host reads that preempted an in-flight GC
+	// erase/program (0 unless StoreConfig.Preempt enables suspension).
+	Suspensions int64
+
 	GC     ftl.GCStats
 	Pool   core.PoolStats
 	Faults fault.Stats
@@ -225,11 +229,14 @@ func (m DeviceMetrics) Sub(prev DeviceMetrics) DeviceMetrics {
 		UnmappedReads:  m.UnmappedReads - prev.UnmappedReads,
 		BufferAbsorbed: m.BufferAbsorbed - prev.BufferAbsorbed,
 		BufferReadHits: m.BufferReadHits - prev.BufferReadHits,
+		Suspensions:    m.Suspensions - prev.Suspensions,
 		GC: ftl.GCStats{
-			Runs:       m.GC.Runs - prev.GC.Runs,
-			Relocated:  m.GC.Relocated - prev.GC.Relocated,
-			Erased:     m.GC.Erased - prev.GC.Erased,
-			Background: m.GC.Background - prev.GC.Background,
+			Runs:           m.GC.Runs - prev.GC.Runs,
+			Relocated:      m.GC.Relocated - prev.GC.Relocated,
+			Erased:         m.GC.Erased - prev.GC.Erased,
+			Background:     m.GC.Background - prev.GC.Background,
+			PartialWindows: m.GC.PartialWindows - prev.GC.PartialWindows,
+			PartialPages:   m.GC.PartialPages - prev.GC.PartialPages,
 		},
 		Pool: core.PoolStats{
 			Inserts:   m.Pool.Inserts - prev.Pool.Inserts,
@@ -333,6 +340,9 @@ func NewDevice(cfg Config) (Device, error) {
 		}
 		dev = &scrubbedDevice{inner: dev, scr: scr}
 	}
+	if cfg.Store.Preempt.PartialEnabled() {
+		dev = &preemptDevice{inner: dev, store: store}
+	}
 	if tel.On() {
 		registerDeviceGauges(tel, dev, bus, store)
 		if rt, ok := base.(interface {
@@ -361,6 +371,13 @@ func registerDeviceGauges(tel *telemetry.Telemetry, dev Device, bus *ssd.Bus, st
 	tel.RegisterGauge("write_amplification",
 		"flash programs per host-attributable program", nil,
 		func(ssd.Time) float64 { return dev.Metrics().WriteAmplification() })
+	if store.PartialGCEnabled() {
+		// Only registered under partial GC so runs without it keep the
+		// pre-preemption gauge column set.
+		tel.RegisterGauge("gc_drain_backlog_pages",
+			"valid pages still awaiting migration in partial-GC drain queues", nil,
+			func(ssd.Time) float64 { return float64(store.DrainBacklogPages()) })
+	}
 }
 
 // telemetryOf returns the observability instance wired into dev (through
@@ -413,4 +430,5 @@ func buildPool(cfg Config, ledger *core.Ledger) (core.Pool, error) {
 // busCounts copies the bus counters into m.
 func busCounts(m *DeviceMetrics, bus *ssd.Bus) {
 	m.FlashReads, m.FlashPrograms, m.FlashErases = bus.Counts()
+	m.Suspensions, _ = bus.SuspendStats()
 }

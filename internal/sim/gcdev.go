@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/recovery"
+	"zombiessd/internal/scrub"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// preemptDevice interposes the partial garbage collector in front of any
+// device: every host request first gives the store one idle window of
+// partial GC at the request's arrival time — at most k valid-page
+// migrations (plus one erase), stamped at time 0 so the bus lands them in
+// the gap since each chip last went idle, exactly like the scrub patrol's
+// Tick. The wrapper is outermost (outside the scrubber too): the partial
+// collector must see the true host clock, and its migrations must be
+// stamped before the request claims the chip timeline.
+type preemptDevice struct {
+	inner Device
+	store *ftl.Store
+}
+
+// Write implements Device.
+func (d *preemptDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
+	if err := d.store.PartialGCTick(now); err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
+	return d.inner.Write(lpn, h, now)
+}
+
+// Read implements Device.
+func (d *preemptDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
+	if err := d.store.PartialGCTick(now); err != nil {
+		return 0, err
+	}
+	return d.inner.Read(lpn, now)
+}
+
+// Metrics implements Device.
+func (d *preemptDevice) Metrics() DeviceMetrics { return d.inner.Metrics() }
+
+// Scrubber forwards to the inner device so patrol introspection still
+// works when both wrappers are stacked.
+func (d *preemptDevice) Scrubber() *scrub.Scrubber {
+	if sr, ok := d.inner.(interface{ Scrubber() *scrub.Scrubber }); ok {
+		return sr.Scrubber()
+	}
+	return nil
+}
+
+// Bus forwards to the inner device for utilization reporting.
+func (d *preemptDevice) Bus() *ssd.Bus {
+	if br, ok := d.inner.(interface{ Bus() *ssd.Bus }); ok {
+		return br.Bus()
+	}
+	return nil
+}
+
+// Store forwards to the inner device for wear and capacity introspection.
+func (d *preemptDevice) Store() *ftl.Store { return StoreOf(d.inner) }
+
+// Recover implements Recoverer by forwarding; drain positions do not
+// survive power loss (Rebuild resets them), so partial GC simply restarts
+// its victim selection after recovery.
+func (d *preemptDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
+	return Recover(d.inner, opts)
+}
+
+// ReadHash implements HashReader by forwarding.
+func (d *preemptDevice) ReadHash(lpn ftl.LPN) (trace.Hash, bool) {
+	if hr, ok := d.inner.(HashReader); ok {
+		return hr.ReadHash(lpn)
+	}
+	return trace.Hash{}, false
+}

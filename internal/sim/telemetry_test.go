@@ -75,6 +75,9 @@ func TestPhaseSumExact(t *testing.T) {
 		{"dedup", KindDedup, nil},
 		{"dvp+dedup", KindDVPDedup, nil},
 		{"lx", KindLX, nil},
+		{"dvp-preempt", KindDVP, func(cfg *Config) {
+			cfg.Store.Preempt = ftl.PreemptConfig{PartialK: 8, Lookahead: 2, MaxSuspends: 4}
+		}},
 		{"dvp-faulty", KindDVP, func(cfg *Config) {
 			cfg.Faults = fault.Config{
 				ReadFailProb: 0.05,

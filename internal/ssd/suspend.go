@@ -1,0 +1,114 @@
+package ssd
+
+// Erase/program suspension (Nagel et al., "Time-efficient Garbage
+// Collection in SSDs"): a host read that arrives while a chip is in the
+// middle of a suspendable operation — a GC erase or a GC relocation
+// program — does not wait for the whole operation. It suspends it, pays a
+// fixed suspend cost, runs the read, pays a resume cost, and the remainder
+// of the suspended operation completes afterwards. The suspended
+// operation's total cell time is conserved; only extra suspend/resume
+// overhead is added, and the number of suspensions per operation is
+// bounded so suspended erases always eventually complete.
+
+// SuspendConfig enables read-over-GC suspension on a Bus. The zero value
+// disables it, leaving the bus timeline bit-identical to a bus without the
+// feature.
+type SuspendConfig struct {
+	// MaxPerOp bounds how many times one in-flight operation may be
+	// suspended. 0 disables suspension entirely; the bound is what makes
+	// suspended erases starvation-free under a hostile read stream.
+	MaxPerOp int
+
+	// SuspendCost is charged to the preempting read before it can start
+	// (the chip must park the interrupted operation's state).
+	SuspendCost Time
+
+	// ResumeCost is charged to the suspended operation when it resumes
+	// after the read completes.
+	ResumeCost Time
+}
+
+// Enabled reports whether suspension is active.
+func (c SuspendConfig) Enabled() bool { return c.MaxPerOp > 0 }
+
+// chipOp records the operation currently occupying a chip's timeline
+// horizon, so a later host read can decide whether it may suspend it.
+type chipOp struct {
+	kind        OpKind
+	start, done Time
+	suspendable bool
+	suspends    int
+}
+
+// ConfigureSuspend installs the suspension policy. Call before stamping
+// operations; the zero config switches the feature off.
+func (b *Bus) ConfigureSuspend(cfg SuspendConfig) { b.susp = cfg }
+
+// SuspendScope marks operations stamped while on as suspendable (GC
+// erases and GC relocation programs). Host and daemon traffic stamped
+// outside the scope is never suspended.
+func (b *Bus) SuspendScope(on bool) { b.gcScope = on }
+
+// SuspendStats returns how many host reads suspended an in-flight GC
+// operation and the total completion-time extension those operations
+// absorbed (read hold + suspend/resume overhead).
+func (b *Bus) SuspendStats() (suspensions int64, delay Time) {
+	return b.suspensions, b.suspendDelay
+}
+
+// noteOp records the operation just stamped on chip as the chip's current
+// horizon op. Only called when suspension is enabled; it never alters the
+// timeline.
+func (b *Bus) noteOp(chip int, kind OpKind, start, done Time) {
+	suspendable := b.gcScope && kind != OpRead
+	b.curOp[chip] = chipOp{kind: kind, start: start, done: done, suspendable: suspendable}
+}
+
+// ReadHost issues a host page read of p at time now. If the chip is in the
+// middle of a suspendable GC operation and that operation has not hit its
+// suspension bound, the read preempts it: the read starts after SuspendCost
+// (plus any channel wait), and the interrupted operation's remaining cell
+// time is re-queued after the read plus ResumeCost. Otherwise this is
+// exactly Bus.Read.
+func (b *Bus) ReadHost(p PPN, now Time) Time {
+	if !b.susp.Enabled() {
+		return b.Read(p, now)
+	}
+	chip := b.geo.ChipOf(p)
+	cur := &b.curOp[chip]
+	if !cur.suspendable || cur.suspends >= b.susp.MaxPerOp || now <= cur.start || now >= cur.done {
+		return b.Read(p, now)
+	}
+
+	b.reads++
+	ch := b.geo.ChannelOfChip(chip)
+	remaining := cur.done - now
+	start := now + b.susp.SuspendCost
+	if b.channelFree[ch] > start {
+		start = b.channelFree[ch]
+	}
+	if wait := start - now; wait > 0 {
+		b.totalWait += wait
+		b.waitedOps++
+	}
+	b.channelFree[ch] = start + b.lat.Transfer
+	done := start + b.lat.Transfer + b.lat.Read
+
+	// Re-queue the remainder of the suspended operation after the read.
+	// Its start moves to the resume instant so a later read inside the
+	// resumed window may suspend it again (until MaxPerOp).
+	oldDone := cur.done
+	cur.start = done + b.susp.ResumeCost
+	cur.done = cur.start + remaining
+	cur.suspends++
+	b.chipFree[chip] = cur.done
+	b.chipBusy[chip] += b.lat.Transfer + b.lat.Read + b.susp.SuspendCost + b.susp.ResumeCost
+	b.suspensions++
+	b.suspendDelay += cur.done - oldDone
+
+	if b.observer != nil {
+		b.observer.ObserveOp(OpObservation{Kind: OpRead, Chip: chip, Channel: ch,
+			Issue: now, Start: start, Done: done, Transfer: b.lat.Transfer, Cell: b.lat.Read})
+	}
+	return done
+}

@@ -1,0 +1,171 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// suspendGeometry is a single-chip drive, so every operation contends on
+// the one chip and the suspension arithmetic is fully deterministic.
+func suspendGeometry() Geometry {
+	return Geometry{
+		Channels: 1, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 8, PagesPerBlock: 16, PageSize: 4096, OverProvision: 0.15,
+	}
+}
+
+func suspendTestBus(cfg SuspendConfig) *Bus {
+	b := NewBus(suspendGeometry(), PaperLatency())
+	b.ConfigureSuspend(cfg)
+	return b
+}
+
+// TestReadHostWithoutSuspensionIsPlainRead pins the disabled path: with the
+// zero SuspendConfig, ReadHost must produce exactly Read's timeline and no
+// suspension statistics.
+func TestReadHostWithoutSuspensionIsPlainRead(t *testing.T) {
+	a := suspendTestBus(SuspendConfig{})
+	b := NewBus(suspendGeometry(), PaperLatency())
+	a.SuspendScope(true)
+	a.Erase(0, 0)
+	a.SuspendScope(false)
+	b.SuspendScope(true)
+	b.Erase(0, 0)
+	b.SuspendScope(false)
+	got, want := a.ReadHost(0, 1000), b.Read(0, 1000)
+	if got != want {
+		t.Errorf("disabled ReadHost done at %d, plain Read at %d", got, want)
+	}
+	if n, d := a.SuspendStats(); n != 0 || d != 0 {
+		t.Errorf("disabled bus recorded %d suspensions, %d delay", n, d)
+	}
+	if a.ChipFreeTime(0) != b.ChipFreeTime(0) {
+		t.Errorf("chip horizons diverged: %d vs %d", a.ChipFreeTime(0), b.ChipFreeTime(0))
+	}
+}
+
+// TestReadHostSuspendAccounting walks one GC erase through two suspensions
+// and the MaxPerOp fall-through, checking every completion time, the chip
+// horizon and the SuspendStats totals exactly.
+func TestReadHostSuspendAccounting(t *testing.T) {
+	cfg := SuspendConfig{MaxPerOp: 2, SuspendCost: 20, ResumeCost: 20}
+	b := suspendTestBus(cfg)
+	lat := PaperLatency()
+	overhead := cfg.SuspendCost + lat.Transfer + lat.Read + cfg.ResumeCost
+
+	b.SuspendScope(true)
+	eraseDone := b.Erase(0, 0)
+	b.SuspendScope(false)
+	if eraseDone != lat.Erase {
+		t.Fatalf("erase done at %d, want %d", eraseDone, lat.Erase)
+	}
+
+	// First read lands mid-erase: it pays the suspend cost, then transfer
+	// and cell read; the erase's remaining time resumes after the read plus
+	// the resume cost.
+	r1 := b.ReadHost(0, 1000)
+	want1 := Time(1000) + cfg.SuspendCost + lat.Transfer + lat.Read
+	if r1 != want1 {
+		t.Errorf("first suspending read done at %d, want %d", r1, want1)
+	}
+	if free := b.ChipFreeTime(0); free != eraseDone+overhead {
+		t.Errorf("chip horizon after one suspension = %d, want %d", free, eraseDone+overhead)
+	}
+	if n, d := b.SuspendStats(); n != 1 || d != overhead {
+		t.Errorf("stats after one suspension = (%d, %d), want (1, %d)", n, d, overhead)
+	}
+
+	// Second read inside the resumed window suspends again.
+	r2 := b.ReadHost(0, 2000)
+	want2 := Time(2000) + cfg.SuspendCost + lat.Transfer + lat.Read
+	if r2 != want2 {
+		t.Errorf("second suspending read done at %d, want %d", r2, want2)
+	}
+	if free := b.ChipFreeTime(0); free != eraseDone+2*overhead {
+		t.Errorf("chip horizon after two suspensions = %d, want %d", free, eraseDone+2*overhead)
+	}
+	if n, d := b.SuspendStats(); n != 2 || d != 2*overhead {
+		t.Errorf("stats after two suspensions = (%d, %d), want (2, %d)", n, d, 2*overhead)
+	}
+
+	// Third read hits the MaxPerOp bound and queues behind the erase like a
+	// plain read — the bound is what keeps suspended erases finite.
+	finalEraseDone := b.ChipFreeTime(0)
+	r3 := b.ReadHost(0, 3000)
+	want3 := finalEraseDone + lat.Transfer + lat.Read
+	if r3 != want3 {
+		t.Errorf("bounded read done at %d, want %d (queued behind the erase)", r3, want3)
+	}
+	if n, _ := b.SuspendStats(); n != 2 {
+		t.Errorf("bound ignored: %d suspensions, want 2", n)
+	}
+}
+
+// TestReadHostNeverSuspendsHostOps checks the scope gate: an erase stamped
+// outside SuspendScope (host/daemon traffic) is not preemptible, so a host
+// read waits for it in full.
+func TestReadHostNeverSuspendsHostOps(t *testing.T) {
+	b := suspendTestBus(SuspendConfig{MaxPerOp: 4, SuspendCost: 20, ResumeCost: 20})
+	lat := PaperLatency()
+	eraseDone := b.Erase(0, 0) // no scope: not a GC erase
+	r := b.ReadHost(0, 1000)
+	if want := eraseDone + lat.Transfer + lat.Read; r != want {
+		t.Errorf("read over a host erase done at %d, want %d", r, want)
+	}
+	if n, _ := b.SuspendStats(); n != 0 {
+		t.Errorf("host erase was suspended %d times", n)
+	}
+}
+
+// TestSuspendedEraseCompletesUnderReadStorm is the starvation property:
+// under a seeded adversarial host-read stream aimed into every erase's live
+// window, each erase absorbs at most MaxPerOp suspensions and completes no
+// later than its original completion plus MaxPerOp times the per-suspension
+// overhead.
+func TestSuspendedEraseCompletesUnderReadStorm(t *testing.T) {
+	cfg := SuspendConfig{MaxPerOp: 3, SuspendCost: 20, ResumeCost: 20}
+	lat := PaperLatency()
+	overhead := cfg.SuspendCost + lat.Transfer + lat.Read + cfg.ResumeCost
+	rng := rand.New(rand.NewSource(11))
+
+	b := suspendTestBus(cfg)
+	var totalSusp int64
+	for i := 0; i < 50; i++ {
+		// Start each erase on an idle chip.
+		start := b.ChipFreeTime(0) + Time(rng.Intn(200))
+		b.SuspendScope(true)
+		origDone := b.Erase(0, start)
+		b.SuspendScope(false)
+
+		// The storm: reads fired at random instants inside (and slightly
+		// past) the erase's live window. The loop runs to the worst legal
+		// completion time — origDone plus MaxPerOp suspension overheads —
+		// not the chip horizon, which our own reads keep pushing out.
+		deadline := origDone + Time(cfg.MaxPerOp)*overhead
+		prevSusp, _ := b.SuspendStats()
+		now := start
+		for now < deadline {
+			now += Time(1 + rng.Intn(int(lat.Erase/4)))
+			b.ReadHost(0, now)
+			if cur := b.curOp[0]; cur.kind == OpErase {
+				if cur.suspends > cfg.MaxPerOp {
+					t.Fatalf("erase %d suspended %d times, bound is %d", i, cur.suspends, cfg.MaxPerOp)
+				}
+				if cur.done > origDone+Time(cfg.MaxPerOp)*overhead {
+					t.Fatalf("erase %d pushed to %d, bound is %d", i, cur.done, origDone+Time(cfg.MaxPerOp)*overhead)
+				}
+			}
+		}
+		nowSusp, _ := b.SuspendStats()
+		if d := nowSusp - prevSusp; d > int64(cfg.MaxPerOp) {
+			t.Fatalf("erase %d charged %d suspensions, bound is %d", i, d, cfg.MaxPerOp)
+		}
+		totalSusp = nowSusp
+	}
+	if totalSusp == 0 {
+		t.Fatal("storm never suspended an erase; the test exercised nothing")
+	}
+	if n, d := b.SuspendStats(); d != Time(n)*overhead {
+		t.Errorf("total delay %d, want %d suspensions × %d overhead = %d", d, n, overhead, Time(n)*overhead)
+	}
+}

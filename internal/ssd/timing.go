@@ -115,6 +115,15 @@ type Bus struct {
 	// observer, when non-nil, is told about every stamped operation. It
 	// never influences timing, so attaching one cannot change results.
 	observer OpObserver
+
+	// Suspension state (see suspend.go). With the zero SuspendConfig the
+	// curOp tracking is skipped entirely and the timeline is bit-identical
+	// to a bus without the feature.
+	susp         SuspendConfig
+	gcScope      bool
+	curOp        []chipOp
+	suspensions  int64
+	suspendDelay Time
 }
 
 // NewBus returns a Bus for the given geometry and latencies with every chip
@@ -126,6 +135,7 @@ func NewBus(geo Geometry, lat Latency) *Bus {
 		chipFree:    make([]Time, geo.TotalChips()),
 		channelFree: make([]Time, geo.Channels),
 		chipBusy:    make([]Time, geo.TotalChips()),
+		curOp:       make([]chipOp, geo.TotalChips()),
 	}
 }
 
@@ -175,6 +185,9 @@ func (b *Bus) Read(p PPN, now Time) Time {
 	b.reads++
 	chip := b.geo.ChipOf(p)
 	start, done := b.occupy(chip, now, b.lat.Read)
+	if b.susp.Enabled() {
+		b.noteOp(chip, OpRead, start, done)
+	}
 	if b.observer != nil {
 		b.observer.ObserveOp(OpObservation{Kind: OpRead, Chip: chip,
 			Channel: b.geo.ChannelOfChip(chip), Issue: now, Start: start,
@@ -189,6 +202,9 @@ func (b *Bus) Program(p PPN, now Time) Time {
 	b.programs++
 	chip := b.geo.ChipOf(p)
 	start, done := b.occupy(chip, now, b.lat.Program)
+	if b.susp.Enabled() {
+		b.noteOp(chip, OpProgram, start, done)
+	}
 	if b.observer != nil {
 		b.observer.ObserveOp(OpObservation{Kind: OpProgram, Chip: chip,
 			Channel: b.geo.ChannelOfChip(chip), Issue: now, Start: start,
@@ -213,6 +229,9 @@ func (b *Bus) Erase(blk BlockID, now Time) Time {
 	done := start + b.lat.Erase
 	b.chipFree[chip] = done
 	b.chipBusy[chip] += b.lat.Erase
+	if b.susp.Enabled() {
+		b.noteOp(chip, OpErase, start, done)
+	}
 	if b.observer != nil {
 		b.observer.ObserveOp(OpObservation{Kind: OpErase, Chip: chip,
 			Channel: b.geo.ChannelOfChip(chip), Issue: now, Start: start,
@@ -233,6 +252,11 @@ func (b *Bus) CopyBack(src, dst PPN, now Time) Time {
 // ChipFreeAt returns when the chip holding page p next becomes free. It is
 // a query only; nothing is stamped.
 func (b *Bus) ChipFreeAt(p PPN) Time { return b.chipFree[b.geo.ChipOf(p)] }
+
+// ChipFreeTime returns when flat chip index chip next becomes free. Like
+// ChipFreeAt it is a query only; the partial-GC scheduler uses it to visit
+// the idlest destination chips first.
+func (b *Bus) ChipFreeTime(chip int) Time { return b.chipFree[chip] }
 
 // Utilization returns the mean and maximum per-chip busy fraction over the
 // wall-clock interval [0, until]. A mean near 1 means the drive is

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+// suspendAttrGeometry is a single-chip drive so the GC erase and the host
+// read contend deterministically.
+func suspendAttrGeometry() ssd.Geometry {
+	return ssd.Geometry{
+		Channels: 1, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 8, PagesPerBlock: 16, PageSize: 4096, OverProvision: 0.15,
+	}
+}
+
+// TestSuspendAttributionAccounting is the table-driven accounting check for
+// read-over-GC suspension: a GC erase is stamped at time 0 inside the first
+// request's scope, host reads run into it under different suspension
+// policies, and each request's phase decomposition must match exactly —
+// in particular, suspension must shrink gc-blocked from the erase remainder
+// down to the suspend cost while the exact-sum invariant
+// (queue + gc-blocked + bus + chip + ecc + ctrl = latency) keeps holding.
+func TestSuspendAttributionAccounting(t *testing.T) {
+	lat := ssd.PaperLatency() // read 75, erase 3800, transfer 5
+
+	type wantReq struct {
+		latency ssd.Time
+		phases  [NumPhases]ssd.Time
+	}
+	mk := func(queue, gc ssd.Time) wantReq {
+		w := wantReq{latency: queue + gc + lat.Transfer + lat.Read}
+		w.phases[PhaseQueue] = queue
+		w.phases[PhaseGCBlocked] = gc
+		w.phases[PhaseBus] = lat.Transfer
+		w.phases[PhaseChip] = lat.Read
+		return w
+	}
+
+	cases := []struct {
+		name  string
+		susp  ssd.SuspendConfig
+		reads []ssd.Time // one request per read, issued at these instants
+		want  []wantReq
+	}{
+		{
+			// No suspension: the read waits out the whole erase remainder
+			// (3800 − 1000 = 2800), all of it attributed to gc-blocked.
+			name:  "blocking",
+			reads: []ssd.Time{1000},
+			want:  []wantReq{mk(0, 2800)},
+		},
+		{
+			// Suspension: the read preempts the erase and pays only the
+			// 20 µs suspend cost — gc-blocked shrinks from 2800 to 20.
+			name:  "suspend",
+			susp:  ssd.SuspendConfig{MaxPerOp: 2, SuspendCost: 20, ResumeCost: 20},
+			reads: []ssd.Time{1000},
+			want:  []wantReq{mk(0, 20)},
+		},
+		{
+			// Suspension bound: the first read suspends (gc-blocked 20); the
+			// second finds the erase out of suspensions and queues behind its
+			// resumed remainder (3920 − 2000 = 1920). The erase was issued in
+			// the first request's scope, so the second request's wait is
+			// plain queue time, not gc-blocked.
+			name:  "suspend-exhausted",
+			susp:  ssd.SuspendConfig{MaxPerOp: 1, SuspendCost: 20, ResumeCost: 20},
+			reads: []ssd.Time{1000, 2000},
+			want:  []wantReq{mk(0, 20), mk(1920, 0)},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			geo := suspendAttrGeometry()
+			bus := ssd.NewBus(geo, lat)
+			bus.ConfigureSuspend(c.susp)
+			tel := New(Config{Enabled: true})
+			tel.Attach(geo)
+			bus.SetObserver(tel)
+
+			var got []Request
+			tel.OnRequestEnd = func(req Request) { got = append(got, req) }
+
+			for i, at := range c.reads {
+				tel.BeginRequest(ReqRead, at)
+				if i == 0 {
+					// The GC erase triggered while servicing the first
+					// request, stamped at 0 so it starts when the chip last
+					// went idle — the preemptible-GC stamping discipline.
+					prev := tel.EnterOrigin(OriginGC)
+					bus.SuspendScope(true)
+					bus.Erase(0, 0)
+					bus.SuspendScope(false)
+					tel.ExitOrigin(prev)
+				}
+				tel.EndRequest(bus.ReadHost(0, at))
+			}
+
+			if len(got) != len(c.want) {
+				t.Fatalf("closed %d requests, want %d", len(got), len(c.want))
+			}
+			for i, w := range c.want {
+				req := got[i]
+				if req.Latency() != w.latency {
+					t.Errorf("request %d latency = %d, want %d", i, req.Latency(), w.latency)
+				}
+				if req.Phases != w.phases {
+					t.Errorf("request %d phases = %v, want %v", i, req.Phases, w.phases)
+				}
+				var sum ssd.Time
+				for p := Phase(0); p < NumPhases; p++ {
+					if req.Phases[p] < 0 {
+						t.Errorf("request %d: negative phase %v: %d", i, p, req.Phases[p])
+					}
+					sum += req.Phases[p]
+				}
+				if sum != req.Latency() {
+					t.Errorf("request %d: phases sum to %d, latency is %d", i, sum, req.Latency())
+				}
+			}
+			phases, latSum := tel.Attribution().Totals()
+			var total int64
+			for _, p := range phases {
+				total += p
+			}
+			if total != latSum {
+				t.Errorf("phase totals sum to %d, end-to-end total is %d", total, latSum)
+			}
+		})
+	}
+
+	// The two single-read policies must order as the tentpole claims:
+	// suspension strictly shrinks gc-blocked.
+	if blocking, suspend := cases[0].want[0].phases[PhaseGCBlocked], cases[1].want[0].phases[PhaseGCBlocked]; suspend >= blocking {
+		t.Fatalf("test vectors broken: suspension gc-blocked %d not below blocking %d", suspend, blocking)
+	}
+}

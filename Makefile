@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke gc-smoke repro examples clean
+.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke gc-smoke chaos-smoke repro examples clean
 
 all: build vet test
 
@@ -46,6 +46,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzRBEREstimator -fuzztime=5s ./internal/fault
 	$(GO) test -run='^$$' -fuzz=FuzzTenantConfig -fuzztime=5s ./internal/sim
 	$(GO) test -run='^$$' -fuzz=FuzzGCConfig -fuzztime=5s ./internal/faultflags
+	$(GO) test -run='^$$' -fuzz=FuzzHealthConfig -fuzztime=5s ./internal/faultflags
 
 # Reduced-scale end-to-end run of the drive-to-death harness: every
 # architecture ages under the wear-scaled fault plan and the capacity /
@@ -75,6 +76,12 @@ tenant-smoke:
 # reporting read p99/p99.9 and the gc-blocked attribution phase.
 gc-smoke:
 	$(GO) run ./cmd/zombiectl -q -requests 24000 run gcsweep
+
+# Reduced-scale chaos soak: repeated mid-operation power losses composed
+# with program/erase faults and RBER decay under the health governor; every
+# architecture must survive with zero oracle violations and zero lost pages.
+chaos-smoke:
+	$(GO) run ./cmd/zombiectl -q -requests 24000 -chaos-seed 7 run chaossweep
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

@@ -22,6 +22,7 @@ import (
 	"zombiessd/internal/fault"
 	"zombiessd/internal/faultflags"
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
@@ -44,6 +45,7 @@ type params struct {
 	streams, precond    bool
 	faults              fault.Config
 	scrub               scrub.Config
+	health              health.Config
 	gcFaultWeight       float64
 	preempt             ftl.PreemptConfig
 	drainSuspects       bool
@@ -107,6 +109,7 @@ func main() {
 	}
 	p.faults, p.scrub, p.gcFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
 	p.preempt = rf.Preempt()
+	p.health = rf.Health()
 	p.faults.CrashAtOp = crashAt
 
 	if err := run(p); err != nil {
@@ -237,6 +240,7 @@ func simConfig(p params, footprint int64) sim.Config {
 		HotColdStreams:   p.streams,
 		Faults:           p.faults,
 		Scrub:            p.scrub,
+		Health:           p.health,
 	}
 }
 
@@ -382,6 +386,9 @@ func printResult(cfg sim.Config, requests int, res sim.Result) {
 	}
 	if cfg.Scrub.Enabled() {
 		fmt.Printf("scrub       %+v\n", m.Scrub)
+	}
+	if cfg.Health.Enabled() {
+		fmt.Printf("health      %+v\n", res.Health)
 	}
 	fmt.Printf("pool        %v\n", m.Pool)
 	fmt.Printf("latency all    %v\n", res.All)

@@ -8,12 +8,21 @@
 package dedup
 
 import (
+	"errors"
 	"fmt"
 
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/trace"
 )
+
+// ErrDedupCorrupt is wrapped by mapping operations that discover the
+// metadata is internally inconsistent — an index entry without page
+// metadata, a bind onto a non-live page, or a duplicate live value. A
+// degraded device must surface these as errors, never panics: the caller
+// treats the mapping unit as corrupt and fails the run (or the cell)
+// cleanly.
+var ErrDedupCorrupt = errors.New("dedup: metadata corrupt")
 
 // pageMeta describes one live deduplicated physical page.
 type pageMeta struct {
@@ -104,18 +113,20 @@ func (m *Mapper) ValueOf(ppn ssd.PPN) (trace.Hash, bool) {
 // last owner it becomes garbage: Unbind returns its PPN and hash with
 // garbage=true so the caller can invalidate it in the store and offer it to
 // the dead-value pool. With remaining owners, garbage is false and the page
-// stays live.
-func (m *Mapper) Unbind(lpn ftl.LPN) (ppn ssd.PPN, h trace.Hash, garbage, wasBound bool) {
+// stays live. An index entry whose page has no metadata reports
+// ErrDedupCorrupt with the mapping untouched.
+func (m *Mapper) Unbind(lpn ftl.LPN) (ppn ssd.PPN, h trace.Hash, garbage, wasBound bool, err error) {
 	ppn = m.l2p[lpn]
 	if ppn == ssd.InvalidPPN {
-		return ssd.InvalidPPN, trace.Hash{}, false, false
+		return ssd.InvalidPPN, trace.Hash{}, false, false, nil
+	}
+	meta := m.pages[ppn]
+	if meta == nil {
+		return ssd.InvalidPPN, trace.Hash{}, false, false,
+			fmt.Errorf("%w: LPN %d maps to %d which has no metadata", ErrDedupCorrupt, lpn, ppn)
 	}
 	m.stats.Unbinds++
 	m.l2p[lpn] = ssd.InvalidPPN
-	meta := m.pages[ppn]
-	if meta == nil {
-		panic(fmt.Sprintf("dedup: LPN %d maps to %d which has no metadata", lpn, ppn))
-	}
 	for i, l := range meta.lpns {
 		if l == lpn {
 			meta.lpns = append(meta.lpns[:i], meta.lpns[i+1:]...)
@@ -123,7 +134,7 @@ func (m *Mapper) Unbind(lpn ftl.LPN) (ppn ssd.PPN, h trace.Hash, garbage, wasBou
 		}
 	}
 	if len(meta.lpns) > 0 {
-		return ppn, meta.hash, false, true
+		return ppn, meta.hash, false, true, nil
 	}
 	// Last owner gone: the page turns into garbage and leaves the live
 	// content index.
@@ -131,36 +142,40 @@ func (m *Mapper) Unbind(lpn ftl.LPN) (ppn ssd.PPN, h trace.Hash, garbage, wasBou
 	h = meta.hash
 	delete(m.pages, ppn)
 	delete(m.byHash, h)
-	return ppn, h, true, true
+	return ppn, h, true, true, nil
 }
 
 // BindExisting points lpn at the live page ppn (a dedup hit): the reference
-// count grows, no flash operation happens.
-func (m *Mapper) BindExisting(lpn ftl.LPN, ppn ssd.PPN) {
+// count grows, no flash operation happens. Binding onto a page that is not
+// live reports ErrDedupCorrupt with the mapping untouched.
+func (m *Mapper) BindExisting(lpn ftl.LPN, ppn ssd.PPN) error {
 	meta, ok := m.pages[ppn]
 	if !ok {
-		panic(fmt.Sprintf("dedup: BindExisting(%d, %d): page not live", lpn, ppn))
+		return fmt.Errorf("%w: BindExisting(%d, %d): page not live", ErrDedupCorrupt, lpn, ppn)
 	}
 	m.stats.DedupHits++
 	meta.lpns = append(meta.lpns, lpn)
 	m.l2p[lpn] = ppn
+	return nil
 }
 
 // BindNew registers ppn as the fresh live copy of value h owned by lpn —
-// used both after a flash program and after a dead-value-pool revival.
-// Panics if h already has a live copy (the caller should have used
-// BindExisting).
-func (m *Mapper) BindNew(lpn ftl.LPN, ppn ssd.PPN, h trace.Hash) {
+// used both after a flash program and after a dead-value-pool revival. A
+// value that already has a live copy (the caller should have used
+// BindExisting) or a page that is already live reports ErrDedupCorrupt
+// with the mapping untouched.
+func (m *Mapper) BindNew(lpn ftl.LPN, ppn ssd.PPN, h trace.Hash) error {
 	if _, dup := m.byHash[h]; dup {
-		panic(fmt.Sprintf("dedup: BindNew(%d): value already live", ppn))
+		return fmt.Errorf("%w: BindNew(%d): value already live", ErrDedupCorrupt, ppn)
 	}
 	if _, dup := m.pages[ppn]; dup {
-		panic(fmt.Sprintf("dedup: BindNew(%d): page already live", ppn))
+		return fmt.Errorf("%w: BindNew(%d): page already live", ErrDedupCorrupt, ppn)
 	}
 	m.stats.NewPages++
 	m.pages[ppn] = &pageMeta{hash: h, lpns: []ftl.LPN{lpn}}
 	m.byHash[h] = ppn
 	m.l2p[lpn] = ppn
+	return nil
 }
 
 // Owners returns a copy of the logical owners of live page ppn (nil when

@@ -1,6 +1,7 @@
 package dedup
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -67,15 +68,15 @@ func TestUnbindGarbageOnlyAtLastOwner(t *testing.T) {
 	m.BindNew(1, 50, h(9))
 	m.BindExisting(2, 50)
 
-	ppn, hash, garbage, bound := m.Unbind(1)
-	if !bound || garbage || ppn != 50 || hash != h(9) {
-		t.Fatalf("first Unbind = (%d,%v,garbage=%v,bound=%v)", ppn, hash, garbage, bound)
+	ppn, hash, garbage, bound, err := m.Unbind(1)
+	if err != nil || !bound || garbage || ppn != 50 || hash != h(9) {
+		t.Fatalf("first Unbind = (%d,%v,garbage=%v,bound=%v,err=%v)", ppn, hash, garbage, bound, err)
 	}
 	if _, ok := m.LiveValue(h(9)); !ok {
 		t.Fatal("value dropped from live index while owners remain")
 	}
 
-	ppn, hash, garbage, bound = m.Unbind(2)
+	ppn, hash, garbage, bound, _ = m.Unbind(2)
 	if !bound || !garbage || ppn != 50 || hash != h(9) {
 		t.Fatalf("last Unbind = (%d,%v,garbage=%v,bound=%v)", ppn, hash, garbage, bound)
 	}
@@ -92,8 +93,8 @@ func TestUnbindGarbageOnlyAtLastOwner(t *testing.T) {
 
 func TestUnbindUnmapped(t *testing.T) {
 	m, _ := NewMapper(10)
-	if _, _, _, bound := m.Unbind(5); bound {
-		t.Error("unbinding an unmapped LPN reported bound")
+	if _, _, _, bound, err := m.Unbind(5); bound || err != nil {
+		t.Errorf("unbinding an unmapped LPN reported (bound=%v, err=%v)", bound, err)
 	}
 }
 
@@ -121,25 +122,51 @@ func TestRelocateRebindsAllOwners(t *testing.T) {
 	}
 }
 
-func TestBindNewPanicsOnDuplicateValue(t *testing.T) {
-	m, _ := NewMapper(10)
-	m.BindNew(1, 50, h(9))
-	defer func() {
-		if recover() == nil {
-			t.Error("BindNew of already-live value did not panic")
-		}
-	}()
-	m.BindNew(2, 60, h(9))
-}
-
-func TestBindExistingPanicsOnDeadPage(t *testing.T) {
-	m, _ := NewMapper(10)
-	defer func() {
-		if recover() == nil {
-			t.Error("BindExisting on non-live page did not panic")
-		}
-	}()
-	m.BindExisting(1, 99)
+// TestCorruptionShapes walks every metadata-corruption shape the mapper
+// detects, checking each reports ErrDedupCorrupt and leaves the mapping
+// untouched.
+func TestCorruptionShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(m *Mapper) error
+	}{
+		{"BindNew duplicate value", func(m *Mapper) error {
+			if err := m.BindNew(1, 50, h(9)); err != nil {
+				t.Fatal(err)
+			}
+			return m.BindNew(2, 60, h(9))
+		}},
+		{"BindNew duplicate page", func(m *Mapper) error {
+			if err := m.BindNew(1, 50, h(9)); err != nil {
+				t.Fatal(err)
+			}
+			return m.BindNew(2, 50, h(8))
+		}},
+		{"BindExisting dead page", func(m *Mapper) error {
+			return m.BindExisting(1, 99)
+		}},
+		{"Unbind dangling index entry", func(m *Mapper) error {
+			// Corrupt the mapper directly: an l2p entry pointing at a page
+			// with no metadata, the shape a torn metadata update leaves.
+			m.l2p[3] = 77
+			_, _, _, _, err := m.Unbind(3)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, _ := NewMapper(10)
+			err := c.run(m)
+			if !errors.Is(err, ErrDedupCorrupt) {
+				t.Fatalf("err = %v, want ErrDedupCorrupt", err)
+			}
+			// The failing operation must not move the unbind counter (the
+			// setup binds legitimately move the bind counters).
+			if m.Stats().Unbinds != 0 {
+				t.Errorf("corrupt operation recorded an unbind: %+v", m.Stats())
+			}
+		})
+	}
 }
 
 // TestRandomizedConsistency churns the mapper with random bind/unbind/

@@ -303,6 +303,7 @@ func RunAblationBGC(o Options) (*AblationBGCResult, error) {
 			MQ:           core.MQConfig{Queues: 8, Capacity: 1000, DefaultLifetime: 8192},
 			Faults:       o.Faults,
 			Scrub:        o.Scrub,
+			Health:       o.Health,
 		}
 		dev, err := sim.NewDevice(cfg)
 		if err != nil {

@@ -1,0 +1,445 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zombiessd/internal/fault"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
+	"zombiessd/internal/scrub"
+	"zombiessd/internal/sim"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// ------------------------------------------------------------- chaos soak --
+
+// DefaultChaosCycles is the number of crash→recover→continue cycles the
+// soak injects per architecture when Options.ChaosCycles is 0.
+const DefaultChaosCycles = 6
+
+// chaosSweepDivisor shrinks the soak's trace relative to Options.Requests:
+// every architecture lives one full pilot life plus one full chaotic life.
+const chaosSweepDivisor = 8
+
+// chaosSweepFloor keeps each life long enough that GC pressure, erase
+// failures and RBER aging actually accumulate between crashes — a short
+// trace degenerates into a crash sweep with nothing for the governor to do.
+const chaosSweepFloor = 20_000
+
+// DefaultChaosHealthPlan is the governor plan the soak substitutes when
+// Options.Health is disabled: throttle on sustained GC debt, go read-only
+// near the free-block floor, declare death only on gross damage, and give
+// transient program faults a few host-layer retries.
+func DefaultChaosHealthPlan() health.Config {
+	return health.Config{
+		ThrottleDebt:   4,
+		ReadOnlyFree:   2,
+		DeadRetiredPct: 50,
+		DeadLostPages:  256,
+		MaxRetries:     4,
+	}
+}
+
+// DefaultChaosFaultPlan is the reliability plan the soak substitutes when
+// Options.Faults injects nothing: mild program and erase failure rates —
+// enough that GC re-lands and block retirements actually happen across a
+// life — composed with the scrubsweep's accelerated RBER decay so crash
+// recovery runs against decaying flash, not perfect flash.
+func DefaultChaosFaultPlan(seed int64) fault.Config {
+	return fault.Config{
+		Seed:            seed,
+		ProgramFailProb: 5e-3,
+		EraseFailProb:   5e-3,
+		WearFactor:      0.02,
+		Integrity:       DefaultIntegrityPlan(),
+	}
+}
+
+// ChaosArm is one architecture's chaotic life: the scheduled crash cycles,
+// what the oracle and the loss ledger found, and how far down the
+// degradation ladder the drive ended.
+type ChaosArm struct {
+	Arch string
+
+	Cycles     int   // crash cycles scheduled
+	Crashes    int   // crashes that actually fired (must equal Cycles)
+	Violations int   // integrity-oracle failures across every check (must be 0)
+	LostPages  int64 // valid pages lost to uncorrectable reads (must be 0)
+
+	Survived   bool // reached the end of the trace without going dead
+	FinalState health.State
+
+	RejectedWrites  int64 // writes shed in read-only or dead states
+	ThrottledWrites int64 // writes that paid the GC-debt throttle delay
+	Retries         int64 // host-layer retries of transient program faults
+	Relands         int64 // GC relocations re-landed after a block went bad
+	Retired         int64 // blocks retired as bad over the life
+
+	ReadP99 ssd.Time
+}
+
+// ChaossweepResult is the rendered outcome of RunChaossweep.
+type ChaossweepResult struct {
+	Workload string
+	Requests int64
+	Seed     int64
+	Cycles   int
+	Arms     []ChaosArm
+}
+
+// chaosTenantRecs merges the antagonist tenant pair (victim mail stream +
+// 4× trans aggressor) into one record stream for the soak's direct replay
+// loop: tenant LBA spaces are stacked the way the engine stacks them, and
+// records interleave by arrival time with ties broken by tenant order.
+func chaosTenantRecs(o Options) ([]trace.Record, int64, error) {
+	traces, err := sim.GenerateTenants(antagonistSet(), o.Requests, o.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	bases := make([]uint64, len(traces))
+	var base uint64
+	total := 0
+	for i, t := range traces {
+		bases[i] = base
+		base += uint64(t.Footprint)
+		total += len(t.Recs)
+	}
+	idx := make([]int, len(traces))
+	out := make([]trace.Record, 0, total)
+	for {
+		best := -1
+		var bestTime int64
+		for i, t := range traces {
+			if idx[i] >= len(t.Recs) {
+				continue
+			}
+			if rt := t.Recs[idx[i]].Time; best == -1 || rt < bestTime {
+				best, bestTime = i, rt
+			}
+		}
+		if best == -1 {
+			break
+		}
+		r := traces[best].Recs[idx[best]]
+		r.LBA += bases[best]
+		out = append(out, r)
+		idx[best]++
+	}
+	return out, sim.TotalFootprint(traces), nil
+}
+
+// chaosLife is one device's chaotic life: precondition, then replay under
+// faults and decay with repeated crash→recover→continue cycles, the oracle
+// checked after every recovery and once more at the end.
+type chaosLife struct {
+	crashes         int
+	violations      int
+	opsPrecondition int64
+	opsTotal        int64
+	lost            int64
+	survived        bool
+	hstats          health.Stats
+	fstats          fault.Stats
+	readP99         ssd.Time
+}
+
+// runChaosLife replays the merged tenant trace on a fresh device. schedule
+// holds per-cycle op deltas: after preconditioning (and again after every
+// recovery) the power-loss trigger is re-armed that many flash ops ahead.
+// A nil schedule is the pilot: a crash-free life that charts the op window.
+func runChaosLife(cfg sim.Config, recs []trace.Record, footprint int64, schedule []int64) (chaosLife, error) {
+	out := chaosLife{survived: true}
+	cfg.Faults.CrashAtOp = 0
+	dev, err := sim.NewDevice(cfg)
+	if err != nil {
+		return out, err
+	}
+	shadow, ackOnWrite := sim.AttachShadow(dev)
+	hr, ok := dev.(sim.HashReader)
+	if !ok {
+		return out, fmt.Errorf("experiments: device %T lacks ReadHash", dev)
+	}
+	store := sim.StoreOf(dev)
+	if store == nil {
+		return out, fmt.Errorf("experiments: device %T exposes no store", dev)
+	}
+
+	// Preconditioning fill, bit-identical to sim.Run's.
+	var end ssd.Time
+	for lpn := int64(0); lpn < footprint; lpn++ {
+		h := sim.PreconditionHash(lpn)
+		done, err := dev.Write(ftl.LPN(lpn), h, 0)
+		if err != nil {
+			return out, fmt.Errorf("experiments: chaos precondition write %d: %w", lpn, err)
+		}
+		shadow.Observe(ftl.LPN(lpn), h)
+		if ackOnWrite {
+			shadow.Ack(ftl.LPN(lpn), h)
+		}
+		if done > end {
+			end = done
+		}
+	}
+	out.opsPrecondition = busOps(dev)
+	shift := end + ssd.Millisecond
+
+	next := 0
+	if next < len(schedule) {
+		store.ArmCrash(schedule[next])
+		next++
+	}
+
+	lats := make([]ssd.Time, 0, len(recs)/4)
+replay:
+	for i, rec := range recs {
+		arrival := shift + ssd.Time(rec.Time)
+		lpn := ftl.LPN(rec.LBA)
+		var err error
+		switch rec.Op {
+		case trace.OpWrite:
+			_, err = dev.Write(lpn, rec.Hash, arrival)
+			if err == nil {
+				shadow.Observe(lpn, rec.Hash)
+				if ackOnWrite {
+					shadow.Ack(lpn, rec.Hash)
+				}
+			}
+		case trace.OpRead:
+			var done ssd.Time
+			done, err = dev.Read(lpn, arrival)
+			if err == nil {
+				lats = append(lats, done-arrival)
+			}
+		default:
+			return out, fmt.Errorf("experiments: record %d has unknown op %v", i, rec.Op)
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, fault.ErrPowerLoss):
+			out.crashes++
+			// The page under write when power failed has no atomicity
+			// guarantee; every other acknowledged page must survive.
+			var iw *sim.InterruptedWrite
+			if errors.As(err, &iw) {
+				shadow.Exempt(iw.LPN)
+			}
+			if _, err := sim.Recover(dev, sim.RecoverOptions{}); err != nil {
+				return out, fmt.Errorf("experiments: chaos recovery after crash %d: %w", out.crashes, err)
+			}
+			out.violations += len(shadow.Verify(hr))
+			if next < len(schedule) {
+				store.ArmCrash(schedule[next])
+				next++
+			}
+		case errors.Is(err, health.ErrDeviceDead):
+			// The drive is gone: stop submitting; the final oracle check
+			// still runs against whatever flash state remains.
+			out.survived = false
+			break replay
+		case rec.Op == trace.OpWrite && errors.Is(err, health.ErrReadOnly):
+			// Shed write on a degraded drive. It was never acknowledged, so
+			// the oracle expects nothing from it.
+		default:
+			return out, fmt.Errorf("experiments: chaos record %d: %w", i, err)
+		}
+	}
+	out.opsTotal = busOps(dev)
+	out.violations += len(shadow.Verify(hr))
+	out.lost = store.LostPages()
+	out.fstats = store.FaultStats()
+	if hd, ok := dev.(interface{ HealthStats() health.Stats }); ok {
+		out.hstats = hd.HealthStats()
+	}
+	out.readP99 = timeP99(lats)
+	return out, nil
+}
+
+// RunChaossweep soaks all five architectures in seeded chaos: the
+// antagonist tenant pair replayed under mild program/erase faults and
+// accelerated RBER decay (scrub patrol on), with the health governor
+// interposed and repeated sudden power losses spread across each life.
+// After every crash the device recovers and the integrity oracle checks
+// every durably acknowledged page; the life then continues on the
+// recovered drive. A correct stack survives every cycle with zero oracle
+// violations and zero lost valid pages while degrading gracefully —
+// throttling, shedding writes, re-landing GC — instead of failing the run.
+func RunChaossweep(o Options) (*ChaossweepResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	cycles := o.ChaosCycles
+	if cycles == 0 {
+		cycles = DefaultChaosCycles
+	}
+	small := o
+	small.Requests = o.Requests / chaosSweepDivisor
+	if small.Requests < chaosSweepFloor {
+		small.Requests = chaosSweepFloor
+	}
+	if small.Requests > o.Requests {
+		small.Requests = o.Requests
+	}
+	if !small.Faults.Active() {
+		small.Faults = DefaultChaosFaultPlan(small.ChaosSeed + 1)
+	}
+	if !small.Health.Enabled() {
+		small.Health = DefaultChaosHealthPlan()
+	}
+	recs, footprint, err := chaosTenantRecs(small)
+	if err != nil {
+		return nil, err
+	}
+	archs := crashArchConfigs(small, footprint)
+	// Decaying flash needs the patrol, as in the scrubsweep's on arms.
+	for i := range archs {
+		if archs[i].cfg.Faults.IntegrityArmed() && !archs[i].cfg.Scrub.Enabled() {
+			archs[i].cfg.Scrub = scrub.Config{
+				Interval:    scrubIntervalFor(DefaultScrubSweepPeriod, archs[i].cfg.Geometry),
+				RefreshRBER: DefaultScrubRefreshRBER,
+			}
+		}
+	}
+
+	// Arms are independent lives; results are keyed by arm index, so the
+	// output is byte-identical for every worker count.
+	jobs := small.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	arms := make([]ChaosArm, len(archs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for ai, a := range archs {
+		wg.Add(1)
+		go func(ai int, name string, cfg sim.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			doomed := firstErr != nil
+			mu.Unlock()
+			if doomed {
+				return
+			}
+			arm, err := runChaosArm(small, name, cfg, recs, footprint, cycles, ai)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			arms[ai] = arm
+		}(ai, a.name, a.cfg)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &ChaossweepResult{
+		Workload: "victim-mail + antag-trans",
+		Requests: small.Requests,
+		Seed:     small.ChaosSeed,
+		Cycles:   cycles,
+		Arms:     arms,
+	}, nil
+}
+
+// runChaosArm runs one architecture's pilot and chaotic life. The pilot (a
+// crash-free life under the same faults, decay and governor) charts the
+// post-precondition op window; the crash schedule then slices cycle deltas
+// jittered in [base/2, base] with base = window/(2·cycles+1), so the deltas
+// sum below half the window and every scheduled crash fires even on lives
+// that issue fewer flash ops than the pilot (a crashed write-back buffer
+// legitimately drops its unflushed pages, shrinking the buffered arm's op
+// count each cycle).
+func runChaosArm(o Options, name string, cfg sim.Config, recs []trace.Record, footprint int64, cycles, armIndex int) (ChaosArm, error) {
+	pilot, err := runChaosLife(cfg, recs, footprint, nil)
+	if err != nil {
+		return ChaosArm{}, fmt.Errorf("experiments: chaossweep pilot %s: %w", name, err)
+	}
+	if pilot.violations > 0 {
+		return ChaosArm{}, fmt.Errorf("experiments: chaossweep pilot %s: %d oracle violations without a crash",
+			name, pilot.violations)
+	}
+	window := pilot.opsTotal - pilot.opsPrecondition
+	if window <= int64(2*cycles) {
+		return ChaosArm{}, fmt.Errorf("experiments: chaossweep pilot %s: op window %d too small for %d cycles",
+			name, window, cycles)
+	}
+	base := window / int64(2*cycles+1)
+	state := uint64(o.ChaosSeed)*0x9E3779B97F4A7C15 + uint64(armIndex+1)
+	schedule := make([]int64, cycles)
+	for j := range schedule {
+		schedule[j] = base/2 + int64(splitmix64(&state)%uint64(base/2+1))
+		if schedule[j] < 1 {
+			schedule[j] = 1
+		}
+	}
+	life, err := runChaosLife(cfg, recs, footprint, schedule)
+	if err != nil {
+		return ChaosArm{}, fmt.Errorf("experiments: chaossweep %s: %w", name, err)
+	}
+	return ChaosArm{
+		Arch:            name,
+		Cycles:          cycles,
+		Crashes:         life.crashes,
+		Violations:      life.violations,
+		LostPages:       life.lost,
+		Survived:        life.survived,
+		FinalState:      life.hstats.State,
+		RejectedWrites:  life.hstats.RejectedWrites,
+		ThrottledWrites: life.hstats.ThrottledWrites,
+		Retries:         life.hstats.Retries,
+		Relands:         life.fstats.GCRelands,
+		Retired:         life.fstats.RetiredBlocks,
+		ReadP99:         life.readP99,
+	}, nil
+}
+
+// Table renders the soak.
+func (r *ChaossweepResult) Table() Table {
+	rows := make([][]string, 0, len(r.Arms))
+	for _, a := range r.Arms {
+		survived := "yes"
+		if !a.Survived {
+			survived = "no"
+		}
+		rows = append(rows, []string{
+			a.Arch,
+			fmt.Sprintf("%d", a.Cycles),
+			fmt.Sprintf("%d", a.Crashes),
+			fmt.Sprintf("%d", a.Violations),
+			fmt.Sprintf("%d", a.LostPages),
+			survived,
+			a.FinalState.String(),
+			fmt.Sprintf("%d", a.RejectedWrites),
+			fmt.Sprintf("%d", a.ThrottledWrites),
+			fmt.Sprintf("%d", a.Retries),
+			fmt.Sprintf("%d", a.Relands),
+			fmt.Sprintf("%d", a.Retired),
+			fmt.Sprintf("%.2f", float64(a.ReadP99)/float64(ssd.Millisecond)),
+		})
+	}
+	return Table{
+		Title:  "Chaossweep: crash/fault/decay soak under the health governor",
+		Header: []string{"arm", "cycles", "crashed", "violations", "lost", "survived", "final", "rejected", "throttled", "retries", "relands", "retired", "read p99 ms"},
+		Rows:   rows,
+		Notes: []string{
+			fmt.Sprintf("workload %s, %d requests, chaos seed %d, %d crash cycles per arm", r.Workload, r.Requests, r.Seed, r.Cycles),
+			"each cycle cuts power mid-op, recovers from OOB + journal, oracle-checks every acknowledged page,",
+			"then continues the same life; faults re-land GC mid-relocation, RBER decays with the patrol on,",
+			"and the governor throttles/sheds instead of failing — violations and lost pages must stay 0.",
+		},
+	}
+}
+
+// String renders the soak table.
+func (r *ChaossweepResult) String() string { return r.Table().String() }

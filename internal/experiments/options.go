@@ -18,6 +18,7 @@ import (
 	"zombiessd/internal/core"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
@@ -92,6 +93,19 @@ type Options struct {
 	// for export. The zero value observes nothing and keeps every counter
 	// bit-identical.
 	Telemetry telemetry.Config
+	// Health is the device health-governor plan (sim.Config.Health)
+	// applied to every simulated device: GC-debt write throttling, the
+	// free-block read-only floor, dead-drive thresholds and host-layer
+	// retries of transient program faults. The zero value (the default)
+	// leaves devices ungoverned and every paper figure bit-identical; the
+	// chaossweep experiment substitutes its own governed default.
+	Health health.Config
+	// ChaosCycles is the number of crash→recover→continue cycles the
+	// chaos soak injects per architecture; 0 uses the soak's default (6).
+	ChaosCycles int
+	// ChaosSeed drives crash placement inside the chaos soak,
+	// independently of Seed and CrashSeed.
+	ChaosSeed int64
 }
 
 // DefaultOptions returns the scale used by `zombiectl` unless overridden:
@@ -151,6 +165,15 @@ func (o Options) Validate() error {
 	if err := o.Telemetry.Validate(); err != nil {
 		return err
 	}
+	if err := o.Health.Validate(); err != nil {
+		return err
+	}
+	if o.ChaosCycles < 0 {
+		return fmt.Errorf("experiments: chaos cycles must be ≥ 0, got %d", o.ChaosCycles)
+	}
+	if o.ChaosSeed < 0 {
+		return fmt.Errorf("experiments: chaos seed must be ≥ 0, got %d", o.ChaosSeed)
+	}
 	return nil
 }
 
@@ -186,6 +209,7 @@ func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolK
 		LX:           lxssd.Config{Capacity: entries, MinPopularity: 0},
 		Faults:       o.Faults,
 		Scrub:        o.Scrub,
+		Health:       o.Health,
 	}
 }
 

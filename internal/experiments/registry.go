@@ -69,6 +69,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunTenantsweep(o) }},
 	{ID: "gcsweep", Title: "GCsweep: read tail latency and gc-blocked attribution vs preemptible-GC policy",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunGCsweep(o) }},
+	{ID: "chaossweep", Title: "Chaossweep: crash/fault/decay soak under the device health governor",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunChaossweep(o) }},
 }
 
 // All returns every experiment in the paper's order.

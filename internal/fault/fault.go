@@ -173,6 +173,7 @@ type Stats struct {
 	RetiredBlocks   int64 // blocks retired as bad (erase failure or suspicion)
 	SuspectBlocks   int64 // blocks first marked suspect by a program failure
 	Relocations     int64 // programs re-landed on a fresh page after a failure
+	GCRelands       int64 // GC relocations re-landed on a fresh block after exhausting one
 
 	// Integrity-model outcomes (zero while the model is disarmed).
 	CorrectableReads   int64 // reads that needed a threshold-shifted retry
@@ -193,6 +194,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		RetiredBlocks:   s.RetiredBlocks - prev.RetiredBlocks,
 		SuspectBlocks:   s.SuspectBlocks - prev.SuspectBlocks,
 		Relocations:     s.Relocations - prev.Relocations,
+		GCRelands:       s.GCRelands - prev.GCRelands,
 
 		CorrectableReads:   s.CorrectableReads - prev.CorrectableReads,
 		UncorrectableReads: s.UncorrectableReads - prev.UncorrectableReads,

@@ -1,7 +1,8 @@
 // Package faultflags registers the reliability knobs shared by the
 // simulator binaries (ssdsim and zombiectl) on a flag set: the
 // fault-injection plan (-fault-*), the data-integrity error model
-// (-integrity-*), the background scrubber (-scrub-*) and the fault-aware
+// (-integrity-*), the background scrubber (-scrub-*), the device health
+// governor (-health-*), the chaos soak (-chaos-*) and the fault-aware
 // GC victim weight. Keeping the definitions in one place guarantees both
 // binaries expose the same names, defaults and validation messages.
 package faultflags
@@ -13,6 +14,7 @@ import (
 
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/ssd"
 )
@@ -31,6 +33,17 @@ type Set struct {
 	GCSuspendMax    int
 	GCSuspendCostUS float64
 	GCResumeCostUS  float64
+
+	// Health-governor knobs (-health-*). The two delays are parsed as
+	// float64 microseconds for the same reason as the suspend costs; the
+	// assembled config comes from Health().
+	healthCfg             health.Config
+	HealthThrottleDelayUS float64
+	HealthBackoffUS       float64
+
+	// Chaos-soak knobs (-chaos-*), consumed by zombiectl's chaossweep.
+	ChaosCycles int
+	ChaosSeed   int64
 }
 
 // Register wires the shared reliability flags into fs and returns the Set
@@ -75,7 +88,38 @@ func Register(fs *flag.FlagSet) *Set {
 		fmt.Sprintf("suspend overhead charged to a preempting read, µs (0 = default %d)", int64(ftl.DefaultSuspendCost)))
 	fs.Float64Var(&s.GCResumeCostUS, "gc-suspend-resume", 0,
 		fmt.Sprintf("resume overhead charged to the suspended GC op, µs (0 = default %d)", int64(ftl.DefaultResumeCost)))
+
+	fs.IntVar(&s.healthCfg.ThrottleDebt, "health-throttle-debt", 0,
+		"health governor: GC debt (blocks) that trips write throttling (0 = no throttling)")
+	fs.Float64Var(&s.HealthThrottleDelayUS, "health-throttle-delay", 0,
+		fmt.Sprintf("extra write latency while throttled, µs (0 = default %d)", int64(health.DefaultThrottleDelay)))
+	fs.IntVar(&s.healthCfg.ReadOnlyFree, "health-readonly-free", 0,
+		"free-block floor below which the drive goes read-only (0 = only on allocation failure)")
+	fs.Float64Var(&s.healthCfg.DeadRetiredPct, "health-dead-retired", 0,
+		"retired-block percentage that declares the drive dead (0 = never)")
+	fs.Int64Var(&s.healthCfg.DeadLostPages, "health-dead-lost", 0,
+		"lost valid pages that declare the drive dead (0 = never)")
+	fs.IntVar(&s.healthCfg.Hysteresis, "health-hysteresis", 0,
+		fmt.Sprintf("blocks of margin a trip signal must clear before stepping back up the ladder (0 = default %d)", health.DefaultHysteresis))
+	fs.IntVar(&s.healthCfg.MaxRetries, "health-retries", 0,
+		"host-layer retries of a write that failed with a transient program fault (0 = none)")
+	fs.Float64Var(&s.HealthBackoffUS, "health-backoff", 0,
+		fmt.Sprintf("simulated pause before each host retry, µs (0 = default %d)", int64(health.DefaultRetryBackoff)))
+
+	fs.IntVar(&s.ChaosCycles, "chaos-cycles", 0,
+		"chaossweep: crash→recover→continue cycles per architecture (0 = experiment default)")
+	fs.Int64Var(&s.ChaosSeed, "chaos-seed", 0,
+		"chaossweep: crash placement seed")
 	return s
+}
+
+// Health converts the parsed -health-* knobs into the governor's config.
+// Call only after Validate accepted the set.
+func (s *Set) Health() health.Config {
+	c := s.healthCfg
+	c.ThrottleDelay = ssd.Time(s.HealthThrottleDelayUS) * ssd.Microsecond
+	c.RetryBackoff = ssd.Time(s.HealthBackoffUS) * ssd.Microsecond
+	return c
 }
 
 // Preempt converts the parsed -gc-* knobs into the FTL's preemption
@@ -121,6 +165,30 @@ func (s *Set) Validate() error {
 	}
 	if err := s.Preempt().Validate(); err != nil {
 		return err
+	}
+	for _, c := range []struct {
+		name  string
+		v     float64
+		class error
+	}{
+		{"-health-throttle-delay", s.HealthThrottleDelayUS, health.ErrBadDelay},
+		{"-health-backoff", s.HealthBackoffUS, health.ErrBadRetry},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("%w: %s must be a finite number of µs, got %g", c.class, c.name, c.v)
+		}
+		if c.v != math.Trunc(c.v) {
+			return fmt.Errorf("%w: %s must be whole µs, got %g", c.class, c.name, c.v)
+		}
+	}
+	if err := s.Health().Validate(); err != nil {
+		return err
+	}
+	if s.ChaosCycles < 0 {
+		return fmt.Errorf("-chaos-cycles must be ≥ 0, got %d", s.ChaosCycles)
+	}
+	if s.ChaosSeed < 0 {
+		return fmt.Errorf("-chaos-seed must be ≥ 0, got %d", s.ChaosSeed)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
 	"zombiessd/internal/ssd"
 )
 
@@ -62,6 +63,9 @@ func TestZeroFlagsAreInert(t *testing.T) {
 	if s.Faults.Enabled() || s.Faults.IntegrityArmed() || s.Scrub.Enabled() || s.GCFaultWeight != 0 {
 		t.Errorf("no flags armed something: %+v", s)
 	}
+	if s.Health().Enabled() || s.ChaosCycles != 0 || s.ChaosSeed != 0 {
+		t.Errorf("no flags armed the governor or chaos knobs: %+v", s)
+	}
 }
 
 func TestValidateRejections(t *testing.T) {
@@ -75,6 +79,8 @@ func TestValidateRejections(t *testing.T) {
 		{"negative base rber", []string{"-integrity-rber", "-1e-4"}},
 		{"scrub without integrity", []string{"-scrub-interval", "1500"}},
 		{"negative scrub threshold", []string{"-integrity-rber", "1e-4", "-scrub-interval", "1500", "-scrub-rber", "-1"}},
+		{"negative chaos cycles", []string{"-chaos-cycles", "-1"}},
+		{"negative chaos seed", []string{"-chaos-seed", "-7"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -119,6 +125,63 @@ func TestGCValidateNamedErrors(t *testing.T) {
 		{"inf resume", []string{"-gc-suspend-max", "4", "-gc-suspend-resume", "+Inf"}, ftl.ErrBadSuspend},
 		{"fractional cost", []string{"-gc-suspend-max", "4", "-gc-suspend-cost", "12.5"}, ftl.ErrBadSuspend},
 		{"negative resume", []string{"-gc-suspend-max", "4", "-gc-suspend-resume", "-20"}, ftl.ErrBadSuspend},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parse(t, tc.args...)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("parse %v: got %v, want %v", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHealthFlagsLand(t *testing.T) {
+	s, err := parse(t,
+		"-health-throttle-debt", "4", "-health-throttle-delay", "250",
+		"-health-readonly-free", "2", "-health-dead-retired", "50",
+		"-health-dead-lost", "256", "-health-hysteresis", "3",
+		"-health-retries", "4", "-health-backoff", "750",
+		"-chaos-cycles", "8", "-chaos-seed", "42",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := health.Config{
+		ThrottleDebt: 4, ThrottleDelay: 250 * ssd.Microsecond,
+		ReadOnlyFree: 2, DeadRetiredPct: 50, DeadLostPages: 256,
+		Hysteresis: 3, MaxRetries: 4, RetryBackoff: 750 * ssd.Microsecond,
+	}
+	if got := s.Health(); got != want {
+		t.Errorf("Health() = %+v, want %+v", got, want)
+	}
+	if s.ChaosCycles != 8 || s.ChaosSeed != 42 {
+		t.Errorf("chaos flags did not land: cycles=%d seed=%d", s.ChaosCycles, s.ChaosSeed)
+	}
+}
+
+// TestHealthValidateNamedErrors pins the error classes the -health-*
+// surface must report, mirroring the -gc-* contract.
+func TestHealthValidateNamedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want error
+	}{
+		{"negative debt", []string{"-health-throttle-debt", "-2"}, health.ErrBadThreshold},
+		{"negative floor", []string{"-health-readonly-free", "-1"}, health.ErrBadThreshold},
+		{"retired above 100", []string{"-health-dead-retired", "150"}, health.ErrBadThreshold},
+		{"nan retired", []string{"-health-dead-retired", "NaN"}, health.ErrBadThreshold},
+		{"negative lost", []string{"-health-dead-lost", "-5"}, health.ErrBadThreshold},
+		{"negative hysteresis", []string{"-health-hysteresis", "-1"}, health.ErrBadThreshold},
+		{"delay without debt", []string{"-health-throttle-delay", "250"}, health.ErrBadDelay},
+		{"nan delay", []string{"-health-throttle-debt", "4", "-health-throttle-delay", "NaN"}, health.ErrBadDelay},
+		{"fractional delay", []string{"-health-throttle-debt", "4", "-health-throttle-delay", "12.5"}, health.ErrBadDelay},
+		{"negative delay", []string{"-health-throttle-debt", "4", "-health-throttle-delay", "-20"}, health.ErrBadDelay},
+		{"negative retries", []string{"-health-retries", "-3"}, health.ErrBadRetry},
+		{"backoff without retries", []string{"-health-backoff", "500"}, health.ErrBadRetry},
+		{"inf backoff", []string{"-health-retries", "4", "-health-backoff", "+Inf"}, health.ErrBadRetry},
+		{"fractional backoff", []string{"-health-retries", "4", "-health-backoff", "0.5"}, health.ErrBadRetry},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -194,6 +257,76 @@ func FuzzGCConfig(f *testing.F) {
 		bus := ssd.NewBus(geo, ssd.PaperLatency())
 		if _, err := ftl.NewStore(ftl.StoreConfig{GCFreeBlockThreshold: 2, Preempt: p}, bus); err != nil {
 			t.Fatalf("accepted set rejected by the store: %v (args %v)", err, args)
+		}
+	})
+}
+
+// FuzzHealthConfig hammers the eight -health-* knobs with arbitrary flag
+// values. Invariants: parsing and validation never panic; a rejected set
+// fails with one of the named health errors; an accepted set yields a
+// Config that survives WithDefaults, re-validates cleanly and constructs
+// a governor whose first observation of a healthy drive stays Healthy.
+func FuzzHealthConfig(f *testing.F) {
+	seeds := [][8]string{
+		{"", "", "", "", "", "", "", ""},
+		{"4", "250", "2", "50", "256", "3", "4", "750"},
+		{"4", "", "", "", "", "", "", ""},
+		{"", "", "2", "", "", "", "", ""},
+		{"", "", "", "100", "", "", "", ""},
+		{"-2", "", "", "", "", "", "", ""},
+		{"", "250", "", "", "", "", "", ""},
+		{"4", "NaN", "", "", "", "", "", ""},
+		{"4", "12.5", "", "", "", "", "", ""},
+		{"4", "-20", "", "", "", "", "", ""},
+		{"", "", "", "150", "", "", "", ""},
+		{"", "", "", "NaN", "", "", "", ""},
+		{"", "", "", "", "-5", "", "", ""},
+		{"", "", "", "", "", "-1", "", ""},
+		{"", "", "", "", "", "", "-3", ""},
+		{"", "", "", "", "", "", "", "500"},
+		{"", "", "", "", "", "", "4", "+Inf"},
+		{"", "", "", "", "", "", "4", "0.5"},
+		{"9999999", "1e300", "9999", "99.9", "1", "64", "255", "1e300"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7])
+	}
+	f.Fuzz(func(t *testing.T, debt, delay, floor, retired, lost, hyst, retries, backoff string) {
+		var args []string
+		for _, kv := range [][2]string{
+			{"-health-throttle-debt", debt}, {"-health-throttle-delay", delay},
+			{"-health-readonly-free", floor}, {"-health-dead-retired", retired},
+			{"-health-dead-lost", lost}, {"-health-hysteresis", hyst},
+			{"-health-retries", retries}, {"-health-backoff", backoff},
+		} {
+			if kv[1] != "" {
+				args = append(args, kv[0], kv[1])
+			}
+		}
+		fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		s := Register(fs)
+		if err := fs.Parse(args); err != nil {
+			return // the flag package rejected the raw value
+		}
+		if err := s.Validate(); err != nil {
+			if !errors.Is(err, health.ErrBadThreshold) && !errors.Is(err, health.ErrBadDelay) &&
+				!errors.Is(err, health.ErrBadRetry) {
+				t.Fatalf("rejection %v is not a named health error (args %v)", err, args)
+			}
+			return
+		}
+		cfg := s.Health().WithDefaults()
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted set fails after WithDefaults: %v (args %v)", err, args)
+		}
+		if cfg.Enabled() != s.Health().Enabled() {
+			t.Fatalf("WithDefaults changed Enabled (args %v)", args)
+		}
+		gov := health.New(cfg)
+		calm := health.Sample{FreeBlocks: 1 << 20, TotalBlocks: 1 << 20}
+		if got := gov.Observe(calm, 0); got != health.Healthy {
+			t.Fatalf("calm drive observed as %v (args %v)", got, args)
 		}
 	})
 }

@@ -41,6 +41,29 @@ func (s *Store) IntegrityConfig() fault.IntegrityConfig {
 // Always false while the model is disarmed.
 func (s *Store) LostPage(p ssd.PPN) bool { return s.integ != nil && s.lost[p] }
 
+// LostPages returns how many pages currently hold lost data — the health
+// governor's loss signal. Maintained incrementally by markLost/clearLost,
+// so sampling it per host operation is free.
+func (s *Store) LostPages() int64 { return s.lostCount }
+
+// markLost records p's data as destroyed.
+func (s *Store) markLost(p ssd.PPN) {
+	if s.integ == nil || s.lost[p] {
+		return
+	}
+	s.lost[p] = true
+	s.lostCount++
+}
+
+// clearLost clears p's loss mark (fresh program or erase).
+func (s *Store) clearLost(p ssd.PPN) {
+	if s.integ == nil || !s.lost[p] {
+		return
+	}
+	s.lost[p] = false
+	s.lostCount--
+}
+
 // BlockReads returns the reads block b has served since its last erase
 // (the read-disturb input). Always 0 while the model is disarmed.
 func (s *Store) BlockReads(b ssd.BlockID) int64 { return s.blocks[b].reads }
@@ -87,7 +110,7 @@ func (s *Store) integrityCheck(p ssd.PPN, done, clock ssd.Time) (ssd.Time, error
 		return done, nil
 	default: // ReadUncorrectable
 		s.faults.UncorrectableReads++
-		s.lost[p] = true
+		s.markLost(p)
 		// The controller exhausts the whole retry ladder before giving up.
 		prev := s.Tel.EnterECC()
 		defer s.Tel.ExitOrigin(prev)
@@ -125,7 +148,7 @@ func (s *Store) ScrubRead(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
 // refreshable — and returns ErrUncorrectable.
 func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
 	if s.state[p] != PageValid {
-		panic(fmt.Sprintf("ftl: RefreshPage(%d): page is %v, not valid", p, s.state[p]))
+		return 0, fmt.Errorf("%w: RefreshPage(%d): page is %v, not valid", ErrPageState, p, s.state[p])
 	}
 	plane := s.geo.PlaneOfBlock(s.geo.BlockOf(p))
 	if err := s.ensureSpace(plane, stamp); err != nil {
@@ -157,7 +180,9 @@ func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) 
 	if s.OnRelocate != nil {
 		s.OnRelocate(p, dst)
 	}
-	s.Invalidate(p)
+	if err := s.Invalidate(p); err != nil {
+		return 0, fmt.Errorf("ftl: refresh of page %d: %w", p, err)
+	}
 	return done, nil
 }
 

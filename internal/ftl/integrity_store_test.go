@@ -155,19 +155,16 @@ func TestRefreshPageRelocatesBeforeLoss(t *testing.T) {
 	}
 }
 
-func TestRefreshPagePanicsOnNonValid(t *testing.T) {
+func TestRefreshPageErrsOnNonValid(t *testing.T) {
 	s, _ := newTinyStore(t, integrityConfig(fault.IntegrityConfig{BaseRBER: 1e-4}))
 	ppn, _, err := s.Program(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Invalidate(ppn)
-	defer func() {
-		if recover() == nil {
-			t.Error("RefreshPage of an invalid page did not panic")
-		}
-	}()
-	_, _ = s.RefreshPage(ppn, 0, 0)
+	if _, err := s.RefreshPage(ppn, 0, 0); !errors.Is(err, ErrPageState) {
+		t.Errorf("RefreshPage of an invalid page: err = %v, want ErrPageState", err)
+	}
 }
 
 func TestVerifyReviveGatesOnEstimateAndLoss(t *testing.T) {

@@ -151,6 +151,21 @@ func (s *Store) PowerLossFired() bool { return s.crashed }
 // Faults.CrashAtOp > 0); use the bus counters for general accounting.
 func (s *Store) FlashOps() int64 { return s.opCount }
 
+// ArmCrash re-arms the one-shot power-loss trigger to fire after n more
+// counted flash operations — the chaos harness's repeated-crash control.
+// The counter keeps running from wherever the last trigger left it, so
+// successive ArmCrash calls space crashes by flash work, not wall time.
+// n ≤ 0 disarms the trigger entirely.
+func (s *Store) ArmCrash(n int64) {
+	if n <= 0 {
+		s.crashAt = 0
+		s.crashed = false
+		return
+	}
+	s.crashAt = s.opCount + n
+	s.crashed = false
+}
+
 // crashNow advances the armed power-loss countdown by one flash operation
 // and reports whether the trigger fires on this one. Unarmed stores
 // (CrashAtOp 0) pay a single predictable branch and never count.

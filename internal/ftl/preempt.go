@@ -324,14 +324,15 @@ func (s *Store) drainStep(plane int, stamp ssd.Time, budget int, background bool
 			}
 			wasLost := err != nil
 			dst, _, err := s.programAt(plane, s.gcStream(plane), readDone)
+			if err != nil && errors.Is(err, ErrProgramFault) {
+				dst, _, err = s.relandGC(plane, readDone)
+			}
 			if err != nil {
-				if s.inj == nil && s.crashAt == 0 {
-					panic(fmt.Sprintf("ftl: partial GC relocation failed: %v", err))
-				}
 				return migrated, false, fmt.Errorf("ftl: partial GC relocation of page %d: %w", p, err)
 			}
 			if wasLost {
-				s.lost[dst] = true
+				s.markLost(dst)
+				s.clearLost(p)
 			}
 			s.gc.Relocated++
 			if background {

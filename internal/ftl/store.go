@@ -157,6 +157,12 @@ var ErrNoSpace = fmt.Errorf("ftl: out of free pages (drive oversubscribed)")
 // failures burned every allowed attempt without landing the data.
 var ErrProgramFault = fmt.Errorf("ftl: program failed on every retry attempt")
 
+// ErrPageState is wrapped by Invalidate/Revalidate/RefreshPage when the
+// page is not in the state the transition requires. It marks a
+// bookkeeping inconsistency — mapper and store disagree about a page —
+// which degraded operation must surface as an error, never a panic.
+var ErrPageState = fmt.Errorf("ftl: page state inconsistent")
+
 // blockInfo is per-block accounting.
 type blockInfo struct {
 	valid     int32
@@ -227,7 +233,8 @@ type Store struct {
 	integ        *fault.Estimator
 	progTime     []ssd.Time
 	lost         []bool
-	integRetries int // ECC ladder reads charged per uncorrectable read
+	lostCount    int64 // pages currently marked lost (health governor input)
+	integRetries int   // ECC ladder reads charged per uncorrectable read
 
 	// Crash-consistency state (see oob.go): per-page OOB records, the
 	// durable mapping journal, the monotonic sequence counter, and the
@@ -511,7 +518,7 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 			if s.integ != nil {
 				// A fresh program resets the page's decay clock.
 				s.progTime[ppn] = done
-				s.lost[ppn] = false
+				s.clearLost(ppn)
 			}
 			return ppn, done, nil
 		}
@@ -623,30 +630,33 @@ func (s *Store) allocate(plane, stream int) (ssd.PPN, error) {
 }
 
 // Invalidate turns a valid page into garbage (an update superseded it).
-// Panics if the page is not valid — that is a state-machine bug in the
-// caller, never a data-dependent condition.
-func (s *Store) Invalidate(p ssd.PPN) {
+// A non-valid page is a state-machine inconsistency in the caller and
+// reports ErrPageState with the store untouched.
+func (s *Store) Invalidate(p ssd.PPN) error {
 	if s.state[p] != PageValid {
-		panic(fmt.Sprintf("ftl: Invalidate(%d): page is %v, not valid", p, s.state[p]))
+		return fmt.Errorf("%w: Invalidate(%d): page is %v, not valid", ErrPageState, p, s.state[p])
 	}
 	s.state[p] = PageInvalid
 	b := s.geo.BlockOf(p)
 	s.blocks[b].valid--
 	s.blocks[b].invalid++
+	return nil
 }
 
 // Revalidate revives a garbage page: the dead-value pool matched an
-// incoming write to it, so it becomes valid again with no flash operation.
-// Panics if the page is not garbage (caller bug).
-func (s *Store) Revalidate(p ssd.PPN) {
+// incoming write to it, so it becomes valid again with no flash
+// operation. A non-garbage page is a state-machine inconsistency in the
+// caller and reports ErrPageState with the store untouched.
+func (s *Store) Revalidate(p ssd.PPN) error {
 	if s.state[p] != PageInvalid {
-		panic(fmt.Sprintf("ftl: Revalidate(%d): page is %v, not invalid", p, s.state[p]))
+		return fmt.Errorf("%w: Revalidate(%d): page is %v, not invalid", ErrPageState, p, s.state[p])
 	}
 	s.state[p] = PageValid
 	b := s.geo.BlockOf(p)
 	s.blocks[b].valid++
 	s.blocks[b].invalid--
 	s.ownRevived(int64(p))
+	return nil
 }
 
 // ensureSpace runs GC on the plane until its free list reaches the
@@ -796,16 +806,15 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 			// damage surfaces when the host next reads the logical page.
 			wasLost := err != nil
 			dst, _, err := s.programAt(plane, s.gcStream(plane), readDone)
+			if err != nil && errors.Is(err, ErrProgramFault) {
+				dst, _, err = s.relandGC(plane, readDone)
+			}
 			if err != nil {
-				if s.inj == nil && s.crashAt == 0 {
-					// Threshold ≥ 2 guarantees a destination; reaching this
-					// is a bookkeeping bug.
-					panic(fmt.Sprintf("ftl: GC relocation failed: %v", err))
-				}
 				return false, fmt.Errorf("ftl: GC relocation of page %d: %w", p, err)
 			}
 			if wasLost {
-				s.lost[dst] = true
+				s.markLost(dst)
+				s.clearLost(p)
 			}
 			s.gc.Relocated++
 			// Stamp before OnRelocate: the owner must be read while the
@@ -822,6 +831,47 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 		s.state[p] = PageFree
 	}
 	return s.eraseVictim(plane, v, now, s.gc.Relocated-relocBefore)
+}
+
+// relandGC recovers a GC relocation whose program burned every allowed
+// attempt inside the current GC frontier block: the frontier is forced
+// onto a fresh free block and the relocation retried there, so one bad
+// block cannot abort garbage collection. The abandoned block is retired
+// on the spot when the failure storm left it with no live data; otherwise
+// it keeps its suspect marks and retires at its next erase.
+func (s *Store) relandGC(plane int, stamp ssd.Time) (ssd.PPN, ssd.Time, error) {
+	pl := &s.planes[plane]
+	if len(pl.freeBlocks) == 0 {
+		return ssd.InvalidPPN, 0, fmt.Errorf("ftl: GC re-land on plane %d: %w", plane, ErrNoSpace)
+	}
+	fr := &pl.frontiers[s.gcStream(plane)]
+	bad := fr.active
+	info := &s.blocks[bad]
+	if info.active && info.valid == 0 {
+		// Every program in the block failed (or its pages died since);
+		// retire it now rather than let it poison another relocation. The
+		// same cleanup the erase path performs applies: pooled garbage is
+		// evicted and the OOB scrubbed, so neither revival nor recovery
+		// ever touches the retired block again.
+		first := s.geo.FirstPage(bad)
+		for i := 0; i < s.geo.PagesPerBlock; i++ {
+			p := first + ssd.PPN(i)
+			if s.state[p] == PageInvalid && s.OnEraseGarbage != nil {
+				s.OnEraseGarbage(p)
+			}
+			s.state[p] = PageFree
+			s.oob[p] = OOB{}
+			s.clearLost(p)
+		}
+		info.valid, info.invalid = 0, 0
+		info.active = false
+		info.bad = true
+		s.faults.RetiredBlocks++
+	}
+	// Force the next allocation to roll the frontier to a fresh block.
+	fr.nextPage = s.geo.PagesPerBlock
+	s.faults.GCRelands++
+	return s.programAt(plane, s.gcStream(plane), stamp)
 }
 
 // eraseVictim is the erase tail every GC path shares — blocking cycles and
@@ -859,7 +909,7 @@ func (s *Store) eraseVictim(plane int, v ssd.BlockID, now ssd.Time, relocated in
 	for i := 0; i < s.geo.PagesPerBlock; i++ {
 		s.oob[first+ssd.PPN(i)] = OOB{}
 		if s.integ != nil {
-			s.lost[first+ssd.PPN(i)] = false
+			s.clearLost(first + ssd.PPN(i))
 		}
 	}
 	info := &s.blocks[v]

@@ -93,25 +93,25 @@ func TestInvalidateRevalidateLifecycle(t *testing.T) {
 	}
 }
 
-func TestInvalidatePanicsOnWrongState(t *testing.T) {
+func TestInvalidateErrsOnWrongState(t *testing.T) {
 	s, _ := newTinyStore(t, DefaultStoreConfig())
-	defer func() {
-		if recover() == nil {
-			t.Error("Invalidate of a free page did not panic")
-		}
-	}()
-	s.Invalidate(0)
+	if err := s.Invalidate(0); !errors.Is(err, ErrPageState) {
+		t.Errorf("Invalidate of a free page: err = %v, want ErrPageState", err)
+	}
+	if s.State(0) != PageFree {
+		t.Errorf("failed Invalidate mutated the page: %v", s.State(0))
+	}
 }
 
-func TestRevalidatePanicsOnWrongState(t *testing.T) {
+func TestRevalidateErrsOnWrongState(t *testing.T) {
 	s, _ := newTinyStore(t, DefaultStoreConfig())
 	ppn, _, _ := s.Program(0)
-	defer func() {
-		if recover() == nil {
-			t.Error("Revalidate of a valid page did not panic")
-		}
-	}()
-	s.Revalidate(ppn)
+	if err := s.Revalidate(ppn); !errors.Is(err, ErrPageState) {
+		t.Errorf("Revalidate of a valid page: err = %v, want ErrPageState", err)
+	}
+	if s.State(ppn) != PageValid {
+		t.Errorf("failed Revalidate mutated the page: %v", s.State(ppn))
+	}
 }
 
 // fillAndChurn programs pages and randomly invalidates older ones, like a

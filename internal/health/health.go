@@ -1,0 +1,344 @@
+// Package health is the device health governor: a per-device state
+// machine on simulated time that degrades service gracefully instead of
+// letting a stressed drive kill the run. The states form a ladder —
+//
+//	healthy → throttled → read-only → dead
+//
+// driven by the drive's own vital signs: free-block floor, GC debt,
+// retired-block count and lost-page count. Transitions apply hysteresis
+// so the governor does not flap at a threshold boundary, and every
+// decision is a pure function of the observed sample, so governed runs
+// stay deterministic. The zero Config disables the governor entirely and
+// is bit-identical to an ungoverned drive.
+//
+// The governor lives in controller RAM: a power loss resets its state and
+// the post-recovery drive re-derives it from the first sample. Dead is
+// terminal within a power cycle — retired blocks and lost pages survive
+// the crash, so a dead drive that reboots re-enters dead on first touch.
+package health
+
+import (
+	"errors"
+	"fmt"
+
+	"zombiessd/internal/ssd"
+)
+
+// State is one rung of the degradation ladder. The zero value is Healthy.
+type State uint8
+
+const (
+	// Healthy serves reads and writes at full speed.
+	Healthy State = iota
+	// Throttled serves everything but charges writes an extra delay,
+	// giving GC room to pay down its debt.
+	Throttled
+	// ReadOnly still serves reads but rejects writes with ErrReadOnly.
+	ReadOnly
+	// Dead rejects everything with ErrDeviceDead. Terminal.
+	Dead
+)
+
+// String renders the state for tables and telemetry labels.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Throttled:
+		return "throttled"
+	case ReadOnly:
+		return "read-only"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Typed degradation errors. The sim layer wraps these around rejected
+// operations so hosts can distinguish "write later" from "drive gone".
+var (
+	// ErrReadOnly rejects writes on a read-only device; reads still work.
+	ErrReadOnly = errors.New("health: device is read-only")
+	// ErrDeviceDead rejects every operation on a dead device.
+	ErrDeviceDead = errors.New("health: device is dead")
+)
+
+// Named configuration errors, so the flag surface (and FuzzHealthConfig)
+// can assert the exact rejection class with errors.Is.
+var (
+	// ErrBadThreshold rejects invalid -health-* trip thresholds.
+	ErrBadThreshold = errors.New("health: bad -health threshold")
+	// ErrBadDelay rejects invalid -health-throttle-delay values.
+	ErrBadDelay = errors.New("health: bad -health-throttle-delay")
+	// ErrBadRetry rejects inconsistent -health-retries/-health-backoff values.
+	ErrBadRetry = errors.New("health: bad -health-retries configuration")
+)
+
+// Defaults applied by WithDefaults when the corresponding knob is enabled
+// but unset.
+const (
+	// DefaultThrottleDelay is the per-write penalty while throttled.
+	DefaultThrottleDelay = 200 * ssd.Microsecond
+	// DefaultHysteresis is the margin (blocks of debt, or free blocks)
+	// required beyond a trip threshold before the governor steps back up.
+	DefaultHysteresis = 2
+	// DefaultRetryBackoff is the simulated pause before each host-layer
+	// retry of a transient program fault.
+	DefaultRetryBackoff = 500 * ssd.Microsecond
+)
+
+// Config parameterizes one device's governor. The zero value disables
+// every mechanism; each threshold arms independently.
+type Config struct {
+	// ThrottleDebt trips the throttled state when the store's GC debt
+	// (blocks below the free-block target) reaches this many blocks.
+	// 0 never throttles.
+	ThrottleDebt int
+	// ThrottleDelay is the extra latency charged per write while
+	// throttled. 0 means DefaultThrottleDelay when ThrottleDebt > 0.
+	ThrottleDelay ssd.Time
+
+	// ReadOnlyFree trips the read-only state when the device's total
+	// free-block count falls below this floor. 0 never trips on space —
+	// but an ErrNoSpace from the store still forces read-only whenever
+	// the governor is enabled at all.
+	ReadOnlyFree int
+
+	// DeadRetiredPct trips the dead state when retired (bad) blocks reach
+	// this percentage of all blocks. 0 never trips on retirement.
+	DeadRetiredPct float64
+	// DeadLostPages trips the dead state when this many valid pages have
+	// been lost to uncorrectable reads. 0 never trips on loss.
+	DeadLostPages int64
+
+	// Hysteresis is the recovery margin: the governor steps back up only
+	// once the tripping signal has cleared its threshold by this much
+	// (free blocks above the floor, debt below the throttle point).
+	// 0 means DefaultHysteresis. Dead never recovers.
+	Hysteresis int
+
+	// MaxRetries bounds the host-layer retries of a write that failed
+	// with a transient program fault. 0 disables host retries.
+	MaxRetries int
+	// RetryBackoff is the simulated delay charged before each retry.
+	// 0 means DefaultRetryBackoff when MaxRetries > 0.
+	RetryBackoff ssd.Time
+}
+
+// Enabled reports whether any governor mechanism is armed. A disabled
+// governor is never constructed, keeping ungoverned runs bit-identical.
+func (c Config) Enabled() bool {
+	return c.ThrottleDebt > 0 || c.ReadOnlyFree > 0 ||
+		c.DeadRetiredPct > 0 || c.DeadLostPages > 0 || c.MaxRetries > 0
+}
+
+// Validate rejects malformed configurations with the named errors above.
+func (c Config) Validate() error {
+	if c.ThrottleDebt < 0 {
+		return fmt.Errorf("%w: throttle debt must be ≥ 0 blocks, got %d", ErrBadThreshold, c.ThrottleDebt)
+	}
+	if c.ReadOnlyFree < 0 {
+		return fmt.Errorf("%w: read-only floor must be ≥ 0 blocks, got %d", ErrBadThreshold, c.ReadOnlyFree)
+	}
+	if !(c.DeadRetiredPct >= 0 && c.DeadRetiredPct <= 100) { // NaN fails both bounds
+		return fmt.Errorf("%w: dead retired%% must be in [0,100], got %g", ErrBadThreshold, c.DeadRetiredPct)
+	}
+	if c.DeadLostPages < 0 {
+		return fmt.Errorf("%w: dead lost-page count must be ≥ 0, got %d", ErrBadThreshold, c.DeadLostPages)
+	}
+	if c.Hysteresis < 0 {
+		return fmt.Errorf("%w: hysteresis must be ≥ 0 blocks, got %d", ErrBadThreshold, c.Hysteresis)
+	}
+	if c.ThrottleDelay < 0 {
+		return fmt.Errorf("%w: throttle delay must be ≥ 0, got %d", ErrBadDelay, c.ThrottleDelay)
+	}
+	if c.ThrottleDelay > 0 && c.ThrottleDebt == 0 {
+		return fmt.Errorf("%w: delay set but -health-throttle-debt is 0 (throttling disabled)", ErrBadDelay)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("%w: retry bound must be ≥ 0, got %d", ErrBadRetry, c.MaxRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("%w: retry backoff must be ≥ 0, got %d", ErrBadRetry, c.RetryBackoff)
+	}
+	if c.RetryBackoff > 0 && c.MaxRetries == 0 {
+		return fmt.Errorf("%w: backoff set but -health-retries is 0 (host retries disabled)", ErrBadRetry)
+	}
+	return nil
+}
+
+// WithDefaults returns c with the enabled-but-unset knobs filled in. The
+// disabled zero value passes through unchanged.
+func (c Config) WithDefaults() Config {
+	if !c.Enabled() {
+		return c
+	}
+	if c.ThrottleDebt > 0 && c.ThrottleDelay == 0 {
+		c.ThrottleDelay = DefaultThrottleDelay
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	if c.MaxRetries > 0 && c.RetryBackoff == 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	return c
+}
+
+// Sample is one instant's vital signs, read from the store before each
+// host operation.
+type Sample struct {
+	// FreeBlocks is the device-wide free-block count.
+	FreeBlocks int
+	// GCDebt is how many blocks the planes are below the GC free-block
+	// target (the collector's backlog).
+	GCDebt int
+	// RetiredBlocks counts blocks retired as bad over the device's life.
+	RetiredBlocks int64
+	// TotalBlocks is the device's full block population.
+	TotalBlocks int
+	// LostPages counts valid pages currently lost to uncorrectable reads.
+	LostPages int64
+}
+
+// Stats is the governor's cumulative report, surfaced in Result.
+type Stats struct {
+	// State is the rung the device ended the run on.
+	State State
+	// Transitions counts state changes over the run.
+	Transitions int64
+	// ThrottledWrites counts writes that paid the throttle delay.
+	ThrottledWrites int64
+	// RejectedWrites counts writes refused in read-only or dead states.
+	RejectedWrites int64
+	// RejectedReads counts reads refused in the dead state.
+	RejectedReads int64
+	// Retries counts host-layer retries of transient program faults.
+	Retries int64
+	// ForcedReadOnly counts ErrNoSpace events that forced read-only.
+	ForcedReadOnly int64
+	// LastChange is the simulated time of the last transition.
+	LastChange ssd.Time
+}
+
+// Governor evaluates the ladder for one device. Not safe for concurrent
+// use; each simulated device owns one, matching the simulator's
+// single-goroutine device contract.
+type Governor struct {
+	cfg    Config
+	state  State
+	forced bool // read-only forced by ErrNoSpace, sticky until space recovers
+	stats  Stats
+}
+
+// New returns a Governor for the config (defaults applied). Callers gate
+// construction on cfg.Enabled().
+func New(cfg Config) *Governor {
+	return &Governor{cfg: cfg.WithDefaults()}
+}
+
+// Config returns the governor's effective configuration.
+func (g *Governor) Config() Config { return g.cfg }
+
+// State returns the current rung.
+func (g *Governor) State() State { return g.state }
+
+// Stats returns the cumulative report.
+func (g *Governor) Stats() Stats {
+	s := g.stats
+	s.State = g.state
+	return s
+}
+
+// setState records a transition.
+func (g *Governor) setState(s State, now ssd.Time) {
+	if s == g.state {
+		return
+	}
+	g.state = s
+	g.stats.Transitions++
+	g.stats.LastChange = now
+}
+
+// Observe evaluates the ladder against one sample and returns the state
+// the next operation must obey. Trips are evaluated worst-first; recovery
+// requires clearing the tripping threshold by the hysteresis margin.
+func (g *Governor) Observe(s Sample, now ssd.Time) State {
+	if g.state == Dead {
+		return Dead // terminal
+	}
+	if g.tripsDead(s) {
+		g.setState(Dead, now)
+		return Dead
+	}
+
+	h := g.cfg.Hysteresis
+	if g.forced || g.state == ReadOnly {
+		// Recovery from read-only needs free space comfortably above the
+		// floor. A forced trip with no configured floor is sticky: the
+		// drive has proven it cannot allocate.
+		if g.cfg.ReadOnlyFree > 0 && s.FreeBlocks >= g.cfg.ReadOnlyFree+h {
+			g.forced = false
+		} else {
+			g.setState(ReadOnly, now)
+			return ReadOnly
+		}
+	}
+	if g.cfg.ReadOnlyFree > 0 && s.FreeBlocks < g.cfg.ReadOnlyFree {
+		g.setState(ReadOnly, now)
+		return ReadOnly
+	}
+
+	switch {
+	case g.cfg.ThrottleDebt <= 0:
+		g.setState(Healthy, now)
+	case s.GCDebt >= g.cfg.ThrottleDebt:
+		g.setState(Throttled, now)
+	case g.state == Throttled && s.GCDebt > max(0, g.cfg.ThrottleDebt-h):
+		// Inside the hysteresis band: hold the throttle.
+	default:
+		g.setState(Healthy, now)
+	}
+	return g.state
+}
+
+// tripsDead reports whether the sample crosses a dead threshold.
+func (g *Governor) tripsDead(s Sample) bool {
+	if g.cfg.DeadRetiredPct > 0 && s.TotalBlocks > 0 &&
+		float64(s.RetiredBlocks)*100 >= g.cfg.DeadRetiredPct*float64(s.TotalBlocks) {
+		return true
+	}
+	return g.cfg.DeadLostPages > 0 && s.LostPages >= g.cfg.DeadLostPages
+}
+
+// ForceReadOnly records a space-exhaustion event: the store returned
+// ErrNoSpace, so the governor pins read-only regardless of the sampled
+// free-block count until space genuinely recovers.
+func (g *Governor) ForceReadOnly(now ssd.Time) {
+	g.stats.ForcedReadOnly++
+	if g.state == Dead {
+		return
+	}
+	g.forced = true
+	g.setState(ReadOnly, now)
+}
+
+// Reset clears the power-cycle-local state after a crash recovery: the
+// ladder position and the forced-read-only pin live in controller RAM and
+// do not survive power loss. Cumulative stats are retained.
+func (g *Governor) Reset() {
+	g.state = Healthy
+	g.forced = false
+}
+
+// NoteThrottled counts a write that paid the throttle delay.
+func (g *Governor) NoteThrottled() { g.stats.ThrottledWrites++ }
+
+// NoteRejectedWrite counts a write refused by the current state.
+func (g *Governor) NoteRejectedWrite() { g.stats.RejectedWrites++ }
+
+// NoteRejectedRead counts a read refused by the dead state.
+func (g *Governor) NoteRejectedRead() { g.stats.RejectedReads++ }
+
+// NoteRetry counts a host-layer retry of a transient program fault.
+func (g *Governor) NoteRetry() { g.stats.Retries++ }

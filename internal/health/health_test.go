@@ -1,0 +1,201 @@
+package health
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+// TestStateString pins the telemetry labels.
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		Healthy: "healthy", Throttled: "throttled", ReadOnly: "read-only", Dead: "dead",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	if got := State(42).String(); got != "state(42)" {
+		t.Errorf("unknown state renders %q", got)
+	}
+}
+
+// TestConfigEnabled checks the zero value is inert and each knob arms
+// the governor independently.
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports enabled")
+	}
+	for _, c := range []Config{
+		{ThrottleDebt: 1},
+		{ReadOnlyFree: 1},
+		{DeadRetiredPct: 1},
+		{DeadLostPages: 1},
+		{MaxRetries: 1},
+	} {
+		if !c.Enabled() {
+			t.Errorf("%+v reports disabled", c)
+		}
+	}
+}
+
+// TestValidate walks the named-error surface.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want error
+	}{
+		{Config{}, nil},
+		{Config{ThrottleDebt: 4, ThrottleDelay: 100, ReadOnlyFree: 2,
+			DeadRetiredPct: 50, DeadLostPages: 10, Hysteresis: 3,
+			MaxRetries: 2, RetryBackoff: 100}, nil},
+		{Config{ThrottleDebt: -1}, ErrBadThreshold},
+		{Config{ReadOnlyFree: -1}, ErrBadThreshold},
+		{Config{DeadRetiredPct: -0.5}, ErrBadThreshold},
+		{Config{DeadRetiredPct: 101}, ErrBadThreshold},
+		{Config{DeadRetiredPct: math.NaN()}, ErrBadThreshold},
+		{Config{DeadLostPages: -1}, ErrBadThreshold},
+		{Config{Hysteresis: -1}, ErrBadThreshold},
+		{Config{ThrottleDebt: 1, ThrottleDelay: -1}, ErrBadDelay},
+		{Config{ThrottleDelay: 50}, ErrBadDelay}, // delay without debt threshold
+		{Config{MaxRetries: -1}, ErrBadRetry},
+		{Config{MaxRetries: 1, RetryBackoff: -1}, ErrBadRetry},
+		{Config{RetryBackoff: 50}, ErrBadRetry}, // backoff without retries
+	}
+	for i, c := range cases {
+		err := c.cfg.Validate()
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("case %d: Validate(%+v) = %v, want nil", i, c.cfg, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("case %d: Validate(%+v) = %v, want %v", i, c.cfg, err, c.want)
+		}
+	}
+}
+
+// TestWithDefaults checks enabled-but-unset knobs are filled and the
+// disabled zero value passes through untouched.
+func TestWithDefaults(t *testing.T) {
+	if d := (Config{}).WithDefaults(); d != (Config{}) {
+		t.Fatalf("zero config gained defaults: %+v", d)
+	}
+	d := Config{ThrottleDebt: 4, MaxRetries: 2}.WithDefaults()
+	if d.ThrottleDelay != DefaultThrottleDelay {
+		t.Errorf("throttle delay = %d, want default %d", d.ThrottleDelay, DefaultThrottleDelay)
+	}
+	if d.Hysteresis != DefaultHysteresis {
+		t.Errorf("hysteresis = %d, want default %d", d.Hysteresis, DefaultHysteresis)
+	}
+	if d.RetryBackoff != DefaultRetryBackoff {
+		t.Errorf("retry backoff = %d, want default %d", d.RetryBackoff, DefaultRetryBackoff)
+	}
+	keep := Config{ThrottleDebt: 4, ThrottleDelay: 7, Hysteresis: 9, MaxRetries: 1, RetryBackoff: 3}
+	if d := keep.WithDefaults(); d != keep {
+		t.Errorf("explicit knobs overwritten: %+v", d)
+	}
+}
+
+// TestLadderTransitions walks the whole ladder with hysteresis: healthy
+// trips to throttled on debt, holds inside the hysteresis band, recovers
+// below it; read-only trips on the free floor and outranks throttling;
+// dead is terminal.
+func TestLadderTransitions(t *testing.T) {
+	g := New(Config{ThrottleDebt: 4, ReadOnlyFree: 3, DeadRetiredPct: 50, Hysteresis: 2})
+	ok := func(step string, s Sample, want State) {
+		t.Helper()
+		if got := g.Observe(s, 0); got != want {
+			t.Fatalf("%s: state = %v, want %v", step, got, want)
+		}
+	}
+	healthy := Sample{FreeBlocks: 100, TotalBlocks: 100}
+
+	ok("start", healthy, Healthy)
+	ok("debt at threshold", Sample{FreeBlocks: 100, GCDebt: 4, TotalBlocks: 100}, Throttled)
+	ok("debt in band", Sample{FreeBlocks: 100, GCDebt: 3, TotalBlocks: 100}, Throttled)
+	ok("debt below band", Sample{FreeBlocks: 100, GCDebt: 2, TotalBlocks: 100}, Healthy)
+
+	ok("free below floor", Sample{FreeBlocks: 2, TotalBlocks: 100}, ReadOnly)
+	ok("free at floor, under hysteresis", Sample{FreeBlocks: 3, TotalBlocks: 100}, ReadOnly)
+	ok("free above floor+margin, debt high", Sample{FreeBlocks: 5, GCDebt: 9, TotalBlocks: 100}, Throttled)
+	ok("recovered", healthy, Healthy)
+
+	ok("retired half the drive", Sample{FreeBlocks: 100, RetiredBlocks: 50, TotalBlocks: 100}, Dead)
+	ok("dead is terminal", healthy, Dead)
+
+	st := g.Stats()
+	if st.State != Dead || st.Transitions == 0 {
+		t.Errorf("stats = %+v, want terminal dead with transitions", st)
+	}
+}
+
+// TestForcedReadOnly checks the ErrNoSpace pin: sticky without a
+// configured floor, recoverable with one once space clears the margin.
+func TestForcedReadOnly(t *testing.T) {
+	healthy := Sample{FreeBlocks: 100, TotalBlocks: 100}
+
+	g := New(Config{MaxRetries: 1}) // enabled, but no floor configured
+	g.ForceReadOnly(10)
+	if got := g.Observe(healthy, 11); got != ReadOnly {
+		t.Fatalf("forced read-only without floor recovered to %v", got)
+	}
+
+	g = New(Config{ReadOnlyFree: 3, Hysteresis: 2})
+	g.ForceReadOnly(10)
+	if got := g.Observe(Sample{FreeBlocks: 4, TotalBlocks: 100}, 11); got != ReadOnly {
+		t.Fatalf("forced pin released below floor+margin: %v", got)
+	}
+	if got := g.Observe(Sample{FreeBlocks: 5, TotalBlocks: 100}, 12); got != Healthy {
+		t.Fatalf("forced pin held above floor+margin: %v", got)
+	}
+	if g.Stats().ForcedReadOnly != 1 {
+		t.Errorf("ForcedReadOnly count = %d, want 1", g.Stats().ForcedReadOnly)
+	}
+}
+
+// TestDeadByLostPages checks the loss threshold trips dead.
+func TestDeadByLostPages(t *testing.T) {
+	g := New(Config{DeadLostPages: 5})
+	if got := g.Observe(Sample{FreeBlocks: 10, LostPages: 4, TotalBlocks: 100}, 0); got != Healthy {
+		t.Fatalf("under loss threshold: %v", got)
+	}
+	if got := g.Observe(Sample{FreeBlocks: 10, LostPages: 5, TotalBlocks: 100}, 1); got != Dead {
+		t.Fatalf("at loss threshold: %v", got)
+	}
+}
+
+// TestReset checks a power cycle clears the ladder position and the
+// forced pin but keeps cumulative stats — and that dead re-trips from
+// durable signals after the reset.
+func TestReset(t *testing.T) {
+	g := New(Config{ReadOnlyFree: 3, DeadRetiredPct: 50})
+	g.ForceReadOnly(5)
+	g.NoteRejectedWrite()
+	g.Reset()
+	if got := g.Observe(Sample{FreeBlocks: 100, TotalBlocks: 100}, 6); got != Healthy {
+		t.Fatalf("post-reset state = %v, want healthy", got)
+	}
+	if g.Stats().RejectedWrites != 1 {
+		t.Errorf("reset dropped cumulative stats: %+v", g.Stats())
+	}
+	// Dead re-derives from the durable bad-block table.
+	g.Observe(Sample{FreeBlocks: 100, RetiredBlocks: 60, TotalBlocks: 100}, 7)
+	g.Reset()
+	if got := g.Observe(Sample{FreeBlocks: 100, RetiredBlocks: 60, TotalBlocks: 100}, 8); got != Dead {
+		t.Fatalf("durable dead signal did not re-trip after reset: %v", got)
+	}
+}
+
+// TestObserveTime pins transition timestamps to simulated time.
+func TestObserveTime(t *testing.T) {
+	g := New(Config{ThrottleDebt: 2})
+	g.Observe(Sample{FreeBlocks: 10, GCDebt: 5, TotalBlocks: 100}, 7*ssd.Millisecond)
+	if got := g.Stats().LastChange; got != 7*ssd.Millisecond {
+		t.Errorf("LastChange = %d, want %d", got, 7*ssd.Millisecond)
+	}
+}

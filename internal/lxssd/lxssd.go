@@ -110,10 +110,11 @@ type Pool struct {
 	stats core.PoolStats
 }
 
-// New returns an empty LX-SSD pool. Panics on an invalid configuration.
-func New(cfg Config) *Pool {
+// New returns an empty LX-SSD pool, or a wrapped configuration error —
+// surfaced on the host path as a CellError by RunMatrix, never a panic.
+func New(cfg Config) (*Pool, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("lxssd: %w", err)
 	}
 	return &Pool{
 		cfg:    cfg,
@@ -121,7 +122,7 @@ func New(cfg Config) *Pool {
 		byLBA:  make(map[uint64][]*record),
 		byPPN:  make(map[ssd.PPN]*record),
 		pop:    make(map[trace.Hash]uint16),
-	}
+	}, nil
 }
 
 // RecordAccess observes any host access (read or write) to value h at

@@ -10,7 +10,11 @@ import (
 func h(id uint64) trace.Hash { return trace.HashOfValue(id) }
 
 func newPool(capacity int) *Pool {
-	return New(Config{Capacity: capacity, MinPopularity: 2})
+	p, err := New(Config{Capacity: capacity, MinPopularity: 2})
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 func TestConfigValidate(t *testing.T) {
@@ -20,12 +24,9 @@ func TestConfigValidate(t *testing.T) {
 	if err := (Config{Capacity: 0}).Validate(); err == nil {
 		t.Error("accepted zero capacity")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("New with bad config did not panic")
-		}
-	}()
-	New(Config{})
+	if p, err := New(Config{}); err == nil || p != nil {
+		t.Errorf("New with bad config returned (%v, %v), want nil pool and error", p, err)
+	}
 }
 
 func TestAdmissionThreshold(t *testing.T) {
@@ -192,7 +193,7 @@ func TestEvictionProtectsReadPopularValues(t *testing.T) {
 	// scores high on LX's combined popularity and survives eviction, even
 	// though read popularity says nothing about rebirth; the write-popular
 	// record with a momentarily lower combined count is evicted instead.
-	p := New(Config{Capacity: 2, MinPopularity: 0})
+	p, _ := New(Config{Capacity: 2, MinPopularity: 0})
 	// Value 1: heavily read, never rewritten. Value 2: written twice.
 	for i := 0; i < 10; i++ {
 		p.RecordAccess(h(1), 1)
@@ -211,7 +212,7 @@ func TestEvictionProtectsReadPopularValues(t *testing.T) {
 }
 
 func TestAdmitAllWhenThresholdZero(t *testing.T) {
-	p := New(Config{Capacity: 4, MinPopularity: 0})
+	p, _ := New(Config{Capacity: 4, MinPopularity: 0})
 	p.Insert(h(9), 90, 9) // no prior access at all
 	if p.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 (threshold 0 admits everything)", p.Len())

@@ -43,7 +43,9 @@ func (d *baselineDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Tim
 	}
 	d.store.StampOOB(ppn, lpn, h, false)
 	if old := d.mapper.Bind(lpn, ppn); old != ssd.InvalidPPN {
-		d.store.Invalidate(old)
+		if err := d.store.Invalidate(old); err != nil {
+			return 0, err
+		}
 	}
 	return done, nil
 }

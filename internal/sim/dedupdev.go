@@ -87,9 +87,14 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 	}
 
 	// Detach the old content; its physical page may become garbage.
-	oldPPN, oldHash, garbage, _ := d.dmap.Unbind(lpn)
+	oldPPN, oldHash, garbage, _, err := d.dmap.Unbind(lpn)
+	if err != nil {
+		return 0, err
+	}
 	if garbage {
-		d.store.Invalidate(oldPPN)
+		if err := d.store.Invalidate(oldPPN); err != nil {
+			return 0, err
+		}
 		if d.pool != nil {
 			d.pool.Insert(oldHash, oldPPN, d.tick)
 		}
@@ -97,7 +102,9 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 
 	// Dedup fast path: the value is live somewhere — add a reference.
 	if ppn, ok := d.dmap.LiveValue(h); ok {
-		d.dmap.BindExisting(lpn, ppn)
+		if err := d.dmap.BindExisting(lpn, ppn); err != nil {
+			return 0, err
+		}
 		d.store.AppendBinding(lpn, ppn, false)
 		d.m.DedupHits++
 		return hashDone, nil
@@ -115,9 +122,13 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 				return 0, wrapInterrupted(lpn, err)
 			}
 			if ok {
-				d.store.Revalidate(ppn)
+				if err := d.store.Revalidate(ppn); err != nil {
+					return 0, err
+				}
 				d.store.AppendBinding(lpn, ppn, true)
-				d.dmap.BindNew(lpn, ppn, h)
+				if err := d.dmap.BindNew(lpn, ppn, h); err != nil {
+					return 0, err
+				}
 				d.m.Revived++
 				return vdone, nil
 			}
@@ -131,7 +142,9 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 		return 0, wrapInterrupted(lpn, err)
 	}
 	d.store.StampOOB(ppn, lpn, h, false)
-	d.dmap.BindNew(lpn, ppn, h)
+	if err := d.dmap.BindNew(lpn, ppn, h); err != nil {
+		return 0, err
+	}
 	return done, nil
 }
 

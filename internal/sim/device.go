@@ -18,6 +18,7 @@ import (
 	"zombiessd/internal/core"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/ssd"
@@ -94,6 +95,12 @@ type Config struct {
 	// otherwise). The zero value runs no patrol.
 	Scrub scrub.Config
 
+	// Health arms the device health governor: graceful degradation through
+	// the healthy → throttled → read-only → dead ladder, driven by free
+	// blocks, GC debt, retired blocks and lost pages. The zero value runs
+	// ungoverned and bit-identical to earlier builds.
+	Health health.Config
+
 	// Telemetry, when non-nil, is attached to the assembled device: the
 	// bus reports every stamped flash operation to it, the store tags GC
 	// and ECC work, and the device registers its gauges (queue backlog, GC
@@ -166,6 +173,9 @@ func (c Config) Validate() error {
 	}
 	if c.Scrub.Enabled() && !c.Faults.IntegrityArmed() {
 		return fmt.Errorf("sim: the scrubber needs the integrity model armed (set Faults.Integrity.BaseRBER)")
+	}
+	if err := c.Health.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -343,6 +353,11 @@ func NewDevice(cfg Config) (Device, error) {
 	if cfg.Store.Preempt.PartialEnabled() {
 		dev = &preemptDevice{inner: dev, store: store}
 	}
+	if cfg.Health.Enabled() {
+		// Outermost: the governor's verdict must gate partial GC and the
+		// scrub patrol too — a read-only or dead drive does no new work.
+		dev = newHealthDevice(dev, store, cfg.Health)
+	}
 	if tel.On() {
 		registerDeviceGauges(tel, dev, bus, store)
 		if rt, ok := base.(interface {
@@ -377,6 +392,28 @@ func registerDeviceGauges(tel *telemetry.Telemetry, dev Device, bus *ssd.Bus, st
 		tel.RegisterGauge("gc_drain_backlog_pages",
 			"valid pages still awaiting migration in partial-GC drain queues", nil,
 			func(ssd.Time) float64 { return float64(store.DrainBacklogPages()) })
+	}
+	if hd, ok := dev.(*healthDevice); ok {
+		// Only registered under the governor so ungoverned runs keep the
+		// earlier gauge column set.
+		tel.RegisterGauge("health_state",
+			"governor ladder position (0 healthy, 1 throttled, 2 read-only, 3 dead)", nil,
+			func(ssd.Time) float64 { return float64(hd.gov.State()) })
+		tel.RegisterGauge("health_rejected_total",
+			"host operations refused by the governor (writes and reads)", nil,
+			func(ssd.Time) float64 {
+				st := hd.gov.Stats()
+				return float64(st.RejectedWrites + st.RejectedReads)
+			})
+		tel.RegisterGauge("health_throttled_total",
+			"host writes that paid the governor's throttle delay", nil,
+			func(ssd.Time) float64 { return float64(hd.gov.Stats().ThrottledWrites) })
+		tel.RegisterGauge("health_transitions_total",
+			"governor ladder transitions", nil,
+			func(ssd.Time) float64 { return float64(hd.gov.Stats().Transitions) })
+		tel.RegisterGauge("health_retries_total",
+			"host-layer retries of transient program faults", nil,
+			func(ssd.Time) float64 { return float64(hd.gov.Stats().Retries) })
 	}
 }
 

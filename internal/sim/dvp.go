@@ -100,7 +100,9 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 			// Flip the garbage page back to valid; only mapping tables
 			// change, no program operation — so the binding goes to the
 			// durable journal, not OOB.
-			d.store.Revalidate(ppn)
+			if err := d.store.Revalidate(ppn); err != nil {
+				return 0, err
+			}
 			d.store.AppendBinding(lpn, ppn, true)
 			old = d.mapper.Bind(lpn, ppn)
 			d.m.Revived++
@@ -126,7 +128,9 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 	// This happens after the lookup so a request cannot revive the page it
 	// is itself killing.
 	if old != ssd.InvalidPPN {
-		d.store.Invalidate(old)
+		if err := d.store.Invalidate(old); err != nil {
+			return 0, err
+		}
 		d.pool.Insert(oldHash, old, d.tick)
 	}
 	d.content[lpn] = h

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/stats"
 	"zombiessd/internal/telemetry"
@@ -79,6 +81,10 @@ type TenantResult struct {
 	// counts arrivals shed by queue-depth admission control.
 	Requests int64
 	Rejected int64
+
+	// WritesRejected counts writes refused by a read-only device — the
+	// health governor shed them instead of failing the run.
+	WritesRejected int64
 
 	// MaxQueue is the high-water mark of the tenant's submission queue.
 	MaxQueue int
@@ -286,6 +292,7 @@ func RunTenants(dev Device, tenants []TenantTrace, opts EngineOptions) (MultiRes
 	tWrites := make([]stats.Histogram, n)
 	tWait := make([]stats.Histogram, n)
 	perMetrics := make([]DeviceMetrics, n)
+	writesRejected := make([]int64, n)
 	var res MultiResult
 
 	arrivalOf := func(t, i int) ssd.Time { return shift + ssd.Time(tenants[t].Recs[i].Time) }
@@ -370,6 +377,27 @@ func RunTenants(dev Device, tenants []TenantTrace, opts EngineOptions) (MultiRes
 				if multi && store != nil {
 					store.ExitTenant(prevTenant)
 				}
+				if rec.Op == trace.OpWrite && errors.Is(err, health.ErrReadOnly) {
+					// Graceful degradation: the governor shed the write
+					// instead of killing the run. The request completes
+					// immediately as an error the host sees; it leaves no
+					// latency sample (nothing was serviced) but still
+					// cycles through the completion queue so the arbiter's
+					// accounting stays uniform.
+					writesRejected[pick]++
+					tel.EndRequest(submit)
+					if multi {
+						cur := dev.Metrics()
+						perMetrics[pick] = perMetrics[pick].Add(cur.Sub(prevSnap))
+						prevSnap = cur
+					}
+					inflight[pick]++
+					totalInflight++
+					seq++
+					cq.push(completion{done: submit, tenant: pick, seq: seq})
+					arb.served(pick, now)
+					continue
+				}
 				if !multi {
 					return MultiResult{}, fmt.Errorf("sim: record %d: %w", i, err)
 				}
@@ -438,6 +466,9 @@ func RunTenants(dev Device, tenants []TenantTrace, opts EngineOptions) (MultiRes
 	}
 
 	res.Metrics = dev.Metrics().Sub(baseline)
+	if hs, ok := dev.(interface{ HealthStats() health.Stats }); ok {
+		res.Health = hs.HealthStats()
+	}
 	res.All = all.Summarize()
 	res.Reads = reads.Summarize()
 	res.Writes = writes.Summarize()
@@ -453,15 +484,16 @@ func RunTenants(dev Device, tenants []TenantTrace, opts EngineOptions) (MultiRes
 	res.Tenants = make([]TenantResult, n)
 	for t := 0; t < n; t++ {
 		tr := TenantResult{
-			Name:     tenants[t].Cfg.Name,
-			Requests: tAll[t].Count(),
-			Rejected: queues[t].rejected,
-			MaxQueue: queues[t].maxQueue,
-			All:      tAll[t].Summarize(),
-			Reads:    tReads[t].Summarize(),
-			Writes:   tWrites[t].Summarize(),
-			P999:     tAll[t].Quantile(0.999),
-			Wait:     tWait[t].Summarize(),
+			Name:           tenants[t].Cfg.Name,
+			Requests:       tAll[t].Count(),
+			Rejected:       queues[t].rejected,
+			WritesRejected: writesRejected[t],
+			MaxQueue:       queues[t].maxQueue,
+			All:            tAll[t].Summarize(),
+			Reads:          tReads[t].Summarize(),
+			Writes:         tWrites[t].Summarize(),
+			P999:           tAll[t].Quantile(0.999),
+			Wait:           tWait[t].Summarize(),
 		}
 		if multi {
 			tr.Metrics = perMetrics[t]

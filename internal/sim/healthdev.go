@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
+	"zombiessd/internal/recovery"
+	"zombiessd/internal/scrub"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// healthDevice interposes the device health governor in front of any
+// device: before every host operation it samples the store's vital signs
+// (free blocks, GC debt, retired blocks, lost pages), walks the governor's
+// degradation ladder, and enforces the resulting state — throttling,
+// rejecting, or retrying instead of letting a stressed drive escalate an
+// allocation failure into a failed run. The wrapper is outermost: its
+// verdict must gate everything beneath it, including partial GC and the
+// scrubber, because a read-only or dead drive performs no new work at all.
+type healthDevice struct {
+	inner Device
+	store *ftl.Store
+	gov   *health.Governor
+	cfg   health.Config
+}
+
+func newHealthDevice(inner Device, store *ftl.Store, cfg health.Config) *healthDevice {
+	return &healthDevice{
+		inner: inner,
+		store: store,
+		gov:   health.New(cfg),
+		cfg:   cfg.WithDefaults(),
+	}
+}
+
+// sample reads the drive's vital signs. A nil store (possible only in
+// unit-test rigs) reports a perfectly healthy drive.
+func (d *healthDevice) sample() health.Sample {
+	if d.store == nil {
+		return health.Sample{}
+	}
+	return health.Sample{
+		FreeBlocks:    d.store.TotalFreeBlocks(),
+		GCDebt:        d.store.GCDebt(),
+		RetiredBlocks: d.store.FaultStats().RetiredBlocks,
+		TotalBlocks:   int(d.store.Geometry().TotalBlocks()),
+		LostPages:     d.store.LostPages(),
+	}
+}
+
+// Write implements Device: the governor's verdict gates the write, a
+// throttled state charges the configured delay, ErrNoSpace forces
+// read-only instead of failing the run, and transient program faults are
+// retried with backoff up to the configured bound.
+func (d *healthDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
+	switch d.gov.Observe(d.sample(), now) {
+	case health.Dead:
+		d.gov.NoteRejectedWrite()
+		return 0, fmt.Errorf("sim: write of LPN %d rejected: %w", lpn, health.ErrDeviceDead)
+	case health.ReadOnly:
+		d.gov.NoteRejectedWrite()
+		return 0, fmt.Errorf("sim: write of LPN %d rejected: %w", lpn, health.ErrReadOnly)
+	case health.Throttled:
+		d.gov.NoteThrottled()
+		now += d.cfg.ThrottleDelay
+	}
+
+	done, err := d.inner.Write(lpn, h, now)
+	for attempt := 0; err != nil && errors.Is(err, ftl.ErrProgramFault) && attempt < d.cfg.MaxRetries; attempt++ {
+		// A program fault that escaped the FTL's own retry-and-reland
+		// machinery is transient from the host's point of view: back off
+		// and resubmit against a fresh frontier.
+		d.gov.NoteRetry()
+		now += d.cfg.RetryBackoff
+		done, err = d.inner.Write(lpn, h, now)
+	}
+	if err != nil && errors.Is(err, ftl.ErrNoSpace) {
+		// Space exhaustion is a drive-level condition, not a request
+		// error: pin read-only so the host keeps its data readable.
+		d.gov.ForceReadOnly(now)
+		d.gov.NoteRejectedWrite()
+		return 0, fmt.Errorf("sim: write of LPN %d rejected: %w (%v)", lpn, health.ErrReadOnly, err)
+	}
+	return done, err
+}
+
+// Read implements Device: only the dead state refuses reads — a throttled
+// or read-only drive still serves them at full speed.
+func (d *healthDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
+	if d.gov.Observe(d.sample(), now) == health.Dead {
+		d.gov.NoteRejectedRead()
+		return 0, fmt.Errorf("sim: read of LPN %d rejected: %w", lpn, health.ErrDeviceDead)
+	}
+	return d.inner.Read(lpn, now)
+}
+
+// Metrics implements Device.
+func (d *healthDevice) Metrics() DeviceMetrics { return d.inner.Metrics() }
+
+// HealthStats exposes the governor's cumulative report for Result.
+func (d *healthDevice) HealthStats() health.Stats { return d.gov.Stats() }
+
+// Governor exposes the state machine for tests.
+func (d *healthDevice) Governor() *health.Governor { return d.gov }
+
+// Scrubber forwards to the inner device so patrol introspection still
+// works under the governor.
+func (d *healthDevice) Scrubber() *scrub.Scrubber {
+	if sr, ok := d.inner.(interface{ Scrubber() *scrub.Scrubber }); ok {
+		return sr.Scrubber()
+	}
+	return nil
+}
+
+// Bus forwards to the inner device for utilization reporting.
+func (d *healthDevice) Bus() *ssd.Bus {
+	if br, ok := d.inner.(interface{ Bus() *ssd.Bus }); ok {
+		return br.Bus()
+	}
+	return nil
+}
+
+// Store forwards to the inner device for wear and capacity introspection.
+func (d *healthDevice) Store() *ftl.Store { return StoreOf(d.inner) }
+
+// Recover implements Recoverer: the inner device rebuilds, then the
+// governor's power-cycle-local state resets — ladder position and the
+// forced-read-only pin live in controller RAM. Durable damage (retired
+// blocks, lost pages) survives in the store, so a genuinely dead drive
+// re-enters dead on the first post-recovery sample.
+func (d *healthDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
+	r, err := Recover(d.inner, opts)
+	if err != nil {
+		return r, err
+	}
+	d.gov.Reset()
+	return r, nil
+}
+
+// ReadHash implements HashReader by forwarding.
+func (d *healthDevice) ReadHash(lpn ftl.LPN) (trace.Hash, bool) {
+	if hr, ok := d.inner.(HashReader); ok {
+		return hr.ReadHash(lpn)
+	}
+	return trace.Hash{}, false
+}

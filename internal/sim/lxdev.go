@@ -28,12 +28,16 @@ func newLXDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*lxDevice, error) 
 	if err != nil {
 		return nil, err
 	}
+	pool, err := lxssd.New(cfg.LX)
+	if err != nil {
+		return nil, err
+	}
 	d := &lxDevice{
 		cfg:     cfg,
 		bus:     bus,
 		store:   store,
 		mapper:  mapper,
-		pool:    lxssd.New(cfg.LX),
+		pool:    pool,
 		lat:     cfg.Latency,
 		content: make([]trace.Hash, cfg.LogicalPages),
 	}
@@ -65,7 +69,9 @@ func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, err
 			return 0, wrapInterrupted(lpn, err)
 		}
 		if ok {
-			d.store.Revalidate(ppn)
+			if err := d.store.Revalidate(ppn); err != nil {
+				return 0, err
+			}
 			d.store.AppendBinding(lpn, ppn, true)
 			old = d.mapper.Bind(lpn, ppn)
 			d.m.Revived++
@@ -85,7 +91,9 @@ func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, err
 		done = pdone
 	}
 	if old != ssd.InvalidPPN {
-		d.store.Invalidate(old)
+		if err := d.store.Invalidate(old); err != nil {
+			return 0, err
+		}
 		d.pool.Insert(oldHash, old, uint64(lpn))
 	}
 	d.content[lpn] = h

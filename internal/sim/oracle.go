@@ -121,12 +121,22 @@ func (s *Shadow) Verify(dev HashReader) []Violation {
 // the flush hook acks pages as they durably reach flash.
 func AttachShadow(dev Device) (*Shadow, bool) {
 	sh := NewShadow()
-	if sd, ok := dev.(*scrubbedDevice); ok {
-		dev = sd.inner // the scrubber adds no durability semantics
+	// Strip wrappers that add no durability semantics until the buffered
+	// layer (if any) is exposed.
+	for {
+		switch d := dev.(type) {
+		case *healthDevice:
+			dev = d.inner
+		case *preemptDevice:
+			dev = d.inner
+		case *scrubbedDevice:
+			dev = d.inner
+		default:
+			if bd, ok := dev.(*bufferedDevice); ok {
+				bd.SetFlushHook(sh.Ack)
+				return sh, false
+			}
+			return sh, true
+		}
 	}
-	if bd, ok := dev.(*bufferedDevice); ok {
-		bd.SetFlushHook(sh.Ack)
-		return sh, false
-	}
-	return sh, true
 }

@@ -213,7 +213,10 @@ func (d *lxDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
 	for _, w := range plan.Winners {
 		content[w.LPN] = w.Hash
 	}
-	pool := lxssd.New(d.cfg.LX)
+	pool, err := lxssd.New(d.cfg.LX)
+	if err != nil {
+		return recovery.Report{}, err
+	}
 	if !opts.ColdPool {
 		for _, g := range plan.Garbage {
 			pool.Insert(g.Hash, g.PPN, uint64(g.LPN))
@@ -272,10 +275,14 @@ func dedupMapperFrom(logical int64, plan recovery.Plan) (*dedup.Mapper, error) {
 				return nil, fmt.Errorf("sim: recovered value of LPN %d is live at both page %d and %d",
 					w.LPN, live, w.PPN)
 			}
-			dmap.BindExisting(w.LPN, live)
+			if err := dmap.BindExisting(w.LPN, live); err != nil {
+				return nil, err
+			}
 			continue
 		}
-		dmap.BindNew(w.LPN, w.PPN, w.Hash)
+		if err := dmap.BindNew(w.LPN, w.PPN, w.Hash); err != nil {
+			return nil, err
+		}
 	}
 	return dmap, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/health"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/stats"
 	"zombiessd/internal/trace"
@@ -35,6 +36,11 @@ type Result struct {
 	// whole run (preconditioning included); a mean near 1 flags a saturated
 	// drive whose latencies are queueing artifacts.
 	MeanChipUtil, MaxChipUtil float64
+
+	// Health is the device health governor's report (zero when the
+	// governor is disabled): final ladder state, transitions, throttled
+	// and rejected operations, host-layer retries.
+	Health health.Stats
 }
 
 // preconditionValueBase offsets preconditioning content IDs far above any

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke gc-smoke chaos-smoke repro examples clean
+.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke gc-smoke chaos-smoke rain-smoke repro examples clean
 
 all: build vet test
 
@@ -47,6 +47,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzTenantConfig -fuzztime=5s ./internal/sim
 	$(GO) test -run='^$$' -fuzz=FuzzGCConfig -fuzztime=5s ./internal/faultflags
 	$(GO) test -run='^$$' -fuzz=FuzzHealthConfig -fuzztime=5s ./internal/faultflags
+	$(GO) test -run='^$$' -fuzz=FuzzRainConfig -fuzztime=5s ./internal/rain
 
 # Reduced-scale end-to-end run of the drive-to-death harness: every
 # architecture ages under the wear-scaled fault plan and the capacity /
@@ -82,6 +83,12 @@ gc-smoke:
 # architecture must survive with zero oracle violations and zero lost pages.
 chaos-smoke:
 	$(GO) run ./cmd/zombiectl -q -requests 24000 -chaos-seed 7 run chaossweep
+
+# Reduced-scale rainsweep: all five architectures lose one whole die
+# mid-trace with intra-SSD RAIN parity off (live pages gone, oracle data
+# loss) and on (every page reconstructed from parity, zero loss).
+rain-smoke:
+	$(GO) run ./cmd/zombiectl -q -requests 24000 run rainsweep
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

@@ -24,6 +24,7 @@ import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/health"
 	"zombiessd/internal/lxssd"
+	"zombiessd/internal/rain"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
 	"zombiessd/internal/ssd"
@@ -46,6 +47,7 @@ type params struct {
 	faults              fault.Config
 	scrub               scrub.Config
 	health              health.Config
+	rain                rain.Config
 	gcFaultWeight       float64
 	preempt             ftl.PreemptConfig
 	drainSuspects       bool
@@ -110,6 +112,7 @@ func main() {
 	p.faults, p.scrub, p.gcFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
 	p.preempt = rf.Preempt()
 	p.health = rf.Health()
+	p.rain = rf.Rain()
 	p.faults.CrashAtOp = crashAt
 
 	if err := run(p); err != nil {
@@ -241,6 +244,7 @@ func simConfig(p params, footprint int64) sim.Config {
 		Faults:           p.faults,
 		Scrub:            p.scrub,
 		Health:           p.health,
+		RAIN:             p.rain,
 	}
 }
 
@@ -389,6 +393,9 @@ func printResult(cfg sim.Config, requests int, res sim.Result) {
 	}
 	if cfg.Health.Enabled() {
 		fmt.Printf("health      %+v\n", res.Health)
+	}
+	if cfg.RAIN.Enabled() {
+		fmt.Printf("rain        %+v\n", m.Rain)
 	}
 	fmt.Printf("pool        %v\n", m.Pool)
 	fmt.Printf("latency all    %v\n", res.All)

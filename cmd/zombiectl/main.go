@@ -80,6 +80,7 @@ func main() {
 	opts.Faults, opts.Scrub, opts.GCFaultWeight = rf.Faults, rf.Scrub, rf.GCFaultWeight
 	opts.GCPreempt = rf.Preempt()
 	opts.Health = rf.Health()
+	opts.Rain = rf.Rain()
 	opts.ChaosCycles, opts.ChaosSeed = rf.ChaosCycles, rf.ChaosSeed
 	opts.Telemetry = tf.Telemetry
 

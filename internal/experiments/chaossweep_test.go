@@ -91,7 +91,7 @@ func TestNoHealthBitIdentity(t *testing.T) {
 // guards in internal/core (pool wiring bugs, not host operations) are the
 // only sanctioned panics and live outside the scanned set.
 func TestNoPanicsOnHostPaths(t *testing.T) {
-	pkgs := []string{"ftl", "sim", "dedup", "lxssd", "scrub", "recovery", "health", "fault"}
+	pkgs := []string{"ftl", "sim", "dedup", "lxssd", "scrub", "recovery", "health", "fault", "rain"}
 	for _, pkg := range pkgs {
 		dir := filepath.Join("..", pkg)
 		entries, err := os.ReadDir(dir)

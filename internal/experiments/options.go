@@ -20,6 +20,7 @@ import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/health"
 	"zombiessd/internal/lxssd"
+	"zombiessd/internal/rain"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/sim"
 	"zombiessd/internal/ssd"
@@ -100,6 +101,13 @@ type Options struct {
 	// leaves devices ungoverned and every paper figure bit-identical; the
 	// chaossweep experiment substitutes its own governed default.
 	Health health.Config
+	// Rain is the intra-SSD RAIN parity plan (sim.Config.RAIN) applied to
+	// every simulated device: XOR parity striping across channels with
+	// stripe reconstruction of unreadable pages. The zero value (the
+	// default) builds no parity tracker and keeps every paper figure
+	// bit-identical; the rainsweep experiment crosses its own parity
+	// on/off arms.
+	Rain rain.Config
 	// ChaosCycles is the number of crash→recover→continue cycles the
 	// chaos soak injects per architecture; 0 uses the soak's default (6).
 	ChaosCycles int
@@ -168,6 +176,9 @@ func (o Options) Validate() error {
 	if err := o.Health.Validate(); err != nil {
 		return err
 	}
+	if err := o.Rain.Validate(); err != nil {
+		return err
+	}
 	if o.ChaosCycles < 0 {
 		return fmt.Errorf("experiments: chaos cycles must be ≥ 0, got %d", o.ChaosCycles)
 	}
@@ -210,6 +221,7 @@ func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolK
 		Faults:       o.Faults,
 		Scrub:        o.Scrub,
 		Health:       o.Health,
+		RAIN:         o.Rain,
 	}
 }
 

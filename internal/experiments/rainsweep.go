@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/rain"
+	"zombiessd/internal/scrub"
+	"zombiessd/internal/sim"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// ------------------------------------------------ die-failure / RAIN sweep --
+
+// rainSweepDivisor shrinks the sweep's trace relative to Options.Requests:
+// ten full replays (five architectures × parity off/on) per invocation,
+// each carrying the accelerated decay model, a background patrol and a
+// whole-die kill.
+const rainSweepDivisor = 2
+
+const rainSweepFloor = 24_000
+
+// rainDieFailDivisor places the die kill one len(recs)/divisor store ops
+// past the preconditioning fill. The trigger counts store-level ops, which
+// short-circuiting (dedup hits, buffer absorption) thins out relative to
+// trace records, so the placement is conservative: early enough that every
+// architecture reliably reaches it and plenty of post-failure traffic
+// lands on the survivors, while the freshly preconditioned die is still
+// full of live data worth losing.
+const rainDieFailDivisor = 10
+
+// RainArm is one (architecture, parity on/off) cell of the sweep: a full
+// trace replay under the decay model with one whole die killed mid-trace,
+// oracle-verified at the end after the rebuild daemon drains.
+type RainArm struct {
+	Arch   string
+	Parity bool // RAIN striping enabled
+	Die    int  // flat index of the killed die
+
+	LostPages     int64 // store pages still destroyed and unreconstructed
+	DataLoss      int   // acknowledged pages failing the end-of-trace oracle
+	Reconstructed int64 // pages rebuilt from surviving members + parity
+	ReconReads    int64 // survivor reads those reconstructions charged
+	ParityWrites  int64 // parity page programs (the redundancy tax)
+	RebuildPages  int64 // dead-die pages re-landed by the rebuild daemon
+	RebuildTime   ssd.Time
+	UECC          int64 // uncorrectable reads surfaced to host/scrub
+	Programs      int64 // flash programs, parity included
+	WA            float64
+}
+
+// ParityTax returns parity programs per non-parity flash program — the
+// write-amplification premium the redundancy costs this architecture.
+func (a RainArm) ParityTax() float64 {
+	if data := a.Programs - a.ParityWrites; data > 0 {
+		return float64(a.ParityWrites) / float64(data)
+	}
+	return 0
+}
+
+// RainsweepResult is the rendered outcome of RunRainsweep.
+type RainsweepResult struct {
+	Workload string
+	Requests int64
+	Seed     int64
+	Arms     []RainArm
+}
+
+// rainCell is one device's life: precondition, replay through the die
+// kill, drain the rebuild daemon, oracle-verify.
+type rainCell struct {
+	m           sim.DeviceMetrics
+	lost        int64
+	dataLoss    int
+	rebuildTime ssd.Time
+}
+
+// rainDrainCap bounds the post-replay rebuild drain in RebuildTick calls
+// per device page; the daemon needs pending/4 working ticks plus one clean
+// full scan, far below this.
+const rainDrainCap = 4
+
+// runRainCell replays the trace on a fresh device armed to kill one die
+// mid-trace. The replay itself must survive — die failure is absorbed by
+// reconstruction (parity on) or surfaces as uncorrectable reads the sim
+// layer tolerates (parity off) — then the rebuild daemon is drained and
+// every durably acknowledged page is checked against the oracle.
+func runRainCell(cfg sim.Config, recs []trace.Record, footprint int64) (rainCell, error) {
+	var out rainCell
+	dev, err := sim.NewDevice(cfg)
+	if err != nil {
+		return out, err
+	}
+	shadow, ackOnWrite := sim.AttachShadow(dev)
+	hr, ok := dev.(sim.HashReader)
+	if !ok {
+		return out, fmt.Errorf("experiments: device %T lacks ReadHash", dev)
+	}
+
+	// Preconditioning fill, bit-identical to sim.Run's.
+	var end ssd.Time
+	for lpn := int64(0); lpn < footprint; lpn++ {
+		h := sim.PreconditionHash(lpn)
+		done, err := dev.Write(ftl.LPN(lpn), h, 0)
+		if err != nil {
+			return out, fmt.Errorf("experiments: rain precondition write %d: %w", lpn, err)
+		}
+		shadow.Observe(ftl.LPN(lpn), h)
+		if ackOnWrite {
+			shadow.Ack(ftl.LPN(lpn), h)
+		}
+		if done > end {
+			end = done
+		}
+	}
+	base := dev.Metrics()
+	shift := end + ssd.Millisecond
+
+	for i, rec := range recs {
+		arrival := shift + ssd.Time(rec.Time)
+		lpn := ftl.LPN(rec.LBA)
+		switch rec.Op {
+		case trace.OpWrite:
+			done, err := dev.Write(lpn, rec.Hash, arrival)
+			if err != nil {
+				return out, fmt.Errorf("experiments: rain record %d: %w", i, err)
+			}
+			shadow.Observe(lpn, rec.Hash)
+			if ackOnWrite {
+				shadow.Ack(lpn, rec.Hash)
+			}
+			if done > end {
+				end = done
+			}
+		case trace.OpRead:
+			done, err := dev.Read(lpn, arrival)
+			if err != nil {
+				return out, fmt.Errorf("experiments: rain record %d: %w", i, err)
+			}
+			if done > end {
+				end = done
+			}
+		default:
+			return out, fmt.Errorf("experiments: record %d has unknown op %v", i, rec.Op)
+		}
+	}
+
+	store := sim.StoreOf(dev)
+	if store == nil {
+		return out, fmt.Errorf("experiments: device %T exposes no store", dev)
+	}
+	if !store.DieFailed() {
+		return out, fmt.Errorf("experiments: die kill at op %d never fired (replay too short)", cfg.Faults.DieFailAtOp)
+	}
+	if store.RainEnabled() {
+		// Drain the rebuild daemon: the replay gave it idle windows, the
+		// tail runs here. Every tick re-lands a few pages; done requires a
+		// full clean cursor pass.
+		limit := cfg.Geometry.TotalPages() * rainDrainCap
+		for i := int64(0); !store.RebuildDone(); i++ {
+			if i > limit {
+				return out, fmt.Errorf("experiments: rebuild drain exceeded %d ticks (%d pages pending)",
+					limit, store.RebuildPending())
+			}
+			if err := store.RebuildTick(end); err != nil {
+				return out, fmt.Errorf("experiments: rebuild drain: %w", err)
+			}
+		}
+		if err := store.FlushParity(end); err != nil {
+			return out, fmt.Errorf("experiments: final parity flush: %w", err)
+		}
+		if err := store.CheckRain(); err != nil {
+			return out, fmt.Errorf("experiments: post-drain stripe invariant: %w", err)
+		}
+		out.rebuildTime = store.RebuildEndTime() - store.DieFailTime()
+	}
+	out.m = dev.Metrics().Sub(base)
+	out.lost = store.LostPages()
+	out.dataLoss = len(shadow.Verify(hr))
+	return out, nil
+}
+
+// RunRainsweep replays the mail workload on all five architectures with
+// intra-SSD RAIN parity off (control) and on, killing one whole die
+// mid-trace under the accelerated decay model with the background patrol
+// and the health governor active. Parity-off arms lose the dead die's live
+// pages outright — the lost-page counter and the end-of-trace oracle agree
+// on the damage. Parity-on arms reconstruct every dead page from the
+// surviving stripe members, the rebuild daemon re-lands them on healthy
+// flash during idle windows, and the oracle must come back clean; the
+// price is the parity write tax each architecture pays.
+func RunRainsweep(o Options) (*RainsweepResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	small := o
+	small.Requests = o.Requests / rainSweepDivisor
+	if small.Requests < rainSweepFloor {
+		small.Requests = rainSweepFloor
+	}
+	if small.Requests > o.Requests {
+		small.Requests = o.Requests
+	}
+	if !small.Faults.IntegrityArmed() {
+		small.Faults.Integrity = DefaultIntegrityPlan()
+	}
+	if !small.Health.Enabled() {
+		small.Health = DefaultChaosHealthPlan()
+		// A whole-die kill legitimately strands pages until the rebuild
+		// daemon reaches them; the lost-page death threshold would declare
+		// the parity-off control dead mid-experiment.
+		small.Health.DeadLostPages = 0
+	}
+	const workloadName = "mail"
+	recs, footprint, err := small.traceFor(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	archs := crashArchConfigs(small, footprint)
+
+	type armSpec struct {
+		arch   string
+		cfg    sim.Config
+		parity bool
+		die    int
+	}
+	var arms []armSpec
+	rng := uint64(small.Seed)*0x9E3779B97F4A7C15 + 1
+	for _, a := range archs {
+		cfg := a.cfg
+		if !cfg.Scrub.Enabled() {
+			cfg.Scrub = scrub.Config{
+				Interval:    scrubIntervalFor(DefaultScrubSweepPeriod, cfg.Geometry),
+				RefreshRBER: DefaultScrubRefreshRBER,
+			}
+		}
+		dies := cfg.Geometry.TotalChips() * cfg.Geometry.DiesPerChip
+		die := int(splitmix64(&rng) % uint64(dies))
+		cfg.Faults.DieFailAtOp = footprint + int64(len(recs)/rainDieFailDivisor)
+		cfg.Faults.DieFailDie = die
+
+		off := cfg
+		off.RAIN = rain.Config{}
+		on := cfg
+		if !on.RAIN.Enabled() {
+			on.RAIN = rain.Config{Enable: true}
+		}
+		arms = append(arms,
+			armSpec{arch: a.name, cfg: off, die: die},
+			armSpec{arch: a.name, cfg: on, parity: true, die: die})
+	}
+
+	results := make([]rainCell, len(arms))
+	var mu sync.Mutex
+	var firstErr error
+	workers := small.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, arm := range arms {
+		wg.Add(1)
+		go func(i int, arm armSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			doomed := firstErr != nil
+			mu.Unlock()
+			if doomed {
+				return
+			}
+			res, err := runRainCell(arm.cfg, recs, footprint)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: rainsweep %s (parity=%v): %w", arm.arch, arm.parity, err)
+				}
+				return
+			}
+			results[i] = res
+		}(i, arm)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := &RainsweepResult{Workload: workloadName, Requests: small.Requests, Seed: small.Seed}
+	for i, arm := range arms {
+		r := results[i]
+		out.Arms = append(out.Arms, RainArm{
+			Arch:          arm.arch,
+			Parity:        arm.parity,
+			Die:           arm.die,
+			LostPages:     r.lost,
+			DataLoss:      r.dataLoss,
+			Reconstructed: r.m.Rain.ReconstructedPages,
+			ReconReads:    r.m.Rain.ReconstructionReads,
+			ParityWrites:  r.m.Rain.ParityPrograms,
+			RebuildPages:  r.m.Rain.RebuildPages,
+			RebuildTime:   r.rebuildTime,
+			UECC:          r.m.Faults.UncorrectableReads,
+			Programs:      r.m.FlashPrograms,
+			WA:            r.m.WriteAmplification(),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the sweep; the parity-on rows carry each architecture's
+// parity write-amplification tax.
+func (r *RainsweepResult) Table() Table {
+	rows := make([][]string, 0, len(r.Arms))
+	for _, a := range r.Arms {
+		mode, tax := "off", "-"
+		if a.Parity {
+			mode = "on"
+			tax = pct(a.ParityTax() * 100)
+		}
+		rows = append(rows, []string{
+			a.Arch, mode,
+			fmt.Sprintf("%d", a.Die),
+			fmt.Sprintf("%d", a.LostPages),
+			fmt.Sprintf("%d", a.DataLoss),
+			fmt.Sprintf("%d", a.Reconstructed),
+			fmt.Sprintf("%d", a.RebuildPages),
+			fmt.Sprintf("%.1f", float64(a.RebuildTime)/float64(ssd.Millisecond)),
+			fmt.Sprintf("%d", a.ParityWrites),
+			fmt.Sprintf("%.2f", a.WA),
+			tax,
+		})
+	}
+	return Table{
+		Title:  "Rainsweep: whole-die failure under intra-SSD RAIN parity",
+		Header: []string{"arm", "parity", "die", "lost", "data loss", "reconstructed", "rebuilt", "rebuild ms", "parity writes", "WA", "parity tax"},
+		Rows:   rows,
+		Notes: []string{
+			fmt.Sprintf("workload %s, %d requests, seed %d; accelerated decay + scrub patrol + health governor", r.Workload, r.Requests, r.Seed),
+			"each arm kills one whole die mid-trace (same die and op for the off/on pair);",
+			"parity off: the die's live pages are gone — lost pages and oracle data loss count the damage.",
+			"parity on: every dead page reconstructs from surviving stripe members + XOR parity, the",
+			"rebuild daemon re-lands them on healthy flash, and the end-of-trace oracle must be clean;",
+			"the parity tax column is parity programs per non-parity flash program — the redundancy's",
+			"write-amplification premium, cheapest on the architectures that program the least.",
+		},
+	}
+}
+
+// String renders the sweep table.
+func (r *RainsweepResult) String() string { return r.Table().String() }

@@ -71,6 +71,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunGCsweep(o) }},
 	{ID: "chaossweep", Title: "Chaossweep: crash/fault/decay soak under the device health governor",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunChaossweep(o) }},
+	{ID: "rainsweep", Title: "Rainsweep: whole-die failure and RAIN parity reconstruction across architectures",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunRainsweep(o) }},
 }
 
 // All returns every experiment in the paper's order.

@@ -98,6 +98,20 @@ type Config struct {
 	// read disturb, wear → correctable / uncorrectable reads). The zero
 	// value disarms it; see integrity.go.
 	Integrity IntegrityConfig
+
+	// DieFailAtOp arms whole-die failure: during the Nth host operation
+	// (1-based, counting every host read and write the store serves,
+	// preconditioning included) one entire die stops responding — all of
+	// its blocks retire at once, their valid pages become unreadable, and
+	// only RAIN parity (internal/rain) can bring the data back. The
+	// trigger fires once. 0 never fails a die and is bit-identical to a
+	// plan without the field.
+	DieFailAtOp int64
+
+	// DieFailDie selects which die DieFailAtOp kills: a flat die index in
+	// channel → chip → die order, validated against the geometry when the
+	// store is built. Ignored while DieFailAtOp is 0.
+	DieFailDie int
 }
 
 // Enabled reports whether the plan injects any probabilistic faults. The
@@ -113,8 +127,10 @@ func (c Config) Enabled() bool {
 func (c Config) IntegrityArmed() bool { return c.Integrity.Armed() }
 
 // Active reports whether the plan perturbs the drive at all: probabilistic
-// faults, the crash trigger, or the integrity model.
-func (c Config) Active() bool { return c.Enabled() || c.CrashAtOp > 0 || c.IntegrityArmed() }
+// faults, the crash trigger, die failure, or the integrity model.
+func (c Config) Active() bool {
+	return c.Enabled() || c.CrashAtOp > 0 || c.DieFailAtOp > 0 || c.IntegrityArmed()
+}
 
 // Validate reports whether the plan is usable. NaN and infinite values are
 // rejected explicitly: NaN compares false against every bound, so without
@@ -147,6 +163,12 @@ func (c Config) Validate() error {
 	if c.CrashAtOp < 0 {
 		return fmt.Errorf("fault: CrashAtOp must be ≥ 0, got %d", c.CrashAtOp)
 	}
+	if c.DieFailAtOp < 0 {
+		return fmt.Errorf("fault: DieFailAtOp must be ≥ 0, got %d", c.DieFailAtOp)
+	}
+	if c.DieFailDie < 0 {
+		return fmt.Errorf("fault: DieFailDie must be ≥ 0, got %d", c.DieFailDie)
+	}
 	return c.Integrity.Validate()
 }
 
@@ -174,6 +196,7 @@ type Stats struct {
 	SuspectBlocks   int64 // blocks first marked suspect by a program failure
 	Relocations     int64 // programs re-landed on a fresh page after a failure
 	GCRelands       int64 // GC relocations re-landed on a fresh block after exhausting one
+	DieFailures     int64 // whole dies killed by the DieFailAtOp trigger
 
 	// Integrity-model outcomes (zero while the model is disarmed).
 	CorrectableReads   int64 // reads that needed a threshold-shifted retry
@@ -195,6 +218,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		SuspectBlocks:   s.SuspectBlocks - prev.SuspectBlocks,
 		Relocations:     s.Relocations - prev.Relocations,
 		GCRelands:       s.GCRelands - prev.GCRelands,
+		DieFailures:     s.DieFailures - prev.DieFailures,
 
 		CorrectableReads:   s.CorrectableReads - prev.CorrectableReads,
 		UncorrectableReads: s.UncorrectableReads - prev.UncorrectableReads,

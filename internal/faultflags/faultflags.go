@@ -2,9 +2,10 @@
 // simulator binaries (ssdsim and zombiectl) on a flag set: the
 // fault-injection plan (-fault-*), the data-integrity error model
 // (-integrity-*), the background scrubber (-scrub-*), the device health
-// governor (-health-*), the chaos soak (-chaos-*) and the fault-aware
-// GC victim weight. Keeping the definitions in one place guarantees both
-// binaries expose the same names, defaults and validation messages.
+// governor (-health-*), the chaos soak (-chaos-*), RAIN parity striping
+// (-rain-*), die failure (-die-fail-*) and the fault-aware GC victim
+// weight. Keeping the definitions in one place guarantees both binaries
+// expose the same names, defaults and validation messages.
 package faultflags
 
 import (
@@ -15,6 +16,7 @@ import (
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/health"
+	"zombiessd/internal/rain"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/ssd"
 )
@@ -44,6 +46,11 @@ type Set struct {
 	// Chaos-soak knobs (-chaos-*), consumed by zombiectl's chaossweep.
 	ChaosCycles int
 	ChaosSeed   int64
+
+	// RAIN parity-striping knobs (-rain-*); the assembled config comes
+	// from Rain().
+	RainEnable bool
+	RainStripe int
 }
 
 // Register wires the shared reliability flags into fs and returns the Set
@@ -110,6 +117,16 @@ func Register(fs *flag.FlagSet) *Set {
 		"chaossweep: crash→recover→continue cycles per architecture (0 = experiment default)")
 	fs.Int64Var(&s.ChaosSeed, "chaos-seed", 0,
 		"chaossweep: crash placement seed")
+
+	fs.BoolVar(&s.RainEnable, "rain-enable", false,
+		"intra-SSD RAIN: XOR parity striping across channels with stripe reconstruction")
+	fs.IntVar(&s.RainStripe, "rain-stripe", 0,
+		fmt.Sprintf("stripe width in pages including parity, %d-%d (0 = all channels; needs -rain-enable)",
+			rain.MinStripe, rain.MaxStripe))
+	fs.Int64Var(&s.Faults.DieFailAtOp, "die-fail-at", 0,
+		"kill one whole die after this many host operations (0 = never)")
+	fs.IntVar(&s.Faults.DieFailDie, "die-fail-die", 0,
+		"flat index (channel→chip→die order) of the die -die-fail-at kills")
 	return s
 }
 
@@ -120,6 +137,12 @@ func (s *Set) Health() health.Config {
 	c.ThrottleDelay = ssd.Time(s.HealthThrottleDelayUS) * ssd.Microsecond
 	c.RetryBackoff = ssd.Time(s.HealthBackoffUS) * ssd.Microsecond
 	return c
+}
+
+// Rain converts the parsed -rain-* knobs into the parity-striping config.
+// Call only after Validate accepted the set.
+func (s *Set) Rain() rain.Config {
+	return rain.Config{Enable: s.RainEnable, StripePages: s.RainStripe}
 }
 
 // Preempt converts the parsed -gc-* knobs into the FTL's preemption
@@ -189,6 +212,12 @@ func (s *Set) Validate() error {
 	}
 	if s.ChaosSeed < 0 {
 		return fmt.Errorf("-chaos-seed must be ≥ 0, got %d", s.ChaosSeed)
+	}
+	if s.RainStripe != 0 && !s.RainEnable {
+		return fmt.Errorf("%w: -rain-stripe needs -rain-enable", rain.ErrBadStripe)
+	}
+	if err := s.Rain().Validate(); err != nil {
+		return err
 	}
 	return nil
 }

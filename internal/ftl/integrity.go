@@ -37,18 +37,21 @@ func (s *Store) IntegrityConfig() fault.IntegrityConfig {
 	return s.integ.Config()
 }
 
-// LostPage reports whether an uncorrectable read has destroyed p's data.
-// Always false while the model is disarmed.
-func (s *Store) LostPage(p ssd.PPN) bool { return s.integ != nil && s.lost[p] }
+// LostPage reports whether p's data has been destroyed — by an
+// uncorrectable read, or by its die failing with no parity to rebuild it.
+// Always false while neither the integrity model nor die failure is armed.
+func (s *Store) LostPage(p ssd.PPN) bool { return s.lost != nil && s.lost[p] }
 
 // LostPages returns how many pages currently hold lost data — the health
-// governor's loss signal. Maintained incrementally by markLost/clearLost,
-// so sampling it per host operation is free.
+// governor's loss signal and the lost_pages telemetry gauge. Scrub-patrol
+// UECC, host-path UECC and die failure all funnel through markLost, so
+// every loss source shares this one counter. Maintained incrementally by
+// markLost/clearLost, so sampling it per host operation is free.
 func (s *Store) LostPages() int64 { return s.lostCount }
 
 // markLost records p's data as destroyed.
 func (s *Store) markLost(p ssd.PPN) {
-	if s.integ == nil || s.lost[p] {
+	if s.lost == nil || s.lost[p] {
 		return
 	}
 	s.lost[p] = true
@@ -57,7 +60,7 @@ func (s *Store) markLost(p ssd.PPN) {
 
 // clearLost clears p's loss mark (fresh program or erase).
 func (s *Store) clearLost(p ssd.PPN) {
-	if s.integ == nil || !s.lost[p] {
+	if s.lost == nil || !s.lost[p] {
 		return
 	}
 	s.lost[p] = false
@@ -128,9 +131,23 @@ func (s *Store) integrityCheck(p ssd.PPN, done, clock ssd.Time) (ssd.Time, error
 // stamped at stamp (pass 0 to land it in idle bus windows) but aged
 // against clock, the real current time. The returned error is
 // ErrUncorrectable when the patrol itself discovers the page is beyond
-// ECC, or a power-loss wrap.
+// ECC, or a power-loss wrap. Under RAIN the patrol repairs instead of
+// marking lost: an uncorrectable patrol read (or a page on a failed die)
+// triggers stripe reconstruction through the same path host reads use,
+// and only an unreconstructable page surfaces the error.
 func (s *Store) ScrubRead(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
-	return s.readPageAt(p, stamp, clock, false)
+	if s.PageDead(p) {
+		return s.readDead(p, stamp, clock)
+	}
+	done, err := s.readPageAt(p, stamp, clock, false)
+	if err != nil && errors.Is(err, ErrUncorrectable) {
+		if rdone, ok, rerr := s.tryReconstruct(p, done, clock); rerr != nil {
+			return 0, rerr
+		} else if ok {
+			return rdone, nil
+		}
+	}
+	return done, err
 }
 
 // RefreshPage rewrites a decaying valid page onto fresh flash before its
@@ -160,6 +177,17 @@ func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) 
 	}
 	readDone, err := s.readPageAt(p, stamp, clock, false)
 	if err != nil {
+		if errors.Is(err, ErrUncorrectable) {
+			// The copy decayed past ECC between the RBER estimate and the
+			// read. Under RAIN the stripe is the refresh of last resort:
+			// reconstruction re-lands the page on fresh flash, which is
+			// exactly what the refresh was for.
+			if rdone, ok, rerr := s.tryReconstruct(p, readDone, clock); rerr != nil {
+				return 0, rerr
+			} else if ok {
+				return rdone, nil
+			}
+		}
 		return readDone, err
 	}
 	dst, done, err := s.programAt(plane, s.gcStream(plane), readDone)
@@ -167,7 +195,7 @@ func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) 
 		return 0, fmt.Errorf("ftl: refresh of page %d: %w", p, err)
 	}
 	s.faults.RefreshWrites++
-	if s.progTime[dst] < clock {
+	if s.integ != nil && s.progTime[dst] < clock {
 		// The refresh writes the data now; the bus merely charged the
 		// transfer to an idle window that already passed. Age the new copy
 		// from now, or a patrol running ahead of the chip's last-idle time
@@ -195,6 +223,22 @@ func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) 
 // one verify read (plus any ECC retries it needs), reflected in the
 // returned completion time. Only power loss surfaces as an error.
 func (s *Store) VerifyRevive(p ssd.PPN, now ssd.Time) (ssd.Time, bool, error) {
+	if s.PageDead(p) || s.LostPage(p) {
+		// A zombie on a failed die (or one whose data is already lost) can
+		// never come back; the pool eviction at die-failure time makes
+		// this unreachable in practice, but degraded operation must not
+		// depend on it.
+		s.faults.RevivalsDeclined++
+		return now, false, nil
+	}
+	if s.rain != nil && s.stripeUnprotectable(p) {
+		// The stripe's parity home is retired or dead, so the revived page
+		// would live outside RAIN's protection — and, revalidated after
+		// the rebuild daemon's final sweep, outside its reach too. Decline
+		// in favor of a fresh, covered program of the same content.
+		s.faults.RevivalsDeclined++
+		return now, false, nil
+	}
 	if s.integ == nil {
 		return now, true, nil
 	}
@@ -206,7 +250,14 @@ func (s *Store) VerifyRevive(p ssd.PPN, now ssd.Time) (ssd.Time, bool, error) {
 	if err != nil {
 		if errors.Is(err, ErrUncorrectable) {
 			s.faults.RevivalsDeclined++
-			return done, false, nil
+			// The zombie's copy is garbage nothing will ever read again —
+			// but left in its stripe it would block reconstruction of every
+			// valid sibling. Cut it out while the stripe is still intact.
+			edone, eerr := s.exciseGarbage(p, done)
+			if eerr != nil {
+				return 0, false, eerr
+			}
+			return edone, false, nil
 		}
 		return 0, false, err
 	}

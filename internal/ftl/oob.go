@@ -54,13 +54,16 @@ func (s OOBState) String() string {
 // OOB is the simulated out-of-band record of one physical page, stamped
 // atomically with the page program: the owning logical page, the content
 // hash, a drive-lifetime-monotonic sequence number, and whether the
-// binding originated as a dead-value-pool revival.
+// binding originated as a dead-value-pool revival. Parity marks a RAIN
+// parity page: its Hash carries the covered-member mask (not content) and
+// its LPN is meaningless — recovery must never claim it for the mapping.
 type OOB struct {
 	State   OOBState
 	LPN     LPN
 	Hash    trace.Hash
 	Seq     uint64
 	Revived bool
+	Parity  bool
 }
 
 // Binding is one journal record: a mapping-only update (revival or dedup
@@ -234,7 +237,7 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 		if s.oob[p].State != OOBTorn {
 			continue
 		}
-		if b := s.geo.BlockOf(p); !s.blocks[b].bad {
+		if b := s.geo.BlockOf(p); !s.blocks[b].bad && !s.blocks[b].dead {
 			s.state[p] = PageInvalid
 			s.blocks[b].invalid++
 		}
@@ -248,6 +251,8 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 			if s.blocks[b].bad {
 				return fmt.Errorf("ftl: Rebuild: page %d lives in retired block %d", p, b)
 			}
+			// Dead blocks are allowed: a winner on a failed die is still the
+			// mapping's best copy, parity-protected and awaiting rebuild.
 			if s.state[p] != PageFree {
 				return fmt.Errorf("ftl: Rebuild: page %d assigned twice", p)
 			}
@@ -276,6 +281,12 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 	for plane := range s.planes {
 		pl := &s.planes[plane]
 		pl.freeBlocks = pl.freeBlocks[:0]
+		if s.deadPlane != nil && s.deadPlane[plane] {
+			// A failed die's planes own no free blocks and host no write
+			// frontiers; their stale frontier slots are never consulted
+			// because allocation skips dead planes entirely.
+			continue
+		}
 		var partial []frontier
 		for i := s.geo.BlocksPerPlane - 1; i >= 0; i-- {
 			b := s.geo.BlockAt(plane, i)
@@ -285,7 +296,14 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 			fill := 0
 			first := s.geo.FirstPage(b)
 			for pg := s.geo.PagesPerBlock - 1; pg >= 0; pg-- {
-				if s.oob[first+ssd.PPN(pg)].State != OOBEmpty {
+				p := first + ssd.PPN(pg)
+				if s.rain != nil && s.rain.IsParity(p) {
+					// Parity slots program out of the sequential data order
+					// (the versioned-parity-stream abstraction); the data
+					// frontier resumes after the last *data* page.
+					continue
+				}
+				if s.oob[p].State != OOBEmpty {
 					fill = pg + 1
 					break
 				}
@@ -320,5 +338,14 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 		// crashes; the extras stay closed and GC reclaims them normally.
 	}
 	s.cursor = 0
+	if s.rain != nil {
+		if s.dieFailed {
+			// The rebuild daemon resumes rather than restarts: pages it
+			// already re-landed are durable (their dead copies read as
+			// reconstructed), so the fresh sweep skips them naturally.
+			s.rebuildCursor, s.rebuildFound, s.rebuildDone = 0, false, false
+		}
+		return s.rebuildRainTracker()
+	}
 	return nil
 }

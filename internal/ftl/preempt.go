@@ -224,6 +224,10 @@ func (s *Store) needyPlanes(now ssd.Time) []int {
 	trigger := s.partialTrigger()
 	perChip := s.geo.PlanesPerChip()
 	for p := range s.planes {
+		if s.deadPlane != nil && s.deadPlane[p] {
+			// A failed die has nothing to drain and no space to win back.
+			continue
+		}
 		if s.bus.ChipFreeTime(p/perChip) > now {
 			continue
 		}
@@ -261,7 +265,7 @@ func (s *Store) fillDrain(plane int) {
 	for i := 0; i < s.geo.BlocksPerPlane; i++ {
 		b := s.geo.BlockAt(plane, i)
 		info := &s.blocks[b]
-		if info.free || info.active || info.bad || info.draining ||
+		if info.free || info.active || info.bad || info.dead || info.draining ||
 			info.invalid == 0 || info.valid > capacity {
 			continue
 		}
@@ -347,12 +351,21 @@ func (s *Store) drainStep(plane int, stamp ssd.Time, budget int, background bool
 			s.state[p] = PageFree
 			info.valid--
 			migrated++
+			if s.rain != nil {
+				// A drained-past page is as good as erased; the stripe
+				// tracker must drop it now, not at the block's eventual
+				// erase — the drain can park here for many ticks.
+				s.rain.NoteErased(p)
+			}
 		case PageInvalid:
 			if s.OnEraseGarbage != nil {
 				s.OnEraseGarbage(p)
 			}
 			s.state[p] = PageFree
 			info.invalid--
+			if s.rain != nil {
+				s.rain.NoteErased(p)
+			}
 		}
 		d.cursor++
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"zombiessd/internal/rain"
 	"zombiessd/internal/ssd"
 )
 
@@ -73,6 +74,37 @@ func TestPartialDrainNoLossNoDoubleMigration(t *testing.T) {
 	cfg := DefaultStoreConfig()
 	cfg.Preempt = PreemptConfig{PartialK: 4, Lookahead: 2}
 	s, _ := newTinyStore(t, cfg)
+	runPartialDrainProperty(t, s)
+}
+
+// TestPartialDrainStripeParity re-runs the partial-drain property with
+// RAIN striping and erase suspension in the mix, and additionally
+// requires the stripe-parity invariant (CheckRain) to hold throughout the
+// churn — GC relocations, partial idle-window drains, suspended erases
+// and mid-drain zombie revivals must never leave a stripe's masks out of
+// step with the physically present pages.
+func TestPartialDrainStripeParity(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.Preempt = PreemptConfig{PartialK: 4, Lookahead: 2, MaxSuspends: 2}
+	cfg.RAIN = rain.Config{Enable: true}
+	// Four channels so the default stripe (3 data + 1 parity) keeps the
+	// parity program tax low enough that idle windows survive the churn —
+	// on the 2-channel tiny geometry a width-2 stripe doubles every
+	// program and foreground GC monopolizes the chips.
+	geo := ssd.Geometry{
+		Channels: 4, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 8, PagesPerBlock: 16, PageSize: 4096, OverProvision: 0.15,
+	}
+	s, err := NewStore(cfg, ssd.NewBus(geo, ssd.PaperLatency()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPartialDrainProperty(t, s)
+}
+
+func runPartialDrainProperty(t *testing.T, s *Store) {
+	t.Helper()
+	cfg := s.cfg
 	g := s.Geometry()
 	rng := rand.New(rand.NewSource(7))
 
@@ -126,9 +158,11 @@ func TestPartialDrainNoLossNoDoubleMigration(t *testing.T) {
 		rev[ppn] = lpn
 	}
 
-	// Fill to a GC-active occupancy: 300 of the 384 usable pages.
+	// Fill to a GC-active occupancy: 25/32 of the usable pages (300 of 384
+	// without RAIN; parity slots halve the usable count on the two-channel
+	// tiny geometry).
 	var now ssd.Time
-	live := 300
+	live := int(s.UsablePages() * 25 / 32)
 	if int64(live) > s.UsablePages() {
 		t.Fatalf("test sized wrong: %d live pages > %d usable", live, s.UsablePages())
 	}
@@ -176,6 +210,11 @@ func TestPartialDrainNoLossNoDoubleMigration(t *testing.T) {
 			program(lpn, now)
 		}
 		checkInvariants("update")
+		if s.RainEnabled() && i%128 == 0 {
+			if err := s.CheckRain(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
 	}
 
 	// End state: the ownership map and the store's page states must agree
@@ -206,6 +245,17 @@ func TestPartialDrainNoLossNoDoubleMigration(t *testing.T) {
 	}
 	if revivals == 0 {
 		t.Fatal("no zombie was ever revived; the revival-mid-drain path was not exercised")
+	}
+	if s.RainEnabled() {
+		if err := s.FlushParity(now); err != nil {
+			t.Fatalf("final parity flush: %v", err)
+		}
+		if err := s.CheckRain(); err != nil {
+			t.Fatalf("end state: %v", err)
+		}
+		if st := s.RainStats(); st.ParityPrograms == 0 {
+			t.Fatal("no parity was ever programmed; the stripe property was not exercised")
+		}
 	}
 }
 

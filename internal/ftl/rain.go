@@ -1,0 +1,641 @@
+package ftl
+
+// RAIN threading: the store-side half of intra-SSD parity striping
+// (internal/rain). The tracker owns the combinatorics — stripe indices,
+// parity-slot rotation, membership masks — while this file owns every
+// side effect: charging parity programs to the bus, stamping parity OOB
+// (the durable journal recovery rebuilds open stripes from), reading
+// survivors and re-landing reconstructed pages, killing a die when the
+// DieFailAtOp trigger fires, and the online rebuild daemon that drains a
+// dead die's live pages into spare capacity during idle windows.
+// Everything here is a no-op on a store whose config leaves RAIN off.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"zombiessd/internal/fault"
+	"zombiessd/internal/rain"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// Rebuild-daemon budgets per idle window: at most rebuildBudget pages are
+// re-landed (mirroring partial GC's migration budget) and at most
+// rebuildScanBudget pages are examined, so a tick on a fully rebuilt
+// drive costs bounded CPU.
+const (
+	rebuildBudget     = 4
+	rebuildScanBudget = 4096
+)
+
+// maskHash encodes a stripe-membership mask into an OOB content hash —
+// the parity page's OOB payload, from which recovery restores the flushed
+// parity coverage.
+func maskHash(mask uint32) trace.Hash {
+	var h trace.Hash
+	binary.LittleEndian.PutUint32(h[:4], mask)
+	return h
+}
+
+// maskFromHash decodes maskHash.
+func maskFromHash(h trace.Hash) uint32 { return binary.LittleEndian.Uint32(h[:4]) }
+
+// RainEnabled reports whether parity striping is active on this store.
+func (s *Store) RainEnabled() bool { return s.rain != nil }
+
+// RainStats returns the RAIN activity counters. All zeros while disabled.
+func (s *Store) RainStats() rain.Stats { return s.rainStats }
+
+// DeadBlock reports whether b belongs to a failed die.
+func (s *Store) DeadBlock(b ssd.BlockID) bool { return s.blocks[b].dead }
+
+// PageDead reports whether p sits on a failed die — unreadable until the
+// rebuild daemon (or a host read) reconstructs it elsewhere.
+func (s *Store) PageDead(p ssd.PPN) bool { return s.blocks[s.geo.BlockOf(p)].dead }
+
+// DieFailArmed reports whether a die-failure trigger is configured.
+func (s *Store) DieFailArmed() bool { return s.dieFailAt > 0 }
+
+// DieFailed reports whether the armed die-failure trigger has fired.
+func (s *Store) DieFailed() bool { return s.dieFailed }
+
+// DieFailTime returns when the die died (zero before the trigger fires).
+func (s *Store) DieFailTime() ssd.Time { return s.dieFailClock }
+
+// RebuildEndTime returns when the rebuild daemon last re-landed a dead
+// die's page — with RebuildDone, the rebuild-duration measurement the
+// rainsweep experiment reports.
+func (s *Store) RebuildEndTime() ssd.Time { return s.rebuildClock }
+
+// RebuildDone reports whether a full daemon sweep found nothing left to
+// rebuild. Vacuously false until a die fails.
+func (s *Store) RebuildDone() bool { return s.rebuildDone }
+
+// RainCovered reports whether flushed parity currently covers page p —
+// stripe-level introspection for tests and diagnostics.
+func (s *Store) RainCovered(p ssd.PPN) bool { return s.rain != nil && s.rain.Covered(p) }
+
+// RainUnprotectable reports whether p's stripe lost its fixed parity home
+// (slot block retired or dead); false without RAIN.
+func (s *Store) RainUnprotectable(p ssd.PPN) bool {
+	return s.rain != nil && s.stripeUnprotectable(p)
+}
+
+// RainReconstructable exposes canReconstruct for tests and diagnostics.
+func (s *Store) RainReconstructable(p ssd.PPN) bool { return s.canReconstruct(p) }
+
+// rainOnProgram records a successful data program with the stripe tracker
+// and flushes the stripe's parity when this program completed it. The
+// error is a power-loss wrap when the armed crash trigger fires mid-flush.
+func (s *Store) rainOnProgram(p ssd.PPN, done ssd.Time) error {
+	st, complete := s.rain.OnProgram(p)
+	if !complete {
+		return nil
+	}
+	return s.flushStripe(st, done)
+}
+
+// flushStripe lands the stripe's accumulated parity on its parity slot:
+// one real program on the slot's channel, with the covered-member mask
+// stamped into the parity OOB so crash recovery can restore coverage. A
+// stripe whose slot sits in a retired or dead block cannot be protected
+// at its fixed location and is dropped from the flush set — the rebuild
+// daemon refreshes its members into fresh stripes instead.
+func (s *Store) flushStripe(st int64, stamp ssd.Time) error {
+	slot := s.rain.ParitySlot(st)
+	info := &s.blocks[s.geo.BlockOf(slot)]
+	if info.bad || info.dead {
+		s.rain.Drop(st)
+		return nil
+	}
+	if s.crashNow() {
+		// Power cut mid-parity-program: the slot is torn and the stripe
+		// stays open; recovery re-flushes it from the surviving members.
+		s.oob[slot] = OOB{State: OOBTorn}
+		return fmt.Errorf("ftl: parity flush of page %d interrupted: %w", slot, fault.ErrPowerLoss)
+	}
+	s.bus.Program(slot, stamp)
+	if s.rain.ParityMask(st) != 0 {
+		s.rainStats.StripeReflushes++
+	}
+	s.rainStats.ParityPrograms++
+	s.seq++
+	s.oob[slot] = OOB{State: OOBProgrammed, Parity: true, Hash: maskHash(s.rain.DataMask(st)), Seq: s.seq}
+	s.rain.MarkFlushed(st)
+	return nil
+}
+
+// FlushParity closes every open stripe — the write-buffer flush barrier,
+// the die-failure shock path, and recovery's parity rebuild all call it.
+// No-op without RAIN; the error is a power-loss wrap.
+func (s *Store) FlushParity(now ssd.Time) error {
+	if s.rain == nil {
+		return nil
+	}
+	for _, st := range s.rain.OpenStripes() {
+		if err := s.flushStripe(st, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rainAfterErase settles stripe bookkeeping after block v was erased (or
+// retired with its pages cleared): every member leaves its masks — the
+// RAM-side XOR-subtraction, charged as no flash work — and stripes whose
+// parity slot was in the erased block get their parity re-landed
+// immediately when they still hold data, so an erase on the parity
+// channel never leaves live members uncovered until some distant barrier.
+func (s *Store) rainAfterErase(v ssd.BlockID, now ssd.Time) error {
+	if s.rain == nil {
+		return nil
+	}
+	first := s.geo.FirstPage(v)
+	for i := 0; i < s.geo.PagesPerBlock; i++ {
+		s.rain.NoteErased(first + ssd.PPN(i))
+	}
+	for i := 0; i < s.geo.PagesPerBlock; i++ {
+		p := first + ssd.PPN(i)
+		if !s.rain.IsParity(p) {
+			continue
+		}
+		if st := s.rain.StripeOf(p); s.rain.DataMask(st) != 0 {
+			if err := s.flushStripe(st, now); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// canReconstruct reports whether p can be rebuilt from its stripe right
+// now: the flushed parity covers it, the parity slot is alive and intact,
+// and every other covered member is readable. The checks are pure state
+// inspection — no draws, no flash operations.
+func (s *Store) canReconstruct(p ssd.PPN) bool {
+	if s.rain == nil || !s.rain.Covered(p) {
+		return false
+	}
+	st := s.rain.StripeOf(p)
+	slot := s.rain.ParitySlot(st)
+	if info := &s.blocks[s.geo.BlockOf(slot)]; info.bad || info.dead {
+		return false
+	}
+	if o := s.oob[slot]; o.State != OOBProgrammed || !o.Parity {
+		return false
+	}
+	mask := s.rain.ParityMask(st)
+	for cig := 0; cig < s.rain.Width(); cig++ {
+		if mask&(uint32(1)<<cig) == 0 {
+			continue
+		}
+		m := s.rain.PageOf(st, cig)
+		if m == p {
+			continue
+		}
+		if s.PageDead(m) || s.LostPage(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// stripeUnprotectable reports whether p's stripe can never be protected
+// at its fixed parity location — the slot's block is retired or dead. The
+// rebuild daemon refresh-relocates such pages into fresh, protectable
+// stripes.
+func (s *Store) stripeUnprotectable(p ssd.PPN) bool {
+	info := &s.blocks[s.geo.BlockOf(s.rain.ParitySlot(s.rain.StripeOf(p)))]
+	return info.bad || info.dead
+}
+
+// tryReconstruct rebuilds valid page p from its stripe: read every
+// surviving covered member plus the parity page (distinct channels, so
+// the bus overlaps them), XOR-recover the data, land it on a living
+// plane, rebind the mapping, and retire the stale copy so it can never
+// serve as a survivor, a zombie or a recovery winner again. Reports
+// whether the reconstruction happened; the error is non-nil only for
+// power loss, which must propagate to the host.
+func (s *Store) tryReconstruct(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, bool, error) {
+	if s.rain == nil || s.state[p] != PageValid || !s.canReconstruct(p) {
+		return 0, false, nil
+	}
+	plane := s.geo.PlaneOfBlock(s.geo.BlockOf(p))
+	if s.deadPlane != nil && s.deadPlane[plane] {
+		plane = s.nextAlivePlane()
+	}
+	if err := s.ensureSpace(plane, stamp); err != nil {
+		if errors.Is(err, fault.ErrPowerLoss) {
+			return 0, false, err
+		}
+		return 0, false, nil
+	}
+	if s.state[p] != PageValid || !s.canReconstruct(p) {
+		// Making room moved or consumed the page (or a survivor) already.
+		return 0, false, nil
+	}
+	wasDead := s.PageDead(p)
+	st := s.rain.StripeOf(p)
+	mask := s.rain.ParityMask(st)
+	done := stamp
+	survivor := func(m ssd.PPN) {
+		if d := s.bus.Read(m, stamp); d > done {
+			done = d
+		}
+		s.rainStats.ReconstructionReads++
+	}
+	for cig := 0; cig < s.rain.Width(); cig++ {
+		if mask&(uint32(1)<<cig) == 0 {
+			continue
+		}
+		if m := s.rain.PageOf(st, cig); m != p {
+			survivor(m)
+		}
+	}
+	survivor(s.rain.ParitySlot(st))
+	dst, pdone, err := s.programAt(plane, s.gcStream(plane), done)
+	if err != nil && errors.Is(err, ErrProgramFault) {
+		dst, pdone, err = s.relandGC(plane, done)
+	}
+	if err != nil {
+		if errors.Is(err, fault.ErrPowerLoss) {
+			return 0, false, err
+		}
+		return 0, false, nil
+	}
+	// Stamp before OnRelocate: the owner must be read while the mapping
+	// still points at the source page (the GC-relocation discipline).
+	s.stampRelocated(p, dst)
+	if s.OnRelocate != nil {
+		s.OnRelocate(p, dst)
+	}
+	if err := s.Invalidate(p); err != nil {
+		// Unreachable after the re-checks above; surface, never panic.
+		return 0, false, err
+	}
+	// The stale copy's contents are garbled (UECC) or unreachable (dead
+	// die): torn OOB makes it unrevivable garbage, leaving its masks
+	// clears it from the stripe, and the loss mark — now repaired on the
+	// fresh copy — is lifted.
+	s.rain.NoteErased(p)
+	s.oob[p] = OOB{State: OOBTorn}
+	s.clearLost(p)
+	s.rainStats.ReconstructedPages++
+	if wasDead {
+		s.rebuildClock = clock
+	}
+	if pdone > done {
+		done = pdone
+	}
+	return done, true, nil
+}
+
+// exciseGarbage removes an unreadable invalid page from its stripe so it
+// cannot block reconstruction of the stripe's valid members. Two cases
+// are physically sound: a member no flushed parity covers (or whose
+// parity home is gone) leaves as free RAM bookkeeping, and a covered
+// member of an otherwise-intact stripe is first rebuilt in controller RAM
+// from the parity and the survivors — charged as real reads — then
+// XOR-subtracted out and the shrunken parity re-landed. A covered member
+// whose stripe already has a dead or lost sibling is left alone:
+// subtracting it blind would corrupt the parity that sibling's last hope
+// rests on. The error is a power-loss wrap from the parity re-land.
+func (s *Store) exciseGarbage(p ssd.PPN, stamp ssd.Time) (ssd.Time, error) {
+	if s.rain == nil || s.rain.IsParity(p) {
+		return stamp, nil
+	}
+	st := s.rain.StripeOf(p)
+	if !s.rain.Covered(p) || s.stripeUnprotectable(p) {
+		// No readable flushed parity includes p's bits; dropping the page
+		// costs nothing. Torn OOB makes it unrevivable garbage, and the
+		// loss mark lifts — garbage holds no data left to lose.
+		s.rain.NoteErased(p)
+		s.oob[p] = OOB{State: OOBTorn}
+		s.clearLost(p)
+		return stamp, nil
+	}
+	if !s.canReconstruct(p) {
+		return stamp, nil
+	}
+	mask := s.rain.ParityMask(st)
+	done := stamp
+	for cig := 0; cig < s.rain.Width(); cig++ {
+		if mask&(uint32(1)<<cig) == 0 {
+			continue
+		}
+		if m := s.rain.PageOf(st, cig); m != p {
+			if d := s.bus.Read(m, stamp); d > done {
+				done = d
+			}
+			s.rainStats.ReconstructionReads++
+		}
+	}
+	if d := s.bus.Read(s.rain.ParitySlot(st), stamp); d > done {
+		done = d
+	}
+	s.rainStats.ReconstructionReads++
+	s.rain.NoteErased(p)
+	s.oob[p] = OOB{State: OOBTorn}
+	s.clearLost(p)
+	if err := s.flushStripe(st, done); err != nil {
+		return 0, err
+	}
+	return done, nil
+}
+
+// nextAlivePlane advances the allocation rotation to the next plane not
+// on a failed die — the reconstruction landing-site selector.
+func (s *Store) nextAlivePlane() int {
+	for i := 0; i < len(s.planeOrder); i++ {
+		plane := s.planeOrder[s.cursor]
+		s.cursor = (s.cursor + 1) % len(s.planeOrder)
+		if s.deadPlane == nil || !s.deadPlane[plane] {
+			return plane
+		}
+	}
+	return s.planeOrder[0]
+}
+
+// readDead serves a read of a page on a failed die: the die does not
+// respond, so no flash operation is charged — either the stripe rebuilds
+// the data (the read completes when the slowest survivor read does), or
+// the data is gone and the read fails as uncorrectable.
+func (s *Store) readDead(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
+	if done, ok, err := s.tryReconstruct(p, stamp, clock); err != nil {
+		return 0, err
+	} else if ok {
+		return done, nil
+	}
+	s.faults.UncorrectableReads++
+	s.markLost(p)
+	return stamp, fmt.Errorf("ftl: read of page %d on failed die: %w", p, ErrUncorrectable)
+}
+
+// dieTick advances the armed die-failure countdown by one host operation
+// and kills the configured die when it expires. Unarmed stores pay a
+// single predictable branch. The error is a power-loss wrap from the
+// parity flush the failure forces (only possible with both triggers
+// armed).
+func (s *Store) dieTick(now ssd.Time) error {
+	if s.dieFailAt <= 0 || s.dieFailed {
+		return nil
+	}
+	s.dieOps++
+	if s.dieOps < s.dieFailAt {
+		return nil
+	}
+	return s.failDie(s.cfg.Faults.DieFailDie, now)
+}
+
+// failDie retires every block of one die at once. Valid pages that parity
+// can rebuild stay valid and wait for the rebuild daemon; everything else
+// on the die is lost (valid pages) or evicted (pooled zombies, exactly as
+// if an erase took them). The capacity shock lands in RetiredBlocks, so
+// the health governor sees it through the same vitals as wear-out and
+// degrades — throttle, read-only — instead of dying.
+func (s *Store) failDie(die int, now ssd.Time) error {
+	s.dieFailed = true
+	s.dieFailClock = now
+	s.faults.DieFailures++
+	// Close every open stripe first: the stripe buffer lives in controller
+	// RAM, which survives a die failure (unlike power loss), so members
+	// are still fully covered the instant the die goes dark.
+	if err := s.FlushParity(now); err != nil {
+		return err
+	}
+	perChip := s.geo.PlanesPerChip()
+	chip := die / s.geo.DiesPerChip
+	firstPlane := chip*perChip + (die%s.geo.DiesPerChip)*s.geo.PlanesPerDie
+	for pl := firstPlane; pl < firstPlane+s.geo.PlanesPerDie; pl++ {
+		s.deadPlane[pl] = true
+		d := &s.drains[pl]
+		for _, v := range d.queue {
+			s.blocks[v].draining = false
+		}
+		d.queue = d.queue[:0]
+		d.cursor = 0
+		ps := &s.planes[pl]
+		ps.freeBlocks = ps.freeBlocks[:0]
+		for i := 0; i < s.geo.BlocksPerPlane; i++ {
+			b := s.geo.BlockAt(pl, i)
+			info := &s.blocks[b]
+			if !info.bad {
+				s.faults.RetiredBlocks++
+			}
+			info.dead = true
+			info.free = false
+			info.active = false
+			info.draining = false
+			first := s.geo.FirstPage(b)
+			for pg := 0; pg < s.geo.PagesPerBlock; pg++ {
+				p := first + ssd.PPN(pg)
+				switch s.state[p] {
+				case PageValid:
+					if s.rain == nil || !s.canReconstruct(p) {
+						s.markLost(p)
+					}
+				case PageInvalid:
+					if s.OnEraseGarbage != nil {
+						s.OnEraseGarbage(p)
+					}
+					if s.rain != nil && !s.rain.IsParity(p) {
+						s.rain.NoteErased(p)
+					}
+				}
+			}
+		}
+	}
+	if s.rain != nil {
+		s.rebuildCursor, s.rebuildFound, s.rebuildDone = 0, false, false
+	}
+	return nil
+}
+
+// RebuildTick runs one idle window of the online rebuild daemon: scan
+// forward from the resumable cursor, reconstruct dead-die pages into
+// spare capacity, and refresh-relocate live pages whose stripe lost its
+// parity home — all stamped at time 0 so the bus lands the work in the
+// gap since each chip last went idle, like the scrub patrol and partial
+// GC. The daemon declares itself done after one full sweep that found no
+// work; a crash resets the cursor, but pages already re-landed are
+// durable, so the rebuild resumes where the surviving state says it
+// should rather than restarting.
+func (s *Store) RebuildTick(now ssd.Time) error {
+	if s.rain == nil || !s.dieFailed || s.rebuildDone {
+		return nil
+	}
+	worked, scanned := 0, 0
+	total := ssd.PPN(s.geo.TotalPages())
+	for worked < rebuildBudget && scanned < rebuildScanBudget {
+		if s.rebuildCursor >= total {
+			s.rebuildCursor = 0
+			if !s.rebuildFound {
+				s.rebuildDone = true
+				return nil
+			}
+			s.rebuildFound = false
+		}
+		p := s.rebuildCursor
+		s.rebuildCursor++
+		scanned++
+		if s.state[p] != PageValid {
+			continue
+		}
+		switch {
+		case s.PageDead(p):
+			if s.LostPage(p) {
+				continue // unreconstructable at failure time: terminal loss
+			}
+			_, ok, err := s.tryReconstruct(p, 0, now)
+			if err != nil {
+				return err
+			}
+			if ok {
+				s.rainStats.RebuildPages++
+				worked++
+				s.rebuildFound = true
+			} else {
+				// A survivor died since the failure; the page is gone.
+				s.markLost(p)
+			}
+		case s.stripeUnprotectable(p):
+			if _, err := s.RefreshPage(p, 0, now); err != nil {
+				switch {
+				case errors.Is(err, ErrUncorrectable):
+					// The refresh read failed; reconstruction is the last
+					// resort before the page stays lost.
+					if _, ok, rerr := s.tryReconstruct(p, 0, now); rerr != nil {
+						return rerr
+					} else if ok {
+						worked++
+						s.rebuildFound = true
+					}
+					continue
+				case errors.Is(err, ErrPageState), errors.Is(err, ErrNoSpace):
+					continue // moved meanwhile, or no room this window
+				}
+				return err
+			}
+			s.rainStats.RebuildRefreshes++
+			worked++
+			s.rebuildFound = true
+		}
+	}
+	return nil
+}
+
+// RebuildPending counts the valid pages still awaiting the rebuild
+// daemon: reconstructable pages on the dead die plus live pages stranded
+// in unprotectable stripes. A full-drive scan — meant for experiment
+// reporting and tests, not per-operation sampling.
+func (s *Store) RebuildPending() int64 {
+	if s.rain == nil || !s.dieFailed {
+		return 0
+	}
+	var n int64
+	total := ssd.PPN(s.geo.TotalPages())
+	for p := ssd.PPN(0); p < total; p++ {
+		if s.state[p] != PageValid || s.LostPage(p) {
+			continue
+		}
+		if s.PageDead(p) || s.stripeUnprotectable(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// rebuildRainTracker restores the stripe bookkeeping from durable OOB
+// state after a crash — Rebuild's RAIN tail. Data membership comes from
+// programmed non-parity OOB records (dead-die garbage contributes
+// nothing), flushed coverage from the mask each parity page carries in
+// its OOB, and stripes left open by the crash — parity torn mid-flush,
+// or members landed after the last flush — are re-flushed immediately
+// from members that are all still readable.
+func (s *Store) rebuildRainTracker() error {
+	if s.rain == nil {
+		return nil
+	}
+	s.rain.Reset()
+	total := ssd.PPN(s.geo.TotalPages())
+	for p := ssd.PPN(0); p < total; p++ {
+		o := s.oob[p]
+		if o.State != OOBProgrammed || o.Parity || s.rain.IsParity(p) {
+			continue
+		}
+		if s.blocks[s.geo.BlockOf(p)].dead && s.state[p] != PageValid {
+			continue
+		}
+		s.rain.RestoreData(p)
+	}
+	for p := ssd.PPN(0); p < total; p++ {
+		o := s.oob[p]
+		if o.State != OOBProgrammed || !o.Parity {
+			continue
+		}
+		s.rain.RestoreParity(s.rain.StripeOf(p), maskFromHash(o.Hash))
+	}
+	return s.FlushParity(0)
+}
+
+// CheckRain verifies the stripe-parity invariant across the whole drive:
+// the data masks match the physically present members, flushed parity
+// never covers an absent member, every stale stripe is either queued for
+// flushing or provably unprotectable, and every flushed parity page's OOB
+// mask covers the tracked coverage. Tests call it after churning the
+// store through GC, drains, revivals and faults; nil without RAIN.
+func (s *Store) CheckRain() error {
+	if s.rain == nil {
+		return nil
+	}
+	total := ssd.PPN(s.geo.TotalPages())
+	for p := ssd.PPN(0); p < total; p++ {
+		if s.rain.IsParity(p) {
+			continue
+		}
+		st := s.rain.StripeOf(p)
+		bit := uint32(0)
+		for cig := 0; cig < s.rain.Width(); cig++ {
+			if s.rain.PageOf(st, cig) == p {
+				bit = uint32(1) << cig
+				break
+			}
+		}
+		present := s.state[p] != PageFree && s.oob[p].State != OOBTorn
+		if s.blocks[s.geo.BlockOf(p)].dead {
+			// On a dead die only un-rebuilt valid pages remain members;
+			// invalid pages were dropped like an erase took them.
+			present = s.state[p] == PageValid && s.oob[p].State != OOBTorn
+		}
+		if got := s.rain.DataMask(st)&bit != 0; got != present {
+			return fmt.Errorf("ftl: rain invariant: page %d membership %v, want %v", p, got, present)
+		}
+	}
+	for st := int64(0); st < s.rain.Stripes(); st++ {
+		data, parity := s.rain.DataMask(st), s.rain.ParityMask(st)
+		if parity&^data != 0 {
+			return fmt.Errorf("ftl: rain invariant: stripe %d parity %#x covers absent members (data %#x)",
+				st, parity, data)
+		}
+		slot := s.rain.ParitySlot(st)
+		info := &s.blocks[s.geo.BlockOf(slot)]
+		if data != parity && !s.rain.IsOpen(st) && !info.bad && !info.dead {
+			return fmt.Errorf("ftl: rain invariant: stripe %d stale (data %#x parity %#x) but not open",
+				st, data, parity)
+		}
+		if parity != 0 {
+			o := s.oob[slot]
+			if o.State != OOBProgrammed || !o.Parity {
+				return fmt.Errorf("ftl: rain invariant: stripe %d covered but parity slot %d is %v",
+					st, slot, o.State)
+			}
+			if flushed := maskFromHash(o.Hash); parity&^flushed != 0 {
+				return fmt.Errorf("ftl: rain invariant: stripe %d coverage %#x exceeds flushed mask %#x",
+					st, parity, flushed)
+			}
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"zombiessd/internal/fault"
+	"zombiessd/internal/rain"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/telemetry"
 )
@@ -105,6 +106,12 @@ type StoreConfig struct {
 	// multi-victim lookahead batching. The zero value keeps GC blocking
 	// and bit-identical to the pre-preemption collector.
 	Preempt PreemptConfig
+
+	// RAIN is the intra-SSD parity plan (see rain.go and internal/rain):
+	// XOR parity striped across channels, uncorrectable-read
+	// reconstruction, and die-failure survival. The zero value reserves
+	// no parity slots and is bit-identical to a store without the field.
+	RAIN rain.Config
 }
 
 // DefaultStoreConfig returns a 2-block threshold, greedy GC.
@@ -134,6 +141,9 @@ func (c StoreConfig) Validate() error {
 		return err
 	}
 	if err := c.Preempt.Validate(); err != nil {
+		return err
+	}
+	if err := c.RAIN.Validate(); err != nil {
 		return err
 	}
 	return nil
@@ -173,6 +183,7 @@ type blockInfo struct {
 	free      bool
 	active    bool
 	bad       bool // retired: never erased, allocated or collected again
+	dead      bool // its die failed: unreadable, but valid pages await RAIN rebuild
 	draining  bool // queued by the partial collector; foreground GC skips it
 }
 
@@ -278,6 +289,25 @@ type Store struct {
 	pageOwner   []int16
 	curTenant   int16
 	tenantStats []TenantStoreStats
+
+	// RAIN state (see rain.go): the stripe tracker, its activity
+	// counters, and the die-failure trigger with the rebuild daemon's
+	// resumable scan position. rain is nil — no parity slots, no stripe
+	// bookkeeping — unless StoreConfig.RAIN enables it; the die-failure
+	// fields idle at zero unless Faults.DieFailAtOp arms them.
+	rain      *rain.Tracker
+	rainStats rain.Stats
+	deadPlane []bool // planes of failed dies; allocation and drains skip them
+
+	dieFailAt    int64    // Faults.DieFailAtOp; 0 = never
+	dieOps       int64    // host ops counted while armed
+	dieFailed    bool     // the one-shot trigger has fired
+	dieFailClock ssd.Time // when the die died (rebuild-time reporting)
+
+	rebuildCursor ssd.PPN  // resumable rebuild-daemon scan position
+	rebuildFound  bool     // the current sweep found work (another pass needed)
+	rebuildDone   bool     // a full sweep found nothing left to rebuild
+	rebuildClock  ssd.Time // when the daemon last re-landed a page
 }
 
 // NewStore returns a Store over bus with every block free.
@@ -317,8 +347,27 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 	}
 	if s.integ != nil {
 		s.progTime = make([]ssd.Time, geo.TotalPages())
-		s.lost = make([]bool, geo.TotalPages())
 		s.integRetries = cfg.Faults.WithDefaults().ReadRetries
+	}
+	if s.integ != nil || cfg.Faults.DieFailAtOp > 0 {
+		// Loss marks are kept for the integrity model and for die failure
+		// alike, so both loss paths share one counter (LostPages).
+		s.lost = make([]bool, geo.TotalPages())
+	}
+	if cfg.RAIN.Enabled() {
+		t, err := rain.NewTracker(geo, cfg.RAIN)
+		if err != nil {
+			return nil, err
+		}
+		s.rain = t
+	}
+	if df := cfg.Faults.DieFailAtOp; df > 0 {
+		if dies := geo.TotalChips() * geo.DiesPerChip; cfg.Faults.DieFailDie >= dies {
+			return nil, fmt.Errorf("fault: DieFailDie %d outside the drive's %d dies",
+				cfg.Faults.DieFailDie, dies)
+		}
+		s.dieFailAt = df
+		s.deadPlane = make([]bool, geo.TotalPlanes())
 	}
 	s.journalCap = int(geo.TotalPages())
 	if s.journalCap < journalCapFloor {
@@ -375,7 +424,15 @@ func (s *Store) Geometry() ssd.Geometry { return s.geo }
 // oversubscribing this bound will hit ErrNoSpace.
 func (s *Store) UsablePages() int64 {
 	reserve := int64(s.geo.TotalPlanes()) * int64(s.effThreshold) * int64(s.geo.PagesPerBlock)
-	return s.geo.TotalPages() - reserve
+	u := s.geo.TotalPages() - reserve
+	if s.rain != nil {
+		// One page per stripe is parity, in reserve blocks and data blocks
+		// alike, so only the data fraction of what remains can hold host
+		// pages.
+		w := int64(s.rain.Width())
+		u = u * (w - 1) / w
+	}
+	return u
 }
 
 // UsablePagesNow returns UsablePages minus the pages lost to retired (bad)
@@ -447,13 +504,27 @@ func (s *Store) Program(now ssd.Time) (ssd.PPN, ssd.Time, error) {
 	return s.ProgramStream(now, 0)
 }
 
-// ProgramStream is Program targeting a specific host write stream: pages of
+/// ProgramStream is Program targeting a specific host write stream: pages of
 // different streams never share a block, so callers can separate hot and
 // cold data. The stream index must be below StoreConfig.UserStreams (or 0
 // for single-stream stores).
 func (s *Store) ProgramStream(now ssd.Time, stream int) (ssd.PPN, ssd.Time, error) {
+	if err := s.dieTick(now); err != nil {
+		return ssd.InvalidPPN, 0, err
+	}
 	plane := s.planeOrder[s.cursor]
 	s.cursor = (s.cursor + 1) % len(s.planeOrder)
+	if s.deadPlane != nil && s.deadPlane[plane] {
+		// A failed die's planes leave the allocation rotation; the write
+		// lands on the next living plane.
+		for i := 1; i < len(s.planeOrder) && s.deadPlane[plane]; i++ {
+			plane = s.planeOrder[s.cursor]
+			s.cursor = (s.cursor + 1) % len(s.planeOrder)
+		}
+		if s.deadPlane[plane] {
+			return ssd.InvalidPPN, 0, fmt.Errorf("ftl: every plane dead: %w", ErrNoSpace)
+		}
+	}
 	maxStream := s.cfg.UserStreams
 	if maxStream < 1 {
 		maxStream = 1
@@ -518,7 +589,12 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 			if s.integ != nil {
 				// A fresh program resets the page's decay clock.
 				s.progTime[ppn] = done
-				s.clearLost(ppn)
+			}
+			s.clearLost(ppn)
+			if s.rain != nil {
+				if err := s.rainOnProgram(ppn, done); err != nil {
+					return ssd.InvalidPPN, 0, err
+				}
 			}
 			return ppn, done, nil
 		}
@@ -544,7 +620,24 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 // the read uncorrectable (ErrUncorrectable; the returned time is still the
 // completion of the failed ECC ladder and the page's data is lost).
 func (s *Store) Read(p ssd.PPN, now ssd.Time) (ssd.Time, error) {
-	return s.readPageAt(p, now, now, true)
+	if err := s.dieTick(now); err != nil {
+		return 0, err
+	}
+	if s.PageDead(p) {
+		return s.readDead(p, now, now)
+	}
+	done, err := s.readPageAt(p, now, now, true)
+	if err != nil && errors.Is(err, ErrUncorrectable) {
+		// Host-path loss repairs itself when RAIN covers the page: read
+		// the surviving members, XOR, re-land, rebind — the read succeeds
+		// where it used to destroy data.
+		if rdone, ok, rerr := s.tryReconstruct(p, done, now); rerr != nil {
+			return 0, rerr
+		} else if ok {
+			return rdone, nil
+		}
+	}
+	return done, err
 }
 
 // readPage issues one page read plus any injected ECC retries, each a full
@@ -596,37 +689,53 @@ func (s *Store) gcStream(plane int) int {
 }
 
 // allocate takes the next page of the stream's active block, rolling to a
-// free block when the frontier fills.
+// free block when the frontier fills. Under RAIN the frontier steps over
+// parity slots — they stay PageFree until the stripe's parity is flushed
+// onto them — so the loop may advance more than one page; without RAIN it
+// runs exactly once.
 func (s *Store) allocate(plane, stream int) (ssd.PPN, error) {
 	pl := &s.planes[plane]
 	fr := &pl.frontiers[stream]
-	if fr.nextPage == s.geo.PagesPerBlock {
-		if len(pl.freeBlocks) == 0 {
-			return ssd.InvalidPPN, fmt.Errorf("plane %d: %w", plane, ErrNoSpace)
-		}
-		s.blocks[fr.active].active = false
-		pick := len(pl.freeBlocks) - 1
-		if s.cfg.WearAware {
-			// Take the least-erased free block so erases spread evenly.
-			for i, b := range pl.freeBlocks {
-				if s.blocks[b].erases < s.blocks[pl.freeBlocks[pick]].erases {
-					pick = i
+	for {
+		if fr.nextPage == s.geo.PagesPerBlock {
+			if len(pl.freeBlocks) == 0 {
+				return ssd.InvalidPPN, fmt.Errorf("plane %d: %w", plane, ErrNoSpace)
+			}
+			s.blocks[fr.active].active = false
+			pick := len(pl.freeBlocks) - 1
+			if s.cfg.WearAware {
+				// Take the least-erased free block so erases spread evenly.
+				for i, b := range pl.freeBlocks {
+					if s.blocks[b].erases < s.blocks[pl.freeBlocks[pick]].erases {
+						pick = i
+					}
 				}
 			}
+			next := pl.freeBlocks[pick]
+			pl.freeBlocks[pick] = pl.freeBlocks[len(pl.freeBlocks)-1]
+			pl.freeBlocks = pl.freeBlocks[:len(pl.freeBlocks)-1]
+			s.blocks[next].free = false
+			s.blocks[next].active = true
+			fr.active = next
+			fr.nextPage = 0
 		}
-		next := pl.freeBlocks[pick]
-		pl.freeBlocks[pick] = pl.freeBlocks[len(pl.freeBlocks)-1]
-		pl.freeBlocks = pl.freeBlocks[:len(pl.freeBlocks)-1]
-		s.blocks[next].free = false
-		s.blocks[next].active = true
-		fr.active = next
-		fr.nextPage = 0
+		ppn := s.geo.PageAt(fr.active, fr.nextPage)
+		fr.nextPage++
+		if s.rain != nil && s.rain.IsParity(ppn) {
+			continue
+		}
+		if s.rain != nil && s.stripeUnprotectable(ppn) {
+			// The stripe's fixed parity home is retired or dead: any data
+			// landed here could never be covered, and the rebuild daemon
+			// would just refresh it away again. Skip the page — a small
+			// capacity shave on the blocks sharing offsets with a dead
+			// parity home.
+			continue
+		}
+		s.state[ppn] = PageValid
+		s.blocks[fr.active].valid++
+		return ppn, nil
 	}
-	ppn := s.geo.PageAt(fr.active, fr.nextPage)
-	fr.nextPage++
-	s.state[ppn] = PageValid
-	s.blocks[fr.active].valid++
-	return ppn, nil
 }
 
 // Invalidate turns a valid page into garbage (an update superseded it).
@@ -640,6 +749,12 @@ func (s *Store) Invalidate(p ssd.PPN) error {
 	b := s.geo.BlockOf(p)
 	s.blocks[b].valid--
 	s.blocks[b].invalid++
+	if s.rain != nil && s.blocks[b].dead && !s.rain.IsParity(p) {
+		// Garbage on a failed die will never be erased or revived; drop it
+		// from its stripe now, exactly as failDie drops the invalid pages
+		// it finds at failure time.
+		s.rain.NoteErased(p)
+	}
 	return nil
 }
 
@@ -695,7 +810,14 @@ func (s *Store) ensureSpace(plane int, now ssd.Time) error {
 func (s *Store) relocationCapacity(plane int) int32 {
 	pl := &s.planes[plane]
 	fr := &pl.frontiers[s.gcStream(plane)]
-	return int32(s.geo.PagesPerBlock-fr.nextPage) + int32(s.geo.PagesPerBlock*len(pl.freeBlocks))
+	c := int32(s.geo.PagesPerBlock-fr.nextPage) + int32(s.geo.PagesPerBlock*len(pl.freeBlocks))
+	if s.rain != nil {
+		// Parity slots cannot absorb relocated data; scale the estimate
+		// down by the stripe's data fraction so admitted victims always fit.
+		w := int32(s.rain.Width())
+		c = c * (w - 1) / w
+	}
+	return c
 }
 
 // victim selects the GC victim for a plane, or InvalidBlock when no
@@ -708,7 +830,7 @@ func (s *Store) victim(plane int) ssd.BlockID {
 	for i := 0; i < s.geo.BlocksPerPlane; i++ {
 		b := s.geo.BlockAt(plane, i)
 		info := &s.blocks[b]
-		if info.free || info.active || info.bad || info.draining ||
+		if info.free || info.active || info.bad || info.dead || info.draining ||
 			info.invalid == 0 || info.valid > capacity {
 			continue
 		}
@@ -867,6 +989,9 @@ func (s *Store) relandGC(plane int, stamp ssd.Time) (ssd.PPN, ssd.Time, error) {
 		info.active = false
 		info.bad = true
 		s.faults.RetiredBlocks++
+		if err := s.rainAfterErase(bad, stamp); err != nil {
+			return ssd.InvalidPPN, 0, err
+		}
 	}
 	// Force the next allocation to roll the frontier to a fresh block.
 	fr.nextPage = s.geo.PagesPerBlock
@@ -908,9 +1033,7 @@ func (s *Store) eraseVictim(plane int, v ssd.BlockID, now ssd.Time, relocated in
 	// leaves nothing recovery may resurrect.
 	for i := 0; i < s.geo.PagesPerBlock; i++ {
 		s.oob[first+ssd.PPN(i)] = OOB{}
-		if s.integ != nil {
-			s.clearLost(first + ssd.PPN(i))
-		}
+		s.clearLost(first + ssd.PPN(i))
 	}
 	info := &s.blocks[v]
 	info.valid = 0
@@ -929,11 +1052,17 @@ func (s *Store) eraseVictim(plane int, v ssd.BlockID, now ssd.Time, relocated in
 		info.bad = true
 		info.free = false
 		s.faults.RetiredBlocks++
+		if err := s.rainAfterErase(v, now); err != nil {
+			return false, err
+		}
 		return true, nil
 	}
 	info.free = true
 	s.gc.Erased++
 	s.planes[plane].freeBlocks = append(s.planes[plane].freeBlocks, v)
+	if err := s.rainAfterErase(v, now); err != nil {
+		return false, err
+	}
 	return true, nil
 }
 

@@ -1,0 +1,246 @@
+package rain
+
+import (
+	"errors"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+// testGeometry is a small drive with 8 channels so widths 2, 4 and 8 all
+// tile it: 8 ch × 2 chips × 1 die × 1 plane × 4 blocks × 16 pages.
+func testGeometry() ssd.Geometry {
+	return ssd.Geometry{
+		Channels: 8, ChipsPerChannel: 2, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 4, PagesPerBlock: 16, PageSize: 4096, OverProvision: 0.15,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"enabled-default-width", Config{Enable: true}, true},
+		{"min", Config{Enable: true, StripePages: MinStripe}, true},
+		{"max", Config{Enable: true, StripePages: MaxStripe}, true},
+		{"below-min", Config{Enable: true, StripePages: 1}, false},
+		{"negative", Config{Enable: true, StripePages: -4}, false},
+		{"above-max", Config{Enable: true, StripePages: MaxStripe + 1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("rejected valid config: %v", err)
+			}
+			if !c.ok && !errors.Is(err, ErrBadStripe) {
+				t.Fatalf("got %v, want ErrBadStripe", err)
+			}
+		})
+	}
+}
+
+func TestNewTrackerGeometryChecks(t *testing.T) {
+	geo := testGeometry()
+	if _, err := NewTracker(geo, Config{Enable: true, StripePages: 3}); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("width 3 on 8 channels: got %v, want ErrBadStripe", err)
+	}
+	geo.PagesPerBlock = 18 // not divisible by 4
+	if _, err := NewTracker(geo, Config{Enable: true, StripePages: 4}); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("width 4 on 18 pages/block: got %v, want ErrBadStripe", err)
+	}
+	one := testGeometry()
+	one.Channels = 1
+	if _, err := NewTracker(one, Config{Enable: true}); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("default width on 1 channel: got %v, want ErrBadStripe", err)
+	}
+}
+
+// TestStripeMath pins the combinatorics for every width that tiles the
+// test geometry: each page belongs to exactly one stripe, each stripe has
+// exactly one parity slot and Width()-1 data members, PageOf inverts
+// StripeOf, and parity slots rotate across the group's channels.
+func TestStripeMath(t *testing.T) {
+	geo := testGeometry()
+	for _, w := range []int{2, 4, 8} {
+		tr, err := NewTracker(geo, Config{Enable: true, StripePages: w})
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if tr.Width() != w {
+			t.Fatalf("width %d: Width() = %d", w, tr.Width())
+		}
+		wantStripes := geo.TotalPages() / int64(w)
+		if tr.Stripes() != wantStripes {
+			t.Fatalf("width %d: %d stripes, want %d", w, tr.Stripes(), wantStripes)
+		}
+		members := make(map[int64]int)
+		parity := make(map[int64]int)
+		seenParityChannels := make(map[int]bool)
+		for p := ssd.PPN(0); p < ssd.PPN(geo.TotalPages()); p++ {
+			st := tr.StripeOf(p)
+			if st < 0 || st >= tr.Stripes() {
+				t.Fatalf("width %d: page %d maps to stripe %d of %d", w, p, st, tr.Stripes())
+			}
+			if tr.IsParity(p) {
+				parity[st]++
+				if tr.ParitySlot(st) != p {
+					t.Fatalf("width %d: stripe %d parity slot %d, but page %d is parity",
+						w, st, tr.ParitySlot(st), p)
+				}
+				seenParityChannels[int(int64(p)/tr.ppc)] = true
+			} else {
+				members[st]++
+				cig := tr.cig(p)
+				if got := tr.PageOf(st, cig); got != p {
+					t.Fatalf("width %d: PageOf(%d,%d) = %d, want %d", w, st, cig, got, p)
+				}
+				if tr.FullMask(st)&(uint32(1)<<cig) == 0 {
+					t.Fatalf("width %d: member %d missing from FullMask of stripe %d", w, p, st)
+				}
+			}
+		}
+		for st := int64(0); st < tr.Stripes(); st++ {
+			if parity[st] != 1 {
+				t.Fatalf("width %d: stripe %d has %d parity slots, want 1", w, st, parity[st])
+			}
+			if members[st] != w-1 {
+				t.Fatalf("width %d: stripe %d has %d data members, want %d", w, st, members[st], w-1)
+			}
+		}
+		// Rotation: with PagesPerBlock ≥ width, every channel of the first
+		// group must host parity for some offset.
+		for cig := 0; cig < w; cig++ {
+			if !seenParityChannels[cig] {
+				t.Errorf("width %d: channel %d never holds parity (no rotation)", w, cig)
+			}
+		}
+	}
+}
+
+// TestMaskLifecycle walks one stripe through the tracker's state machine:
+// programs accumulate in the data mask, the last program closes the
+// stripe, MarkFlushed copies data to parity, NoteErased subtracts from
+// both masks, and an erased parity slot voids the coverage entirely.
+func TestMaskLifecycle(t *testing.T) {
+	tr, err := NewTracker(testGeometry(), Config{Enable: true, StripePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const st = int64(0)
+	slot := tr.ParitySlot(st)
+	var members []ssd.PPN
+	for cig := 0; cig < tr.Width(); cig++ {
+		if p := tr.PageOf(st, cig); p != slot {
+			members = append(members, p)
+		}
+	}
+	for i, m := range members {
+		gotSt, complete := tr.OnProgram(m)
+		if gotSt != st {
+			t.Fatalf("member %d reported stripe %d, want %d", m, gotSt, st)
+		}
+		if want := i == len(members)-1; complete != want {
+			t.Fatalf("after %d programs complete = %v, want %v", i+1, complete, want)
+		}
+	}
+	if !tr.IsOpen(st) {
+		t.Fatal("fully programmed stripe not open before flush")
+	}
+	if tr.Covered(members[0]) {
+		t.Fatal("member covered before any flush")
+	}
+	tr.MarkFlushed(st)
+	if tr.IsOpen(st) || tr.ParityMask(st) != tr.DataMask(st) {
+		t.Fatalf("after flush: open=%v parity=%#x data=%#x",
+			tr.IsOpen(st), tr.ParityMask(st), tr.DataMask(st))
+	}
+	for _, m := range members {
+		if !tr.Covered(m) {
+			t.Fatalf("member %d uncovered after flush", m)
+		}
+	}
+	tr.NoteErased(members[0])
+	if tr.Covered(members[0]) {
+		t.Fatal("erased member still covered")
+	}
+	if tr.IsOpen(st) {
+		t.Fatal("erase subtraction left the stripe open (masks should shrink together)")
+	}
+	tr.NoteErased(slot)
+	if tr.ParityMask(st) != 0 {
+		t.Fatalf("erased parity slot left coverage %#x", tr.ParityMask(st))
+	}
+	if !tr.IsOpen(st) {
+		t.Fatal("stripe with members but no parity not open")
+	}
+	if got := tr.OpenStripes(); len(got) != 1 || got[0] != st {
+		t.Fatalf("OpenStripes = %v, want [%d]", got, st)
+	}
+	tr.Drop(st)
+	if tr.IsOpen(st) {
+		t.Fatal("dropped stripe still open")
+	}
+	// Recovery path: Reset then restore intersects parity with data.
+	tr.Reset()
+	tr.RestoreData(members[1])
+	tr.RestoreParity(st, tr.FullMask(st))
+	if got := tr.ParityMask(st); got != tr.DataMask(st) {
+		t.Fatalf("restored parity %#x not intersected with data %#x", got, tr.DataMask(st))
+	}
+}
+
+// FuzzRainConfig throws arbitrary widths and geometry shapes at the
+// config/tracker constructors: every rejection must be classified as
+// ErrBadStripe, and every accepted tracker must tile the drive exactly —
+// each page in exactly one stripe, one parity slot per stripe.
+func FuzzRainConfig(f *testing.F) {
+	f.Add(0, 8, 16)
+	f.Add(2, 8, 16)
+	f.Add(4, 8, 64)
+	f.Add(8, 8, 128)
+	f.Add(3, 8, 16)
+	f.Add(-1, 4, 32)
+	f.Add(MaxStripe+1, 32, 32)
+	f.Fuzz(func(t *testing.T, width, channels, ppb int) {
+		if channels < 1 || channels > 64 || ppb < 1 || ppb > 512 {
+			t.Skip()
+		}
+		geo := ssd.Geometry{
+			Channels: channels, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+			BlocksPerPlane: 2, PagesPerBlock: ppb, PageSize: 4096, OverProvision: 0.1,
+		}
+		cfg := Config{Enable: true, StripePages: width}
+		tr, err := NewTracker(geo, cfg)
+		if err != nil {
+			if !errors.Is(err, ErrBadStripe) {
+				t.Fatalf("rejection not classified: %v", err)
+			}
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("NewTracker accepted what Validate rejects: %v", err)
+		}
+		parity := make(map[int64]int)
+		for p := ssd.PPN(0); p < ssd.PPN(geo.TotalPages()); p++ {
+			st := tr.StripeOf(p)
+			if st < 0 || st >= tr.Stripes() {
+				t.Fatalf("page %d maps to stripe %d of %d", p, st, tr.Stripes())
+			}
+			if tr.IsParity(p) {
+				parity[st]++
+			}
+		}
+		if int64(len(parity)) != tr.Stripes() {
+			t.Fatalf("%d stripes have parity, want %d", len(parity), tr.Stripes())
+		}
+		for st, n := range parity {
+			if n != 1 {
+				t.Fatalf("stripe %d has %d parity slots", st, n)
+			}
+		}
+	})
+}

@@ -31,6 +31,13 @@ type Snapshot struct {
 	Journal []ftl.Binding
 	// Bad flags pages in retired blocks; the scan skips them entirely.
 	Bad []bool
+	// Dead flags pages on failed dies (nil when no die has failed). Their
+	// blocks cannot be read, but the mapping claims their OOB records
+	// carry are modeled as recoverable — page metadata is tiny and RAIN
+	// parity (or the journal) preserves it — so winners on dead blocks
+	// survive as reconstruction targets while dead garbage never re-seeds
+	// the pool.
+	Dead []bool
 }
 
 // SnapshotOf captures the durable state of store.
@@ -38,16 +45,28 @@ func SnapshotOf(store *ftl.Store) Snapshot {
 	geo := store.Geometry()
 	pages := geo.TotalPages()
 	bad := make([]bool, pages)
+	var dead []bool
 	for p := int64(0); p < pages; p++ {
-		bad[p] = store.BadBlock(geo.BlockOf(ssd.PPN(p)))
+		b := geo.BlockOf(ssd.PPN(p))
+		bad[p] = store.BadBlock(b)
+		if store.DeadBlock(b) {
+			if dead == nil {
+				dead = make([]bool, pages)
+			}
+			dead[p] = true
+		}
 	}
 	return Snapshot{
 		Pages:   pages,
 		OOB:     store.OOBSnapshot(),
 		Journal: store.JournalSnapshot(),
 		Bad:     bad,
+		Dead:    dead,
 	}
 }
+
+// dead reports whether page p sits on a failed die.
+func (s Snapshot) dead(p int64) bool { return len(s.Dead) > 0 && s.Dead[p] }
 
 // Validate reports whether the snapshot is structurally sound.
 func (s Snapshot) Validate() error {
@@ -59,6 +78,9 @@ func (s Snapshot) Validate() error {
 	}
 	if int64(len(s.Bad)) != s.Pages {
 		return fmt.Errorf("recovery: %d bad flags for %d pages", len(s.Bad), s.Pages)
+	}
+	if s.Dead != nil && int64(len(s.Dead)) != s.Pages {
+		return fmt.Errorf("recovery: %d dead flags for %d pages", len(s.Dead), s.Pages)
 	}
 	return nil
 }
@@ -88,6 +110,8 @@ type Report struct {
 	PagesScanned     int64 // every non-bad page is read once
 	TornDiscarded    int64 // pages interrupted mid-program or mid-erase
 	BadSkipped       int64 // pages in retired blocks
+	ParityPages      int64 // RAIN parity pages: scanned but never claimed
+	DeadGarbage      int64 // unreadable dead-block zombies kept out of the pool
 	JournalReplayed  int   // journal records that survived validation
 	JournalDiscarded int   // journal records invalidated by erase/reprogram
 	Winners          int   // logical pages recovered
@@ -146,6 +170,12 @@ func BuildPlan(snap Snapshot) (Plan, error) {
 		case ftl.OOBTorn:
 			rep.TornDiscarded++
 		case ftl.OOBProgrammed:
+			if o.Parity {
+				// Parity OOB carries a coverage mask, not a mapping claim;
+				// the store's RAIN tail restores it separately.
+				rep.ParityPages++
+				continue
+			}
 			claim(Winner{LPN: o.LPN, PPN: ssd.PPN(p), Hash: o.Hash, Seq: o.Seq, Revived: o.Revived})
 		}
 	}
@@ -158,7 +188,7 @@ func BuildPlan(snap Snapshot) (Plan, error) {
 			continue
 		}
 		o := snap.OOB[p]
-		if o.State != ftl.OOBProgrammed || o.Seq > r.Seq {
+		if o.State != ftl.OOBProgrammed || o.Parity || o.Seq > r.Seq {
 			rep.JournalDiscarded++
 			continue
 		}
@@ -176,12 +206,21 @@ func BuildPlan(snap Snapshot) (Plan, error) {
 		return plan.Winners[i].LPN < plan.Winners[j].LPN
 	})
 
-	// Phase 3: programmed pages nobody claims are zombies.
+	// Phase 3: programmed pages nobody claims are zombies. Parity pages
+	// hold no host data, and dead-block zombies can never be read again,
+	// so neither re-seeds the pool.
 	for p := int64(0); p < snap.Pages; p++ {
 		if snap.Bad[p] || snap.OOB[p].State != ftl.OOBProgrammed || claimed[ssd.PPN(p)] {
 			continue
 		}
 		o := snap.OOB[p]
+		if o.Parity {
+			continue
+		}
+		if snap.dead(p) {
+			rep.DeadGarbage++
+			continue
+		}
 		plan.Garbage = append(plan.Garbage, GarbagePage{PPN: ssd.PPN(p), LPN: o.LPN, Hash: o.Hash, Seq: o.Seq})
 	}
 	sort.Slice(plan.Garbage, func(i, j int) bool {
@@ -217,4 +256,53 @@ func (p Plan) GarbagePPNs() []ssd.PPN {
 		out[i] = g.PPN
 	}
 	return out
+}
+
+// RebuildPlan describes the RAIN rebuild work that survives a crash: the
+// dies that had failed before power was lost and the recovered pages
+// still stranded on them. The online rebuild daemon resumes against
+// exactly this set — pages it re-landed before the crash are durable and
+// no longer appear here.
+type RebuildPlan struct {
+	// DeadDies lists the flat die indices (channel→chip→die order) whose
+	// every block is dead.
+	DeadDies []int
+	// Pending lists the winner pages on dead blocks, unique and ascending
+	// — each one a reconstruction target for the rebuild daemon.
+	Pending []ssd.PPN
+}
+
+// Rebuild derives the post-crash RAIN rebuild plan from the snapshot's
+// dead map and the scan's winners. The zero plan (no dead dies, nothing
+// pending) comes back when no die has failed.
+func Rebuild(geo ssd.Geometry, snap Snapshot, plan Plan) RebuildPlan {
+	var rp RebuildPlan
+	if len(snap.Dead) == 0 {
+		return rp
+	}
+	// A die's planes are contiguous in the plane order and blocks are laid
+	// out plane-major, so each die owns one contiguous PPN range.
+	dies := geo.TotalChips() * geo.DiesPerChip
+	perDie := geo.TotalPages() / int64(dies)
+	for d := 0; d < dies; d++ {
+		allDead := true
+		for p := int64(d) * perDie; p < int64(d+1)*perDie; p++ {
+			if !snap.Dead[p] {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			rp.DeadDies = append(rp.DeadDies, d)
+		}
+	}
+	seen := make(map[ssd.PPN]bool)
+	for _, w := range plan.Winners {
+		if snap.dead(int64(w.PPN)) && !seen[w.PPN] {
+			seen[w.PPN] = true
+			rp.Pending = append(rp.Pending, w.PPN)
+		}
+	}
+	sort.Slice(rp.Pending, func(i, j int) bool { return rp.Pending[i] < rp.Pending[j] })
+	return rp
 }

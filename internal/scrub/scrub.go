@@ -232,6 +232,12 @@ func (sc *Scrubber) patrol(b ssd.BlockID, clock ssd.Time) error {
 				return err
 			}
 		}
+		if sc.store.State(p) != ftl.PageValid {
+			// The sample read repaired the page onto fresh flash (stripe
+			// reconstruction), or the GC it triggered relocated a later
+			// page of this block; either way the copy here is stale.
+			continue
+		}
 		if sc.store.EstimatedRBER(p, clock) < sc.cfg.RefreshRBER {
 			continue
 		}
@@ -244,6 +250,11 @@ func (sc *Scrubber) patrol(b ssd.BlockID, clock ssd.Time) error {
 		if err != nil {
 			if errors.Is(err, ftl.ErrUncorrectable) {
 				sc.st.UECCFound++
+				continue
+			}
+			if errors.Is(err, ftl.ErrPageState) {
+				// The GC that made room for the refresh consumed the page
+				// mid-flight; its content already lives elsewhere.
 				continue
 			}
 			return err

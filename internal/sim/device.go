@@ -20,6 +20,7 @@ import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/health"
 	"zombiessd/internal/lxssd"
+	"zombiessd/internal/rain"
 	"zombiessd/internal/scrub"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/telemetry"
@@ -101,6 +102,13 @@ type Config struct {
 	// ungoverned and bit-identical to earlier builds.
 	Health health.Config
 
+	// RAIN arms intra-SSD channel-stripe parity: one page per stripe holds
+	// the XOR of the others, uncorrectable reads and die failures repair
+	// through stripe reconstruction, and an online daemon rebuilds a dead
+	// die's live pages into spare capacity. The zero value builds no
+	// tracker, reserves no parity slots and stays bit-identical.
+	RAIN rain.Config
+
 	// Telemetry, when non-nil, is attached to the assembled device: the
 	// bus reports every stamped flash operation to it, the store tags GC
 	// and ECC work, and the device registers its gauges (queue backlog, GC
@@ -177,6 +185,9 @@ func (c Config) Validate() error {
 	if err := c.Health.Validate(); err != nil {
 		return err
 	}
+	if err := c.RAIN.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -205,6 +216,7 @@ type DeviceMetrics struct {
 	Pool   core.PoolStats
 	Faults fault.Stats
 	Scrub  scrub.Stats
+	Rain   rain.Stats
 }
 
 // ShortCircuited returns the number of writes that required no flash
@@ -259,6 +271,7 @@ func (m DeviceMetrics) Sub(prev DeviceMetrics) DeviceMetrics {
 		},
 		Faults: m.Faults.Sub(prev.Faults),
 		Scrub:  m.Scrub.Sub(prev.Scrub),
+		Rain:   m.Rain.Sub(prev.Rain),
 	}
 }
 
@@ -296,6 +309,9 @@ func NewDevice(cfg Config) (Device, error) {
 	}
 	if cfg.Faults.Active() {
 		cfg.Store.Faults = cfg.Faults
+	}
+	if cfg.RAIN.Enabled() {
+		cfg.Store.RAIN = cfg.RAIN
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -353,6 +369,12 @@ func NewDevice(cfg Config) (Device, error) {
 	if cfg.Store.Preempt.PartialEnabled() {
 		dev = &preemptDevice{inner: dev, store: store}
 	}
+	if cfg.RAIN.Enabled() {
+		// Outside partial GC (rebuild work is stamped before the request
+		// claims the chip timeline) but inside the health governor, whose
+		// verdict gates maintenance too.
+		dev = &rainDevice{inner: dev, store: store}
+	}
 	if cfg.Health.Enabled() {
 		// Outermost: the governor's verdict must gate partial GC and the
 		// scrub patrol too — a read-only or dead drive does no new work.
@@ -392,6 +414,21 @@ func registerDeviceGauges(tel *telemetry.Telemetry, dev Device, bus *ssd.Bus, st
 		tel.RegisterGauge("gc_drain_backlog_pages",
 			"valid pages still awaiting migration in partial-GC drain queues", nil,
 			func(ssd.Time) float64 { return float64(store.DrainBacklogPages()) })
+	}
+	if store.IntegrityArmed() || store.DieFailArmed() {
+		// One unified loss gauge: scrub-patrol UECC, host-path UECC and
+		// die failure all funnel through the same counter.
+		tel.RegisterGauge("lost_pages",
+			"pages whose data is currently destroyed and unreconstructed", nil,
+			func(ssd.Time) float64 { return float64(store.LostPages()) })
+	}
+	if store.RainEnabled() {
+		tel.RegisterGauge("rain_parity_programs",
+			"parity page programs charged by stripe flushes", nil,
+			func(ssd.Time) float64 { return float64(store.RainStats().ParityPrograms) })
+		tel.RegisterGauge("rain_reconstructed_pages",
+			"pages rebuilt from surviving stripe members plus parity", nil,
+			func(ssd.Time) float64 { return float64(store.RainStats().ReconstructedPages) })
 	}
 	if hd, ok := dev.(*healthDevice); ok {
 		// Only registered under the governor so ungoverned runs keep the

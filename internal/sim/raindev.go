@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/recovery"
+	"zombiessd/internal/scrub"
+	"zombiessd/internal/ssd"
+	"zombiessd/internal/trace"
+)
+
+// rainFlushInterval is the parity flush barrier: every this many host
+// writes, the rainDevice closes all open stripes so a trailing partial
+// stripe (a write burst that stopped mid-stripe, or pages dribbling out
+// of the DRAM write buffer) is never uncovered for long. Stripes that
+// fill normally flush on completion and never wait for the barrier.
+const rainFlushInterval = 1024
+
+// rainDevice interposes the RAIN maintenance daemons in front of any
+// device: every host request first gives the store one idle window of the
+// die-rebuild daemon (a no-op until a die fails), and the periodic flush
+// barrier bounds how long a partially filled stripe's members stay
+// unprotected. The wrapper sits outside partial GC — rebuild work must be
+// stamped before the request claims the chip timeline — and inside the
+// health governor, whose verdict gates all of it.
+type rainDevice struct {
+	inner Device
+	store *ftl.Store
+
+	writes  int64
+	rebuild recovery.RebuildPlan
+}
+
+// Write implements Device.
+func (d *rainDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, error) {
+	if err := d.store.RebuildTick(now); err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
+	done, err := d.inner.Write(lpn, h, now)
+	if err != nil {
+		return done, err
+	}
+	d.writes++
+	if d.writes%rainFlushInterval == 0 {
+		if ferr := d.store.FlushParity(now); ferr != nil {
+			return 0, wrapInterrupted(lpn, ferr)
+		}
+	}
+	return done, nil
+}
+
+// Read implements Device.
+func (d *rainDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
+	if err := d.store.RebuildTick(now); err != nil {
+		return 0, err
+	}
+	return d.inner.Read(lpn, now)
+}
+
+// Metrics implements Device, folding in the store's RAIN counters.
+func (d *rainDevice) Metrics() DeviceMetrics {
+	m := d.inner.Metrics()
+	m.Rain = d.store.RainStats()
+	return m
+}
+
+// Scrubber forwards to the inner device so patrol introspection still
+// works when the wrappers are stacked.
+func (d *rainDevice) Scrubber() *scrub.Scrubber {
+	if sr, ok := d.inner.(interface{ Scrubber() *scrub.Scrubber }); ok {
+		return sr.Scrubber()
+	}
+	return nil
+}
+
+// Bus forwards to the inner device for utilization reporting.
+func (d *rainDevice) Bus() *ssd.Bus {
+	if br, ok := d.inner.(interface{ Bus() *ssd.Bus }); ok {
+		return br.Bus()
+	}
+	return nil
+}
+
+// Store forwards to the inner device for wear and capacity introspection.
+func (d *rainDevice) Store() *ftl.Store { return StoreOf(d.inner) }
+
+// Recover implements Recoverer: the inner recovery rebuilds the mapping
+// and — through the store's RAIN tail — the stripe masks; afterwards the
+// wrapper re-derives the die-rebuild plan from the recovered durable
+// state, so the daemon resumes against exactly the pages still stranded
+// on dead dies rather than restarting from scratch.
+func (d *rainDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
+	rep, err := Recover(d.inner, opts)
+	if err != nil {
+		return rep, err
+	}
+	d.rebuild = recovery.RebuildPlan{}
+	if d.store.DieFailed() {
+		snap := recovery.SnapshotOf(d.store)
+		plan, perr := recovery.BuildPlan(snap)
+		if perr != nil {
+			return rep, perr
+		}
+		d.rebuild = recovery.Rebuild(d.store.Geometry(), snap, plan)
+	}
+	return rep, nil
+}
+
+// RebuildPlan exposes the die-rebuild plan computed by the last Recover —
+// the crash-during-rebuild tests assert resumption against it.
+func (d *rainDevice) RebuildPlan() recovery.RebuildPlan { return d.rebuild }
+
+// ReadHash implements HashReader by forwarding.
+func (d *rainDevice) ReadHash(lpn ftl.LPN) (trace.Hash, bool) {
+	if hr, ok := d.inner.(HashReader); ok {
+		return hr.ReadHash(lpn)
+	}
+	return trace.Hash{}, false
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke gc-smoke chaos-smoke rain-smoke repro examples clean
+.PHONY: all build vet test race bench bench-all trace-smoke fuzz-short lifetime-smoke crash-smoke scrub-smoke tenant-smoke gc-smoke chaos-smoke rain-smoke dftl-smoke paper-geometry-smoke repro examples clean
 
 all: build vet test
 
@@ -19,11 +19,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Telemetry overhead benchmark: sim.Run with the observability layer off
-# and on, recorded machine-readably in BENCH_telemetry.json.
+# Overhead benchmarks: sim.Run with the observability layer off and on
+# (BENCH_telemetry.json), and with the page map in RAM vs flash-resident
+# behind a bounded CMT (BENCH_dftl.json).
 bench:
 	$(GO) test -run='^$$' -bench BenchmarkRunTelemetry -benchmem ./internal/sim \
 		| $(GO) run ./cmd/benchjson -o BENCH_telemetry.json
+	$(GO) test -run='^$$' -bench BenchmarkRunDftl -benchmem ./internal/sim \
+		| $(GO) run ./cmd/benchjson -o BENCH_dftl.json
 
 # The full benchmark sweep: every figure, ablation and micro-benchmark.
 bench-all:
@@ -47,6 +50,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzTenantConfig -fuzztime=5s ./internal/sim
 	$(GO) test -run='^$$' -fuzz=FuzzGCConfig -fuzztime=5s ./internal/faultflags
 	$(GO) test -run='^$$' -fuzz=FuzzHealthConfig -fuzztime=5s ./internal/faultflags
+	$(GO) test -run='^$$' -fuzz=FuzzDftlConfig -fuzztime=5s ./internal/faultflags
 	$(GO) test -run='^$$' -fuzz=FuzzRainConfig -fuzztime=5s ./internal/rain
 
 # Reduced-scale end-to-end run of the drive-to-death harness: every
@@ -89,6 +93,19 @@ chaos-smoke:
 # loss) and on (every page reconstructed from parity, zero loss).
 rain-smoke:
 	$(GO) run ./cmd/zombiectl -q -requests 24000 run rainsweep
+
+# Reduced-scale dftlsweep: all five architectures with the page map in RAM
+# (control) and flash-resident behind a small and a large CMT, reporting the
+# translation-vs-data GC split, the mapping write tax and the surviving
+# revival win.
+dftl-smoke:
+	$(GO) run ./cmd/zombiectl -q -requests 24000 run dftlsweep
+
+# Full-drive smoke: one evaluation-matrix cell on the paper's 1 TB Table I
+# geometry with the map flash-resident — the sparse host state and flat
+# per-block store metadata must keep it inside a CI runner's memory.
+paper-geometry-smoke:
+	$(GO) test -run=TestPaperGeometryCell -count=1 ./internal/experiments
 
 # Regenerate every table/figure of the paper plus the ablations.
 repro:

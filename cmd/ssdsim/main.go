@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"zombiessd/internal/core"
+	"zombiessd/internal/dftl"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/faultflags"
 	"zombiessd/internal/ftl"
@@ -48,6 +49,8 @@ type params struct {
 	scrub               scrub.Config
 	health              health.Config
 	rain                rain.Config
+	dftl                dftl.Config
+	paperGeom           bool
 	gcFaultWeight       float64
 	preempt             ftl.PreemptConfig
 	drainSuspects       bool
@@ -72,6 +75,7 @@ func main() {
 	flag.IntVar(&p.wbufPages, "wbuf", 0, "DRAM write-back buffer size in 4KB pages (0 = none)")
 	flag.BoolVar(&p.streams, "streams", false, "hot/cold multi-stream write placement")
 	flag.BoolVar(&p.precond, "precondition", true, "fill the footprint before the timed run")
+	flag.BoolVar(&p.paperGeom, "paper-geometry", false, "use the paper's full Table I 1 TB geometry instead of scaling the drive to the trace footprint")
 	rf := faultflags.Register(flag.CommandLine)
 	p.tel = telemetryflags.Register(flag.CommandLine)
 	flag.BoolVar(&p.drainSuspects, "gc-drain-suspects", false, "GC drains blocks at the suspect threshold first")
@@ -113,6 +117,7 @@ func main() {
 	p.preempt = rf.Preempt()
 	p.health = rf.Health()
 	p.rain = rf.Rain()
+	p.dftl = rf.Dftl()
 	p.faults.CrashAtOp = crashAt
 
 	if err := run(p); err != nil {
@@ -221,8 +226,12 @@ func simConfig(p params, footprint int64) sim.Config {
 	if kind == sim.KindDVP || kind == sim.KindDVPDedup {
 		popWeight = sim.DefaultPopularityWeight
 	}
+	geo := sim.GeometryFor(footprint, p.util)
+	if p.paperGeom {
+		geo = ssd.PaperGeometry()
+	}
 	return sim.Config{
-		Geometry: sim.GeometryFor(footprint, p.util),
+		Geometry: geo,
 		Latency:  ssd.PaperLatency(),
 		Store: ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: popWeight, SoftGCThreshold: p.softGC,
 			FaultPenaltyWeight: p.gcFaultWeight, DrainSuspects: p.drainSuspects, Preempt: p.preempt},
@@ -245,6 +254,7 @@ func simConfig(p params, footprint int64) sim.Config {
 		Scrub:            p.scrub,
 		Health:           p.health,
 		RAIN:             p.rain,
+		DFTL:             p.dftl,
 	}
 }
 
@@ -396,6 +406,9 @@ func printResult(cfg sim.Config, requests int, res sim.Result) {
 	}
 	if cfg.RAIN.Enabled() {
 		fmt.Printf("rain        %+v\n", m.Rain)
+	}
+	if cfg.DFTL.Enable {
+		fmt.Printf("dftl        hit=%.1f%%  %+v\n", m.Dftl.HitRate()*100, m.Dftl)
 	}
 	fmt.Printf("pool        %v\n", m.Pool)
 	fmt.Printf("latency all    %v\n", res.All)

@@ -40,6 +40,7 @@ func main() {
 	flag.StringVar(&opts.TenantSpec, "tenants", "", "tenantsweep tenant set (a count like 2, or specs like mail,trans:weight=2:ia=0.5); empty = built-in 1→8 ladder plus antagonist arm")
 	flag.StringVar(&opts.QoSPolicies, "qos", "fifo,wrr", "comma-separated QoS arbiters the tenantsweep crosses: fifo, wrr, tbucket")
 	flag.IntVar(&opts.QueueDepth, "qd", 0, "per-tenant queue-depth bound for multi-tenant cells (0 = tenantsweep default)")
+	flag.BoolVar(&opts.PaperGeometry, "paper-geometry", false, "run matrix cells on the paper's full Table I 1 TB geometry instead of footprint-scaled drives")
 	quiet := flag.Bool("q", false, "suppress progress notes on stderr")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	flag.Usage = usage
@@ -82,6 +83,7 @@ func main() {
 	opts.Health = rf.Health()
 	opts.Rain = rf.Rain()
 	opts.ChaosCycles, opts.ChaosSeed = rf.ChaosCycles, rf.ChaosSeed
+	opts.Dftl = rf.Dftl()
 	opts.Telemetry = tf.Telemetry
 
 	args := flag.Args()

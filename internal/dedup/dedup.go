@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/sparse"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/trace"
 )
@@ -30,9 +31,11 @@ type pageMeta struct {
 	lpns []ftl.LPN // logical owners; len(lpns) is the reference count
 }
 
-// Mapper is the deduplicating mapping unit.
+// Mapper is the deduplicating mapping unit. The forward table is
+// sparse-chunked so a full-geometry logical space costs RAM proportional
+// to the pages actually written, not the address-space size.
 type Mapper struct {
-	l2p    []ssd.PPN
+	l2p    *sparse.Array[ssd.PPN]
 	pages  map[ssd.PPN]*pageMeta
 	byHash map[trace.Hash]ssd.PPN
 
@@ -61,26 +64,22 @@ func NewMapper(logicalPages int64) (*Mapper, error) {
 	if logicalPages > int64(ftl.InvalidLPN) {
 		return nil, fmt.Errorf("dedup: %d logical pages exceeds the LPN space", logicalPages)
 	}
-	m := &Mapper{
-		l2p:    make([]ssd.PPN, logicalPages),
+	return &Mapper{
+		l2p:    sparse.New(logicalPages, ssd.InvalidPPN),
 		pages:  make(map[ssd.PPN]*pageMeta),
 		byHash: make(map[trace.Hash]ssd.PPN),
-	}
-	for i := range m.l2p {
-		m.l2p[i] = ssd.InvalidPPN
-	}
-	return m, nil
+	}, nil
 }
 
 // LogicalPages returns the host-visible address-space size.
-func (m *Mapper) LogicalPages() int64 { return int64(len(m.l2p)) }
+func (m *Mapper) LogicalPages() int64 { return m.l2p.Len() }
 
 // Stats returns cumulative counters.
 func (m *Mapper) Stats() Stats { return m.stats }
 
 // Lookup returns the physical page backing lpn.
 func (m *Mapper) Lookup(lpn ftl.LPN) (ssd.PPN, bool) {
-	p := m.l2p[lpn]
+	p := m.l2p.Get(int64(lpn))
 	return p, p != ssd.InvalidPPN
 }
 
@@ -116,7 +115,7 @@ func (m *Mapper) ValueOf(ppn ssd.PPN) (trace.Hash, bool) {
 // stays live. An index entry whose page has no metadata reports
 // ErrDedupCorrupt with the mapping untouched.
 func (m *Mapper) Unbind(lpn ftl.LPN) (ppn ssd.PPN, h trace.Hash, garbage, wasBound bool, err error) {
-	ppn = m.l2p[lpn]
+	ppn = m.l2p.Get(int64(lpn))
 	if ppn == ssd.InvalidPPN {
 		return ssd.InvalidPPN, trace.Hash{}, false, false, nil
 	}
@@ -126,7 +125,7 @@ func (m *Mapper) Unbind(lpn ftl.LPN) (ppn ssd.PPN, h trace.Hash, garbage, wasBou
 			fmt.Errorf("%w: LPN %d maps to %d which has no metadata", ErrDedupCorrupt, lpn, ppn)
 	}
 	m.stats.Unbinds++
-	m.l2p[lpn] = ssd.InvalidPPN
+	m.l2p.Set(int64(lpn), ssd.InvalidPPN)
 	for i, l := range meta.lpns {
 		if l == lpn {
 			meta.lpns = append(meta.lpns[:i], meta.lpns[i+1:]...)
@@ -155,7 +154,7 @@ func (m *Mapper) BindExisting(lpn ftl.LPN, ppn ssd.PPN) error {
 	}
 	m.stats.DedupHits++
 	meta.lpns = append(meta.lpns, lpn)
-	m.l2p[lpn] = ppn
+	m.l2p.Set(int64(lpn), ppn)
 	return nil
 }
 
@@ -174,7 +173,7 @@ func (m *Mapper) BindNew(lpn ftl.LPN, ppn ssd.PPN, h trace.Hash) error {
 	m.stats.NewPages++
 	m.pages[ppn] = &pageMeta{hash: h, lpns: []ftl.LPN{lpn}}
 	m.byHash[h] = ppn
-	m.l2p[lpn] = ppn
+	m.l2p.Set(int64(lpn), ppn)
 	return nil
 }
 
@@ -203,7 +202,7 @@ func (m *Mapper) Relocate(src, dst ssd.PPN) {
 	m.pages[dst] = meta
 	m.byHash[meta.hash] = dst
 	for _, lpn := range meta.lpns {
-		m.l2p[lpn] = dst
+		m.l2p.Set(int64(lpn), dst)
 	}
 }
 

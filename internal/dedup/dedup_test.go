@@ -148,7 +148,7 @@ func TestCorruptionShapes(t *testing.T) {
 		{"Unbind dangling index entry", func(m *Mapper) error {
 			// Corrupt the mapper directly: an l2p entry pointing at a page
 			// with no metadata, the shape a torn metadata update leaves.
-			m.l2p[3] = 77
+			m.l2p.Set(3, 77)
 			_, _, _, _, err := m.Unbind(3)
 			return err
 		}},
@@ -214,8 +214,8 @@ func checkConsistency(t *testing.T, m *Mapper) {
 			t.Fatalf("content index for %v does not point at %d", meta.hash, ppn)
 		}
 		for _, lpn := range meta.lpns {
-			if m.l2p[lpn] != ppn {
-				t.Fatalf("owner %d of page %d maps elsewhere (%d)", lpn, ppn, m.l2p[lpn])
+			if m.l2p.Get(int64(lpn)) != ppn {
+				t.Fatalf("owner %d of page %d maps elsewhere (%d)", lpn, ppn, m.l2p.Get(int64(lpn)))
 			}
 			owners++
 		}
@@ -224,11 +224,11 @@ func checkConsistency(t *testing.T, m *Mapper) {
 		t.Fatalf("content index size %d != live pages %d", len(m.byHash), len(m.pages))
 	}
 	mapped := 0
-	for _, ppn := range m.l2p {
+	m.l2p.ForEach(func(_ int64, ppn ssd.PPN) {
 		if ppn != ssd.InvalidPPN {
 			mapped++
 		}
-	}
+	})
 	if mapped != owners {
 		t.Fatalf("%d mapped LPNs but %d owners recorded", mapped, owners)
 	}

@@ -1,0 +1,246 @@
+package dftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"zombiessd/internal/ssd"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"zero", Config{}, nil},
+		{"enabled default", Config{Enable: true}, nil},
+		{"enabled sized", Config{Enable: true, CMTFrames: 8, BatchEvict: true}, nil},
+		{"negative frames", Config{Enable: true, CMTFrames: -1}, ErrBadFrames},
+		{"huge frames", Config{Enable: true, CMTFrames: maxCMTFrames + 1}, ErrBadFrames},
+		{"frames without enable", Config{CMTFrames: 8}, ErrDisabled},
+		{"batch without enable", Config{BatchEvict: true}, ErrDisabled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	if got := (Config{Enable: true}).WithDefaults().CMTFrames; got != DefaultCMTFrames {
+		t.Errorf("enabled zero frames defaulted to %d, want %d", got, DefaultCMTFrames)
+	}
+	if got := (Config{Enable: true, CMTFrames: 3}).WithDefaults().CMTFrames; got != 3 {
+		t.Errorf("explicit frames overwritten to %d", got)
+	}
+	if got := (Config{}).WithDefaults(); got != (Config{}) {
+		t.Errorf("disabled zero value changed to %+v", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := NewCMT(Config{Enable: true, CMTFrames: 2}, 16*1024, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three distinct TVPNs (1024 entries each at 4 KB pages).
+	touch := func(tvpn uint32) {
+		if !c.Touch(tvpn) {
+			if c.Full() {
+				if v, dirty, _, ok := c.EvictVictim(); ok && dirty {
+					t.Fatalf("clean workload evicted dirty tvpn %d", v)
+				}
+			}
+			c.Install(tvpn)
+		}
+	}
+	touch(0)
+	touch(1)
+	touch(0) // 0 now MRU
+	touch(2) // must evict 1
+	if c.Resident(1) {
+		t.Error("LRU frame 1 still resident after eviction")
+	}
+	if !c.Resident(0) || !c.Resident(2) {
+		t.Error("recently used frames were evicted")
+	}
+	if c.Stat.Hits != 1 || c.Stat.Misses != 3 {
+		t.Errorf("hits/misses = %d/%d, want 1/3", c.Stat.Hits, c.Stat.Misses)
+	}
+}
+
+// TestNoUpdateLostAcrossEvictReloadAndCrash is the seeded property test of
+// the CMT model, orchestrated exactly as ftl.Store drives it: random
+// mapping updates fault frames in, evict LRU victims (writing dirty ones
+// back), and occasionally GC-relocate flash translation pages. Invariants:
+// (1) EntryOf always returns the latest update — no update is lost across
+// evict/reload; (2) after a simulated power cut (frames dropped), every
+// lpn resolves to its last *written-back* binding — translation-page
+// last-writer-wins; (3) after a recovery checkpoint re-land, the full
+// latest mapping is restored.
+func TestNoUpdateLostAcrossEvictReloadAndCrash(t *testing.T) {
+	const (
+		logical = 64 * 1024 // 64 TVPNs at 4 KB pages
+		ops     = 120_000
+	)
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewCMT(Config{Enable: true, CMTFrames: 4}, logical, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint32]ssd.PPN{}     // latest update per lpn
+		durable := map[uint32]ssd.PPN{} // last written-back value per lpn
+		nextPPN := ssd.PPN(1)           // fresh fake flash locations
+		freshPPN := func() ssd.PPN { p := nextPPN; nextPPN++; return p }
+
+		commit := func(tvpn uint32, entries []ssd.PPN) {
+			old := c.Committed(tvpn, entries, freshPPN())
+			_ = old
+			base := tvpn * uint32(EntriesPerPage(4096))
+			for i, p := range entries {
+				if p == ssd.InvalidPPN {
+					delete(durable, base+uint32(i))
+				} else {
+					durable[base+uint32(i)] = p
+				}
+			}
+		}
+		ensure := func(tvpn uint32) {
+			if c.Touch(tvpn) {
+				return
+			}
+			if c.Full() {
+				v, dirty, entries, ok := c.EvictVictim()
+				if !ok {
+					t.Fatal("full CMT had no victim")
+				}
+				if dirty {
+					commit(v, entries)
+				}
+			}
+			c.Install(tvpn)
+		}
+
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 9: // translation GC relocates one written TVPN's flash copy
+				tvpn := uint32(rng.Intn(int(c.TransPages())))
+				src := c.Loc(tvpn)
+				if src == ssd.InvalidPPN {
+					continue
+				}
+				if c.cfg.BatchEvict && c.ResidentDirty(tvpn) {
+					commit(tvpn, c.FrameEntries(tvpn))
+					continue
+				}
+				if err := c.Relocated(tvpn, src, freshPPN()); err != nil {
+					t.Fatal(err)
+				}
+			default: // host mapping update
+				lpn := uint32(rng.Intn(logical))
+				ppn := ssd.PPN(rng.Intn(1 << 28))
+				ensure(c.TVPNOf(lpn))
+				if err := c.Update(lpn, ppn); err != nil {
+					t.Fatal(err)
+				}
+				ref[lpn] = ppn
+			}
+			if op%10_000 == 0 {
+				lpn := uint32(rng.Intn(logical))
+				got, ok := c.EntryOf(lpn)
+				want, wok := ref[lpn]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("seed %d op %d: EntryOf(%d) = %d,%v, want %d,%v", seed, op, lpn, got, ok, want, wok)
+				}
+			}
+		}
+
+		// (1) No update lost across evict/reload.
+		for lpn, want := range ref {
+			if got, ok := c.EntryOf(lpn); !ok || got != want {
+				t.Fatalf("seed %d: EntryOf(%d) = %d,%v, want %d", seed, lpn, got, ok, want)
+			}
+		}
+
+		// (2) Power cut: resident frames vanish; flash resolves every lpn
+		// to its last written-back binding.
+		c.DropFrames()
+		for lpn, want := range durable {
+			if got, ok := c.EntryOf(lpn); !ok || got != want {
+				t.Fatalf("seed %d post-crash: EntryOf(%d) = %d,%v, want durable %d", seed, lpn, got, ok, want)
+			}
+		}
+		for lpn := uint32(0); lpn < logical; lpn += 97 {
+			if _, wok := durable[lpn]; wok {
+				continue
+			}
+			if _, ok := c.EntryOf(lpn); ok {
+				t.Fatalf("seed %d post-crash: lpn %d resolves but was never written back", seed, lpn)
+			}
+		}
+
+		// (3) Recovery checkpoint re-land restores the full latest mapping.
+		c.ResetAll()
+		epp := EntriesPerPage(4096)
+		byTVPN := map[uint32][]ssd.PPN{}
+		for lpn, ppn := range ref {
+			tvpn := c.TVPNOf(lpn)
+			e, ok := byTVPN[tvpn]
+			if !ok {
+				e = make([]ssd.PPN, epp)
+				for i := range e {
+					e[i] = ssd.InvalidPPN
+				}
+				byTVPN[tvpn] = e
+			}
+			e[int(lpn)%epp] = ppn
+		}
+		for tvpn, entries := range byTVPN {
+			c.Committed(tvpn, entries, freshPPN())
+		}
+		for lpn, want := range ref {
+			if got, ok := c.EntryOf(lpn); !ok || got != want {
+				t.Fatalf("seed %d post-recovery: EntryOf(%d) = %d,%v, want %d", seed, lpn, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestCommittedReturnsOldLocation(t *testing.T) {
+	c, err := NewCMT(Config{Enable: true, CMTFrames: 2}, 2048, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Install(0)
+	if err := c.Update(5, 77); err != nil {
+		t.Fatal(err)
+	}
+	if old := c.Committed(0, c.FrameEntries(0), 100); old != ssd.InvalidPPN {
+		t.Fatalf("first commit returned old %d, want InvalidPPN", old)
+	}
+	if err := c.Update(5, 78); err != nil {
+		t.Fatal(err)
+	}
+	if old := c.Committed(0, c.FrameEntries(0), 200); old != 100 {
+		t.Fatalf("second commit returned old %d, want 100", old)
+	}
+	if c.Loc(0) != 200 {
+		t.Fatalf("GTD points at %d, want 200", c.Loc(0))
+	}
+	if got, ok := c.DurableEntryOf(5); !ok || got != 78 {
+		t.Fatalf("DurableEntryOf(5) = %d,%v, want 78", got, ok)
+	}
+}

@@ -48,7 +48,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15",
 		"ablation-policy", "ablation-gc", "ablation-adaptive", "ablation-bgc",
 		"ablation-faults", "lifetime", "stability", "crashsweep", "scrubsweep",
-		"tenantsweep", "gcsweep", "chaossweep", "rainsweep"}
+		"tenantsweep", "gcsweep", "chaossweep", "rainsweep", "dftlsweep"}
 	if len(All()) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"zombiessd/internal/core"
+	"zombiessd/internal/dftl"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/health"
@@ -114,6 +115,19 @@ type Options struct {
 	// ChaosSeed drives crash placement inside the chaos soak,
 	// independently of Seed and CrashSeed.
 	ChaosSeed int64
+	// Dftl is the flash-resident mapping plan (sim.Config.DFTL) applied to
+	// every simulated device: the page map lives in translation pages on
+	// flash with a bounded LRU cache of resident frames, and translation
+	// blocks are garbage-collected as a second stream. The zero value (the
+	// default) keeps the map in free RAM and every paper figure
+	// bit-identical; the dftlsweep experiment crosses its own CMT-size
+	// arms.
+	Dftl dftl.Config
+	// PaperGeometry, when true, runs every simulated device on the paper's
+	// full Table I 1 TB drive instead of the footprint-scaled default.
+	// Per-page host state is chunked sparse arrays, so only the touched
+	// footprint costs RAM and the big drive fits a CI runner.
+	PaperGeometry bool
 }
 
 // DefaultOptions returns the scale used by `zombiectl` unless overridden:
@@ -185,6 +199,9 @@ func (o Options) Validate() error {
 	if o.ChaosSeed < 0 {
 		return fmt.Errorf("experiments: chaos seed must be ≥ 0, got %d", o.ChaosSeed)
 	}
+	if err := o.Dftl.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -203,8 +220,12 @@ func (o Options) ScaleEntries(paperEntries int) int {
 // experiment for a workload with the given footprint.
 func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolKind, paperEntries int) sim.Config {
 	entries := o.ScaleEntries(paperEntries)
+	geo := sim.GeometryFor(footprint, o.Utilization)
+	if o.PaperGeometry {
+		geo = ssd.PaperGeometry()
+	}
 	return sim.Config{
-		Geometry: sim.GeometryFor(footprint, o.Utilization),
+		Geometry: geo,
 		Latency:  ssd.PaperLatency(),
 		Store: ftl.StoreConfig{
 			GCFreeBlockThreshold: 2,
@@ -222,6 +243,7 @@ func (o Options) deviceConfig(kind sim.Kind, footprint int64, poolKind sim.PoolK
 		Scrub:        o.Scrub,
 		Health:       o.Health,
 		RAIN:         o.Rain,
+		DFTL:         o.Dftl,
 	}
 }
 

@@ -73,6 +73,8 @@ var registry = []Experiment{
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunChaossweep(o) }},
 	{ID: "rainsweep", Title: "Rainsweep: whole-die failure and RAIN parity reconstruction across architectures",
 		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunRainsweep(o) }},
+	{ID: "dftlsweep", Title: "Dftlsweep: flash-resident mapping (DFTL CMT + translation-page GC) across architectures",
+		Run: func(o Options, _ *Matrix) (fmt.Stringer, error) { return RunDftlsweep(o) }},
 }
 
 // All returns every experiment in the paper's order.

@@ -3,9 +3,10 @@
 // fault-injection plan (-fault-*), the data-integrity error model
 // (-integrity-*), the background scrubber (-scrub-*), the device health
 // governor (-health-*), the chaos soak (-chaos-*), RAIN parity striping
-// (-rain-*), die failure (-die-fail-*) and the fault-aware GC victim
-// weight. Keeping the definitions in one place guarantees both binaries
-// expose the same names, defaults and validation messages.
+// (-rain-*), die failure (-die-fail-*), the flash-resident mapping table
+// (-dftl-*) and the fault-aware GC victim weight. Keeping the definitions
+// in one place guarantees both binaries expose the same names, defaults
+// and validation messages.
 package faultflags
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"zombiessd/internal/dftl"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/health"
@@ -51,6 +53,12 @@ type Set struct {
 	// from Rain().
 	RainEnable bool
 	RainStripe int
+
+	// Flash-resident mapping knobs (-dftl-*); the assembled config comes
+	// from Dftl().
+	DftlEnable     bool
+	DftlCMTFrames  int
+	DftlBatchEvict bool
 }
 
 // Register wires the shared reliability flags into fs and returns the Set
@@ -127,6 +135,13 @@ func Register(fs *flag.FlagSet) *Set {
 		"kill one whole die after this many host operations (0 = never)")
 	fs.IntVar(&s.Faults.DieFailDie, "die-fail-die", 0,
 		"flat index (channel→chip→die order) of the die -die-fail-at kills")
+
+	fs.BoolVar(&s.DftlEnable, "dftl-enable", false,
+		"flash-resident mapping: keep the page map in translation pages on flash with a bounded RAM cache (DFTL)")
+	fs.IntVar(&s.DftlCMTFrames, "dftl-cmt-frames", 0,
+		fmt.Sprintf("translation-page frames held resident in RAM (0 = default %d; needs -dftl-enable)", dftl.DefaultCMTFrames))
+	fs.BoolVar(&s.DftlBatchEvict, "dftl-batch-evict", false,
+		"batch-evict every dirty mapping sharing a translation page on write-back (needs -dftl-enable)")
 	return s
 }
 
@@ -143,6 +158,16 @@ func (s *Set) Health() health.Config {
 // Call only after Validate accepted the set.
 func (s *Set) Rain() rain.Config {
 	return rain.Config{Enable: s.RainEnable, StripePages: s.RainStripe}
+}
+
+// Dftl converts the parsed -dftl-* knobs into the flash-resident mapping
+// config. Call only after Validate accepted the set.
+func (s *Set) Dftl() dftl.Config {
+	return dftl.Config{
+		Enable:     s.DftlEnable,
+		CMTFrames:  s.DftlCMTFrames,
+		BatchEvict: s.DftlBatchEvict,
+	}
 }
 
 // Preempt converts the parsed -gc-* knobs into the FTL's preemption
@@ -217,6 +242,9 @@ func (s *Set) Validate() error {
 		return fmt.Errorf("%w: -rain-stripe needs -rain-enable", rain.ErrBadStripe)
 	}
 	if err := s.Rain().Validate(); err != nil {
+		return err
+	}
+	if err := s.Dftl().Validate(); err != nil {
 		return err
 	}
 	return nil

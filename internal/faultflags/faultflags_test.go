@@ -6,6 +6,7 @@ import (
 	"io"
 	"testing"
 
+	"zombiessd/internal/dftl"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/health"
 	"zombiessd/internal/ssd"
@@ -257,6 +258,91 @@ func FuzzGCConfig(f *testing.F) {
 		bus := ssd.NewBus(geo, ssd.PaperLatency())
 		if _, err := ftl.NewStore(ftl.StoreConfig{GCFreeBlockThreshold: 2, Preempt: p}, bus); err != nil {
 			t.Fatalf("accepted set rejected by the store: %v (args %v)", err, args)
+		}
+	})
+}
+
+// TestDftlFlagsLand pins the -dftl-* surface: values land in Dftl(), the
+// disabled default is inert, and knobs without -dftl-enable fail with the
+// named error.
+func TestDftlFlagsLand(t *testing.T) {
+	s, err := parse(t, "-dftl-enable", "-dftl-cmt-frames", "512", "-dftl-batch-evict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dftl.Config{Enable: true, CMTFrames: 512, BatchEvict: true}
+	if got := s.Dftl(); got != want {
+		t.Errorf("Dftl() = %+v, want %+v", got, want)
+	}
+	if s, err := parse(t); err != nil || s.Dftl().Enabled() {
+		t.Errorf("zero flags: err=%v enabled=%v, want inert", err, s.Dftl().Enabled())
+	}
+	if _, err := parse(t, "-dftl-cmt-frames", "64"); !errors.Is(err, dftl.ErrDisabled) {
+		t.Errorf("frames without enable: got %v, want %v", err, dftl.ErrDisabled)
+	}
+	if _, err := parse(t, "-dftl-batch-evict"); !errors.Is(err, dftl.ErrDisabled) {
+		t.Errorf("batch-evict without enable: got %v, want %v", err, dftl.ErrDisabled)
+	}
+	if _, err := parse(t, "-dftl-enable", "-dftl-cmt-frames", "-4"); !errors.Is(err, dftl.ErrBadFrames) {
+		t.Errorf("negative frames: got %v, want %v", err, dftl.ErrBadFrames)
+	}
+}
+
+// FuzzDftlConfig hammers the three -dftl-* knobs with arbitrary flag
+// values. Invariants: parsing and validation never panic; a rejected set
+// fails with one of the named dftl errors; an accepted enabled set
+// survives WithDefaults, re-validates cleanly and constructs a working
+// CMT over the paper's page size.
+func FuzzDftlConfig(f *testing.F) {
+	seeds := [][3]string{
+		{"", "", ""},
+		{"true", "", ""},
+		{"true", "512", "true"},
+		{"true", "0", "false"},
+		{"", "64", ""},
+		{"", "", "true"},
+		{"true", "-4", ""},
+		{"true", "1048577", ""},
+		{"false", "64", "true"},
+		{"true", "1", "true"},
+		{"banana", "", ""},
+		{"true", "9999999999999999999", ""},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2])
+	}
+	f.Fuzz(func(t *testing.T, enable, frames, batch string) {
+		var args []string
+		for _, kv := range [][2]string{
+			{"-dftl-enable", enable}, {"-dftl-cmt-frames", frames}, {"-dftl-batch-evict", batch},
+		} {
+			if kv[1] != "" {
+				args = append(args, kv[0]+"="+kv[1])
+			}
+		}
+		fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		s := Register(fs)
+		if err := fs.Parse(args); err != nil {
+			return // the flag package rejected the raw value
+		}
+		if err := s.Validate(); err != nil {
+			if !errors.Is(err, dftl.ErrBadFrames) && !errors.Is(err, dftl.ErrDisabled) {
+				t.Fatalf("rejection %v is not a named dftl error (args %v)", err, args)
+			}
+			return
+		}
+		cfg := s.Dftl().WithDefaults()
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted set fails after WithDefaults: %v (args %v)", err, args)
+		}
+		if cfg.Enabled() != s.Dftl().Enabled() {
+			t.Fatalf("WithDefaults changed Enabled (args %v)", args)
+		}
+		if cfg.Enabled() {
+			if _, err := dftl.NewCMT(cfg, 1<<20, 4096); err != nil {
+				t.Fatalf("accepted set rejected by NewCMT: %v (args %v)", err, args)
+			}
 		}
 	})
 }

@@ -222,7 +222,7 @@ func TestFaultyGCStillRelands(t *testing.T) {
 		first := s.geo.FirstPage(ssd.BlockID(b))
 		var valid, invalid int32
 		for i := 0; i < s.geo.PagesPerBlock; i++ {
-			switch s.state[first+ssd.PPN(i)] {
+			switch s.State(first + ssd.PPN(i)) {
 			case PageValid:
 				valid++
 			case PageInvalid:

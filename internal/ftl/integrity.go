@@ -164,14 +164,14 @@ func (s *Store) ScrubRead(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
 // An uncorrectable read aborts the refresh — the page is lost, not
 // refreshable — and returns ErrUncorrectable.
 func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) {
-	if s.state[p] != PageValid {
-		return 0, fmt.Errorf("%w: RefreshPage(%d): page is %v, not valid", ErrPageState, p, s.state[p])
+	if st := s.State(p); st != PageValid {
+		return 0, fmt.Errorf("%w: RefreshPage(%d): page is %v, not valid", ErrPageState, p, st)
 	}
 	plane := s.geo.PlaneOfBlock(s.geo.BlockOf(p))
 	if err := s.ensureSpace(plane, stamp); err != nil {
 		return 0, err
 	}
-	if s.state[p] != PageValid {
+	if s.State(p) != PageValid {
 		// GC relocated the page while making room — already refreshed.
 		return stamp, nil
 	}
@@ -210,6 +210,11 @@ func (s *Store) RefreshPage(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, error) 
 	}
 	if err := s.Invalidate(p); err != nil {
 		return 0, fmt.Errorf("ftl: refresh of page %d: %w", p, err)
+	}
+	// The refresh rebound the page outside a GC cycle, so the pending
+	// translation update has no erase tail to ride; fold it in now.
+	if err := s.flushMapUpdates(stamp); err != nil {
+		return 0, err
 	}
 	return done, nil
 }

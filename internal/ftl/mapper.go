@@ -14,6 +14,7 @@ package ftl
 import (
 	"fmt"
 
+	"zombiessd/internal/sparse"
 	"zombiessd/internal/ssd"
 )
 
@@ -25,11 +26,14 @@ const InvalidLPN LPN = ^LPN(0)
 
 // Mapper is the page-level LPN→PPN mapping unit, with a reverse PPN→LPN
 // index (needed by GC relocation) and the paper's one popularity byte per
-// LPN-table entry.
+// LPN-table entry. All three tables are sparse-chunked: they are indexed
+// by the full logical/physical page space, which on the 1 TB paper
+// geometry would cost gigabytes as flat slices, but a CI-scale trace only
+// ever materializes the chunks it touches.
 type Mapper struct {
-	l2p []ssd.PPN
-	p2l []LPN
-	pop []uint8
+	l2p *sparse.Array[ssd.PPN]
+	p2l *sparse.Array[LPN]
+	pop *sparse.Array[uint8]
 }
 
 // NewMapper returns a Mapper for a host space of logicalPages pages over a
@@ -41,26 +45,19 @@ func NewMapper(logicalPages, physicalPages int64) (*Mapper, error) {
 	if logicalPages > int64(InvalidLPN) {
 		return nil, fmt.Errorf("ftl: %d logical pages exceeds the LPN space", logicalPages)
 	}
-	m := &Mapper{
-		l2p: make([]ssd.PPN, logicalPages),
-		p2l: make([]LPN, physicalPages),
-		pop: make([]uint8, logicalPages),
-	}
-	for i := range m.l2p {
-		m.l2p[i] = ssd.InvalidPPN
-	}
-	for i := range m.p2l {
-		m.p2l[i] = InvalidLPN
-	}
-	return m, nil
+	return &Mapper{
+		l2p: sparse.New(logicalPages, ssd.InvalidPPN),
+		p2l: sparse.New(physicalPages, InvalidLPN),
+		pop: sparse.New[uint8](logicalPages, 0),
+	}, nil
 }
 
 // LogicalPages returns the size of the host-visible address space.
-func (m *Mapper) LogicalPages() int64 { return int64(len(m.l2p)) }
+func (m *Mapper) LogicalPages() int64 { return m.l2p.Len() }
 
 // Lookup returns the physical page currently backing lpn.
 func (m *Mapper) Lookup(lpn LPN) (ssd.PPN, bool) {
-	p := m.l2p[lpn]
+	p := m.l2p.Get(int64(lpn))
 	return p, p != ssd.InvalidPPN
 }
 
@@ -68,42 +65,44 @@ func (m *Mapper) Lookup(lpn LPN) (ssd.PPN, bool) {
 // It returns the previously bound PPN (InvalidPPN if none), which the
 // caller invalidates.
 func (m *Mapper) Bind(lpn LPN, ppn ssd.PPN) ssd.PPN {
-	old := m.l2p[lpn]
+	old := m.l2p.Get(int64(lpn))
 	if old != ssd.InvalidPPN {
-		m.p2l[old] = InvalidLPN
+		m.p2l.Set(int64(old), InvalidLPN)
 	}
-	m.l2p[lpn] = ppn
-	m.p2l[ppn] = lpn
+	m.l2p.Set(int64(lpn), ppn)
+	m.p2l.Set(int64(ppn), lpn)
 	return old
 }
 
 // OwnerOf returns the logical page mapped to ppn, if any.
 func (m *Mapper) OwnerOf(ppn ssd.PPN) (LPN, bool) {
-	l := m.p2l[ppn]
+	l := m.p2l.Get(int64(ppn))
 	return l, l != InvalidLPN
 }
 
 // Relocate rebinds the owner of src to dst; GC calls it when it moves a
 // valid page. Unowned pages are ignored.
 func (m *Mapper) Relocate(src, dst ssd.PPN) {
-	lpn := m.p2l[src]
+	lpn := m.p2l.Get(int64(src))
 	if lpn == InvalidLPN {
 		return
 	}
-	m.p2l[src] = InvalidLPN
-	m.l2p[lpn] = dst
-	m.p2l[dst] = lpn
+	m.p2l.Set(int64(src), InvalidLPN)
+	m.l2p.Set(int64(lpn), dst)
+	m.p2l.Set(int64(dst), lpn)
 }
 
 // BumpPopularity increments lpn's popularity byte (saturating at 255), the
 // paper's mechanism for not losing popularity information across pool
 // evictions.
 func (m *Mapper) BumpPopularity(lpn LPN) uint8 {
-	if m.pop[lpn] < ^uint8(0) {
-		m.pop[lpn]++
+	p := m.pop.Get(int64(lpn))
+	if p < ^uint8(0) {
+		p++
+		m.pop.Set(int64(lpn), p)
 	}
-	return m.pop[lpn]
+	return p
 }
 
 // Popularity returns lpn's popularity byte.
-func (m *Mapper) Popularity(lpn LPN) uint8 { return m.pop[lpn] }
+func (m *Mapper) Popularity(lpn LPN) uint8 { return m.pop.Get(int64(lpn)) }

@@ -57,6 +57,10 @@ func (s OOBState) String() string {
 // binding originated as a dead-value-pool revival. Parity marks a RAIN
 // parity page: its Hash carries the covered-member mask (not content) and
 // its LPN is meaningless — recovery must never claim it for the mapping.
+// Trans marks a DFTL translation page: its LPN field carries the TVPN it
+// holds, and recovery must likewise never claim it for the host mapping —
+// after a crash every surviving translation page is stale against the OOB
+// scan and becomes garbage (RecoverDftl re-lands a fresh checkpoint).
 type OOB struct {
 	State   OOBState
 	LPN     LPN
@@ -64,6 +68,7 @@ type OOB struct {
 	Seq     uint64
 	Revived bool
 	Parity  bool
+	Trans   bool
 }
 
 // Binding is one journal record: a mapping-only update (revival or dedup
@@ -86,7 +91,7 @@ const journalCapFloor = 4096
 // store assigns the next sequence number.
 func (s *Store) StampOOB(ppn ssd.PPN, lpn LPN, h trace.Hash, revived bool) {
 	s.seq++
-	s.oob[ppn] = OOB{State: OOBProgrammed, LPN: lpn, Hash: h, Seq: s.seq, Revived: revived}
+	s.setOOB(ppn, OOB{State: OOBProgrammed, LPN: lpn, Hash: h, Seq: s.seq, Revived: revived})
 	s.ownProgrammed(int64(ppn))
 }
 
@@ -110,7 +115,7 @@ func (s *Store) AppendBinding(lpn LPN, ppn ssd.PPN, revived bool) {
 func (s *Store) pruneJournal() {
 	kept := s.journal[:0]
 	for _, r := range s.journal {
-		o := s.oob[r.PPN]
+		o := s.OOBOf(r.PPN)
 		if o.State == OOBProgrammed && o.Seq <= r.Seq {
 			kept = append(kept, r)
 		}
@@ -123,13 +128,14 @@ func (s *Store) pruneJournal() {
 }
 
 // OOBOf returns the OOB record of page p.
-func (s *Store) OOBOf(p ssd.PPN) OOB { return s.oob[p] }
+func (s *Store) OOBOf(p ssd.PPN) OOB { return s.oob.Get(int64(p)) }
 
 // OOBSnapshot returns a copy of every page's OOB record — the full-device
-// scan recovery performs.
+// scan recovery performs. Materialized flat from the sparse array; only
+// crash-recovery paths and tests call it, never the steady-state hot path.
 func (s *Store) OOBSnapshot() []OOB {
-	out := make([]OOB, len(s.oob))
-	copy(out, s.oob)
+	out := make([]OOB, s.oob.Len())
+	s.oob.ForEach(func(i int64, o OOB) { out[i] = o })
 	return out
 }
 
@@ -189,13 +195,30 @@ func (s *Store) crashNow() bool {
 // mapping layer via OwnerOf, so a revived or re-deduplicated page is not
 // resurrected under a long-dead logical address), and a fresh sequence
 // number makes the copy outrank the source under last-writer-wins.
+//
+// A relocated translation page keeps its Trans mark and TVPN stamp and
+// repoints the GTD instead of touching the host mapping; a relocated data
+// page on a DFTL store queues the (lpn → dst) rebinding for the pending
+// translation-page flush.
 func (s *Store) stampRelocated(src, dst ssd.PPN) {
+	srcOOB := s.OOBOf(src)
+	if srcOOB.Trans {
+		s.seq++
+		s.setOOB(dst, OOB{State: OOBProgrammed, LPN: srcOOB.LPN, Trans: true, Seq: s.seq})
+		if s.cmt != nil {
+			// The GTD must follow the flash copy. A mismatch cannot occur:
+			// every valid translation page is, by construction, the page its
+			// TVPN's GTD slot points at.
+			_ = s.cmt.Relocated(uint32(srcOOB.LPN), src, dst)
+			s.cmt.Stat.TransRelocated++
+		}
+		return
+	}
 	var lpn LPN
 	var ok bool
 	if s.OwnerOf != nil {
 		lpn, ok = s.OwnerOf(src)
 	}
-	srcOOB := s.oob[src]
 	if !ok {
 		// No mapping layer wired (raw-store tests): carry the source
 		// stamp forward, or nothing if the source was never stamped.
@@ -205,8 +228,11 @@ func (s *Store) stampRelocated(src, dst ssd.PPN) {
 		lpn = srcOOB.LPN
 	}
 	s.seq++
-	s.oob[dst] = OOB{State: OOBProgrammed, LPN: lpn, Hash: srcOOB.Hash, Seq: s.seq}
+	s.setOOB(dst, OOB{State: OOBProgrammed, LPN: lpn, Hash: srcOOB.Hash, Seq: s.seq})
 	s.ownRelocated(int64(src), int64(dst))
+	if s.cmt != nil {
+		s.NoteGCMapUpdate(lpn, dst)
+	}
 }
 
 // Rebuild restores the store's RAM-resident block state after a crash from
@@ -219,13 +245,14 @@ func (s *Store) stampRelocated(src, dst ssd.PPN) {
 // persists); free lists and write frontiers are derived from block fill.
 func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 	total := ssd.PPN(s.geo.TotalPages())
-	for i := range s.state {
-		s.state[i] = PageFree
-	}
+	s.state.Reset()
 	for i := range s.blocks {
 		b := &s.blocks[i]
 		b.valid, b.invalid = 0, 0
 		b.free, b.active = false, false
+		// Translation-block membership is re-derived from the OOB scan
+		// below, like page states.
+		b.trans = false
 	}
 	// Partial-GC drain positions do not survive power loss; block states
 	// are re-derived below, so any queued victim is simply a candidate
@@ -233,15 +260,26 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 	s.resetDrains()
 	// Torn pages: physically present but unreadable until their block is
 	// erased; they count as (unrevivable) garbage so GC reclaims them.
-	for p := ssd.PPN(0); p < total; p++ {
-		if s.oob[p].State != OOBTorn {
-			continue
+	// Translation pages likewise become garbage wholesale: after a crash
+	// every flash translation page is stale against the OOB scan recovery
+	// just performed, so RecoverDftl re-lands a fresh checkpoint and the
+	// translation GC stream reclaims the old generation. The OOB walk
+	// visits only materialized chunks — untouched flash reads as empty.
+	s.oob.ForEach(func(i int64, o OOB) {
+		if o.State != OOBTorn && !(o.State == OOBProgrammed && o.Trans) {
+			return
 		}
-		if b := s.geo.BlockOf(p); !s.blocks[b].bad && !s.blocks[b].dead {
-			s.state[p] = PageInvalid
-			s.blocks[b].invalid++
+		p := ssd.PPN(i)
+		b := s.geo.BlockOf(p)
+		if s.blocks[b].bad || s.blocks[b].dead {
+			return
 		}
-	}
+		s.setState(p, PageInvalid)
+		s.blocks[b].invalid++
+		if o.Trans {
+			s.blocks[b].trans = true
+		}
+	})
 	mark := func(pages []ssd.PPN, st PageState) error {
 		for _, p := range pages {
 			if p >= total {
@@ -253,13 +291,13 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 			}
 			// Dead blocks are allowed: a winner on a failed die is still the
 			// mapping's best copy, parity-protected and awaiting rebuild.
-			if s.state[p] != PageFree {
+			if s.State(p) != PageFree {
 				return fmt.Errorf("ftl: Rebuild: page %d assigned twice", p)
 			}
-			if s.oob[p].State != OOBProgrammed {
-				return fmt.Errorf("ftl: Rebuild: page %d is %v, not programmed", p, s.oob[p].State)
+			if o := s.OOBOf(p); o.State != OOBProgrammed {
+				return fmt.Errorf("ftl: Rebuild: page %d is %v, not programmed", p, o.State)
 			}
-			s.state[p] = st
+			s.setState(p, st)
 			if st == PageValid {
 				s.blocks[b].valid++
 			} else {
@@ -303,7 +341,7 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 					// frontier resumes after the last *data* page.
 					continue
 				}
-				if s.oob[p].State != OOBEmpty {
+				if s.OOBOf(p).State != OOBEmpty {
 					fill = pg + 1
 					break
 				}
@@ -312,22 +350,31 @@ func (s *Store) Rebuild(valid, garbage []ssd.PPN) error {
 			case fill == 0:
 				// Pushed in descending block order so allocation consumes
 				// ascending, as NewStore arranges.
-				s.blocks[b].free = true
 				pl.freeBlocks = append(pl.freeBlocks, b)
-			case fill < s.geo.PagesPerBlock:
+				s.blocks[b].free = true
+				s.blocks[b].trans = false
+			case fill < s.geo.PagesPerBlock && !s.blocks[b].trans:
+				// Stale translation blocks are never partial frontiers: their
+				// surviving pages are all garbage now, so they stay closed
+				// until the translation GC stream erases them.
 				partial = append(partial, frontier{active: b, nextPage: fill})
 			}
 		}
 		// Ascending block order for deterministic frontier assignment.
 		sort.Slice(partial, func(i, j int) bool { return partial[i].active < partial[j].active })
 		for f := range pl.frontiers {
+			// The translation frontier (always last) restarts on a fresh
+			// block: every pre-crash translation page is garbage, so there is
+			// no translation frontier to resume.
+			trans := s.cfg.DFTL.Enabled() && f == len(pl.frontiers)-1
 			switch {
-			case f < len(partial):
+			case !trans && f < len(partial):
 				pl.frontiers[f] = partial[f]
 			case len(pl.freeBlocks) > 0:
 				b := pl.freeBlocks[len(pl.freeBlocks)-1]
 				pl.freeBlocks = pl.freeBlocks[:len(pl.freeBlocks)-1]
 				s.blocks[b].free = false
+				s.blocks[b].trans = trans
 				pl.frontiers[f] = frontier{active: b}
 			default:
 				return fmt.Errorf("ftl: Rebuild: plane %d has no block for frontier %d", plane, f)

@@ -266,7 +266,7 @@ func (s *Store) fillDrain(plane int) {
 		b := s.geo.BlockAt(plane, i)
 		info := &s.blocks[b]
 		if info.free || info.active || info.bad || info.dead || info.draining ||
-			info.invalid == 0 || info.valid > capacity {
+			info.trans || info.invalid == 0 || info.valid > capacity {
 			continue
 		}
 		cands = append(cands, cand{b, s.victimScore(b)})
@@ -314,7 +314,7 @@ func (s *Store) drainStep(plane int, stamp ssd.Time, budget int, background bool
 	migrated := 0
 	for d.cursor < s.geo.PagesPerBlock {
 		p := first + ssd.PPN(d.cursor)
-		switch s.state[p] {
+		switch s.State(p) {
 		case PageValid:
 			if migrated >= budget {
 				return migrated, false, nil
@@ -348,7 +348,7 @@ func (s *Store) drainStep(plane int, stamp ssd.Time, budget int, background bool
 			if s.OnRelocate != nil {
 				s.OnRelocate(p, dst)
 			}
-			s.state[p] = PageFree
+			s.setState(p, PageFree)
 			info.valid--
 			migrated++
 			if s.rain != nil {
@@ -361,7 +361,7 @@ func (s *Store) drainStep(plane int, stamp ssd.Time, budget int, background bool
 			if s.OnEraseGarbage != nil {
 				s.OnEraseGarbage(p)
 			}
-			s.state[p] = PageFree
+			s.setState(p, PageFree)
 			info.invalid--
 			if s.rain != nil {
 				s.rain.NoteErased(p)

@@ -113,7 +113,7 @@ func (s *Store) flushStripe(st int64, stamp ssd.Time) error {
 	if s.crashNow() {
 		// Power cut mid-parity-program: the slot is torn and the stripe
 		// stays open; recovery re-flushes it from the surviving members.
-		s.oob[slot] = OOB{State: OOBTorn}
+		s.setOOB(slot, OOB{State: OOBTorn})
 		return fmt.Errorf("ftl: parity flush of page %d interrupted: %w", slot, fault.ErrPowerLoss)
 	}
 	s.bus.Program(slot, stamp)
@@ -122,7 +122,7 @@ func (s *Store) flushStripe(st int64, stamp ssd.Time) error {
 	}
 	s.rainStats.ParityPrograms++
 	s.seq++
-	s.oob[slot] = OOB{State: OOBProgrammed, Parity: true, Hash: maskHash(s.rain.DataMask(st)), Seq: s.seq}
+	s.setOOB(slot, OOB{State: OOBProgrammed, Parity: true, Hash: maskHash(s.rain.DataMask(st)), Seq: s.seq})
 	s.rain.MarkFlushed(st)
 	return nil
 }
@@ -183,7 +183,7 @@ func (s *Store) canReconstruct(p ssd.PPN) bool {
 	if info := &s.blocks[s.geo.BlockOf(slot)]; info.bad || info.dead {
 		return false
 	}
-	if o := s.oob[slot]; o.State != OOBProgrammed || !o.Parity {
+	if o := s.OOBOf(slot); o.State != OOBProgrammed || !o.Parity {
 		return false
 	}
 	mask := s.rain.ParityMask(st)
@@ -219,7 +219,7 @@ func (s *Store) stripeUnprotectable(p ssd.PPN) bool {
 // whether the reconstruction happened; the error is non-nil only for
 // power loss, which must propagate to the host.
 func (s *Store) tryReconstruct(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, bool, error) {
-	if s.rain == nil || s.state[p] != PageValid || !s.canReconstruct(p) {
+	if s.rain == nil || s.State(p) != PageValid || !s.canReconstruct(p) {
 		return 0, false, nil
 	}
 	plane := s.geo.PlaneOfBlock(s.geo.BlockOf(p))
@@ -232,7 +232,7 @@ func (s *Store) tryReconstruct(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, bool
 		}
 		return 0, false, nil
 	}
-	if s.state[p] != PageValid || !s.canReconstruct(p) {
+	if s.State(p) != PageValid || !s.canReconstruct(p) {
 		// Making room moved or consumed the page (or a survivor) already.
 		return 0, false, nil
 	}
@@ -280,11 +280,16 @@ func (s *Store) tryReconstruct(p ssd.PPN, stamp, clock ssd.Time) (ssd.Time, bool
 	// clears it from the stripe, and the loss mark — now repaired on the
 	// fresh copy — is lifted.
 	s.rain.NoteErased(p)
-	s.oob[p] = OOB{State: OOBTorn}
+	s.setOOB(p, OOB{State: OOBTorn})
 	s.clearLost(p)
 	s.rainStats.ReconstructedPages++
 	if wasDead {
 		s.rebuildClock = clock
+	}
+	// The reconstruction rebound the page outside a GC cycle, so the
+	// pending translation update has no erase tail to ride.
+	if err := s.flushMapUpdates(stamp); err != nil {
+		return 0, false, err
 	}
 	if pdone > done {
 		done = pdone
@@ -312,7 +317,7 @@ func (s *Store) exciseGarbage(p ssd.PPN, stamp ssd.Time) (ssd.Time, error) {
 		// costs nothing. Torn OOB makes it unrevivable garbage, and the
 		// loss mark lifts — garbage holds no data left to lose.
 		s.rain.NoteErased(p)
-		s.oob[p] = OOB{State: OOBTorn}
+		s.setOOB(p, OOB{State: OOBTorn})
 		s.clearLost(p)
 		return stamp, nil
 	}
@@ -337,7 +342,7 @@ func (s *Store) exciseGarbage(p ssd.PPN, stamp ssd.Time) (ssd.Time, error) {
 	}
 	s.rainStats.ReconstructionReads++
 	s.rain.NoteErased(p)
-	s.oob[p] = OOB{State: OOBTorn}
+	s.setOOB(p, OOB{State: OOBTorn})
 	s.clearLost(p)
 	if err := s.flushStripe(st, done); err != nil {
 		return 0, err
@@ -431,7 +436,7 @@ func (s *Store) failDie(die int, now ssd.Time) error {
 			first := s.geo.FirstPage(b)
 			for pg := 0; pg < s.geo.PagesPerBlock; pg++ {
 				p := first + ssd.PPN(pg)
-				switch s.state[p] {
+				switch s.State(p) {
 				case PageValid:
 					if s.rain == nil || !s.canReconstruct(p) {
 						s.markLost(p)
@@ -480,7 +485,7 @@ func (s *Store) RebuildTick(now ssd.Time) error {
 		p := s.rebuildCursor
 		s.rebuildCursor++
 		scanned++
-		if s.state[p] != PageValid {
+		if s.State(p) != PageValid {
 			continue
 		}
 		switch {
@@ -537,7 +542,7 @@ func (s *Store) RebuildPending() int64 {
 	var n int64
 	total := ssd.PPN(s.geo.TotalPages())
 	for p := ssd.PPN(0); p < total; p++ {
-		if s.state[p] != PageValid || s.LostPage(p) {
+		if s.State(p) != PageValid || s.LostPage(p) {
 			continue
 		}
 		if s.PageDead(p) || s.stripeUnprotectable(p) {
@@ -561,17 +566,17 @@ func (s *Store) rebuildRainTracker() error {
 	s.rain.Reset()
 	total := ssd.PPN(s.geo.TotalPages())
 	for p := ssd.PPN(0); p < total; p++ {
-		o := s.oob[p]
+		o := s.OOBOf(p)
 		if o.State != OOBProgrammed || o.Parity || s.rain.IsParity(p) {
 			continue
 		}
-		if s.blocks[s.geo.BlockOf(p)].dead && s.state[p] != PageValid {
+		if s.blocks[s.geo.BlockOf(p)].dead && s.State(p) != PageValid {
 			continue
 		}
 		s.rain.RestoreData(p)
 	}
 	for p := ssd.PPN(0); p < total; p++ {
-		o := s.oob[p]
+		o := s.OOBOf(p)
 		if o.State != OOBProgrammed || !o.Parity {
 			continue
 		}
@@ -603,11 +608,11 @@ func (s *Store) CheckRain() error {
 				break
 			}
 		}
-		present := s.state[p] != PageFree && s.oob[p].State != OOBTorn
+		present := s.State(p) != PageFree && s.OOBOf(p).State != OOBTorn
 		if s.blocks[s.geo.BlockOf(p)].dead {
 			// On a dead die only un-rebuilt valid pages remain members;
 			// invalid pages were dropped like an erase took them.
-			present = s.state[p] == PageValid && s.oob[p].State != OOBTorn
+			present = s.State(p) == PageValid && s.OOBOf(p).State != OOBTorn
 		}
 		if got := s.rain.DataMask(st)&bit != 0; got != present {
 			return fmt.Errorf("ftl: rain invariant: page %d membership %v, want %v", p, got, present)
@@ -626,7 +631,7 @@ func (s *Store) CheckRain() error {
 				st, data, parity)
 		}
 		if parity != 0 {
-			o := s.oob[slot]
+			o := s.OOBOf(slot)
 			if o.State != OOBProgrammed || !o.Parity {
 				return fmt.Errorf("ftl: rain invariant: stripe %d covered but parity slot %d is %v",
 					st, slot, o.State)

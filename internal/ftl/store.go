@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 
+	"zombiessd/internal/dftl"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/rain"
+	"zombiessd/internal/sparse"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/telemetry"
 )
@@ -112,6 +114,14 @@ type StoreConfig struct {
 	// reconstruction, and die-failure survival. The zero value reserves
 	// no parity slots and is bit-identical to a store without the field.
 	RAIN rain.Config
+
+	// DFTL is the flash-resident mapping plan (see dftl.go and
+	// internal/dftl): a bounded cached mapping table paged against
+	// translation pages that are programmed to a dedicated translation
+	// stream and garbage-collected as a second GC stream. The zero value
+	// keeps the mapping RAM-resident and is bit-identical to a store
+	// without the field.
+	DFTL dftl.Config
 }
 
 // DefaultStoreConfig returns a 2-block threshold, greedy GC.
@@ -144,6 +154,9 @@ func (c StoreConfig) Validate() error {
 		return err
 	}
 	if err := c.RAIN.Validate(); err != nil {
+		return err
+	}
+	if err := c.DFTL.Validate(); err != nil {
 		return err
 	}
 	return nil
@@ -185,6 +198,7 @@ type blockInfo struct {
 	bad       bool // retired: never erased, allocated or collected again
 	dead      bool // its die failed: unreadable, but valid pages await RAIN rebuild
 	draining  bool // queued by the partial collector; foreground GC skips it
+	trans     bool // holds translation pages; collected by the translation GC stream
 }
 
 // frontier is one open write block.
@@ -209,7 +223,7 @@ type Store struct {
 	cfg    StoreConfig
 	geo    ssd.Geometry
 	bus    *ssd.Bus
-	state  []PageState
+	state  *sparse.Array[PageState]
 	blocks []blockInfo
 	planes []planeState
 
@@ -250,7 +264,7 @@ type Store struct {
 	// Crash-consistency state (see oob.go): per-page OOB records, the
 	// durable mapping journal, the monotonic sequence counter, and the
 	// armed power-loss countdown.
-	oob        []OOB
+	oob        *sparse.Array[OOB]
 	journal    []Binding
 	journalCap int
 	seq        uint64
@@ -308,6 +322,31 @@ type Store struct {
 	rebuildFound  bool     // the current sweep found work (another pass needed)
 	rebuildDone   bool     // a full sweep found nothing left to rebuild
 	rebuildClock  ssd.Time // when the daemon last re-landed a page
+
+	// DFTL state (see dftl.go): the cached mapping table (nil until
+	// AttachCMT on a DFTL-enabled config), and the mapping updates data GC
+	// has produced but not yet folded into flash translation pages.
+	cmt     *dftl.CMT
+	mapPend []mapUpdate
+	// wbTVPN/wbActive guard the translation page currently being written
+	// back: its GC rebindings must stay queued, not be folded into flash by
+	// a nested flush, or the write-back's pre-GC snapshot would overwrite
+	// them (see writebackFrame).
+	wbTVPN   uint32
+	wbActive bool
+
+	// LookupOf asks the mapping layer for lpn's current binding; the
+	// pending-map-update flush consults it so a GC rebinding that was
+	// superseded by a later host write is discarded instead of clobbering
+	// the newer translation entry. Nil applies pending updates as-is.
+	LookupOf func(lpn LPN) (ssd.PPN, bool)
+}
+
+// mapUpdate is one GC-produced mapping rebinding awaiting its translation
+// page (see flushMapUpdates in dftl.go).
+type mapUpdate struct {
+	lpn LPN
+	ppn ssd.PPN
 }
 
 // NewStore returns a Store over bus with every block free.
@@ -325,17 +364,18 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 			cfg.SoftGCThreshold, geo.BlocksPerPlane)
 	}
 	cfg.Preempt = cfg.Preempt.WithDefaults()
+	cfg.DFTL = cfg.DFTL.WithDefaults()
 	s := &Store{
 		cfg:     cfg,
 		geo:     geo,
 		bus:     bus,
-		state:   make([]PageState, geo.TotalPages()),
+		state:   sparse.New(geo.TotalPages(), PageFree),
 		blocks:  make([]blockInfo, geo.TotalBlocks()),
 		planes:  make([]planeState, geo.TotalPlanes()),
 		drains:  make([]drainState, geo.TotalPlanes()),
 		inj:     fault.New(cfg.Faults),
 		integ:   fault.NewEstimator(cfg.Faults),
-		oob:     make([]OOB, geo.TotalPages()),
+		oob:     sparse.New(geo.TotalPages(), OOB{}),
 		crashAt: cfg.Faults.CrashAtOp,
 	}
 	if pc := cfg.Preempt; pc.SuspendEnabled() {
@@ -380,6 +420,12 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 	if cfg.SeparateGCStream {
 		frontiers++
 	}
+	if cfg.DFTL.Enabled() {
+		// The translation stream is always the last frontier: translation
+		// pages never share a block with host or relocated data, so the
+		// translation GC stream collects whole translation blocks.
+		frontiers++
+	}
 	s.effThreshold = cfg.GCFreeBlockThreshold
 	if s.effThreshold < frontiers+1 {
 		s.effThreshold = frontiers + 1
@@ -401,6 +447,9 @@ func NewStore(cfg StoreConfig, bus *ssd.Bus) (*Store, error) {
 		for f := 0; f < frontiers; f++ {
 			b := geo.BlockAt(p, f)
 			s.blocks[b].active = true
+			if cfg.DFTL.Enabled() && f == frontiers-1 {
+				s.blocks[b].trans = true
+			}
 			pl.frontiers[f] = frontier{active: b}
 		}
 	}
@@ -449,7 +498,13 @@ func (s *Store) UsablePagesNow() int64 {
 }
 
 // State returns the current state of page p.
-func (s *Store) State(p ssd.PPN) PageState { return s.state[p] }
+func (s *Store) State(p ssd.PPN) PageState { return s.state.Get(int64(p)) }
+
+// setState writes page p's state into the sparse state array.
+func (s *Store) setState(p ssd.PPN, st PageState) { s.state.Set(int64(p), st) }
+
+// setOOB writes page p's OOB record into the sparse OOB array.
+func (s *Store) setOOB(p ssd.PPN, o OOB) { s.oob.Set(int64(p), o) }
 
 // GC returns cumulative garbage-collection statistics.
 func (s *Store) GC() GCStats { return s.gc }
@@ -512,18 +567,9 @@ func (s *Store) ProgramStream(now ssd.Time, stream int) (ssd.PPN, ssd.Time, erro
 	if err := s.dieTick(now); err != nil {
 		return ssd.InvalidPPN, 0, err
 	}
-	plane := s.planeOrder[s.cursor]
-	s.cursor = (s.cursor + 1) % len(s.planeOrder)
-	if s.deadPlane != nil && s.deadPlane[plane] {
-		// A failed die's planes leave the allocation rotation; the write
-		// lands on the next living plane.
-		for i := 1; i < len(s.planeOrder) && s.deadPlane[plane]; i++ {
-			plane = s.planeOrder[s.cursor]
-			s.cursor = (s.cursor + 1) % len(s.planeOrder)
-		}
-		if s.deadPlane[plane] {
-			return ssd.InvalidPPN, 0, fmt.Errorf("ftl: every plane dead: %w", ErrNoSpace)
-		}
+	plane, err := s.nextPlane()
+	if err != nil {
+		return ssd.InvalidPPN, 0, err
 	}
 	maxStream := s.cfg.UserStreams
 	if maxStream < 1 {
@@ -555,6 +601,26 @@ func (s *Store) ProgramStream(now ssd.Time, stream int) (ssd.PPN, ssd.Time, erro
 	return s.programAt(plane, stream, now)
 }
 
+// nextPlane advances the channel-striped allocation rotation and returns
+// the next living plane — shared by host programs and translation-page
+// programs so both stripe across chips the same way.
+func (s *Store) nextPlane() (int, error) {
+	plane := s.planeOrder[s.cursor]
+	s.cursor = (s.cursor + 1) % len(s.planeOrder)
+	if s.deadPlane != nil && s.deadPlane[plane] {
+		// A failed die's planes leave the allocation rotation; the write
+		// lands on the next living plane.
+		for i := 1; i < len(s.planeOrder) && s.deadPlane[plane]; i++ {
+			plane = s.planeOrder[s.cursor]
+			s.cursor = (s.cursor + 1) % len(s.planeOrder)
+		}
+		if s.deadPlane[plane] {
+			return 0, fmt.Errorf("ftl: every plane dead: %w", ErrNoSpace)
+		}
+	}
+	return plane, nil
+}
+
 // programAt allocates and programs one page on the plane's stream,
 // re-landing the data on a fresh page after every injected program-status
 // failure: the failed page is left behind as unrevivable garbage (it never
@@ -575,10 +641,10 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 		if s.crashNow() {
 			// Power cut mid-program: the page is torn — unreadable data,
 			// unreadable OOB — and the write was never acknowledged.
-			s.state[ppn] = PageInvalid
+			s.setState(ppn, PageInvalid)
 			s.blocks[blk].valid--
 			s.blocks[blk].invalid++
-			s.oob[ppn] = OOB{State: OOBTorn}
+			s.setOOB(ppn, OOB{State: OOBTorn})
 			return ssd.InvalidPPN, 0, fmt.Errorf("ftl: program of page %d interrupted: %w", ppn, fault.ErrPowerLoss)
 		}
 		done := s.bus.Program(ppn, now)
@@ -599,10 +665,10 @@ func (s *Store) programAt(plane, stream int, now ssd.Time) (ssd.PPN, ssd.Time, e
 			return ppn, done, nil
 		}
 		s.faults.ProgramFailures++
-		s.state[ppn] = PageInvalid
+		s.setState(ppn, PageInvalid)
 		s.blocks[blk].valid--
 		s.blocks[blk].invalid++
-		s.oob[ppn] = OOB{State: OOBTorn} // status-failed page: contents untrustworthy
+		s.setOOB(ppn, OOB{State: OOBTorn}) // status-failed page: contents untrustworthy
 		s.blocks[blk].progFails++
 		if s.blocks[blk].progFails == 1 {
 			s.faults.SuspectBlocks++
@@ -683,9 +749,27 @@ func (s *Store) readPageAt(p ssd.PPN, stamp, clock ssd.Time, host bool) (ssd.Tim
 // gcStream returns the frontier index GC relocations write to.
 func (s *Store) gcStream(plane int) int {
 	if s.cfg.SeparateGCStream {
-		return len(s.planes[plane].frontiers) - 1
+		n := len(s.planes[plane].frontiers) - 1
+		if s.cfg.DFTL.Enabled() {
+			n-- // the last frontier belongs to the translation stream
+		}
+		return n
 	}
 	return 0
+}
+
+// transStream returns the frontier index translation pages program to.
+// Only meaningful on a DFTL-enabled store, where it is always the last
+// frontier.
+func (s *Store) transStream(plane int) int {
+	return len(s.planes[plane].frontiers) - 1
+}
+
+// isTransStream reports whether (plane, stream) is the translation
+// frontier — the allocator marks blocks it rolls onto as translation
+// blocks so the two GC streams never mix victims.
+func (s *Store) isTransStream(plane, stream int) bool {
+	return s.cfg.DFTL.Enabled() && stream == len(s.planes[plane].frontiers)-1
 }
 
 // allocate takes the next page of the stream's active block, rolling to a
@@ -716,6 +800,9 @@ func (s *Store) allocate(plane, stream int) (ssd.PPN, error) {
 			pl.freeBlocks = pl.freeBlocks[:len(pl.freeBlocks)-1]
 			s.blocks[next].free = false
 			s.blocks[next].active = true
+			if s.isTransStream(plane, stream) {
+				s.blocks[next].trans = true
+			}
 			fr.active = next
 			fr.nextPage = 0
 		}
@@ -732,7 +819,7 @@ func (s *Store) allocate(plane, stream int) (ssd.PPN, error) {
 			// parity home.
 			continue
 		}
-		s.state[ppn] = PageValid
+		s.setState(ppn, PageValid)
 		s.blocks[fr.active].valid++
 		return ppn, nil
 	}
@@ -742,10 +829,10 @@ func (s *Store) allocate(plane, stream int) (ssd.PPN, error) {
 // A non-valid page is a state-machine inconsistency in the caller and
 // reports ErrPageState with the store untouched.
 func (s *Store) Invalidate(p ssd.PPN) error {
-	if s.state[p] != PageValid {
-		return fmt.Errorf("%w: Invalidate(%d): page is %v, not valid", ErrPageState, p, s.state[p])
+	if st := s.State(p); st != PageValid {
+		return fmt.Errorf("%w: Invalidate(%d): page is %v, not valid", ErrPageState, p, st)
 	}
-	s.state[p] = PageInvalid
+	s.setState(p, PageInvalid)
 	b := s.geo.BlockOf(p)
 	s.blocks[b].valid--
 	s.blocks[b].invalid++
@@ -763,10 +850,10 @@ func (s *Store) Invalidate(p ssd.PPN) error {
 // operation. A non-garbage page is a state-machine inconsistency in the
 // caller and reports ErrPageState with the store untouched.
 func (s *Store) Revalidate(p ssd.PPN) error {
-	if s.state[p] != PageInvalid {
-		return fmt.Errorf("%w: Revalidate(%d): page is %v, not invalid", ErrPageState, p, s.state[p])
+	if st := s.State(p); st != PageInvalid {
+		return fmt.Errorf("%w: Revalidate(%d): page is %v, not invalid", ErrPageState, p, st)
 	}
-	s.state[p] = PageValid
+	s.setState(p, PageValid)
 	b := s.geo.BlockOf(p)
 	s.blocks[b].valid++
 	s.blocks[b].invalid--
@@ -831,7 +918,7 @@ func (s *Store) victim(plane int) ssd.BlockID {
 		b := s.geo.BlockAt(plane, i)
 		info := &s.blocks[b]
 		if info.free || info.active || info.bad || info.dead || info.draining ||
-			info.invalid == 0 || info.valid > capacity {
+			info.trans || info.invalid == 0 || info.valid > capacity {
 			continue
 		}
 		score := s.victimScore(b)
@@ -878,7 +965,7 @@ func (s *Store) garbagePopularitySum(b ssd.BlockID) int64 {
 	first := s.geo.FirstPage(b)
 	for i := 0; i < s.geo.PagesPerBlock; i++ {
 		p := first + ssd.PPN(i)
-		if s.state[p] != PageInvalid {
+		if s.State(p) != PageInvalid {
 			continue
 		}
 		if pop, ok := s.Scorer.GarbagePopularity(p); ok {
@@ -899,9 +986,20 @@ func (s *Store) collectPlane(plane int, now ssd.Time) (bool, error) {
 }
 
 // collectPlaneMin is collectPlane with a victim profitability floor: blocks
-// with fewer than minInvalid garbage pages are not collected.
+// with fewer than minInvalid garbage pages are not collected. On a
+// DFTL-enabled store the data and translation streams compete for the
+// cycle: whichever eligible victim scores higher is collected, so
+// translation garbage cannot pile up unreclaimed behind data GC (Dayan &
+// Bonnet's second stream).
 func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool, error) {
 	v := s.victim(plane)
+	if s.cmt != nil {
+		tv := s.victimTrans(plane)
+		if tv != ssd.InvalidBlock && s.blocks[tv].invalid >= minInvalid &&
+			(v == ssd.InvalidBlock || s.victimScore(tv) > s.victimScore(v)) {
+			return s.collectTransPlane(plane, tv, now)
+		}
+	}
 	if v == ssd.InvalidBlock || s.blocks[v].invalid < minInvalid {
 		return false, nil
 	}
@@ -914,7 +1012,7 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 	first := s.geo.FirstPage(v)
 	for i := 0; i < s.geo.PagesPerBlock; i++ {
 		p := first + ssd.PPN(i)
-		switch s.state[p] {
+		switch s.State(p) {
 		case PageValid:
 			readDone, err := s.readPage(p, now)
 			if err != nil && !errors.Is(err, ErrUncorrectable) {
@@ -950,7 +1048,7 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 				s.OnEraseGarbage(p)
 			}
 		}
-		s.state[p] = PageFree
+		s.setState(p, PageFree)
 	}
 	return s.eraseVictim(plane, v, now, s.gc.Relocated-relocBefore)
 }
@@ -962,11 +1060,18 @@ func (s *Store) collectPlaneMin(plane int, now ssd.Time, minInvalid int32) (bool
 // on the spot when the failure storm left it with no live data; otherwise
 // it keeps its suspect marks and retires at its next erase.
 func (s *Store) relandGC(plane int, stamp ssd.Time) (ssd.PPN, ssd.Time, error) {
+	return s.relandStream(plane, s.gcStream(plane), stamp)
+}
+
+// relandStream is relandGC generalized over the write stream, so the
+// translation-GC relocation path recovers from program-fault storms the
+// same way the data path does.
+func (s *Store) relandStream(plane, stream int, stamp ssd.Time) (ssd.PPN, ssd.Time, error) {
 	pl := &s.planes[plane]
 	if len(pl.freeBlocks) == 0 {
 		return ssd.InvalidPPN, 0, fmt.Errorf("ftl: GC re-land on plane %d: %w", plane, ErrNoSpace)
 	}
-	fr := &pl.frontiers[s.gcStream(plane)]
+	fr := &pl.frontiers[stream]
 	bad := fr.active
 	info := &s.blocks[bad]
 	if info.active && info.valid == 0 {
@@ -978,11 +1083,11 @@ func (s *Store) relandGC(plane int, stamp ssd.Time) (ssd.PPN, ssd.Time, error) {
 		first := s.geo.FirstPage(bad)
 		for i := 0; i < s.geo.PagesPerBlock; i++ {
 			p := first + ssd.PPN(i)
-			if s.state[p] == PageInvalid && s.OnEraseGarbage != nil {
+			if s.State(p) == PageInvalid && s.OnEraseGarbage != nil {
 				s.OnEraseGarbage(p)
 			}
-			s.state[p] = PageFree
-			s.oob[p] = OOB{}
+			s.setState(p, PageFree)
+			s.setOOB(p, OOB{})
 			s.clearLost(p)
 		}
 		info.valid, info.invalid = 0, 0
@@ -996,7 +1101,7 @@ func (s *Store) relandGC(plane int, stamp ssd.Time) (ssd.PPN, ssd.Time, error) {
 	// Force the next allocation to roll the frontier to a fresh block.
 	fr.nextPage = s.geo.PagesPerBlock
 	s.faults.GCRelands++
-	return s.programAt(plane, s.gcStream(plane), stamp)
+	return s.programAt(plane, stream, stamp)
 }
 
 // eraseVictim is the erase tail every GC path shares — blocking cycles and
@@ -1006,6 +1111,12 @@ func (s *Store) relandGC(plane int, stamp ssd.Time) (ssd.PPN, ssd.Time, error) {
 // reclaimed (a retired victim still counts: its pages were consumed even
 // though the block left service).
 func (s *Store) eraseVictim(plane int, v ssd.BlockID, now ssd.Time, relocated int64) (bool, error) {
+	// GC-produced mapping rebindings must reach flash translation pages
+	// before the erase completes the cycle; a disabled (or pending-free)
+	// store skips this in one branch.
+	if err := s.flushMapUpdates(now); err != nil {
+		return false, err
+	}
 	first := s.geo.FirstPage(v)
 	if s.crashNow() {
 		// Power cut mid-erase: the whole block is torn — neither erased
@@ -1016,8 +1127,8 @@ func (s *Store) eraseVictim(plane int, v ssd.BlockID, now ssd.Time, relocated in
 		info.invalid = int32(s.geo.PagesPerBlock)
 		for i := 0; i < s.geo.PagesPerBlock; i++ {
 			p := first + ssd.PPN(i)
-			s.state[p] = PageInvalid
-			s.oob[p] = OOB{State: OOBTorn}
+			s.setState(p, PageInvalid)
+			s.setOOB(p, OOB{State: OOBTorn})
 		}
 		return false, fmt.Errorf("ftl: erase of block %d interrupted: %w", v, fault.ErrPowerLoss)
 	}
@@ -1032,14 +1143,20 @@ func (s *Store) eraseVictim(plane int, v ssd.BlockID, now ssd.Time, relocated in
 	// The erase destroys page contents and OOB alike; even a failed erase
 	// leaves nothing recovery may resurrect.
 	for i := 0; i < s.geo.PagesPerBlock; i++ {
-		s.oob[first+ssd.PPN(i)] = OOB{}
+		s.setOOB(first+ssd.PPN(i), OOB{})
 		s.clearLost(first + ssd.PPN(i))
 	}
 	info := &s.blocks[v]
 	info.valid = 0
 	info.invalid = 0
 	info.erases++
-	info.reads = 0 // read disturb is reset by the erase
+	info.reads = 0   // read disturb is reset by the erase
+	if info.trans {  // an erased translation block rejoins the general pool
+		info.trans = false
+		if s.cmt != nil {
+			s.cmt.Stat.TransErased++
+		}
+	}
 	eraseFailed := s.inj != nil && s.inj.EraseFails(info.erases)
 	if eraseFailed {
 		s.faults.EraseFailures++

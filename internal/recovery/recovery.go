@@ -111,6 +111,7 @@ type Report struct {
 	TornDiscarded    int64 // pages interrupted mid-program or mid-erase
 	BadSkipped       int64 // pages in retired blocks
 	ParityPages      int64 // RAIN parity pages: scanned but never claimed
+	TransPages       int64 // DFTL translation pages: stale after a crash, never claimed
 	DeadGarbage      int64 // unreadable dead-block zombies kept out of the pool
 	JournalReplayed  int   // journal records that survived validation
 	JournalDiscarded int   // journal records invalidated by erase/reprogram
@@ -176,6 +177,14 @@ func BuildPlan(snap Snapshot) (Plan, error) {
 				rep.ParityPages++
 				continue
 			}
+			if o.Trans {
+				// A translation page's LPN field is a TVPN, not a host claim,
+				// and after a crash every surviving translation page is stale
+				// against this very scan: RecoverDftl re-lands a fresh
+				// checkpoint and translation GC reclaims the old generation.
+				rep.TransPages++
+				continue
+			}
 			claim(Winner{LPN: o.LPN, PPN: ssd.PPN(p), Hash: o.Hash, Seq: o.Seq, Revived: o.Revived})
 		}
 	}
@@ -188,7 +197,7 @@ func BuildPlan(snap Snapshot) (Plan, error) {
 			continue
 		}
 		o := snap.OOB[p]
-		if o.State != ftl.OOBProgrammed || o.Parity || o.Seq > r.Seq {
+		if o.State != ftl.OOBProgrammed || o.Parity || o.Trans || o.Seq > r.Seq {
 			rep.JournalDiscarded++
 			continue
 		}
@@ -214,7 +223,9 @@ func BuildPlan(snap Snapshot) (Plan, error) {
 			continue
 		}
 		o := snap.OOB[p]
-		if o.Parity {
+		if o.Parity || o.Trans {
+			// Neither holds host data; translation garbage is reclaimed by
+			// the translation GC stream, not the dead-value pool.
 			continue
 		}
 		if snap.dead(p) {

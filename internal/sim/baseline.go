@@ -25,13 +25,17 @@ func newBaselineDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*baselineDev
 	}
 	store.OnRelocate = mapper.Relocate
 	store.OwnerOf = mapper.OwnerOf
-	return &baselineDevice{
+	d := &baselineDevice{
 		cfg:    cfg,
 		bus:    bus,
 		store:  store,
 		mapper: mapper,
 		steer:  newStreamSteer(cfg.HotColdStreams, cfg.LogicalPages),
-	}, nil
+	}
+	// Through d so post-crash recovery can swap in a rebuilt mapper
+	// without rewiring.
+	store.LookupOf = func(lpn ftl.LPN) (ssd.PPN, bool) { return d.mapper.Lookup(lpn) }
+	return d, nil
 }
 
 // Write implements Device.
@@ -47,6 +51,9 @@ func (d *baselineDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Tim
 			return 0, err
 		}
 	}
+	if done, err = d.store.MapWrite(lpn, ppn, done); err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
 	return done, nil
 }
 
@@ -58,6 +65,10 @@ func (d *baselineDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
+	now, err := d.store.MapRead(lpn, now)
+	if err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
 	return absorbUncorrectable(d.store.Read(ppn, now))
 }
 
@@ -65,6 +76,7 @@ func (d *baselineDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 func (d *baselineDevice) Metrics() DeviceMetrics {
 	d.m.GC = d.store.GC()
 	d.m.Faults = d.store.FaultStats()
+	d.m.Dftl = d.store.DftlStats()
 	busCounts(&d.m, d.bus)
 	return d.m
 }

@@ -56,8 +56,15 @@ func newDedupDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*dedupDevice, e
 		d.dmap.Relocate(src, dst)
 		for _, lpn := range owners[1:] {
 			store.AppendBinding(lpn, dst, false)
+			// The store queues the first owner's translation update itself
+			// when it stamps the relocated copy; secondary references are
+			// only known here.
+			store.NoteGCMapUpdate(lpn, dst)
 		}
 	}
+	// Through d.dmap so post-crash recovery can swap in a rebuilt mapper
+	// without rewiring.
+	store.LookupOf = func(lpn ftl.LPN) (ssd.PPN, bool) { return d.dmap.Lookup(lpn) }
 	if cfg.Kind == KindDVPDedup {
 		pool, err := buildPool(cfg, d.ledger)
 		if err != nil {
@@ -75,7 +82,13 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 	d.m.HostWrites++
 	d.tick++
 	d.ledger.Bump(h)
-	hashDone := now + d.lat.Hash
+	// Every path below starts by consulting the logical page's current
+	// binding, so the covering translation frame is faulted in up front;
+	// the bind at the end then dirties the already-resident frame.
+	hashDone, merr := d.store.MapRead(lpn, now+d.lat.Hash)
+	if merr != nil {
+		return 0, wrapInterrupted(lpn, merr)
+	}
 
 	// Identical overwrite: the logical page already holds this content;
 	// nothing changes anywhere.
@@ -107,7 +120,11 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 		}
 		d.store.AppendBinding(lpn, ppn, false)
 		d.m.DedupHits++
-		return hashDone, nil
+		done, err := d.store.MapWrite(lpn, ppn, hashDone)
+		if err != nil {
+			return 0, wrapInterrupted(lpn, err)
+		}
+		return done, nil
 	}
 
 	// Dead-value pool path: the value is dead but a zombie copy survives.
@@ -130,6 +147,10 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 					return 0, err
 				}
 				d.m.Revived++
+				vdone, err = d.store.MapWrite(lpn, ppn, vdone)
+				if err != nil {
+					return 0, wrapInterrupted(lpn, err)
+				}
 				return vdone, nil
 			}
 			hashDone = vdone
@@ -145,6 +166,10 @@ func (d *dedupDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, 
 	if err := d.dmap.BindNew(lpn, ppn, h); err != nil {
 		return 0, err
 	}
+	done, err = d.store.MapWrite(lpn, ppn, done)
+	if err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
 	return done, nil
 }
 
@@ -156,6 +181,10 @@ func (d *dedupDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
+	now, err := d.store.MapRead(lpn, now)
+	if err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
 	return absorbUncorrectable(d.store.Read(ppn, now))
 }
 
@@ -166,6 +195,7 @@ func (d *dedupDevice) Metrics() DeviceMetrics {
 	if d.pool != nil {
 		d.m.Pool = d.pool.Stats()
 	}
+	d.m.Dftl = d.store.DftlStats()
 	busCounts(&d.m, d.bus)
 	return d.m
 }

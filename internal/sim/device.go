@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"zombiessd/internal/core"
+	"zombiessd/internal/dftl"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/health"
@@ -109,6 +110,14 @@ type Config struct {
 	// tracker, reserves no parity slots and stays bit-identical.
 	RAIN rain.Config
 
+	// DFTL arms the flash-resident mapping subsystem: a bounded cached
+	// mapping table (CMT) of translation-page frames, misses and dirty
+	// evictions charged as real flash operations, and translation pages
+	// garbage-collected as a second stream beside data blocks. The zero
+	// value keeps the whole mapping in RAM for free and stays
+	// bit-identical.
+	DFTL dftl.Config
+
 	// Telemetry, when non-nil, is attached to the assembled device: the
 	// bus reports every stamped flash operation to it, the store tags GC
 	// and ECC work, and the device registers its gauges (queue backlog, GC
@@ -188,6 +197,9 @@ func (c Config) Validate() error {
 	if err := c.RAIN.Validate(); err != nil {
 		return err
 	}
+	if err := c.DFTL.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -217,6 +229,7 @@ type DeviceMetrics struct {
 	Faults fault.Stats
 	Scrub  scrub.Stats
 	Rain   rain.Stats
+	Dftl   dftl.Stats
 }
 
 // ShortCircuited returns the number of writes that required no flash
@@ -272,6 +285,7 @@ func (m DeviceMetrics) Sub(prev DeviceMetrics) DeviceMetrics {
 		Faults: m.Faults.Sub(prev.Faults),
 		Scrub:  m.Scrub.Sub(prev.Scrub),
 		Rain:   m.Rain.Sub(prev.Rain),
+		Dftl:   m.Dftl.Sub(prev.Dftl),
 	}
 }
 
@@ -313,6 +327,9 @@ func NewDevice(cfg Config) (Device, error) {
 	if cfg.RAIN.Enabled() {
 		cfg.Store.RAIN = cfg.RAIN
 	}
+	if cfg.DFTL.Enabled() {
+		cfg.Store.DFTL = cfg.DFTL
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -325,6 +342,9 @@ func NewDevice(cfg Config) (Device, error) {
 		return nil, fmt.Errorf("sim: %d logical pages exceed the store's usable capacity %d "+
 			"(frontiers and GC reserve shrink it below the exported size)",
 			cfg.LogicalPages, store.UsablePages())
+	}
+	if err := store.AttachCMT(cfg.LogicalPages); err != nil {
+		return nil, err
 	}
 	tel := cfg.Telemetry
 	if tel.On() {
@@ -421,6 +441,17 @@ func registerDeviceGauges(tel *telemetry.Telemetry, dev Device, bus *ssd.Bus, st
 		tel.RegisterGauge("lost_pages",
 			"pages whose data is currently destroyed and unreconstructed", nil,
 			func(ssd.Time) float64 { return float64(store.LostPages()) })
+	}
+	if store.DftlEnabled() {
+		tel.RegisterGauge("dftl_cmt_hit_rate",
+			"cached mapping table lookup hit rate", nil,
+			func(ssd.Time) float64 { return store.DftlStats().HitRate() })
+		tel.RegisterGauge("dftl_trans_programs",
+			"translation page programs (write-backs, GC copies, RMWs, checkpoints)", nil,
+			func(ssd.Time) float64 { return float64(store.DftlStats().TransPrograms) })
+		tel.RegisterGauge("dftl_trans_gc_runs",
+			"GC cycles that collected a translation block", nil,
+			func(ssd.Time) float64 { return float64(store.DftlStats().TransGCRuns) })
 	}
 	if store.RainEnabled() {
 		tel.RegisterGauge("rain_parity_programs",

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"zombiessd/internal/core"
+	"zombiessd/internal/dftl"
+	"zombiessd/internal/ftl"
+	"zombiessd/internal/ssd"
+)
+
+// BenchmarkRunDftl measures the full replay loop with the page map in free
+// RAM (the production default) and flash-resident behind a bounded CMT, so
+// `make bench` quantifies what demand-paging the map costs end to end. The
+// off arm is the baseline the on arm is compared to in BENCH_dftl.json.
+func BenchmarkRunDftl(b *testing.B) {
+	recs, footprint := benchReplay(b)
+	epp := int64(dftl.EntriesPerPage(4096))
+	frames := int((footprint + epp - 1) / epp / 4)
+	if frames < 2 {
+		frames = 2
+	}
+	for _, mode := range []struct {
+		name string
+		cfg  dftl.Config
+	}{
+		{"off", dftl.Config{}},
+		{"on", dftl.Config{Enable: true, CMTFrames: frames, BatchEvict: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Lower utilization than the telemetry benchmark: the
+				// translation stream needs its own frontier block per plane
+				// plus garbage room on top of the data stream's.
+				cfg := Config{
+					Geometry:     GeometryFor(footprint, 0.70),
+					Latency:      ssd.PaperLatency(),
+					Store:        ftl.StoreConfig{GCFreeBlockThreshold: 2, PopularityWeight: DefaultPopularityWeight},
+					LogicalPages: footprint,
+					Kind:         KindDVP,
+					PoolKind:     PoolMQ,
+					MQ:           core.MQConfig{Queues: 8, Capacity: 3000, DefaultLifetime: 8192},
+					DFTL:         mode.cfg,
+				}
+				dev, err := NewDevice(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := Run(dev, recs, RunOptions{LogicalPages: footprint, PreconditionPages: footprint})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Metrics.HostWrites == 0 {
+					b.Fatal("replay performed no writes")
+				}
+				if mode.cfg.Enable && res.Metrics.Dftl.TransPrograms == 0 {
+					b.Fatal("flash-resident arm produced no translation programs")
+				}
+			}
+		})
+	}
+}

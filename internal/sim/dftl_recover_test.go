@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+
+	"zombiessd/internal/dftl"
+)
+
+// dftlTestConfig arms the flash-resident mapping table on one architecture
+// with a deliberately tiny CMT — smaller than the footprint's three
+// translation pages — so evictions, write-backs and translation GC all
+// fire inside a small trace.
+func dftlTestConfig(kind Kind) Config {
+	cfg := testConfig(kind, testFootprint)
+	// The shared test geometry runs 3000 live pages on 4096 physical; the
+	// translation stream needs its own frontier block per plane plus room
+	// for translation garbage, so give each plane a few more blocks.
+	cfg.Geometry.BlocksPerPlane = 20
+	cfg.DFTL = dftl.Config{Enable: true, CMTFrames: 2, BatchEvict: true}
+	return cfg
+}
+
+// checkDftlAgrees verifies the flash-resident mapping against the device's
+// in-RAM table: for every logical page, the CMT + durable translation
+// pages must resolve to exactly the binding the mapper holds.
+func checkDftlAgrees(t *testing.T, dev Device, footprint int64) {
+	t.Helper()
+	st := testStoreOf(t, dev)
+	if !st.DftlEnabled() {
+		t.Fatal("DFTL not attached")
+	}
+	if err := st.CheckDftl(st.LookupOf, footprint); err != nil {
+		t.Fatalf("flash-resident mapping diverged: %v", err)
+	}
+}
+
+// TestCrashDuringDftl cuts power at three points of every architecture's
+// life with the flash-resident mapping table armed. Recovery must rebuild
+// host data (the shadow oracle), and the re-landed translation checkpoint
+// must agree with the rebuilt mapper for every logical page — including
+// the GC rebindings that were pending in mapPend when power was lost.
+func TestCrashDuringDftl(t *testing.T) {
+	recs := redundantTrace(8000)
+	kinds := []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline", dftlTestConfig(KindBaseline)},
+		{"dvp", dftlTestConfig(KindDVP)},
+		{"dvp+dedup", dftlTestConfig(KindDVPDedup)},
+		{"lx", dftlTestConfig(KindLX)},
+	}
+	buffered := dftlTestConfig(KindDVP)
+	buffered.WriteBufferPages = 64
+	kinds = append(kinds, struct {
+		name string
+		cfg  Config
+	}{"buffered", buffered})
+
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			dev, opsPre, _ := replayWithCrash(t, k.cfg, recs, testFootprint, 0)
+			checkDftlAgrees(t, dev, testFootprint)
+			st := testStoreOf(t, dev)
+			if st.DftlStats().TransPrograms == 0 {
+				t.Fatal("pilot run programmed no translation pages")
+			}
+			window := testBusOps(t, dev) - opsPre
+			if window <= 0 {
+				t.Fatal("pilot issued no flash ops after preconditioning")
+			}
+			for _, q := range []int64{1, 2, 3} {
+				crashAt := opsPre + q*window/4
+				dev, _, crashed := replayWithCrash(t, k.cfg, recs, testFootprint, crashAt)
+				if !crashed {
+					t.Errorf("power loss at op %d never fired", crashAt)
+				}
+				checkDftlAgrees(t, dev, testFootprint)
+				if testStoreOf(t, dev).DftlStats().CheckpointPages == 0 {
+					t.Error("recovery re-landed no translation checkpoint pages")
+				}
+			}
+		})
+	}
+}
+
+// TestDftlTranslationGCRuns drives enough mapping churn through a
+// tiny-CMT device that the translation stream itself needs garbage
+// collection, and requires the second GC stream to have actually fired —
+// the attribution the dftlsweep experiment reports.
+func TestDftlTranslationGCRuns(t *testing.T) {
+	cfg := dftlTestConfig(KindBaseline)
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := redundantTrace(30_000)
+	if _, err := Run(dev, recs, RunOptions{LogicalPages: testFootprint, PreconditionPages: testFootprint}); err != nil {
+		t.Fatal(err)
+	}
+	st := testStoreOf(t, dev)
+	stats := st.DftlStats()
+	if stats.Misses == 0 || stats.Writebacks == 0 {
+		t.Fatalf("tiny CMT saw no miss/writeback traffic: %+v", stats)
+	}
+	if stats.TransGCRuns == 0 || stats.TransErased == 0 {
+		t.Fatalf("translation stream never needed GC: %+v", stats)
+	}
+	checkDftlAgrees(t, dev, testFootprint)
+	m := dev.Metrics()
+	if m.Dftl != stats {
+		t.Errorf("DeviceMetrics.Dftl = %+v, store says %+v", m.Dftl, stats)
+	}
+}
+
+// TestDftlDisabledStatsZero pins the disabled path: a plain run must leave
+// every DFTL counter at zero and CheckDftl a no-op.
+func TestDftlDisabledStatsZero(t *testing.T) {
+	dev, err := NewDevice(testConfig(KindDVP, testFootprint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := redundantTrace(2000)
+	if _, err := Run(dev, recs, RunOptions{LogicalPages: testFootprint, PreconditionPages: testFootprint}); err != nil {
+		t.Fatal(err)
+	}
+	if s := dev.Metrics().Dftl; s != (dftl.Stats{}) {
+		t.Errorf("disabled run accumulated DFTL stats: %+v", s)
+	}
+	st := testStoreOf(t, dev)
+	if st.DftlEnabled() {
+		t.Error("CMT attached without DFTL enabled")
+	}
+	if err := st.CheckDftl(st.LookupOf, testFootprint); err != nil {
+		t.Errorf("disabled CheckDftl errored: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"zombiessd/internal/core"
 	"zombiessd/internal/ftl"
+	"zombiessd/internal/sparse"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
@@ -31,8 +32,9 @@ type dvpDevice struct {
 	steer  *streamSteer
 
 	// content records the hash currently stored at each logical page, so
-	// an update can hand the dying copy's hash to the pool.
-	content []trace.Hash
+	// an update can hand the dying copy's hash to the pool. Sparse so a
+	// paper-scale logical space only pays for touched chunks.
+	content *sparse.Array[trace.Hash]
 
 	tick core.Tick // write clock
 	m    DeviceMetrics
@@ -57,12 +59,15 @@ func newDVPDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*dvpDevice, error
 		ledger:  ledger,
 		lat:     cfg.Latency,
 		steer:   newStreamSteer(cfg.HotColdStreams, cfg.LogicalPages),
-		content: make([]trace.Hash, cfg.LogicalPages),
+		content: sparse.New(cfg.LogicalPages, trace.Hash{}),
 	}
 	store.OnRelocate = mapper.Relocate
 	store.OwnerOf = mapper.OwnerOf
 	store.OnEraseGarbage = pool.Drop
 	store.Scorer = pool
+	// Through d so post-crash recovery can swap in a rebuilt mapper
+	// without rewiring.
+	store.LookupOf = func(lpn ftl.LPN) (ssd.PPN, bool) { return d.mapper.Lookup(lpn) }
 	return d, nil
 }
 
@@ -74,7 +79,7 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 	d.ledger.Bump(h)
 	d.mapper.BumpPopularity(lpn)
 
-	oldHash := d.content[lpn]
+	oldHash := d.content.Get(int64(lpn))
 
 	// Every content-aware path first pays the hashing latency.
 	hashDone := now + d.lat.Hash
@@ -83,7 +88,7 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 	// pre-program lookup: GC triggered by the program may relocate the old
 	// page, and Bind always reports its current location.
 	var done ssd.Time
-	var old ssd.PPN
+	var old, bound ssd.PPN
 	revived := false
 	start := hashDone
 	if ppn, ok := d.pool.Lookup(h, d.tick); ok {
@@ -105,6 +110,7 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 			}
 			d.store.AppendBinding(lpn, ppn, true)
 			old = d.mapper.Bind(lpn, ppn)
+			bound = ppn
 			d.m.Revived++
 			done = vdone
 			revived = true
@@ -121,6 +127,7 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 		}
 		d.store.StampOOB(ppn, lpn, h, false)
 		old = d.mapper.Bind(lpn, ppn)
+		bound = ppn
 		done = pdone
 	}
 
@@ -133,7 +140,11 @@ func (d *dvpDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, er
 		}
 		d.pool.Insert(oldHash, old, d.tick)
 	}
-	d.content[lpn] = h
+	d.content.Set(int64(lpn), h)
+	done, err := d.store.MapWrite(lpn, bound, done)
+	if err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
 	return done, nil
 }
 
@@ -145,6 +156,10 @@ func (d *dvpDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
+	now, err := d.store.MapRead(lpn, now)
+	if err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
 	return absorbUncorrectable(d.store.Read(ppn, now))
 }
 
@@ -153,6 +168,7 @@ func (d *dvpDevice) Metrics() DeviceMetrics {
 	d.m.GC = d.store.GC()
 	d.m.Faults = d.store.FaultStats()
 	d.m.Pool = d.pool.Stats()
+	d.m.Dftl = d.store.DftlStats()
 	busCounts(&d.m, d.bus)
 	return d.m
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
+	"zombiessd/internal/sparse"
 	"zombiessd/internal/ssd"
 	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
@@ -19,7 +20,7 @@ type lxDevice struct {
 	pool   *lxssd.Pool
 	lat    ssd.Latency
 
-	content []trace.Hash
+	content *sparse.Array[trace.Hash]
 	m       DeviceMetrics
 }
 
@@ -39,11 +40,14 @@ func newLXDevice(cfg Config, bus *ssd.Bus, store *ftl.Store) (*lxDevice, error) 
 		mapper:  mapper,
 		pool:    pool,
 		lat:     cfg.Latency,
-		content: make([]trace.Hash, cfg.LogicalPages),
+		content: sparse.New(cfg.LogicalPages, trace.Hash{}),
 	}
 	store.OnRelocate = mapper.Relocate
 	store.OwnerOf = mapper.OwnerOf
 	store.OnEraseGarbage = d.pool.Drop
+	// Through d so post-crash recovery can swap in a rebuilt mapper
+	// without rewiring.
+	store.LookupOf = func(lpn ftl.LPN) (ssd.PPN, bool) { return d.mapper.Lookup(lpn) }
 	return d, nil
 }
 
@@ -52,13 +56,13 @@ func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, err
 	d.m.HostWrites++
 	d.pool.RecordAccess(h, uint64(lpn))
 
-	oldHash := d.content[lpn]
+	oldHash := d.content.Get(int64(lpn))
 	hashDone := now + d.lat.Hash
 
 	// As in dvpDevice, the old PPN comes from Bind so GC relocations
 	// triggered by the program are observed.
 	var done ssd.Time
-	var old ssd.PPN
+	var old, bound ssd.PPN
 	revived := false
 	start := hashDone
 	if ppn, ok := d.pool.Lookup(h); ok {
@@ -74,6 +78,7 @@ func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, err
 			}
 			d.store.AppendBinding(lpn, ppn, true)
 			old = d.mapper.Bind(lpn, ppn)
+			bound = ppn
 			d.m.Revived++
 			done = vdone
 			revived = true
@@ -88,6 +93,7 @@ func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, err
 		}
 		d.store.StampOOB(ppn, lpn, h, false)
 		old = d.mapper.Bind(lpn, ppn)
+		bound = ppn
 		done = pdone
 	}
 	if old != ssd.InvalidPPN {
@@ -96,7 +102,11 @@ func (d *lxDevice) Write(lpn ftl.LPN, h trace.Hash, now ssd.Time) (ssd.Time, err
 		}
 		d.pool.Insert(oldHash, old, uint64(lpn))
 	}
-	d.content[lpn] = h
+	d.content.Set(int64(lpn), h)
+	done, err := d.store.MapWrite(lpn, bound, done)
+	if err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
 	return done, nil
 }
 
@@ -109,7 +119,11 @@ func (d *lxDevice) Read(lpn ftl.LPN, now ssd.Time) (ssd.Time, error) {
 		d.m.UnmappedReads++
 		return now, nil
 	}
-	d.pool.RecordAccess(d.content[lpn], uint64(lpn))
+	d.pool.RecordAccess(d.content.Get(int64(lpn)), uint64(lpn))
+	now, err := d.store.MapRead(lpn, now)
+	if err != nil {
+		return 0, wrapInterrupted(lpn, err)
+	}
 	return absorbUncorrectable(d.store.Read(ppn, now))
 }
 
@@ -118,6 +132,7 @@ func (d *lxDevice) Metrics() DeviceMetrics {
 	d.m.GC = d.store.GC()
 	d.m.Faults = d.store.FaultStats()
 	d.m.Pool = d.pool.Stats()
+	d.m.Dftl = d.store.DftlStats()
 	busCounts(&d.m, d.bus)
 	return d.m
 }

@@ -8,6 +8,7 @@ import (
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
 	"zombiessd/internal/recovery"
+	"zombiessd/internal/sparse"
 	"zombiessd/internal/telemetry"
 	"zombiessd/internal/trace"
 )
@@ -68,6 +69,27 @@ func recoverPlan(store *ftl.Store) (recovery.Plan, error) {
 	return plan, nil
 }
 
+// recoverDftl re-lands the translation checkpoint from the scan's winners.
+// Every pre-crash translation page is stale against the scan, so the whole
+// table is rewritten. Must run AFTER the device has rebuilt and rewired its
+// in-RAM mapper: checkpoint programs can trigger GC, whose relocations and
+// pending-map-update filtering go through OnRelocate/OwnerOf/LookupOf.
+// Stamped at 0 like the scan itself — recovery time is accounted by
+// ScanCost, not the bus.
+func recoverDftl(store *ftl.Store, plan recovery.Plan) error {
+	if !store.DftlEnabled() {
+		return nil
+	}
+	tel := store.Telemetry()
+	prevOrigin := tel.EnterOrigin(telemetry.OriginRecovery)
+	defer tel.ExitOrigin(prevOrigin)
+	binds := make([]ftl.Binding, 0, len(plan.Winners))
+	for _, w := range plan.Winners {
+		binds = append(binds, ftl.Binding{LPN: w.LPN, PPN: w.PPN})
+	}
+	return store.RecoverDftl(binds, 0)
+}
+
 // rebuildMapper binds every recovered winner into a fresh page map.
 func rebuildMapper(store *ftl.Store, logical int64, plan recovery.Plan) (*ftl.Mapper, error) {
 	mapper, err := ftl.NewMapper(logical, store.Geometry().TotalPages())
@@ -96,6 +118,9 @@ func (d *baselineDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
 	d.mapper = mapper
 	d.store.OnRelocate = mapper.Relocate
 	d.store.OwnerOf = mapper.OwnerOf
+	if err := recoverDftl(d.store, plan); err != nil {
+		return recovery.Report{}, err
+	}
 	return plan.Report, nil
 }
 
@@ -128,9 +153,9 @@ func (d *dvpDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
 	if err != nil {
 		return recovery.Report{}, err
 	}
-	content := make([]trace.Hash, d.cfg.LogicalPages)
+	content := sparse.New(d.cfg.LogicalPages, trace.Hash{})
 	for _, w := range plan.Winners {
-		content[w.LPN] = w.Hash
+		content.Set(int64(w.LPN), w.Hash)
 	}
 	ledger := core.NewLedger()
 	pool, err := buildPool(d.cfg, ledger)
@@ -148,6 +173,9 @@ func (d *dvpDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
 	d.store.OwnerOf = mapper.OwnerOf
 	d.store.OnEraseGarbage = pool.Drop
 	d.store.Scorer = pool
+	if err := recoverDftl(d.store, plan); err != nil {
+		return recovery.Report{}, err
+	}
 	return plan.Report, nil
 }
 
@@ -185,6 +213,9 @@ func (d *dedupDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
 		d.store.OnEraseGarbage = pool.Drop
 		d.store.Scorer = pool
 	}
+	if err := recoverDftl(d.store, plan); err != nil {
+		return recovery.Report{}, err
+	}
 	return plan.Report, nil
 }
 
@@ -209,9 +240,9 @@ func (d *lxDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
 	if err != nil {
 		return recovery.Report{}, err
 	}
-	content := make([]trace.Hash, d.cfg.LogicalPages)
+	content := sparse.New(d.cfg.LogicalPages, trace.Hash{})
 	for _, w := range plan.Winners {
-		content[w.LPN] = w.Hash
+		content.Set(int64(w.LPN), w.Hash)
 	}
 	pool, err := lxssd.New(d.cfg.LX)
 	if err != nil {
@@ -226,6 +257,9 @@ func (d *lxDevice) Recover(opts RecoverOptions) (recovery.Report, error) {
 	d.store.OnRelocate = mapper.Relocate
 	d.store.OwnerOf = mapper.OwnerOf
 	d.store.OnEraseGarbage = pool.Drop
+	if err := recoverDftl(d.store, plan); err != nil {
+		return recovery.Report{}, err
+	}
 	return plan.Report, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"zombiessd/internal/core"
+	"zombiessd/internal/dftl"
 	"zombiessd/internal/fault"
 	"zombiessd/internal/ftl"
 	"zombiessd/internal/lxssd"
@@ -77,6 +78,14 @@ func TestPhaseSumExact(t *testing.T) {
 		{"lx", KindLX, nil},
 		{"dvp-preempt", KindDVP, func(cfg *Config) {
 			cfg.Store.Preempt = ftl.PreemptConfig{PartialK: 8, Lookahead: 2, MaxSuspends: 4}
+		}},
+		{"dvp-dftl", KindDVP, func(cfg *Config) {
+			// A tiny CMT so evictions, write-backs and translation GC all
+			// fire; the map_miss/map_writeback phases must still sum exactly.
+			cfg.DFTL = dftl.Config{Enable: true, CMTFrames: 4, BatchEvict: true}
+		}},
+		{"dedup-dftl", KindDVPDedup, func(cfg *Config) {
+			cfg.DFTL = dftl.Config{Enable: true, CMTFrames: 4}
 		}},
 		{"dvp-faulty", KindDVP, func(cfg *Config) {
 			cfg.Faults = fault.Config{

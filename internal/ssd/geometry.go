@@ -108,8 +108,25 @@ func (g Geometry) Validate() error {
 	if g.OverProvision < 0 || g.OverProvision >= 1 {
 		return fmt.Errorf("ssd: over-provisioning must be in [0,1), got %g", g.OverProvision)
 	}
-	if g.TotalPages() > int64(InvalidPPN) {
-		return fmt.Errorf("ssd: geometry has %d pages, exceeding the PPN space", g.TotalPages())
+	// TotalPages multiplies six int fields; a product past MaxInt64 wraps,
+	// so the PPN-space comparison below would see garbage. Accumulate with
+	// an explicit overflow guard instead of trusting the helper.
+	pages := int64(1)
+	for _, f := range []int{
+		g.Channels, g.ChipsPerChannel, g.DiesPerChip,
+		g.PlanesPerDie, g.BlocksPerPlane, g.PagesPerBlock,
+	} {
+		if pages > int64(InvalidPPN)/int64(f)+1 {
+			return fmt.Errorf("ssd: geometry page count overflows the PPN space")
+		}
+		pages *= int64(f)
+	}
+	if pages > int64(InvalidPPN) {
+		return fmt.Errorf("ssd: geometry has %d pages, exceeding the PPN space", pages)
+	}
+	// RawBytes = pages × PageSize must stay addressable as int64 too.
+	if pages > (int64(1)<<62)/int64(g.PageSize) {
+		return fmt.Errorf("ssd: geometry raw capacity overflows int64 bytes")
 	}
 	return nil
 }

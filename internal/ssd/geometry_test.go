@@ -56,6 +56,46 @@ func TestGeometryValidateRejectsBadFields(t *testing.T) {
 	}
 }
 
+// TestGeometryValidateOverflow pins the overflow guard: geometries whose
+// page count wraps int64 (or whose byte capacity would) must be rejected,
+// not slip past the PPN-space check with a wrapped product.
+func TestGeometryValidateOverflow(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Geometry)
+	}{
+		{"pages wrap int64", func(g *Geometry) {
+			g.Channels = 1 << 20
+			g.ChipsPerChannel = 1 << 20
+			g.DiesPerChip = 1 << 20
+			g.PlanesPerDie = 1 << 20
+		}},
+		{"pages exceed PPN space", func(g *Geometry) {
+			g.BlocksPerPlane = 1 << 20
+			g.PagesPerBlock = 1 << 20
+		}},
+		{"bytes overflow int64", func(g *Geometry) {
+			// Just under the PPN ceiling, but with a huge page size the
+			// byte capacity blows through int64.
+			g.BlocksPerPlane = 16384
+			g.PagesPerBlock = 511
+			g.PageSize = 1 << 33
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := DefaultGeometry()
+			c.mutate(&g)
+			if err := g.Validate(); err == nil {
+				t.Errorf("Validate accepted overflowing geometry %+v", g)
+			}
+		})
+	}
+	if err := PaperGeometry().Validate(); err != nil {
+		t.Errorf("overflow guard rejects the paper drive: %v", err)
+	}
+}
+
 func TestComposeDecomposeRoundTrip(t *testing.T) {
 	g := ScaledGeometry(4)
 	f := func(raw uint32) bool {

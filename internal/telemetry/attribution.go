@@ -12,7 +12,7 @@ type Phase uint8
 
 // The attribution phases. Every request's latency decomposes exactly as
 //
-//	latency = Queue + GCBlocked + Bus + Chip + ECC + Ctrl
+//	latency = Queue + GCBlocked + Bus + Chip + ECC + Ctrl + MapMiss + MapWriteback
 //
 // Queue is time the request's flash operations waited behind work that was
 // already on their chips/channels; GCBlocked is the share of that wait
@@ -21,6 +21,10 @@ type Phase uint8
 // channel transfer time; Chip is cell read/program time; ECC is the full
 // cost of retry-ladder reads; Ctrl is everything off the flash path —
 // controller hashing, DRAM buffer acknowledgements, zero-cost no-ops.
+// MapMiss is the full cost of translation-page reads that faulted a DFTL
+// CMT frame in on the request's critical path, and MapWriteback the full
+// cost of dirty-frame translation-page programs forced by those faults;
+// both are zero unless the flash-resident mapping table is enabled.
 const (
 	PhaseQueue Phase = iota
 	PhaseGCBlocked
@@ -28,6 +32,8 @@ const (
 	PhaseChip
 	PhaseECC
 	PhaseCtrl
+	PhaseMapMiss
+	PhaseMapWriteback
 	NumPhases
 )
 
@@ -46,6 +52,10 @@ func (p Phase) String() string {
 		return "ecc-retry"
 	case PhaseCtrl:
 		return "ctrl"
+	case PhaseMapMiss:
+		return "map-miss"
+	case PhaseMapWriteback:
+		return "map-writeback"
 	default:
 		return fmt.Sprintf("Phase(%d)", uint8(p))
 	}
@@ -112,6 +122,8 @@ type Attribution struct {
 	busT        ssd.Time
 	chipT       ssd.Time
 	eccT        ssd.Time
+	mapMissT    ssd.Time // CMT fill reads chained into the request
+	mapWbT      ssd.Time // dirty-frame writeback programs chained in
 	gcHold      ssd.Time // chip time GC ops occupied during this request
 	dispatchLag ssd.Time // arbiter hold: dispatch − arrival (0 single-tenant)
 	tenant      int      // owning tenant, -1 when untagged
@@ -147,6 +159,7 @@ func (a *Attribution) begin(op RequestOp, arrival ssd.Time) {
 	a.op = op
 	a.arrival = arrival
 	a.hostWait, a.busT, a.chipT, a.eccT, a.gcHold = 0, 0, 0, 0, 0
+	a.mapMissT, a.mapWbT = 0, 0
 	a.dispatchLag = 0
 	a.tenant = -1
 	a.flashOps = 0
@@ -198,6 +211,13 @@ func (a *Attribution) observeOp(origin Origin, op ssd.OpObservation) {
 		// Retry-ladder reads chain into the critical path too; charge
 		// their whole duration (wait + transfer + cell) to ECC.
 		a.eccT += op.Done - op.Issue
+	case OriginMapMiss:
+		// Translation-page fills chain ahead of the host op exactly like
+		// ECC retries: whole duration charged to the map-miss phase.
+		a.mapMissT += op.Done - op.Issue
+	case OriginMapWriteback:
+		// Dirty-frame writebacks forced by a fill chain in the same way.
+		a.mapWbT += op.Done - op.Issue
 	case OriginGC:
 		// GC ops are stamped at the request's clock and occupy the chip
 		// ahead of the request's own program — their cost surfaces as the
@@ -221,7 +241,7 @@ func (a *Attribution) end(done ssd.Time) Request {
 		gcBlocked = a.hostWait
 	}
 	queue := a.hostWait - gcBlocked + a.dispatchLag
-	onFlash := queue + gcBlocked + a.busT + a.chipT + a.eccT
+	onFlash := queue + gcBlocked + a.busT + a.chipT + a.eccT + a.mapMissT + a.mapWbT
 	ctrl := lat - onFlash
 	if ctrl < 0 {
 		// Flash work charged to the scope exceeded the visible latency
@@ -237,6 +257,8 @@ func (a *Attribution) end(done ssd.Time) Request {
 	req.Phases[PhaseChip] = a.chipT
 	req.Phases[PhaseECC] = a.eccT
 	req.Phases[PhaseCtrl] = ctrl
+	req.Phases[PhaseMapMiss] = a.mapMissT
+	req.Phases[PhaseMapWriteback] = a.mapWbT
 
 	a.e2e[a.op].Add(int64(lat))
 	a.latSum += int64(lat)

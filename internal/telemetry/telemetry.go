@@ -24,7 +24,8 @@ import (
 // Origin classifies who issued a flash operation: the host request being
 // serviced, the garbage collector, the ECC retry ladder, the background
 // scrubber, a DRAM write-buffer eviction flush, the preconditioning fill,
-// or post-crash recovery.
+// post-crash recovery, or the DFTL mapping cache (translation-page fills
+// on CMT misses and dirty-frame writebacks).
 type Origin uint8
 
 // Operation origins.
@@ -36,6 +37,8 @@ const (
 	OriginFlush
 	OriginPrecond
 	OriginRecovery
+	OriginMapMiss
+	OriginMapWriteback
 	numOrigins
 )
 
@@ -56,6 +59,10 @@ func (o Origin) String() string {
 		return "precond"
 	case OriginRecovery:
 		return "recovery"
+	case OriginMapMiss:
+		return "map-miss"
+	case OriginMapWriteback:
+		return "map-writeback"
 	default:
 		return fmt.Sprintf("Origin(%d)", uint8(o))
 	}
@@ -267,6 +274,24 @@ func (t *Telemetry) EnterECC() Origin {
 	prev := t.origin
 	if prev == OriginHost {
 		t.origin = OriginECC
+	}
+	return prev
+}
+
+// EnterMapPhase switches to a DFTL mapping origin (OriginMapMiss or
+// OriginMapWriteback) only when the current origin is OriginHost, the same
+// discipline as EnterECC: translation traffic issued inside GC, scrub or
+// recovery keeps the enclosing origin, so the daemon that caused it is
+// charged — and the host request's attribution never double-counts
+// mapping work that already surfaces as queue wait. Restore with
+// ExitOrigin.
+func (t *Telemetry) EnterMapPhase(o Origin) Origin {
+	if t == nil {
+		return OriginHost
+	}
+	prev := t.origin
+	if prev == OriginHost {
+		t.origin = o
 	}
 	return prev
 }
